@@ -1,0 +1,200 @@
+(** Benchmark and experiment harness: regenerates every table and figure of
+    the paper's evaluation (§4) on the calibrated synthetic suite, and runs
+    Bechamel micro-benchmarks of the analyses themselves.
+
+    {v
+    dune exec bench/main.exe            # everything (EXPERIMENTS.md source)
+    dune exec bench/main.exe -- t1      # one artefact: fig1 fig2 t1..t5
+                                        #   time backedge floats returns
+    dune exec bench/main.exe -- bechamel  # micro-benchmarks only
+    v} *)
+
+open Fsicp_core
+open Fsicp_workloads
+open Fsicp_report
+
+let section title = Printf.printf "\n================ %s ================\n" title
+
+let fig1 () =
+  section "FIGURE 1";
+  Report.print (Fsicp_harness.Harness.figure1_table ())
+
+let fig2 () =
+  section "FIGURE 2 (compilation model trace)";
+  print_string (Fsicp_harness.Harness.figure2 ())
+
+let t1 () =
+  section "TABLE 1";
+  let t, _ =
+    Fsicp_harness.Harness.candidates_table
+      ~title:
+        "Interprocedural call site constant candidates — measured (paper)"
+      Spec.suite
+  in
+  Report.print t
+
+let t2 () =
+  section "TABLE 2";
+  let _, runs = Fsicp_harness.Harness.candidates_table ~title:"" Spec.suite in
+  Report.print
+    (Fsicp_harness.Harness.propagated_table
+       ~title:"Interprocedural propagated constants — measured (paper)" runs)
+
+let t3 () =
+  section "TABLE 3";
+  let t, _ =
+    Fsicp_harness.Harness.candidates_table ~floats:false
+      ~title:
+        "Call site candidates, first-release subset, floats off — measured \
+         (paper)"
+      Spec.first_release
+  in
+  Report.print t
+
+let t4 () =
+  section "TABLE 4";
+  let _, runs =
+    Fsicp_harness.Harness.candidates_table ~floats:false ~title:""
+      Spec.first_release
+  in
+  Report.print
+    (Fsicp_harness.Harness.propagated_table
+       ~title:
+         "Propagated constants, first-release subset, floats off — measured \
+          (paper)"
+       runs)
+
+let t5 () =
+  section "TABLE 5";
+  let _, runs =
+    Fsicp_harness.Harness.candidates_table ~floats:false ~title:""
+      Spec.first_release
+  in
+  Report.print
+    (Fsicp_harness.Harness.substitutions_table
+       ~title:"Intraprocedural substitutions — measured (paper)" runs)
+
+let time () =
+  section "TIMING (paper: FS ≈ FI + 50% of the analysis phase)";
+  Report.print (Fsicp_harness.Harness.timing_table ())
+
+let backedge () =
+  section "BACK-EDGE SWEEP (paper §3.2)";
+  Report.print (Fsicp_harness.Harness.backedge_sweep ())
+
+let floats () =
+  section "FLOAT ABLATION (paper §4)";
+  Report.print (Fsicp_harness.Harness.floats_table ())
+
+let returns () =
+  section "RETURN-CONSTANTS EXTENSION (paper §3.2, off in the tables)";
+  Report.print (Fsicp_harness.Harness.returns_table ())
+
+(* -- Bechamel micro-benchmarks -------------------------------------------- *)
+
+let bechamel () =
+  section "BECHAMEL MICRO-BENCHMARKS";
+  let open Bechamel in
+  let open Toolkit in
+  (* Analyses run from scratch per sample so each covers the same work. *)
+  let bench name = List.find (fun b -> b.Spec.b_name = name) Spec.suite in
+  let nasa = Spec.program (bench "093.NASA7") in
+  let wave = Spec.program (bench "039.WAVE5") in
+  let tests =
+    [
+      Test.make ~name:"context(NASA7)"
+        (Staged.stage (fun () -> ignore (Context.create nasa)));
+      Test.make ~name:"fi-icp(NASA7)"
+        (Staged.stage
+           (let ctx = Context.create nasa in
+            fun () -> ignore (Fi_icp.solve ctx)));
+      Test.make ~name:"fs-icp(NASA7)"
+        (Staged.stage
+           (let ctx = Context.create nasa in
+            fun () ->
+              Hashtbl.reset ctx.Context.ssa_cache;
+              ignore (Fs_icp.solve ctx)));
+      Test.make ~name:"fi-icp(WAVE5)"
+        (Staged.stage
+           (let ctx = Context.create wave in
+            fun () -> ignore (Fi_icp.solve ctx)));
+      Test.make ~name:"fs-icp(WAVE5)"
+        (Staged.stage
+           (let ctx = Context.create wave in
+            fun () ->
+              Hashtbl.reset ctx.Context.ssa_cache;
+              ignore (Fs_icp.solve ctx)));
+      Test.make ~name:"poly-jf(NASA7)"
+        (Staged.stage
+           (let ctx = Context.create nasa in
+            fun () ->
+              ignore (Jump_functions.solve ctx Jump_functions.Polynomial)));
+      Test.make ~name:"iterative(NASA7)"
+        (Staged.stage
+           (let ctx = Context.create nasa in
+            fun () ->
+              Hashtbl.reset ctx.Context.ssa_cache;
+              ignore (Reference.solve ctx)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"fsicp" ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+          rows := [ name; Printf.sprintf "%.3f" (est /. 1e6) ] :: !rows
+      | _ -> ())
+    results;
+  Report.print
+    (Report.make ~title:"analysis cost per run (monotonic clock)"
+       ~header:[ "BENCHMARK"; "ms/run" ]
+       (List.sort compare !rows))
+
+let all () =
+  fig1 ();
+  fig2 ();
+  t1 ();
+  t2 ();
+  t3 ();
+  t4 ();
+  t5 ();
+  time ();
+  backedge ();
+  floats ();
+  returns ();
+  bechamel ()
+
+let () =
+  let dispatch = function
+    | "fig1" -> fig1 ()
+    | "fig2" -> fig2 ()
+    | "t1" -> t1 ()
+    | "t2" -> t2 ()
+    | "t3" -> t3 ()
+    | "t4" -> t4 ()
+    | "t5" -> t5 ()
+    | "time" -> time ()
+    | "backedge" -> backedge ()
+    | "floats" -> floats ()
+    | "returns" -> returns ()
+    | "bechamel" -> bechamel ()
+    | "all" -> all ()
+    | other ->
+        Printf.eprintf
+          "unknown experiment %S (fig1 fig2 t1 t2 t3 t4 t5 time backedge \
+           floats returns bechamel all)\n"
+          other;
+        exit 2
+  in
+  if Array.length Sys.argv <= 1 then all ()
+  else Array.iteri (fun i a -> if i > 0 then dispatch a) Sys.argv

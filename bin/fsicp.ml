@@ -1,0 +1,300 @@
+(** [fsicp] — command-line driver for the flow-sensitive interprocedural
+    constant propagation library.
+
+    {v
+    fsicp analyze FILE [--method M] [--no-floats]   constants found by M
+    fsicp pipeline FILE                              full Figure-2 pipeline
+    fsicp run FILE                                   interpret the program
+    fsicp dump FILE --what ast|cfg|ssa|pcg|modref    intermediate forms
+    fsicp fold FILE [--method M]                     folded/optimised output
+    fsicp tables [--table N] [--quick]               paper tables 1..5 etc.
+    fsicp generate --seed N [--procs P] [--back B]   synthetic program
+    v} *)
+
+open Cmdliner
+open Fsicp_lang
+open Fsicp_core
+open Fsicp_workloads
+open Fsicp_report
+
+let read_program path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  match Parser.program_of_string src with
+  | prog -> (
+      match Sema.check prog with
+      | Ok () -> prog
+      | Error es ->
+          Fmt.epr "%s: semantic errors:@\n%s@." path (Sema.errors_to_string es);
+          exit 2)
+  | exception Parser.Error (msg, pos) ->
+      Fmt.epr "%s:%a: syntax error: %s@." path Ast.pp_pos pos msg;
+      exit 2
+  | exception Lexer.Error (msg, pos) ->
+      Fmt.epr "%s:%a: lexical error: %s@." path Ast.pp_pos pos msg;
+      exit 2
+
+type meth = FS | FI | Ref | JF of Jump_functions.variant
+
+let meth_conv =
+  let parse = function
+    | "fs" | "flow-sensitive" -> Ok FS
+    | "fi" | "flow-insensitive" -> Ok FI
+    | "ref" | "iterative" -> Ok Ref
+    | "literal" -> Ok (JF Jump_functions.Literal)
+    | "intra" -> Ok (JF Jump_functions.Intra)
+    | "pass" | "pass-through" -> Ok (JF Jump_functions.Pass_through)
+    | "poly" | "polynomial" -> Ok (JF Jump_functions.Polynomial)
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  Arg.conv (parse, fun ppf m ->
+      Fmt.string ppf
+        (match m with
+        | FS -> "fs"
+        | FI -> "fi"
+        | Ref -> "ref"
+        | JF v -> Jump_functions.variant_name v))
+
+let solve_with meth ctx =
+  match meth with
+  | FS -> Fs_icp.solve ctx
+  | FI -> Fi_icp.solve ctx
+  | Ref -> Reference.solve ctx
+  | JF v -> Jump_functions.solve ctx v
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFort source file")
+
+let meth_arg =
+  Arg.(value & opt meth_conv FS & info [ "method"; "m" ] ~docv:"METHOD"
+         ~doc:"fs | fi | ref | literal | intra | pass | poly")
+
+let no_floats_arg =
+  Arg.(value & flag & info [ "no-floats" ]
+         ~doc:"disable interprocedural propagation of floating-point constants")
+
+(* -- analyze --------------------------------------------------------- *)
+
+let analyze file meth no_floats =
+  let prog = read_program file in
+  let ctx = Context.create ~floats:(not no_floats) prog in
+  let sol = solve_with meth ctx in
+  Fmt.pr "%a" Solution.pp sol;
+  let cands = Metrics.candidates ctx ~fi:(Fi_icp.solve ctx) ~fs:(Fs_icp.solve ctx) ~name:file in
+  Fmt.pr "call sites: %d args, %d literal, %d FI-constant, %d FS-constant@."
+    cands.Metrics.cd_args cands.Metrics.cd_imm cands.Metrics.cd_fi
+    cands.Metrics.cd_fs
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"report interprocedural constants")
+    Term.(const analyze $ file_arg $ meth_arg $ no_floats_arg)
+
+(* -- pipeline --------------------------------------------------------- *)
+
+let pipeline file =
+  let prog = read_program file in
+  let d = Driver.run prog in
+  Fmt.pr "%a" Driver.pp d;
+  Fmt.pr "FI: %d constant formals, %d constant globals@."
+    (List.length (Solution.constant_formals d.Driver.fi))
+    (List.length (Solution.constant_globals d.Driver.fi));
+  Fmt.pr "FS: %d constant formals, %d constant globals@."
+    (List.length (Solution.constant_formals d.Driver.fs))
+    (List.length (Solution.constant_globals d.Driver.fs))
+
+let pipeline_cmd =
+  Cmd.v (Cmd.info "pipeline" ~doc:"run the full Figure-2 pipeline")
+    Term.(const pipeline $ file_arg)
+
+(* -- run --------------------------------------------------------------- *)
+
+let run_prog file =
+  let prog = read_program file in
+  match Fsicp_interp.Interp.run prog with
+  | r ->
+      List.iter (fun v -> Fmt.pr "%a@." Value.pp v) r.Fsicp_interp.Interp.prints
+  | exception Fsicp_interp.Interp.Runtime_error msg ->
+      Fmt.epr "runtime error: %s@." msg;
+      exit 1
+  | exception Fsicp_interp.Interp.Out_of_fuel ->
+      Fmt.epr "out of fuel (program too long-running)@.";
+      exit 1
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"interpret a MiniFort program")
+    Term.(const run_prog $ file_arg)
+
+(* -- dump --------------------------------------------------------------- *)
+
+let dump file what =
+  let prog = read_program file in
+  match what with
+  | "ast" -> Fmt.pr "%a" Pretty.pp_program prog
+  | "cfg" ->
+      List.iter
+        (fun p -> Fmt.pr "%a@\n" Fsicp_cfg.Ir.pp_proc p)
+        (Fsicp_cfg.Lower.lower_program prog)
+  | "ssa" ->
+      let ctx = Context.create prog in
+      Array.iter
+        (fun name ->
+          Fmt.pr "%a@\n" Fsicp_ssa.Ssa.pp_proc (Context.ssa ctx name))
+        ctx.Context.pcg.Fsicp_callgraph.Callgraph.nodes
+  | "pcg" ->
+      let pcg = Fsicp_callgraph.Callgraph.build prog in
+      Fmt.pr "%a" Fsicp_callgraph.Callgraph.pp pcg
+  | "modref" ->
+      let ctx = Context.create prog in
+      Fmt.pr "%a" Fsicp_ipa.Modref.pp ctx.Context.modref
+  | "alias" ->
+      let ctx = Context.create prog in
+      Fmt.pr "%a" Fsicp_ipa.Alias.pp ctx.Context.aliases
+  | w ->
+      Fmt.epr "unknown --what %S (ast|cfg|ssa|pcg|modref|alias)@." w;
+      exit 2
+
+let dump_cmd =
+  Cmd.v (Cmd.info "dump" ~doc:"print intermediate representations")
+    Term.(
+      const dump $ file_arg
+      $ Arg.(value & opt string "ast" & info [ "what"; "w" ] ~docv:"WHAT"))
+
+(* -- fold --------------------------------------------------------------- *)
+
+let fold file meth no_floats =
+  let prog = read_program file in
+  let ctx = Context.create ~floats:(not no_floats) prog in
+  let sol = solve_with meth ctx in
+  let folded = Fold.fold_program ctx sol in
+  Fmt.pr "%a" Pretty.pp_program folded
+
+let fold_cmd =
+  Cmd.v
+    (Cmd.info "fold" ~doc:"constant-fold the program using ICP results")
+    Term.(const fold $ file_arg $ meth_arg $ no_floats_arg)
+
+(* -- inline / clone ------------------------------------------------------ *)
+
+let inline file max_body =
+  let prog = read_program file in
+  let ctx = Context.create prog in
+  let prog', n = Inline.inline_program ctx ~max_body () in
+  Fmt.epr "inlined %d call(s)@." n;
+  Fmt.pr "%a" Pretty.pp_program prog'
+
+let inline_cmd =
+  Cmd.v
+    (Cmd.info "inline" ~doc:"inline small non-recursive procedures")
+    Term.(
+      const inline $ file_arg
+      $ Arg.(value & opt int 12 & info [ "max-body" ] ~docv:"N"
+               ~doc:"maximum callee size in statements"))
+
+let clone file =
+  let prog = read_program file in
+  let ctx = Context.create prog in
+  let fs = Fs_icp.solve ctx in
+  let prog', n = Clone.clone_by_constants ctx ~fs () in
+  Fmt.epr "created %d clone(s)@." n;
+  Fmt.pr "%a" Pretty.pp_program prog'
+
+let clone_cmd =
+  Cmd.v
+    (Cmd.info "clone" ~doc:"clone procedures per constant argument signature")
+    Term.(const clone $ file_arg)
+
+(* -- tables ------------------------------------------------------------- *)
+
+let tables table =
+  let all = table = 0 in
+  if all || table = 1 then begin
+    let t, _ =
+      Fsicp_harness.Harness.candidates_table
+        ~title:"Table 1: interprocedural call site constant candidates, measured (paper)"
+        Spec.suite
+    in
+    Report.print t;
+    print_newline ()
+  end;
+  if all || table = 2 then begin
+    let _, runs =
+      Fsicp_harness.Harness.candidates_table ~title:"" Spec.suite
+    in
+    Report.print
+      (Fsicp_harness.Harness.propagated_table
+         ~title:"Table 2: interprocedural propagated constants, measured (paper)"
+         runs);
+    print_newline ()
+  end;
+  if all || table = 3 then begin
+    let t, _ =
+      Fsicp_harness.Harness.candidates_table ~floats:false
+        ~title:"Table 3: call site candidates, first-release subset, no floats"
+        Spec.first_release
+    in
+    Report.print t;
+    print_newline ()
+  end;
+  if all || table = 4 then begin
+    let _, runs =
+      Fsicp_harness.Harness.candidates_table ~floats:false ~title:""
+        Spec.first_release
+    in
+    Report.print
+      (Fsicp_harness.Harness.propagated_table
+         ~title:"Table 4: propagated constants, first-release subset, no floats"
+         runs);
+    print_newline ()
+  end;
+  if all || table = 5 then begin
+    let _, runs =
+      Fsicp_harness.Harness.candidates_table ~floats:false ~title:""
+        Spec.first_release
+    in
+    Report.print
+      (Fsicp_harness.Harness.substitutions_table
+         ~title:"Table 5: intraprocedural substitutions, measured (paper)"
+         runs);
+    print_newline ()
+  end
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables" ~doc:"print the paper's tables (measured vs paper)")
+    Term.(
+      const tables
+      $ Arg.(value & opt int 0 & info [ "table"; "t" ] ~docv:"N" ~doc:"1..5; 0 = all"))
+
+(* -- generate ------------------------------------------------------------ *)
+
+let generate seed procs back =
+  let profile =
+    {
+      (Generator.small_profile seed) with
+      Generator.g_procs = procs;
+      g_back_edge_prob = back;
+    }
+  in
+  Fmt.pr "%a" Pretty.pp_program (Generator.generate profile)
+
+let generate_cmd =
+  Cmd.v (Cmd.info "generate" ~doc:"emit a synthetic MiniFort program")
+    Term.(
+      const generate
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N")
+      $ Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P")
+      $ Arg.(value & opt float 0.0 & info [ "back" ] ~docv:"B"))
+
+(* ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "flow-sensitive interprocedural constant propagation (PLDI 1995)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "fsicp" ~doc)
+          [
+            analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
+            inline_cmd; clone_cmd; tables_cmd; generate_cmd;
+          ]))

@@ -1,0 +1,50 @@
+(** Goal-directed procedure cloning (Metzger–Stroud, cited in the paper's
+    backward-walk phase): when different call sites pass different
+    constants, the meet destroys them; cloning per constant signature
+    recovers them for a second ICP round.
+
+    Run with: [dune exec examples/cloning.exe] *)
+
+open Fsicp_lang
+open Fsicp_core
+
+let source =
+  {|
+  // A BLAS-ish kernel called with two fixed tile sizes.
+  proc main() {
+    call tile(8);
+    call tile(16);
+  }
+  proc tile(size) {
+    area = size * size;
+    print area;
+  }
+  |}
+
+let count sol = List.length (Solution.constant_formals sol)
+
+let () =
+  let prog = Parser.program_of_string source in
+  Sema.check_exn prog;
+  Fmt.pr "original program:@.%a@." Pretty.pp_program prog;
+  let ctx = Context.create prog in
+  let fs = Fs_icp.solve ctx in
+  Fmt.pr "before cloning: %d constant formal(s) — 8 meets 16 to ⊥@."
+    (count fs);
+
+  let cloned, n = Clone.clone_by_constants ctx ~fs () in
+  Fmt.pr "@.cloned %d procedure(s):@.%a@." n Pretty.pp_program cloned;
+
+  let ctx' = Context.create cloned in
+  let fs' = Fs_icp.solve ctx' in
+  Fmt.pr "after cloning: %d constant formal(s):@.%a@." (count fs')
+    Solution.pp fs';
+
+  (* Folding the cloned program specialises each clone completely. *)
+  let folded = Fold.fold_program ctx' fs' in
+  Fmt.pr "@.specialised result:@.%a@." Pretty.pp_program folded;
+  let out p = (Fsicp_interp.Interp.run p).Fsicp_interp.Interp.prints in
+  assert (List.equal Value.equal (out prog) (out folded));
+  Fmt.pr "outputs verified identical: %a@."
+    Fmt.(list ~sep:(any ", ") Value.pp)
+    (out folded)

@@ -1,0 +1,57 @@
+(** Recursion and the back-edge fallback (paper §3.2).
+
+    The flow-sensitive method performs only one SCC analysis per procedure;
+    on PCG back edges it substitutes the flow-insensitive solution.  This
+    example shows the three regimes:
+
+    - literal recursion: the FI fallback keeps the constant;
+    - locally-computed recursion: the FI fallback loses it, while the
+      (expensive) iterative reference solver keeps it;
+    - the back-edge ratio as the knob interpolating the two solutions.
+
+    Run with: [dune exec examples/recursion.exe] *)
+
+open Fsicp_lang
+open Fsicp_core
+
+let analyse title src =
+  Fmt.pr "=== %s ===@.%s@." title src;
+  let prog = Parser.program_of_string src in
+  Sema.check_exn prog;
+  let ctx = Context.create prog in
+  let pcg = ctx.Context.pcg in
+  Fmt.pr "%a" Fsicp_callgraph.Callgraph.pp pcg;
+  Fmt.pr "back-edge ratio: %.2f@."
+    (Fsicp_callgraph.Callgraph.back_edge_ratio pcg);
+  let fi = Fi_icp.solve ctx in
+  let fs = Fs_icp.solve ~fi ctx in
+  let it = Reference.solve ctx in
+  let show name sol =
+    Fmt.pr "  %-22s %d SCC runs, constants: %a@." name
+      sol.Solution.scc_runs
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (p, i, v) ->
+            pf ppf "%s#%d=%a" p i Value.pp v))
+      (Solution.constant_formals sol)
+  in
+  show "flow-insensitive" fi;
+  show "flow-sensitive" fs;
+  show "iterative reference" it;
+  Fmt.pr "@."
+
+let () =
+  analyse "literal recursion: FI fallback suffices"
+    {|proc main() { call fib(10); }
+      proc fib(n) { if (n > 1) { call fib(10); } call log(1); }
+      proc log(level) { print level; }|};
+
+  analyse "computed recursion: one-pass FS pays the back-edge toll"
+    {|proc main() { call f(3); }
+      proc f(a) { if (u) { x = 3; call f(x); } print a; }|};
+
+  (* A sweep over generated programs: precision vs back-edge density. *)
+  Fmt.pr "=== back-edge ratio sweep (generated programs) ===@.";
+  Fsicp_report.Report.print (Fsicp_harness.Harness.backedge_sweep ());
+  Fmt.pr
+    "@.Reading: at ratio 0 the FS column equals the iterative one (the@.\
+     paper's exactness claim); as the ratio grows it sinks toward FI.@."

@@ -1,0 +1,56 @@
+(** Analyse one benchmark of the SPEC-like suite end to end and print its
+    Table 1 / Table 2 rows next to the paper's published numbers.
+
+    Run with: [dune exec examples/spec_report.exe -- [BENCH]]
+    (default 093.NASA7; try 013.SPICE2G6 for the big one) *)
+
+open Fsicp_core
+open Fsicp_workloads
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "093.NASA7" in
+  let bench =
+    match
+      List.find_opt (fun b -> b.Spec.b_name = name) (Spec.suite @ Spec.first_release)
+    with
+    | Some b -> b
+    | None ->
+        Fmt.epr "unknown benchmark %s; available:@." name;
+        List.iter (fun b -> Fmt.epr "  %s@." b.Spec.b_name) Spec.suite;
+        exit 2
+  in
+  let prog = Spec.program bench in
+  Fmt.pr "generated %s: %d procedures, %d globals@." name
+    (List.length prog.Fsicp_lang.Ast.procs)
+    (List.length prog.Fsicp_lang.Ast.globals);
+
+  let d = Driver.run prog in
+  Fmt.pr "%a@." Driver.pp d;
+
+  let c =
+    Metrics.candidates d.Driver.ctx ~fi:d.Driver.fi ~fs:d.Driver.fs ~name
+  in
+  let p =
+    Metrics.propagated d.Driver.ctx ~fi:d.Driver.fi ~fs:d.Driver.fs ~name
+  in
+  let paper = bench.Spec.b_paper in
+  Fmt.pr "Table 1 row (measured vs paper):@.";
+  Fmt.pr "  ARG %d (%d)  IMM %d (%d)  FI %d (%d)  FS %d (%d)@."
+    c.Metrics.cd_args paper.Spec.p_arg c.Metrics.cd_imm paper.Spec.p_imm
+    c.Metrics.cd_fi paper.Spec.p_fi_args c.Metrics.cd_fs paper.Spec.p_fs_args;
+  Fmt.pr "  globals: candidates %d (%d)  FS sites %d (%d)  visible %d (%d)@."
+    c.Metrics.cd_gl_fi paper.Spec.p_gl_cand c.Metrics.cd_gl_fs
+    paper.Spec.p_gl_fs_sites c.Metrics.cd_gl_vis paper.Spec.p_gl_vis;
+  Fmt.pr "Table 2 row (measured vs paper):@.";
+  Fmt.pr "  FP %d (%d)  FI %d (%d)  FS %d (%d)  procs %d (%d)  G.FI %d (%d)  G.FS %d (%d)@."
+    p.Metrics.pr_fp paper.Spec.p_fp p.Metrics.pr_fi paper.Spec.p_fi_formals
+    p.Metrics.pr_fs paper.Spec.p_fs_formals p.Metrics.pr_procs
+    paper.Spec.p_procs p.Metrics.pr_gl_fi paper.Spec.p_gl_fi
+    p.Metrics.pr_gl_fs paper.Spec.p_gl_fs;
+
+  (* Substitutions for this program under all three Table-5 methods. *)
+  let row =
+    Metrics.substitutions d.Driver.ctx ~fi:d.Driver.fi ~fs:d.Driver.fs ~name ()
+  in
+  Fmt.pr "intraprocedural substitutions: POLY %d, FI %d, FS %d@."
+    row.Metrics.sb_poly row.Metrics.sb_fi row.Metrics.sb_fs

@@ -1,0 +1,162 @@
+(** The Program Call Graph (PCG) and its traversal orders.
+
+    Nodes are procedures; there is one edge per call {e site} (the paper's
+    methods are call-site-sensitive: each call site carries its own constant
+    list).  The flow-sensitive ICP needs:
+
+    - a forward traversal order in which a procedure is visited after as many
+      of its callers as possible (reverse postorder of a DFS from [main]);
+    - a classification of call edges into {e forward} edges (caller visited
+      before callee in that order) and {e back} edges — the back edges are
+      the ones for which the flow-insensitive solution is substituted
+      (paper §3.2);
+    - the back-edge / total-edge ratio, the paper's measure of how
+      flow-insensitive the combined solution is;
+    - Tarjan's strongly-connected components, used to detect recursion and
+      by the tests.
+
+    Only procedures reachable from [main] participate, matching the paper's
+    measurements ("we only include measurements for procedures that are
+    reachable from the main procedure"). *)
+
+open Fsicp_lang
+
+type edge = {
+  caller : string;
+  callee : string;
+  cs_index : int;
+      (** call-site index within the caller, in textual order; matches the
+          [cs_id] assigned by {!Fsicp_cfg.Lower} *)
+}
+
+type t = {
+  prog : Ast.program;
+  nodes : string array;  (** reachable procedures, in reverse postorder from main *)
+  edges : edge list;  (** all call edges between reachable procedures *)
+  index : (string, int) Hashtbl.t;  (** node name -> position in [nodes] *)
+  back_edges : (string * int, unit) Hashtbl.t;
+      (** keys: (caller, cs_index) of edges classified as back edges *)
+}
+
+let node_index t name = Hashtbl.find_opt t.index name
+let is_reachable t name = Hashtbl.mem t.index name
+
+(** Build the PCG of [prog], restricted to procedures reachable from the
+    entry.  Back edges are classified by the DFS that discovers the graph:
+    an edge to a procedure currently on the DFS stack is a back edge (this
+    includes self-recursion).  Cross and forward DFS edges are "forward" for
+    the topological traversal, since their target is finished before the
+    source in reverse postorder. *)
+let build (prog : Ast.program) : t =
+  let index = Hashtbl.create 16 in
+  let back_edges = Hashtbl.create 16 in
+  let edges = ref [] in
+  let on_stack = Hashtbl.create 16 in
+  let finished = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs name =
+    Hashtbl.replace on_stack name ();
+    let p = Ast.find_proc_exn prog name in
+    List.iteri
+      (fun cs_index (callee, _args, _pos) ->
+        edges := { caller = name; callee; cs_index } :: !edges;
+        if Hashtbl.mem on_stack callee then
+          Hashtbl.replace back_edges (name, cs_index) ()
+        else if not (Hashtbl.mem finished callee) then dfs callee)
+      (Ast.call_sites p);
+    Hashtbl.remove on_stack name;
+    Hashtbl.replace finished name ();
+    order := name :: !order
+  in
+  dfs prog.Ast.main;
+  let nodes = Array.of_list !order in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) nodes;
+  { prog; nodes; edges = List.rev !edges; index; back_edges }
+
+let is_back_edge t (e : edge) = Hashtbl.mem t.back_edges (e.caller, e.cs_index)
+
+(** Forward topological traversal order (callers before callees, up to back
+    edges): the DFS reverse postorder computed by {!build}. *)
+let forward_order t = Array.copy t.nodes
+
+(** Reverse topological order (callees before callers, up to back edges);
+    the order of the paper's "backward walk" and of the USE computation. *)
+let reverse_order t =
+  let n = Array.length t.nodes in
+  Array.init n (fun i -> t.nodes.(n - 1 - i))
+
+(** Call edges into [callee]. *)
+let in_edges t callee =
+  List.filter (fun e -> String.equal e.callee callee) t.edges
+
+(** Call edges out of [caller], in call-site order. *)
+let out_edges t caller =
+  List.filter (fun e -> String.equal e.caller caller) t.edges
+
+let has_cycles t = Hashtbl.length t.back_edges > 0
+
+(** Back-edge ratio |back| / |edges| — the paper's measure of how much
+    flow-insensitive information the combined FS solution uses (§3.2).
+    0 when the PCG is acyclic (pure flow-sensitive); approaches 1 as the
+    solution degenerates to the flow-insensitive one. *)
+let back_edge_ratio t =
+  let total = List.length t.edges in
+  if total = 0 then 0.0
+  else float_of_int (Hashtbl.length t.back_edges) /. float_of_int total
+
+(** Strongly-connected components (Tarjan), in reverse topological order of
+    the condensation.  Used to detect mutual recursion in tests and by the
+    workload generator. *)
+let sccs (t : t) : string list list =
+  let indices = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let succs name =
+    List.filter_map
+      (fun e -> if String.equal e.caller name then Some e.callee else None)
+      t.edges
+  in
+  let rec strongconnect v =
+    Hashtbl.replace indices v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem indices w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find indices w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find indices v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: tl ->
+            stack := tl;
+            Hashtbl.remove on_stack w;
+            if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  Array.iter (fun v -> if not (Hashtbl.mem indices v) then strongconnect v) t.nodes;
+  List.rev !comps
+
+let pp ppf t =
+  Fmt.pf ppf "PCG: %d node(s), %d edge(s), %d back edge(s)@\n"
+    (Array.length t.nodes) (List.length t.edges)
+    (Hashtbl.length t.back_edges);
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %s --[cs%d]--> %s%s@\n" e.caller e.cs_index e.callee
+        (if is_back_edge t e then " (back)" else ""))
+    t.edges

@@ -1,0 +1,49 @@
+(** The Program Call Graph (PCG): procedures reachable from main, one edge
+    per call site, DFS back-edge classification, and the traversal orders
+    the paper's methods rely on. *)
+
+open Fsicp_lang
+
+type edge = {
+  caller : string;
+  callee : string;
+  cs_index : int;  (** textual call-site index within the caller *)
+}
+
+type t = {
+  prog : Ast.program;
+  nodes : string array;  (** reachable procedures, reverse postorder from main *)
+  edges : edge list;
+  index : (string, int) Hashtbl.t;
+  back_edges : (string * int, unit) Hashtbl.t;
+      (** (caller, cs_index) of edges classified as back edges *)
+}
+
+(** Build the PCG, restricted to procedures reachable from the entry.  An
+    edge whose target is on the DFS stack at discovery time is a back edge
+    (self-recursion included). *)
+val build : Ast.program -> t
+
+val node_index : t -> string -> int option
+val is_reachable : t -> string -> bool
+val is_back_edge : t -> edge -> bool
+
+(** Callers before callees, up to back edges (DFS reverse postorder). *)
+val forward_order : t -> string array
+
+(** Callees before callers, up to back edges — the paper's backward walk. *)
+val reverse_order : t -> string array
+
+val in_edges : t -> string -> edge list
+val out_edges : t -> string -> edge list
+val has_cycles : t -> bool
+
+(** |back edges| / |edges| — the paper's measure of how flow-insensitive
+    the combined FS solution is (§3.2): 0 means pure flow-sensitive. *)
+val back_edge_ratio : t -> float
+
+(** Strongly connected components (Tarjan), reverse topological order of
+    the condensation. *)
+val sccs : t -> string list list
+
+val pp : t Fmt.t

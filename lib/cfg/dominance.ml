@@ -1,0 +1,89 @@
+(** Dominator tree and dominance frontiers.
+
+    Implements the iterative algorithm of Cooper, Harvey and Kennedy
+    ("A Simple, Fast Dominance Algorithm"), which is the standard
+    production-compiler choice for the CFG sizes involved here, plus their
+    dominance-frontier computation.  Both are prerequisites for SSA
+    construction (Cytron et al.), which the paper's intraprocedural SCC
+    analysis is built upon. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator of each block; [idom.(entry) = entry];
+          [-1] for unreachable blocks *)
+  children : int list array;  (** dominator-tree children *)
+  rpo_index : int array;  (** position in reverse postorder; [-1] if unreachable *)
+  rpo : int array;  (** reverse postorder of reachable blocks *)
+}
+
+let compute (cfg : Ir.cfg) : t =
+  let n = Array.length cfg.Ir.blocks in
+  let rpo = Ir.reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Ir.predecessors cfg in
+  let idom = Array.make n (-1) in
+  idom.(cfg.Ir.entry) <- cfg.Ir.entry;
+  (* Intersect two blocks' dominator paths by walking up in rpo order. *)
+  let rec intersect b1 b2 =
+    if b1 = b2 then b1
+    else if rpo_index.(b1) > rpo_index.(b2) then intersect idom.(b1) b2
+    else intersect b1 idom.(b2)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> cfg.Ir.entry then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) <> -1) preds.(b)
+          in
+          match processed_preds with
+          | [] -> () (* unreachable predecessor set; b itself unreachable *)
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  Array.iter
+    (fun b ->
+      if b <> cfg.Ir.entry && idom.(b) <> -1 then
+        children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  Array.iteri (fun i c -> children.(i) <- List.rev c) children;
+  { idom; children; rpo_index; rpo }
+
+(** [dominates t a b]: does [a] dominate [b]?  (Reflexive.)  Walks the
+    dominator tree upward from [b]; O(depth). *)
+let dominates t a b =
+  if t.idom.(b) = -1 || t.idom.(a) = -1 then false
+  else
+    let rec up x = if x = a then true else if t.idom.(x) = x then false else up t.idom.(x) in
+    up b
+
+(** Dominance frontier of each reachable block (Cooper–Harvey–Kennedy). *)
+let frontiers (cfg : Ir.cfg) (t : t) : int list array =
+  let n = Array.length cfg.Ir.blocks in
+  let df = Array.make n [] in
+  let preds = Ir.predecessors cfg in
+  for b = 0 to n - 1 do
+    if t.idom.(b) <> -1 && List.length preds.(b) >= 2 then
+      List.iter
+        (fun p ->
+          if t.idom.(p) <> -1 then begin
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              if not (List.mem b df.(!runner)) then
+                df.(!runner) <- b :: df.(!runner);
+              runner := t.idom.(!runner)
+            done
+          end)
+        preds.(b)
+  done;
+  Array.map List.rev df

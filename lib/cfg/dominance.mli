@@ -1,0 +1,19 @@
+(** Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy),
+    prerequisites of SSA construction. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator per block; [idom.(entry) = entry];
+          [-1] for unreachable blocks *)
+  children : int list array;  (** dominator-tree children *)
+  rpo_index : int array;  (** position in reverse postorder; [-1] unreachable *)
+  rpo : int array;  (** reverse postorder of reachable blocks *)
+}
+
+val compute : Ir.cfg -> t
+
+(** Reflexive dominance; false when either block is unreachable. *)
+val dominates : t -> int -> int -> bool
+
+(** Dominance frontier of every reachable block. *)
+val frontiers : Ir.cfg -> t -> int list array

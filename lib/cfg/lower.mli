@@ -1,0 +1,12 @@
+(** Lowering from the MiniFort AST to the quad IR: expression flattening
+    into temporaries, structured control flow to explicit branches,
+    call-site numbering in textual order, and pruning of blocks made
+    unreachable by [return]. *)
+
+open Fsicp_lang
+
+(** Lower one procedure of a {!Sema.check}-clean program. *)
+val lower_proc : Ast.program -> Ast.proc -> Ir.proc
+
+(** Lower every procedure (in program order, reachable or not). *)
+val lower_program : Ast.program -> Ir.proc list

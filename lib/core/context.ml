@@ -1,0 +1,130 @@
+(** Shared analysis context: everything the interprocedural constant
+    propagation methods consume, built once per program (paper Figure 2,
+    steps 1–4).
+
+    - IPA summaries (step 1)
+    - the program call graph (step 2)
+    - reference-parameter aliases (step 3)
+    - interprocedural MOD/REF (step 4)
+    - lowered CFGs and lazily-built SSA form of every reachable procedure
+
+    The [floats] switch mirrors the paper's "our implementation optionally
+    propagates floating point constants": with [floats = false] a real-
+    valued constant is demoted to bottom at every {e interprocedural}
+    boundary (block-data seeds, argument and global contributions, return
+    summaries) while intraprocedural folding is unaffected. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ipa
+open Fsicp_ssa
+open Fsicp_callgraph
+open Fsicp_scc
+
+type t = {
+  prog : Ast.program;
+  pcg : Callgraph.t;
+  summaries : Summary.t;
+  aliases : Alias.t;
+  modref : Modref.t;
+  floats : bool;
+  lowered : (string, Ir.proc) Hashtbl.t;  (** reachable procedures only *)
+  ssa_cache : (string, Ssa.proc) Hashtbl.t;
+}
+
+(** Build the context for a {!Sema.check}-clean program. *)
+let create ?(floats = true) (prog : Ast.program) : t =
+  let pcg = Callgraph.build prog in
+  let summaries = Summary.collect prog in
+  let aliases = Alias.compute summaries pcg in
+  let modref = Modref.compute summaries aliases pcg in
+  let lowered = Hashtbl.create 16 in
+  Array.iter
+    (fun name ->
+      let p = Ast.find_proc_exn prog name in
+      Hashtbl.replace lowered name (Lower.lower_proc prog p))
+    pcg.Callgraph.nodes;
+  { prog; pcg; summaries; aliases; modref; floats;
+    lowered; ssa_cache = Hashtbl.create 16 }
+
+let lowered_proc t name : Ir.proc =
+  match Hashtbl.find_opt t.lowered name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Context.lowered_proc: %s" name)
+
+(** Per-procedure SSA side-effect oracle, backed by the IPA results. *)
+let effects_for t (proc_name : string) : Ssa.call_effects =
+  let summary = Summary.find t.summaries proc_name in
+  let formal_var i =
+    match List.nth_opt summary.Summary.ps_formals i with
+    | Some name -> Some (Ir.formal name i)
+    | None -> None
+  in
+  {
+    Ssa.defs_of_call =
+      (fun ~callee ~byref_args ->
+        Modref.call_defs t.modref ~callee ~byref_args);
+    globals_used_by =
+      (fun ~callee -> Modref.call_global_refs t.modref ~callee);
+    assign_aliases =
+      (fun v ->
+        match v.Ir.vkind with
+        | Ir.Local | Ir.Temp -> []
+        | Ir.Formal i ->
+            let ff =
+              Alias.formals_aliasing_formal t.aliases proc_name i
+              |> List.filter_map formal_var
+            in
+            let fg =
+              Alias.globals_aliasing_formal t.aliases proc_name i
+              |> List.map Ir.global
+            in
+            ff @ fg
+        | Ir.Global ->
+            let g = v.Ir.vname in
+            List.mapi (fun i name -> (i, name)) summary.Summary.ps_formals
+            |> List.filter_map (fun (i, name) ->
+                   if Alias.formal_global_may_alias t.aliases proc_name i g
+                   then Some (Ir.formal name i)
+                   else None));
+  }
+
+(** SSA form of a reachable procedure (cached). *)
+let ssa t name : Ssa.proc =
+  match Hashtbl.find_opt t.ssa_cache name with
+  | Some p -> p
+  | None ->
+      let p =
+        Ssa.of_proc ~effects:(effects_for t name) t.prog (lowered_proc t name)
+      in
+      Hashtbl.replace t.ssa_cache name p;
+      p
+
+(** Demote real-valued constants to bottom when float propagation is off.
+    Applied at every interprocedural boundary. *)
+let censor t (v : Lattice.t) : Lattice.t =
+  match v with
+  | Lattice.Const (Value.Real _) when not t.floats -> Lattice.Bot
+  | Lattice.Top | Lattice.Const _ | Lattice.Bot -> v
+
+(** Block-data initial values, censored: the global constant seeds. *)
+let blockdata_env t : (string * Lattice.t) list =
+  List.map
+    (fun (g, v) -> (g, censor t (Lattice.Const v)))
+    t.prog.Ast.blockdata
+
+(** Is global [g] textually mentioned in (visible to) procedure [p]?  The
+    VIS column of Table 1 counts call-site global constants whose global is
+    visible in the {e calling} procedure; the rest are the paper's
+    "invisible" globals. *)
+let global_visible_in t proc_name g =
+  let s = Summary.find t.summaries proc_name in
+  Summary.VrefSet.mem (Summary.Vglobal g) s.Summary.ps_iref
+  || Summary.VrefSet.mem (Summary.Vglobal g) s.Summary.ps_imod
+
+(** Is global [g] directly (immediately) referenced in [p]?  Table 2 counts
+    a global constant for a procedure only when the procedure itself reads
+    it (the paper creates entry assignments only for such globals). *)
+let global_direct_ref t proc_name g =
+  let s = Summary.find t.summaries proc_name in
+  Summary.VrefSet.mem (Summary.Vglobal g) s.Summary.ps_iref

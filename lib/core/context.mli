@@ -1,0 +1,53 @@
+(** Shared analysis context: everything the interprocedural constant
+    propagation methods consume, built once per program (paper Figure 2,
+    steps 1–4): IPA summaries, the PCG, reference-parameter aliases,
+    MOD/REF, lowered CFGs, and lazily-built SSA with IPA-backed call-effect
+    oracles.
+
+    [floats] mirrors the paper's optional floating-point propagation: with
+    it off, real-valued constants are demoted to ⊥ at every interprocedural
+    boundary while intraprocedural folding is unaffected. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ipa
+open Fsicp_ssa
+open Fsicp_callgraph
+open Fsicp_scc
+
+type t = {
+  prog : Ast.program;
+  pcg : Callgraph.t;
+  summaries : Summary.t;
+  aliases : Alias.t;
+  modref : Modref.t;
+  floats : bool;
+  lowered : (string, Ir.proc) Hashtbl.t;  (** reachable procedures only *)
+  ssa_cache : (string, Ssa.proc) Hashtbl.t;
+}
+
+(** Build the context for a {!Sema.check}-clean program. *)
+val create : ?floats:bool -> Ast.program -> t
+
+val lowered_proc : t -> string -> Ir.proc
+
+(** Per-procedure SSA side-effect oracle backed by the IPA results:
+    call defs from MOD, recorded globals from REF, alias kills from the
+    reference-parameter alias pairs. *)
+val effects_for : t -> string -> Ssa.call_effects
+
+(** SSA form of a reachable procedure (cached). *)
+val ssa : t -> string -> Ssa.proc
+
+(** Demote real-valued constants to ⊥ when float propagation is off. *)
+val censor : t -> Lattice.t -> Lattice.t
+
+(** Block-data initial values, censored — the global constant seeds. *)
+val blockdata_env : t -> (string * Lattice.t) list
+
+(** Is the global textually mentioned in the procedure?  (The VIS metric.) *)
+val global_visible_in : t -> string -> string -> bool
+
+(** Is the global directly read in the procedure?  (Table 2's counting
+    rule: entry assignments are created only for referenced variables.) *)
+val global_direct_ref : t -> string -> string -> bool

@@ -1,0 +1,97 @@
+(** The full compilation-model pipeline (paper Figure 2), with per-phase
+    wall-clock timings:
+
+    {v
+    1. Collect IPA inputs
+    2. Construct the Program Call Graph
+    3. Perform Interprocedural Aliasing
+    4. Compute Interprocedural Mod and Ref
+    5. Perform Interprocedural Constant Propagation  (FI, then FS)
+    6. Perform Reverse Topological Traversal          (USE, transform)
+    v}
+
+    The timings back the paper's cost claim: "The flow-sensitive method
+    increases the analysis phase of the compilation by 50% over the
+    flow-insensitive method" — compare [fi_seconds] against
+    [fs_seconds]. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ipa
+open Fsicp_callgraph
+
+type timing = { t_phase : string; t_seconds : float }
+
+type t = {
+  ctx : Context.t;
+  fi : Solution.t;
+  fs : Solution.t;
+  use : Use.t;
+  timings : timing list;
+}
+
+let timed phase acc f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  acc := { t_phase = phase; t_seconds = dt } :: !acc;
+  r
+
+(** Run the complete pipeline.  The program must be {!Sema.check}-clean. *)
+let run ?(floats = true) (prog : Ast.program) : t =
+  let acc = ref [] in
+  (* Steps 1–4 plus lowering: the IPA infrastructure. *)
+  let pcg = timed "2:call-graph" acc (fun () -> Callgraph.build prog) in
+  let summaries = timed "1:ipa-collect" acc (fun () -> Summary.collect prog) in
+  let aliases = timed "3:aliasing" acc (fun () -> Alias.compute summaries pcg) in
+  let modref =
+    timed "4:mod-ref" acc (fun () -> Modref.compute summaries aliases pcg)
+  in
+  let lowered = Hashtbl.create 16 in
+  timed "lowering" acc (fun () ->
+      Array.iter
+        (fun name ->
+          Hashtbl.replace lowered name
+            (Lower.lower_proc prog (Ast.find_proc_exn prog name)))
+        pcg.Callgraph.nodes);
+  let ctx =
+    {
+      Context.prog;
+      pcg;
+      summaries;
+      aliases;
+      modref;
+      floats;
+      lowered;
+      ssa_cache = Hashtbl.create 16;
+    }
+  in
+  (* Step 5: interprocedural constant propagation.  The FS timing includes
+     SSA construction and the one-per-procedure SCC runs, mirroring the
+     paper's "analysis phase" accounting; the FI method needs neither. *)
+  let fi = timed "5a:fi-icp" acc (fun () -> Fi_icp.solve ctx) in
+  let fs = timed "5b:fs-icp" acc (fun () -> Fs_icp.solve ~fi ctx) in
+  (* Step 6: reverse topological traversal — USE computation here; the
+     transformation itself is on demand ({!Transform}, {!Fold}). *)
+  let use =
+    timed "6:use" acc (fun () -> Use.compute lowered modref pcg)
+  in
+  { ctx; fi; fs; use; timings = List.rev !acc }
+
+let timing_of t phase =
+  List.find_opt (fun x -> String.equal x.t_phase phase) t.timings
+  |> Option.map (fun x -> x.t_seconds)
+
+let fi_seconds t = Option.value (timing_of t "5a:fi-icp") ~default:0.0
+let fs_seconds t = Option.value (timing_of t "5b:fs-icp") ~default:0.0
+
+let pp ppf t =
+  Fmt.pf ppf "pipeline for program with %d reachable procedure(s):@\n"
+    (Array.length t.ctx.Context.pcg.Callgraph.nodes);
+  List.iter
+    (fun { t_phase; t_seconds } ->
+      Fmt.pf ppf "  %-14s %8.3f ms@\n" t_phase (1000.0 *. t_seconds))
+    t.timings;
+  Fmt.pf ppf "  FS ICP performed %d SCC run(s) for %d procedure(s)@\n"
+    t.fs.Solution.scc_runs
+    (Array.length t.ctx.Context.pcg.Callgraph.nodes)

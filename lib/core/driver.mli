@@ -1,0 +1,23 @@
+(** The full compilation-model pipeline of paper Figure 2, with per-phase
+    wall-clock timings backing the paper's cost claim. *)
+
+open Fsicp_lang
+open Fsicp_ipa
+
+type timing = { t_phase : string; t_seconds : float }
+
+type t = {
+  ctx : Context.t;
+  fi : Solution.t;
+  fs : Solution.t;
+  use : Use.t;
+  timings : timing list;
+}
+
+(** Run steps 1–6 on a {!Sema.check}-clean program. *)
+val run : ?floats:bool -> Ast.program -> t
+
+val timing_of : t -> string -> float option
+val fi_seconds : t -> float
+val fs_seconds : t -> float
+val pp : t Fmt.t

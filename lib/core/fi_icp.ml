@@ -1,0 +1,207 @@
+(** Flow-insensitive interprocedural constant propagation (paper Figure 3).
+
+    {b Globals}: the initial constants are collected from block data; any
+    global modified anywhere in the program (it appears in the MOD set of
+    the main procedure, which transitively covers every reachable call) is
+    removed.  The survivors are constant for the entire program and are
+    propagated to every procedure that references them.
+
+    {b Formals}: an optimistic data-flow over the PCG.  All formals start at
+    ⊤.  One forward topological traversal inspects every call site: an
+    immediate (literal) constant or program-constant global argument meets
+    the corresponding formal with that constant; an argument that is a
+    formal of the caller which is {e currently marked constant and not
+    modified (directly or indirectly) by the caller} passes its constant
+    through, and the pair is recorded in the [fp_bind] relation; anything
+    else meets with ⊥.  A worklist then handles PCG cycles: when a formal
+    that had been constant is lowered to ⊥, everything bound to it through
+    [fp_bind] is lowered too, transitively.
+
+    Unlike the pass-through jump function of Callahan–Cooper–Kennedy–Torczon
+    and Grove–Torczon, no flow-sensitive intraprocedural analysis is applied
+    before propagation — the method sees only argument {e shapes} — so it
+    finds fewer candidates (paper §5 calls its results "clearly inferior to
+    the no-return polynomial jump function results"); its role is to be the
+    cheap sound fallback the flow-sensitive method uses on back edges. *)
+
+open Fsicp_lang
+open Fsicp_ipa
+open Fsicp_callgraph
+open Fsicp_scc
+
+type key = string * int (* procedure, formal index *)
+
+let method_name = "flow-insensitive"
+
+let solve (ctx : Context.t) : Solution.t =
+  let pcg = ctx.Context.pcg in
+
+  (* -- Globals -------------------------------------------------------- *)
+  let modified =
+    Modref.globals_modified_anywhere ctx.Context.modref
+      ~main:ctx.Context.prog.Ast.main
+  in
+  let program_constants =
+    Context.blockdata_env ctx
+    |> List.filter (fun (g, v) ->
+           Lattice.is_const v && not (List.mem g modified))
+  in
+  let global_const g = List.assoc_opt g program_constants in
+
+  (* -- Formals -------------------------------------------------------- *)
+  let values : (key, Lattice.t) Hashtbl.t = Hashtbl.create 64 in
+  let fp_bind : (key, key list) Hashtbl.t = Hashtbl.create 64 in
+  let value k = Option.value (Hashtbl.find_opt values k) ~default:Lattice.Top in
+  let worklist : key Queue.t = Queue.create () in
+  (* [meet k v] implements the paper's meet procedure: lowering a formal
+     that was not already ⊥ down to ⊥ schedules everything bound to it. *)
+  let meet k v =
+    let orig = value k in
+    let merged = Lattice.meet orig v in
+    if not (Lattice.equal orig merged) then begin
+      Hashtbl.replace values k merged;
+      if merged = Lattice.Bot && orig <> Lattice.Bot then
+        List.iter
+          (fun k' -> Queue.add k' worklist)
+          (Option.value (Hashtbl.find_opt fp_bind k) ~default:[])
+    end
+  in
+
+  (* Forward topological traversal over all call sites. *)
+  Array.iter
+    (fun caller ->
+      let s = Summary.find ctx.Context.summaries caller in
+      List.iter
+        (fun (c : Summary.call_summary) ->
+          Array.iteri
+            (fun j arg ->
+              let target = (c.Summary.cs_callee, j) in
+              match arg with
+              | Summary.Alit v ->
+                  meet target (Context.censor ctx (Lattice.Const v))
+              | Summary.Aglobal g -> (
+                  match global_const g with
+                  | Some v -> meet target v
+                  | None -> meet target Lattice.Bot)
+              | Summary.Aformal i -> (
+                  match value (caller, i) with
+                  | Lattice.Const _ as v
+                    when not
+                           (Modref.formal_modified ctx.Context.modref caller i)
+                    ->
+                      Hashtbl.replace fp_bind (caller, i)
+                        (target
+                        :: Option.value
+                             (Hashtbl.find_opt fp_bind (caller, i))
+                             ~default:[]);
+                      meet target v
+                  | Lattice.Top | Lattice.Const _ | Lattice.Bot ->
+                      meet target Lattice.Bot)
+              | Summary.Alocal _ | Summary.Aexpr -> meet target Lattice.Bot)
+            c.Summary.cs_args)
+        s.Summary.ps_calls)
+    (Callgraph.forward_order pcg);
+
+  (* Drain the lowering worklist (pass-through formals that were constant
+     and have since been lowered). *)
+  while not (Queue.is_empty worklist) do
+    let k = Queue.take worklist in
+    if value k <> Lattice.Bot then begin
+      Hashtbl.replace values k Lattice.Bot;
+      List.iter
+        (fun k' -> Queue.add k' worklist)
+        (Option.value (Hashtbl.find_opt fp_bind k) ~default:[])
+    end
+  done;
+
+  (* -- Assemble the solution ------------------------------------------ *)
+  let entries = Hashtbl.create 16 in
+  Array.iter
+    (fun proc ->
+      let s = Summary.find ctx.Context.summaries proc in
+      let nf = List.length s.Summary.ps_formals in
+      let pe_formals =
+        Array.init nf (fun i ->
+            match value (proc, i) with
+            | Lattice.Top ->
+                (* A formal nothing was ever propagated to (its procedure
+                   has no processed call sites) is not a constant. *)
+                Lattice.Bot
+            | v -> v)
+      in
+      (* Program-wide global constants hold at every entry; restrict to the
+         globals the procedure may reference. *)
+      let pe_globals =
+        Modref.gref_of ctx.Context.modref proc
+        |> Summary.VrefSet.elements
+        |> List.filter_map (fun vr ->
+               match vr with
+               | Summary.Vglobal g ->
+                   Some
+                     ( g,
+                       match global_const g with
+                       | Some v -> v
+                       | None -> Lattice.Bot )
+               | Summary.Vformal _ -> None)
+      in
+      Hashtbl.replace entries proc { Solution.pe_formals; pe_globals })
+    pcg.Callgraph.nodes;
+
+  (* Per-call-site records: the final constant status of every argument
+     (recomputed after convergence, so pass-through statuses are not stale)
+     and of every global in the callee's REF closure. *)
+  let call_records =
+    Array.to_list pcg.Callgraph.nodes
+    |> List.concat_map (fun caller ->
+           let s = Summary.find ctx.Context.summaries caller in
+           List.map
+             (fun (c : Summary.call_summary) ->
+               let cr_args =
+                 Array.map
+                   (fun arg ->
+                     match arg with
+                     | Summary.Alit v ->
+                         Context.censor ctx (Lattice.Const v)
+                     | Summary.Aglobal g -> (
+                         match global_const g with
+                         | Some v -> v
+                         | None -> Lattice.Bot)
+                     | Summary.Aformal i -> (
+                         match value (caller, i) with
+                         | Lattice.Const _ as v
+                           when not
+                                  (Modref.formal_modified ctx.Context.modref
+                                     caller i) ->
+                             v
+                         | Lattice.Top | Lattice.Const _ | Lattice.Bot ->
+                             Lattice.Bot)
+                     | Summary.Alocal _ | Summary.Aexpr -> Lattice.Bot)
+                   c.Summary.cs_args
+               in
+               let cr_globals =
+                 Modref.call_global_refs ctx.Context.modref
+                   ~callee:c.Summary.cs_callee
+                 |> List.map (fun (gv : Fsicp_cfg.Ir.var) ->
+                        let g = gv.Fsicp_cfg.Ir.vname in
+                        ( g,
+                          match global_const g with
+                          | Some v -> v
+                          | None -> Lattice.Bot ))
+               in
+               {
+                 Solution.cr_caller = caller;
+                 cr_cs_index = c.Summary.cs_index;
+                 cr_callee = c.Summary.cs_callee;
+                 cr_executable = true;
+                 cr_args;
+                 cr_globals;
+               })
+             s.Summary.ps_calls)
+  in
+  {
+    Solution.method_name;
+    entries;
+    call_records;
+    scc_runs = 0;
+    scc_results = Hashtbl.create 1;
+  }

@@ -1,0 +1,10 @@
+(** Flow-insensitive interprocedural constant propagation (paper Figure 3):
+    optimistic lattice over formals with the [fp_bind] pass-through relation
+    and a lowering worklist for PCG cycles; block-data globals minus the
+    program-wide MOD set.  No intraprocedural analysis is performed — this
+    is the cheap sound method the flow-sensitive traversal substitutes on
+    back edges. *)
+
+val method_name : string
+
+val solve : Context.t -> Solution.t

@@ -1,0 +1,296 @@
+(** AST-level constant folding and dead-branch elimination, driven by an
+    interprocedural solution.
+
+    This is the "transformed intermediate representation" half of the
+    paper's backward walk: after {!Transform.insert_entry_constants} has
+    made the interprocedural constants explicit, traditional constant
+    folding replaces constant uses with literals, prunes branches whose
+    condition folds, and drops loops that never execute.  The output is a
+    valid MiniFort program with identical observable behaviour (property
+    tested against the interpreter).
+
+    The folder runs a small abstract interpretation over the statement
+    tree: an environment maps variables to lattice values; [if] joins both
+    arms; [while] iterates the body's effect to a fixpoint before folding
+    the body (lattice height is finite so a few passes suffice); calls kill
+    whatever the interprocedural MOD information says the callee may
+    write. *)
+
+open Fsicp_lang
+open Fsicp_ipa
+open Fsicp_scc
+
+module Env = Map.Make (String)
+
+type env = Lattice.t Env.t
+
+let lookup env x = Option.value (Env.find_opt x env) ~default:Lattice.Bot
+
+let join (a : env) (b : env) : env =
+  (* Pointwise meet; a variable missing on one side is unknown there. *)
+  Env.merge
+    (fun _ va vb ->
+      match (va, vb) with
+      | Some va, Some vb -> Some (Lattice.meet va vb)
+      | Some _, None | None, Some _ -> Some Lattice.Bot
+      | None, None -> None)
+    a b
+
+let env_equal (a : env) (b : env) = Env.equal Lattice.equal a b
+
+let rec fold_expr (env : env) (e : Ast.expr) : Ast.expr * Lattice.t =
+  match e with
+  | Ast.Const v -> (e, Lattice.Const v)
+  | Ast.Var x -> (
+      match lookup env x with
+      | Lattice.Const v -> (Ast.Const v, Lattice.Const v)
+      | (Lattice.Top | Lattice.Bot) as l -> (e, l))
+  | Ast.Unary (op, e1) -> (
+      let e1', v1 = fold_expr env e1 in
+      match Lattice.eval_unop op v1 with
+      | Lattice.Const v -> (Ast.Const v, Lattice.Const v)
+      | l -> (Ast.Unary (op, e1'), l))
+  | Ast.Binary (op, l, r) -> (
+      let l', vl = fold_expr env l in
+      let r', vr = fold_expr env r in
+      match Lattice.eval_binop op vl vr with
+      | Lattice.Const v -> (Ast.Const v, Lattice.Const v)
+      | lat -> (Ast.Binary (op, l', r'), lat))
+
+type ctx = {
+  modref : Modref.t;
+  globals : string list;
+  formals : string list;
+  proc : string;
+  alias_kills : string -> string list;
+      (** names whose location a store to the given name may also write
+          (reference-parameter aliasing) — they become unknown too *)
+}
+
+let assign_effect (c : ctx) (env : env) x v : env =
+  let env = Env.add x v env in
+  List.fold_left
+    (fun env y -> Env.add y Lattice.Bot env)
+    env (c.alias_kills x)
+
+(* Abstract effect of a statement list on the environment, without
+   rewriting; used to reach the loop fixpoint.  Returns None for
+   environments of unreachable continuations (after [return]). *)
+let rec abstract_block (c : ctx) (env : env option) (body : Ast.stmt list) :
+    env option =
+  List.fold_left (abstract_stmt c) env body
+
+and abstract_stmt (c : ctx) (env : env option) (s : Ast.stmt) : env option =
+  match env with
+  | None -> None
+  | Some env -> (
+      match s.Ast.sdesc with
+      | Ast.Assign (x, e) ->
+          let _, v = fold_expr env e in
+          Some (assign_effect c env x v)
+      | Ast.Print _ -> Some env
+      | Ast.Return -> None
+      | Ast.If (cond, t, e) -> (
+          let _, cv = fold_expr env cond in
+          match cv with
+          | Lattice.Const v when Value.truthy v ->
+              abstract_block c (Some env) t
+          | Lattice.Const _ -> abstract_block c (Some env) e
+          | Lattice.Top | Lattice.Bot -> (
+              let envt = abstract_block c (Some env) t in
+              let enve = abstract_block c (Some env) e in
+              match (envt, enve) with
+              | None, x | x, None -> x
+              | Some a, Some b -> Some (join a b)))
+      | Ast.While (cond, body) ->
+          let rec fix env_in n =
+            if n = 0 then env_in
+            else
+              match abstract_block c (Some env_in) body with
+              | None -> env_in
+              | Some out ->
+                  let joined = join env_in out in
+                  if env_equal joined env_in then env_in
+                  else fix joined (n - 1)
+          in
+          (* Height of the per-variable lattice is 2, so convergence is
+             fast; the bound is just a safety net. *)
+          let stable = fix env 64 in
+          let _, cv = fold_expr env cond in
+          (match cv with
+          | Lattice.Const v when not (Value.truthy v) ->
+              Some env (* loop never entered *)
+          | _ -> Some stable)
+      | Ast.Call (q, args) ->
+          (* Kill everything the callee may write: by-reference actuals
+             whose formal is in the callee's MOD, and modified globals. *)
+          let env = ref env in
+          let kill x =
+            env := Env.add x Lattice.Bot !env;
+            (* Writing through x's location also invalidates anything that
+               may share it. *)
+            List.iter
+              (fun y -> env := Env.add y Lattice.Bot !env)
+              (c.alias_kills x)
+          in
+          List.iteri
+            (fun j arg ->
+              match arg with
+              | Ast.Var x when Modref.formal_modified c.modref q j -> kill x
+              | _ -> ())
+            args;
+          List.iter
+            (fun g -> if Modref.global_modified_in c.modref q g then kill g)
+            c.globals;
+          Some !env)
+
+let rec rewrite_block (c : ctx) (env : env option) (body : Ast.stmt list) :
+    Ast.stmt list * env option =
+  match body with
+  | [] -> ([], env)
+  | s :: rest -> (
+      match env with
+      | None -> ([], None) (* unreachable tail: drop *)
+      | Some _ ->
+          let s', env' = rewrite_stmt c env s in
+          let rest', env'' = rewrite_block c env' rest in
+          (s' @ rest', env''))
+
+and rewrite_stmt (c : ctx) (env : env option) (s : Ast.stmt) :
+    Ast.stmt list * env option =
+  match env with
+  | None -> ([], None)
+  | Some env -> (
+      match s.Ast.sdesc with
+      | Ast.Assign (x, e) ->
+          let e', v = fold_expr env e in
+          ( [ { s with Ast.sdesc = Ast.Assign (x, e') } ],
+            Some (assign_effect c env x v) )
+      | Ast.Print e ->
+          let e', _ = fold_expr env e in
+          ([ { s with Ast.sdesc = Ast.Print e' } ], Some env)
+      | Ast.Return -> ([ s ], None)
+      | Ast.If (cond, t, e) -> (
+          let cond', cv = fold_expr env cond in
+          match cv with
+          | Lattice.Const v when Value.truthy v -> rewrite_block c (Some env) t
+          | Lattice.Const _ -> rewrite_block c (Some env) e
+          | Lattice.Top | Lattice.Bot -> (
+              let t', envt = rewrite_block c (Some env) t in
+              let e', enve = rewrite_block c (Some env) e in
+              let out =
+                match (envt, enve) with
+                | None, x | x, None -> x
+                | Some a, Some b -> Some (join a b)
+              in
+              ([ { s with Ast.sdesc = Ast.If (cond', t', e') } ], out)))
+      | Ast.While (cond, body) -> (
+          let _, cv0 = fold_expr env cond in
+          match cv0 with
+          | Lattice.Const v when not (Value.truthy v) ->
+              ([], Some env) (* never entered: drop the loop *)
+          | _ ->
+              (* Rewrite the body under the loop-stable environment. *)
+              let stable =
+                match
+                  abstract_stmt c (Some env)
+                    { s with Ast.sdesc = Ast.While (cond, body) }
+                with
+                | Some e -> e
+                | None -> env
+              in
+              let cond', _ = fold_expr stable cond in
+              let body', _ = rewrite_block c (Some stable) body in
+              ([ { s with Ast.sdesc = Ast.While (cond', body') } ], Some stable)
+          )
+      | Ast.Call (q, args) ->
+          (* Fold compound-expression arguments only: replacing a bare
+             variable with a literal would change by-reference semantics. *)
+          let args' =
+            List.map
+              (fun a ->
+                match a with
+                | Ast.Var _ -> a
+                | a -> fst (fold_expr env a))
+              args
+          in
+          let env' =
+            abstract_stmt c (Some env)
+              { s with Ast.sdesc = Ast.Call (q, args) }
+          in
+          ([ { s with Ast.sdesc = Ast.Call (q, args') } ], env'))
+
+(** Fold a whole program using the entry constants of [solution].
+    Procedures unreachable from main are left untouched. *)
+let fold_program (ctx : Context.t) (solution : Solution.t) : Ast.program =
+  let prog = ctx.Context.prog in
+  let procs =
+    List.map
+      (fun (p : Ast.proc) ->
+        match Hashtbl.find_opt solution.Solution.entries p.Ast.pname with
+        | None -> p
+        | Some entry ->
+            let formal_index x =
+              let rec go i = function
+                | [] -> None
+                | f :: _ when String.equal f x -> Some i
+                | _ :: tl -> go (i + 1) tl
+              in
+              go 0 p.Ast.formals
+            in
+            let alias_kills x =
+              match formal_index x with
+              | Some i ->
+                  let nth_formal j = List.nth_opt p.Ast.formals j in
+                  let ff =
+                    Fsicp_ipa.Alias.formals_aliasing_formal
+                      ctx.Context.aliases p.Ast.pname i
+                    |> List.filter_map nth_formal
+                  in
+                  let fg =
+                    Fsicp_ipa.Alias.globals_aliasing_formal
+                      ctx.Context.aliases p.Ast.pname i
+                  in
+                  ff @ fg
+              | None ->
+                  if List.mem x prog.Ast.globals then
+                    List.mapi (fun i f -> (i, f)) p.Ast.formals
+                    |> List.filter_map (fun (i, f) ->
+                           if
+                             Fsicp_ipa.Alias.formal_global_may_alias
+                               ctx.Context.aliases p.Ast.pname i x
+                           then Some f
+                           else None)
+                  else []
+            in
+            let c =
+              {
+                modref = ctx.Context.modref;
+                globals = prog.Ast.globals;
+                formals = p.Ast.formals;
+                proc = p.Ast.pname;
+                alias_kills;
+              }
+            in
+            let env0 =
+              let e = ref Env.empty in
+              List.iteri
+                (fun i f ->
+                  let v =
+                    if i < Array.length entry.Solution.pe_formals then
+                      entry.Solution.pe_formals.(i)
+                    else Lattice.Bot
+                  in
+                  e := Env.add f v !e)
+                p.Ast.formals;
+              List.iter
+                (fun (g, v) ->
+                  if not (List.mem g p.Ast.formals) then e := Env.add g v !e)
+                entry.Solution.pe_globals;
+              !e
+            in
+            let body', _ = rewrite_block c (Some env0) p.Ast.body in
+            { p with Ast.body = body' })
+      prog.Ast.procs
+  in
+  { prog with Ast.procs }

@@ -1,0 +1,9 @@
+(** AST-level constant folding and dead-code elimination driven by an
+    interprocedural solution: uses of proven constants become literals,
+    branches with constant conditions are resolved, never-entered loops are
+    dropped.  By-reference call arguments are never literalised.  The
+    result is behaviourally identical (property-tested). *)
+
+open Fsicp_lang
+
+val fold_program : Context.t -> Solution.t -> Ast.program

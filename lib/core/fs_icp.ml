@@ -1,0 +1,250 @@
+(** Flow-sensitive interprocedural constant propagation (paper Figure 4).
+
+    One forward topological traversal of the PCG, interleaving the
+    Wegman–Zadeck SCC intraprocedural analysis with interprocedural
+    propagation:
+
+    + visit procedures in reverse postorder from [main], so every caller
+      reachable over forward edges is processed before its callees;
+    + on visiting [p], meet — over all already-processed, {e executable}
+      call sites invoking [p] — the recorded lattice value of each argument
+      and of each global in [p]'s REF closure; call sites reached over
+      {b back edges} have not been processed yet, so their contribution is
+      taken from the {b flow-insensitive} solution instead (computed
+      beforehand, and only when the PCG actually has cycles);
+    + run SCC on [p] {e once}, with the met values as the entry environment;
+    + record at each executable call site of [p] the lattice value of every
+      argument and every relevant global, for its callees' later meets.
+
+    Thus each procedure receives exactly one flow-sensitive analysis —
+    recursion included — which is the paper's efficiency claim; when the
+    PCG is acyclic the result coincides with the full iterative
+    flow-sensitive solution (checked against {!Reference} in the tests),
+    and as the back-edge ratio grows the solution degrades gracefully
+    toward the flow-insensitive one (the BACKEDGE experiment). *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ssa
+open Fsicp_callgraph
+open Fsicp_ipa
+open Fsicp_scc
+
+let method_name = "flow-sensitive"
+
+type pending = {
+  mutable p_formals : Lattice.t array;
+  p_globals : (string, Lattice.t) Hashtbl.t;
+      (** accumulating meet per global in the procedure's REF closure *)
+}
+
+(** [solve ?fi ?call_def_value ctx] computes the flow-sensitive solution.
+
+    [fi] overrides the flow-insensitive solution used for back edges
+    (computed on demand when the PCG has cycles, matching the paper:
+    "performing a flow-insensitive analysis prior to the flow-sensitive
+    analysis, only if there are cycles in the PCG").
+
+    [call_def_value] refines the post-call value of call-defined variables;
+    the return-constants extension ({!Return_consts}) passes the summaries
+    of its reverse traversal here. *)
+let solve ?fi
+    ?(call_def_value :
+       (caller:string -> Ssa.call -> Ir.var -> Lattice.t) option)
+    (ctx : Context.t) : Solution.t =
+  let pcg = ctx.Context.pcg in
+  let fi =
+    match fi with
+    | Some s -> Some s
+    | None -> if Callgraph.has_cycles pcg then Some (Fi_icp.solve ctx) else None
+  in
+
+  let gref_globals proc =
+    Modref.gref_of ctx.Context.modref proc
+    |> Summary.VrefSet.elements
+    |> List.filter_map (function
+         | Summary.Vglobal g -> Some g
+         | Summary.Vformal _ -> None)
+  in
+
+  (* Pending entry meets, accumulated as callers are processed. *)
+  let pending : (string, pending) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun proc ->
+      let s = Summary.find ctx.Context.summaries proc in
+      let nf = List.length s.Summary.ps_formals in
+      let p_globals = Hashtbl.create 8 in
+      List.iter (fun g -> Hashtbl.replace p_globals g Lattice.Top)
+        (gref_globals proc);
+      Hashtbl.replace pending proc
+        { p_formals = Array.make nf Lattice.Top; p_globals })
+    pcg.Callgraph.nodes;
+
+  let meet_formal proc j v =
+    let p = Hashtbl.find pending proc in
+    if j < Array.length p.p_formals then
+      p.p_formals.(j) <- Lattice.meet p.p_formals.(j) v
+  in
+  let meet_global proc g v =
+    let p = Hashtbl.find pending proc in
+    match Hashtbl.find_opt p.p_globals g with
+    | Some cur -> Hashtbl.replace p.p_globals g (Lattice.meet cur v)
+    | None -> () (* not in the REF closure: its entry value is never used *)
+  in
+
+  (* Back edges contribute the flow-insensitive per-call-site statuses,
+     seeded before the traversal begins. *)
+  (match fi with
+  | None -> ()
+  | Some fi ->
+      List.iter
+        (fun (e : Callgraph.edge) ->
+          if Callgraph.is_back_edge pcg e then
+            match
+              Solution.find_call_record fi ~caller:e.Callgraph.caller
+                ~cs_index:e.Callgraph.cs_index
+            with
+            | None -> ()
+            | Some cr ->
+                Array.iteri
+                  (fun j v -> meet_formal e.Callgraph.callee j v)
+                  cr.Solution.cr_args;
+                List.iter
+                  (fun (g, v) -> meet_global e.Callgraph.callee g v)
+                  cr.Solution.cr_globals)
+        pcg.Callgraph.edges);
+
+  (* Entry environment of [main]: block data constants; everything else
+     unknown. *)
+  let blockdata = Context.blockdata_env ctx in
+  (let main = ctx.Context.prog.Ast.main in
+   let p = Hashtbl.find pending main in
+   Hashtbl.iter
+     (fun g _ ->
+       let v =
+         match List.assoc_opt g blockdata with
+         | Some v -> v
+         | None -> Lattice.Bot
+       in
+       Hashtbl.replace p.p_globals g v)
+     p.p_globals);
+
+  let entries = Hashtbl.create 16 in
+  let scc_results = Hashtbl.create 16 in
+  let call_records = ref [] in
+  let scc_runs = ref 0 in
+
+  Array.iter
+    (fun proc ->
+      let pend = Hashtbl.find pending proc in
+      (* Top after all contributions = no executable call reaches the
+         procedure; treat as unknown rather than claiming dead-code
+         constants. *)
+      let finalize v = match v with Lattice.Top -> Lattice.Bot | v -> v in
+      let pe_formals = Array.map finalize pend.p_formals in
+      let pe_globals =
+        Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) pend.p_globals []
+        |> List.sort compare
+      in
+      Hashtbl.replace entries proc { Solution.pe_formals; pe_globals };
+      (* One flow-sensitive intraprocedural analysis of [proc]. *)
+      let entry_env (v : Ir.var) =
+        match v.Ir.vkind with
+        | Ir.Formal i ->
+            if i < Array.length pe_formals then pe_formals.(i)
+            else Lattice.Bot
+        | Ir.Global -> (
+            match List.assoc_opt v.Ir.vname pe_globals with
+            | Some value -> value
+            | None ->
+                (* Not in the REF closure but still versioned (e.g. only in
+                   the MOD closure of some callee): unknown at entry unless
+                   this is [main] and block data initialises it. *)
+                if String.equal proc ctx.Context.prog.Ast.main then
+                  match List.assoc_opt v.Ir.vname blockdata with
+                  | Some value -> value
+                  | None -> Lattice.Bot
+                else Lattice.Bot)
+        | Ir.Local | Ir.Temp -> Lattice.Bot
+      in
+      let ssa = Context.ssa ctx proc in
+      let cdv =
+        match call_def_value with
+        | None -> Scc.default_config.Scc.call_def_value
+        | Some f ->
+            (* The SCC core keys call effects by callee name; when several
+               calls to the same callee define the same variable, meet
+               their summaries (conservative and rare). *)
+            let calls = Ssa.call_sites ssa in
+            fun ~callee v ->
+              List.fold_left
+                (fun acc (_, _, (c : Ssa.call)) ->
+                  if String.equal c.Ssa.c_callee callee then
+                    Lattice.meet acc (f ~caller:proc c v)
+                  else acc)
+                Lattice.Top calls
+              |> fun r -> if r = Lattice.Top then Lattice.Bot else r
+      in
+      let config = { Scc.entry_env; call_def_value = cdv } in
+      let res = Scc.run ~config ssa in
+      incr scc_runs;
+      Hashtbl.replace scc_results proc res;
+      (* Record call-site values and contribute to callees. *)
+      let out_edges = Callgraph.out_edges pcg proc in
+      List.iter
+        (fun (b, _, (c : Ssa.call)) ->
+          let executable = res.Scc.block_executable.(b) in
+          let cr_args =
+            Array.mapi
+              (fun j _ ->
+                if executable then Context.censor ctx (Scc.arg_value res c j)
+                else Lattice.Top)
+              c.Ssa.c_args
+          in
+          let cr_globals =
+            Array.to_list c.Ssa.c_global_uses
+            |> List.map (fun ((g : Ir.var), n) ->
+                   ( g.Ir.vname,
+                     if executable then
+                       Context.censor ctx res.Scc.values.(n.Ssa.id)
+                     else Lattice.Top ))
+          in
+          call_records :=
+            {
+              Solution.cr_caller = proc;
+              cr_cs_index = c.Ssa.c_cs_id;
+              cr_callee = c.Ssa.c_callee;
+              cr_executable = executable;
+              cr_args;
+              cr_globals;
+            }
+            :: !call_records;
+          (* Contribute to the callee's pending meet — unless this edge is
+             a back edge, whose contribution was the FI seed. *)
+          let edge =
+            List.find_opt
+              (fun (e : Callgraph.edge) ->
+                e.Callgraph.cs_index = c.Ssa.c_cs_id)
+              out_edges
+          in
+          match edge with
+          | Some e when Callgraph.is_back_edge pcg e -> ()
+          | Some _ | None ->
+              if executable then begin
+                Array.iteri
+                  (fun j v -> meet_formal c.Ssa.c_callee j v)
+                  cr_args;
+                List.iter
+                  (fun (g, v) -> meet_global c.Ssa.c_callee g v)
+                  cr_globals
+              end)
+        (Ssa.call_sites ssa))
+    (Callgraph.forward_order pcg);
+
+  {
+    Solution.method_name;
+    entries;
+    call_records = List.rev !call_records;
+    scc_runs = !scc_runs;
+    scc_results;
+  }

@@ -1,0 +1,21 @@
+(** Flow-sensitive interprocedural constant propagation (paper Figure 4) —
+    the paper's contribution.  One forward topological traversal of the PCG
+    interleaves the Wegman–Zadeck SCC analysis with interprocedural meets
+    at call sites; back edges take the flow-insensitive solution; each
+    procedure receives exactly one flow-sensitive analysis, recursion
+    included.  On acyclic PCGs the result equals the iterative
+    flow-sensitive fixpoint ({!Reference}). *)
+
+val method_name : string
+
+(** [solve ?fi ?call_def_value ctx]:
+    [fi] overrides the flow-insensitive solution used for back edges
+    (computed on demand only when the PCG has cycles, as in the paper);
+    [call_def_value] refines post-call values of call-defined variables —
+    the hook the return-constants extension uses. *)
+val solve :
+  ?fi:Solution.t ->
+  ?call_def_value:
+    (caller:string -> Fsicp_ssa.Ssa.call -> Fsicp_cfg.Ir.var -> Fsicp_scc.Lattice.t) ->
+  Context.t ->
+  Solution.t

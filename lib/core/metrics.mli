@@ -1,0 +1,49 @@
+(** The paper's evaluation metrics (§4): call-site constant candidates
+    (Tables 1/3), interprocedurally propagated constants counted once per
+    procedure (Tables 2/4), and the classic substitution metric (Table 5).
+    Only procedures reachable from main are measured, as in the paper. *)
+
+type candidates_row = {
+  cd_program : string;
+  cd_args : int;  (** ARG: total arguments at all call sites *)
+  cd_imm : int;  (** IMM: immediate (literal) arguments *)
+  cd_fi : int;  (** constant arguments, flow-insensitive *)
+  cd_fs : int;  (** constant arguments, flow-sensitive (live sites only) *)
+  cd_gl_fi : int;  (** block-data global candidates *)
+  cd_gl_fs : int;  (** (site, global) pairs constant & referenced by callee *)
+  cd_gl_vis : int;  (** subset visible in the calling procedure *)
+}
+
+type propagated_row = {
+  pr_program : string;
+  pr_fp : int;
+  pr_fi : int;
+  pr_fs : int;
+  pr_procs : int;
+  pr_gl_fi : int;  (** entry-constant globals with a direct reference, FI *)
+  pr_gl_fs : int;
+}
+
+type substitutions_row = {
+  sb_program : string;
+  sb_poly : int;  (** polynomial jump function, no return jump function *)
+  sb_fi : int;
+  sb_fs : int;
+}
+
+val candidates :
+  Context.t -> fi:Solution.t -> fs:Solution.t -> name:string -> candidates_row
+
+val propagated :
+  Context.t -> fi:Solution.t -> fs:Solution.t -> name:string -> propagated_row
+
+val substitutions :
+  Context.t -> ?poly:Solution.t -> fi:Solution.t -> fs:Solution.t ->
+  name:string -> unit -> substitutions_row
+
+val pct : int -> int -> float
+
+(** Figure 1: the formal-constant set found by each of the six methods. *)
+type figure1_row = { f1_method : string; f1_constants : (string * int) list }
+
+val figure1 : Context.t -> figure1_row list

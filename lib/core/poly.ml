@@ -1,0 +1,146 @@
+(** Sparse multivariate polynomials over the formal parameters of a
+    procedure — the value domain of the {e polynomial jump function} of
+    Callahan, Cooper, Kennedy and Torczon (the most precise jump function
+    Grove–Torczon evaluate, Table 5's POLYNOMIAL column).
+
+    A polynomial maps monomials (sorted multisets of formal indices, by
+    exponent) to coefficients.  Coefficients are MiniFort values with the
+    language's mixed int/real promotion.  Addition, subtraction and
+    multiplication are closed; any other operator makes the jump function
+    give up (returns [None]) unless both operands are constants, in which
+    case ordinary folding applies before this module is ever involved.
+
+    Sizes are capped ([max_terms], [max_degree]): a jump function that
+    explodes is abandoned, exactly as a production implementation would. *)
+
+open Fsicp_lang
+
+(** A monomial: sorted [(formal index, exponent)] list, exponents >= 1.
+    The empty list is the constant monomial. *)
+type monomial = (int * int) list
+
+(** Invariant: no zero coefficients; monomials distinct and sorted. *)
+type t = (monomial * Value.t) list
+
+let max_terms = 64
+let max_degree = 8
+
+let zero : t = []
+let const (v : Value.t) : t = if Value.equal v (Value.Int 0) then [] else [ ([], v) ]
+let formal (i : int) : t = [ ([ (i, 1) ], Value.Int 1) ]
+
+let is_const (p : t) : Value.t option =
+  match p with
+  | [] -> Some (Value.Int 0)
+  | [ ([], v) ] -> Some v
+  | _ -> None
+
+let equal (a : t) (b : t) =
+  List.equal
+    (fun (m, v) (m', v') -> m = m' && Value.equal v v')
+    a b
+
+let compare_monomial (a : monomial) (b : monomial) = Stdlib.compare a b
+
+let degree_of_monomial (m : monomial) =
+  List.fold_left (fun acc (_, e) -> acc + e) 0 m
+
+(* Exact value addition/multiplication; these cannot fail. *)
+let vadd a b =
+  match Value.eval_binop Ops.Add a b with Some v -> v | None -> assert false
+
+let vmul a b =
+  match Value.eval_binop Ops.Mul a b with Some v -> v | None -> assert false
+
+let is_zero_value v = Value.equal v (Value.Int 0) || Value.equal v (Value.Real 0.0)
+
+let normalize (terms : (monomial * Value.t) list) : t option =
+  let sorted =
+    List.sort (fun (m, _) (m', _) -> compare_monomial m m') terms
+  in
+  let rec merge = function
+    | [] -> []
+    | (m, v) :: (m', v') :: tl when compare_monomial m m' = 0 ->
+        merge ((m, vadd v v') :: tl)
+    | (m, v) :: tl -> (m, v) :: merge tl
+  in
+  let merged = merge sorted |> List.filter (fun (_, v) -> not (is_zero_value v)) in
+  if List.length merged > max_terms then None
+  else if
+    List.exists (fun (m, _) -> degree_of_monomial m > max_degree) merged
+  then None
+  else Some merged
+
+let add (a : t) (b : t) : t option = normalize (a @ b)
+
+let neg (a : t) : t =
+  List.map (fun (m, v) -> (m, vmul (Value.Int (-1)) v)) a
+
+let sub (a : t) (b : t) : t option = add a (neg b)
+
+let mul_monomial (a : monomial) (b : monomial) : monomial =
+  let rec go a b =
+    match (a, b) with
+    | [], m | m, [] -> m
+    | (i, e) :: ta, (j, f) :: tb ->
+        if i = j then (i, e + f) :: go ta tb
+        else if i < j then (i, e) :: go ta ((j, f) :: tb)
+        else (j, f) :: go ((i, e) :: ta) tb
+  in
+  go a b
+
+let mul (a : t) (b : t) : t option =
+  let terms =
+    List.concat_map
+      (fun (m, v) -> List.map (fun (m', v') -> (mul_monomial m m', vmul v v')) b)
+      a
+  in
+  normalize terms
+
+(** Evaluate under an assignment of values to formals.  [None] when a
+    needed formal is missing from the environment. *)
+let eval (p : t) (env : int -> Value.t option) : Value.t option =
+  List.fold_left
+    (fun acc (m, coeff) ->
+      match acc with
+      | None -> None
+      | Some total -> (
+          let term =
+            List.fold_left
+              (fun acc (i, e) ->
+                match acc with
+                | None -> None
+                | Some v -> (
+                    match env i with
+                    | None -> None
+                    | Some fv ->
+                        let rec pow acc k =
+                          if k = 0 then Some acc else pow (vmul acc fv) (k - 1)
+                        in
+                        pow (Value.Int 1) e |> Option.map (vmul v)))
+              (Some coeff) m
+          in
+          match term with None -> None | Some t -> Some (vadd total t)))
+    (Some (Value.Int 0))
+    p
+
+(** Formal indices occurring in the polynomial. *)
+let formals_used (p : t) : int list =
+  List.concat_map (fun (m, _) -> List.map fst m) p |> List.sort_uniq Int.compare
+
+let pp ppf (p : t) =
+  if p = [] then Fmt.string ppf "0"
+  else
+    Fmt.list ~sep:(Fmt.any " + ")
+      (fun ppf (m, v) ->
+        if m = [] then Value.pp ppf v
+        else begin
+          Value.pp ppf v;
+          List.iter
+            (fun (i, e) ->
+              if e = 1 then Fmt.pf ppf "*f%d" i else Fmt.pf ppf "*f%d^%d" i e)
+            m
+        end)
+      ppf p
+
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,195 @@
+(** Reference {e iterative} flow-sensitive interprocedural solver.
+
+    The paper's flow-sensitive method deliberately performs only one
+    intraprocedural analysis per procedure, substituting the flow-
+    insensitive solution on back edges.  This module implements the
+    expensive alternative it approximates: iterate entire flow-sensitive
+    passes over the PCG until the entry environments reach a fixpoint.
+
+    Used as a test oracle:
+    - on an acyclic PCG the first pass already is the fixpoint, and the
+      result must coincide exactly with {!Fs_icp} (the paper: "when this
+      ratio is zero ... the same results as a flow-sensitive iterative
+      solution are achieved, without requiring iteration");
+    - on cyclic PCGs it gives the precision ceiling — {!Fs_icp} must be
+      sound w.r.t. the interpreter and below-or-equal this solution.
+
+    Gauss–Seidel style: within a pass, forward edges see values recorded in
+    the same pass; back edges see the previous pass's records (nothing, on
+    the first pass — the optimistic ⊤ start). *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ssa
+open Fsicp_callgraph
+open Fsicp_ipa
+open Fsicp_scc
+
+let method_name = "iterative-reference"
+
+let max_passes = 100
+
+let solve (ctx : Context.t) : Solution.t =
+  let pcg = ctx.Context.pcg in
+  let blockdata = Context.blockdata_env ctx in
+  let gref_globals proc =
+    Modref.gref_of ctx.Context.modref proc
+    |> Summary.VrefSet.elements
+    |> List.filter_map (function
+         | Summary.Vglobal g -> Some g
+         | Summary.Vformal _ -> None)
+  in
+  (* Records from the previous / current pass: (caller, cs_index) ->
+     (executable, args, globals). *)
+  let records :
+      (string * int, bool * Lattice.t array * (string * Lattice.t) list)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let entries_tbl = Hashtbl.create 16 in
+  let scc_results = Hashtbl.create 16 in
+  let scc_runs = ref 0 in
+  let pass () =
+    let any_change = ref false in
+    Array.iter
+      (fun proc ->
+        (* Meet incoming recorded contributions. *)
+        let s = Summary.find ctx.Context.summaries proc in
+        let nf = List.length s.Summary.ps_formals in
+        let formals = Array.make nf Lattice.Top in
+        let globals = Hashtbl.create 8 in
+        List.iter
+          (fun g -> Hashtbl.replace globals g Lattice.Top)
+          (gref_globals proc);
+        if String.equal proc ctx.Context.prog.Ast.main then
+          Hashtbl.iter
+            (fun g _ ->
+              Hashtbl.replace globals g
+                (match List.assoc_opt g blockdata with
+                | Some v -> v
+                | None -> Lattice.Bot))
+            (Hashtbl.copy globals);
+        List.iter
+          (fun (e : Callgraph.edge) ->
+            if String.equal e.Callgraph.callee proc then
+              match
+                Hashtbl.find_opt records
+                  (e.Callgraph.caller, e.Callgraph.cs_index)
+              with
+              | None -> () (* not yet recorded: optimistic, no contribution *)
+              | Some (executable, args, gvals) ->
+                  if executable then begin
+                    Array.iteri
+                      (fun j v ->
+                        if j < nf then formals.(j) <- Lattice.meet formals.(j) v)
+                      args;
+                    List.iter
+                      (fun (g, v) ->
+                        match Hashtbl.find_opt globals g with
+                        | Some cur ->
+                            Hashtbl.replace globals g (Lattice.meet cur v)
+                        | None -> ())
+                      gvals
+                  end)
+          pcg.Callgraph.edges;
+        let finalize = function Lattice.Top -> Lattice.Bot | v -> v in
+        let pe_formals = Array.map finalize formals in
+        let pe_globals =
+          Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) globals []
+          |> List.sort compare
+        in
+        let old = Hashtbl.find_opt entries_tbl proc in
+        let entry = { Solution.pe_formals; pe_globals } in
+        (match old with
+        | Some o
+          when Array.for_all2 Lattice.equal o.Solution.pe_formals pe_formals
+               && List.equal
+                    (fun (g, v) (g', v') ->
+                      String.equal g g' && Lattice.equal v v')
+                    o.Solution.pe_globals pe_globals -> ()
+        | Some _ | None ->
+            any_change := true;
+            Hashtbl.replace entries_tbl proc entry);
+        (* Run SCC with this environment and record call-site values. *)
+        let entry_env (v : Ir.var) =
+          match v.Ir.vkind with
+          | Ir.Formal i ->
+              if i < Array.length pe_formals then pe_formals.(i)
+              else Lattice.Bot
+          | Ir.Global -> (
+              match List.assoc_opt v.Ir.vname pe_globals with
+              | Some value -> value
+              | None ->
+                  if String.equal proc ctx.Context.prog.Ast.main then
+                    match List.assoc_opt v.Ir.vname blockdata with
+                    | Some value -> value
+                    | None -> Lattice.Bot
+                  else Lattice.Bot)
+          | Ir.Local | Ir.Temp -> Lattice.Bot
+        in
+        let ssa = Context.ssa ctx proc in
+        let res = Scc.run ~config:{ Scc.default_config with entry_env } ssa in
+        incr scc_runs;
+        Hashtbl.replace scc_results proc res;
+        List.iter
+          (fun (b, _, (c : Ssa.call)) ->
+            let executable = res.Scc.block_executable.(b) in
+            let args =
+              Array.mapi
+                (fun j _ ->
+                  if executable then
+                    Context.censor ctx (Scc.arg_value res c j)
+                  else Lattice.Top)
+                c.Ssa.c_args
+            in
+            let gvals =
+              Array.to_list c.Ssa.c_global_uses
+              |> List.map (fun ((g : Ir.var), n) ->
+                     ( g.Ir.vname,
+                       if executable then
+                         Context.censor ctx res.Scc.values.(n.Ssa.id)
+                       else Lattice.Top ))
+            in
+            Hashtbl.replace records (proc, c.Ssa.c_cs_id)
+              (executable, args, gvals))
+          (Ssa.call_sites ssa))
+      (Callgraph.forward_order pcg);
+    !any_change
+  in
+  let passes = ref 0 in
+  while pass () && !passes < max_passes do
+    incr passes
+  done;
+  (* Assemble call records from the final pass. *)
+  let call_records =
+    Hashtbl.fold
+      (fun (caller, cs_index) (executable, args, gvals) acc ->
+        let callee =
+          List.find_map
+            (fun (e : Callgraph.edge) ->
+              if
+                String.equal e.Callgraph.caller caller
+                && e.Callgraph.cs_index = cs_index
+              then Some e.Callgraph.callee
+              else None)
+            pcg.Callgraph.edges
+          |> Option.value ~default:"?"
+        in
+        {
+          Solution.cr_caller = caller;
+          cr_cs_index = cs_index;
+          cr_callee = callee;
+          cr_executable = executable;
+          cr_args = args;
+          cr_globals = gvals;
+        }
+        :: acc)
+      records []
+  in
+  {
+    Solution.method_name;
+    entries = entries_tbl;
+    call_records;
+    scc_runs = !scc_runs;
+    scc_results;
+  }

@@ -1,0 +1,8 @@
+(** Reference iterative flow-sensitive interprocedural solver: whole-PCG
+    flow-sensitive passes repeated to a fixpoint — the expensive solution
+    the paper's one-pass method approximates.  Used as the test oracle for
+    the acyclic-exactness and precision-ceiling properties. *)
+
+val method_name : string
+val max_passes : int
+val solve : Context.t -> Solution.t

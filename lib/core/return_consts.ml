@@ -1,0 +1,155 @@
+(** The return-constants extension (paper §3.2).
+
+    MiniFort procedures are Fortran-style subroutines: "returned constants"
+    are the constant {e out}-values a completed call leaves behind — in the
+    by-reference actuals whose formals the callee (always) sets to the same
+    constant, and in the globals it (always) sets to the same constant.
+
+    The paper: "Returned constants can be accommodated by extending our
+    flow-sensitive method to include one additional topological traversal
+    of the PCG which is performed in the reverse direction.  During this
+    traversal, a second flow-sensitive intraprocedural analysis of each
+    procedure is performed to identify the procedure's set of returned
+    constant parameters and global variables that are propagated to the
+    invoking call site.  A flow-insensitive solution can be precomputed and
+    used for back edges in this traversal."
+
+    The reverse traversal visits callees before callers, so when a caller
+    is re-analysed the summaries of its (forward-edge) callees are already
+    available and its call instructions define constants instead of ⊥.
+    Back-edge callees conservatively summarise to ⊥.
+
+    Matching the paper's measurements ("these results do not include the
+    propagation of return constants, since the implementation of this
+    feature has not yet been completed"), the table harness keeps this off;
+    the RETURNS ablation bench turns it on. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ssa
+open Fsicp_callgraph
+open Fsicp_ipa
+open Fsicp_scc
+
+(** Per-procedure exit summary: the value each formal's location and each
+    global holds when the procedure returns. *)
+type summary = {
+  rs_formals : Lattice.t array;
+  rs_globals : (string * Lattice.t) list;
+}
+
+type t = {
+  summaries : (string, summary) Hashtbl.t;
+  refined : (string, Scc.result) Hashtbl.t;
+      (** the second (reverse-traversal) SCC result per procedure, with
+          call-defined variables refined by callee summaries *)
+  extra_scc_runs : int;
+}
+
+let summary_of t proc = Hashtbl.find_opt t.summaries proc
+
+(** The post-call value of caller-side variable [v] for call [c], given the
+    callee's exit summary: meet over every channel through which the callee
+    may have written [v]'s location (each by-reference argument position
+    binding [v], and [v] itself when it is a global). *)
+let call_def_value_from (summaries : (string, summary) Hashtbl.t)
+    ~(censor : Lattice.t -> Lattice.t) (c : Ssa.call) (v : Ir.var) : Lattice.t
+    =
+  match Hashtbl.find_opt summaries c.Ssa.c_callee with
+  | None -> Lattice.Bot (* back edge or unknown callee *)
+  | Some s ->
+      let acc = ref Lattice.Top in
+      Array.iteri
+        (fun j (a : Ssa.ssa_arg) ->
+          match a.Ssa.sa_byref with
+          | Some w when Ir.Var.equal w v ->
+              if j < Array.length s.rs_formals then
+                acc := Lattice.meet !acc s.rs_formals.(j)
+          | Some _ | None -> ())
+        c.Ssa.c_args;
+      (match v.Ir.vkind with
+      | Ir.Global -> (
+          match List.assoc_opt v.Ir.vname s.rs_globals with
+          | Some gv -> acc := Lattice.meet !acc gv
+          | None -> acc := Lattice.Bot)
+      | Ir.Formal _ | Ir.Local | Ir.Temp -> ());
+      (match !acc with
+      | Lattice.Top ->
+          (* No channel found: the MOD oracle said the call may define [v]
+             but the summary does not cover it — stay conservative. *)
+          Lattice.Bot
+      | r -> censor r)
+
+(** Run the reverse traversal on top of a forward flow-sensitive solution.
+    One additional SCC per procedure. *)
+let compute (ctx : Context.t) ~(fs : Solution.t) : t =
+  let pcg = ctx.Context.pcg in
+  let blockdata = Context.blockdata_env ctx in
+  let summaries : (string, summary) Hashtbl.t = Hashtbl.create 16 in
+  let refined = Hashtbl.create 16 in
+  let runs = ref 0 in
+  Array.iter
+    (fun proc ->
+      let entry = Solution.entry fs proc in
+      let entry_env (v : Ir.var) =
+        match v.Ir.vkind with
+        | Ir.Formal i ->
+            if i < Array.length entry.Solution.pe_formals then
+              entry.Solution.pe_formals.(i)
+            else Lattice.Bot
+        | Ir.Global -> (
+            match List.assoc_opt v.Ir.vname entry.Solution.pe_globals with
+            | Some value -> value
+            | None ->
+                if String.equal proc ctx.Context.prog.Ast.main then
+                  match List.assoc_opt v.Ir.vname blockdata with
+                  | Some value -> value
+                  | None -> Lattice.Bot
+                else Lattice.Bot)
+        | Ir.Local | Ir.Temp -> Lattice.Bot
+      in
+      let ssa = Context.ssa ctx proc in
+      let cdv ~callee v =
+        (* Locate the calls to [callee] and meet their summary effects. *)
+        List.fold_left
+          (fun acc (_, _, (c : Ssa.call)) ->
+            if String.equal c.Ssa.c_callee callee then
+              Lattice.meet acc
+                (call_def_value_from summaries
+                   ~censor:(Context.censor ctx) c v)
+            else acc)
+          Lattice.Top (Ssa.call_sites ssa)
+        |> function
+        | Lattice.Top -> Lattice.Bot
+        | r -> r
+      in
+      let res =
+        Scc.run ~config:{ Scc.entry_env; call_def_value = cdv } ssa
+      in
+      incr runs;
+      Hashtbl.replace refined proc res;
+      (* Exit summary of this procedure. *)
+      let s = Summary.find ctx.Context.summaries proc in
+      let formals = s.Summary.ps_formals in
+      let rs_formals =
+        Array.of_list
+          (List.mapi
+             (fun i name ->
+               Context.censor ctx (Scc.exit_value res (Ir.formal name i)))
+             formals)
+      in
+      let rs_globals =
+        List.map
+          (fun g ->
+            (g, Context.censor ctx (Scc.exit_value res (Ir.global g))))
+          ctx.Context.prog.Ast.globals
+      in
+      Hashtbl.replace summaries proc { rs_formals; rs_globals })
+    (Callgraph.reverse_order pcg);
+  { summaries; refined; extra_scc_runs = !runs }
+
+(** Exit summaries mapped onto a [Fs_icp.solve ~call_def_value] oracle, for
+    running a refined forward pass on top of the reverse traversal. *)
+let as_oracle (t : t) ~(censor : Lattice.t -> Lattice.t) :
+    caller:string -> Ssa.call -> Ir.var -> Lattice.t =
+ fun ~caller:_ c v -> call_def_value_from t.summaries ~censor c v

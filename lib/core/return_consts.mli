@@ -1,0 +1,46 @@
+(** The return-constants extension (paper §3.2): one additional reverse
+    topological traversal with a second flow-sensitive analysis per
+    procedure computes each procedure's exit summary — the constants it
+    leaves in by-reference parameters and globals — which callers' call
+    instructions then define instead of ⊥. *)
+
+open Fsicp_cfg
+open Fsicp_ssa
+open Fsicp_scc
+
+type summary = {
+  rs_formals : Lattice.t array;  (** exit value per formal's location *)
+  rs_globals : (string * Lattice.t) list;
+}
+
+type t = {
+  summaries : (string, summary) Hashtbl.t;
+  refined : (string, Scc.result) Hashtbl.t;
+      (** the reverse-traversal SCC results, with call effects refined *)
+  extra_scc_runs : int;
+}
+
+val summary_of : t -> string -> summary option
+
+(** Post-call value of a caller-side variable for one call, given the
+    callee's summary: the meet over every channel (by-reference argument
+    positions binding it, and the global itself). *)
+val call_def_value_from :
+  (string, summary) Hashtbl.t ->
+  censor:(Lattice.t -> Lattice.t) ->
+  Ssa.call ->
+  Ir.var ->
+  Lattice.t
+
+(** Run the reverse traversal on top of a forward FS solution; exactly one
+    additional SCC per procedure. *)
+val compute : Context.t -> fs:Solution.t -> t
+
+(** The summaries as a [Fs_icp.solve ~call_def_value] oracle. *)
+val as_oracle :
+  t ->
+  censor:(Lattice.t -> Lattice.t) ->
+  caller:string ->
+  Ssa.call ->
+  Ir.var ->
+  Lattice.t

@@ -1,0 +1,109 @@
+(** The result of an interprocedural constant propagation method.
+
+    All methods (flow-insensitive, flow-sensitive, the jump-function
+    baselines, the reference iterative solver) produce the same shape, which
+    the metrics ({!Metrics}), the transformation ({!Transform}) and the
+    tests consume uniformly:
+
+    - per reachable procedure, the lattice value of every formal at entry
+      (Table 2's "interprocedural propagated constants");
+    - per reachable procedure, the lattice value at entry of the globals the
+      procedure may reference;
+    - per call site, the value of every argument and relevant global at the
+      site as established by the method (Table 1's "call site constant
+      candidates"). *)
+
+open Fsicp_scc
+
+type callsite_record = {
+  cr_caller : string;
+  cr_cs_index : int;  (** textual call-site index within the caller *)
+  cr_callee : string;
+  cr_executable : bool;
+      (** could the method prove the site unreachable?  Flow-insensitive
+          methods always say [true]; the flow-sensitive method marks sites
+          in SCC-dead blocks [false], and such sites propagate nothing *)
+  cr_args : Lattice.t array;  (** value of each argument at the site *)
+  cr_globals : (string * Lattice.t) list;
+      (** value at the site of each global in the callee's REF closure *)
+}
+
+type proc_entry = {
+  pe_formals : Lattice.t array;
+  pe_globals : (string * Lattice.t) list;
+      (** entry value of each global the procedure may reference; globals
+          not listed are unknown (bottom) *)
+}
+
+type t = {
+  method_name : string;
+  entries : (string, proc_entry) Hashtbl.t;  (** per reachable procedure *)
+  call_records : callsite_record list;
+  scc_runs : int;
+      (** number of flow-sensitive intraprocedural analyses performed — the
+          paper's headline is that the FS method needs exactly one per
+          procedure *)
+  scc_results : (string, Scc.result) Hashtbl.t;
+      (** the per-procedure SCC runs, when the method performs them (empty
+          for flow-insensitive methods) *)
+}
+
+let empty_entry = { pe_formals = [||]; pe_globals = [] }
+
+let entry t proc =
+  Option.value (Hashtbl.find_opt t.entries proc) ~default:empty_entry
+
+(** Entry lattice value of formal [i] of [proc]. *)
+let formal_value t proc i : Lattice.t =
+  let e = entry t proc in
+  if i < Array.length e.pe_formals then e.pe_formals.(i) else Lattice.Bot
+
+(** Entry lattice value of global [g] in [proc]. *)
+let global_value t proc g : Lattice.t =
+  match List.assoc_opt g (entry t proc).pe_globals with
+  | Some v -> v
+  | None -> Lattice.Bot
+
+(** Constant formals, as [(proc, index, value)]. *)
+let constant_formals t : (string * int * Fsicp_lang.Value.t) list =
+  Hashtbl.fold
+    (fun proc e acc ->
+      let acc' = ref acc in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Lattice.Const value -> acc' := (proc, i, value) :: !acc'
+          | Lattice.Top | Lattice.Bot -> ())
+        e.pe_formals;
+      !acc')
+    t.entries []
+  |> List.sort compare
+
+(** Constant globals at procedure entries, as [(proc, global, value)]. *)
+let constant_globals t : (string * string * Fsicp_lang.Value.t) list =
+  Hashtbl.fold
+    (fun proc e acc ->
+      List.fold_left
+        (fun acc (g, v) ->
+          match v with
+          | Lattice.Const value -> (proc, g, value) :: acc
+          | Lattice.Top | Lattice.Bot -> acc)
+        acc e.pe_globals)
+    t.entries []
+  |> List.sort compare
+
+let find_call_record t ~caller ~cs_index =
+  List.find_opt
+    (fun cr -> String.equal cr.cr_caller caller && cr.cr_cs_index = cs_index)
+    t.call_records
+
+let pp ppf t =
+  Fmt.pf ppf "method %s (%d SCC runs):@\n" t.method_name t.scc_runs;
+  List.iter
+    (fun (p, i, v) ->
+      Fmt.pf ppf "  %s formal#%d = %a@\n" p i Fsicp_lang.Value.pp v)
+    (constant_formals t);
+  List.iter
+    (fun (p, g, v) ->
+      Fmt.pf ppf "  %s global %s = %a@\n" p g Fsicp_lang.Value.pp v)
+    (constant_globals t)

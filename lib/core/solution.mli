@@ -1,0 +1,47 @@
+(** The result shape shared by every interprocedural constant propagation
+    method: per-procedure entry lattice values (formals and globals) and
+    per-call-site argument/global values — the two things the paper's
+    metrics count. *)
+
+open Fsicp_scc
+
+type callsite_record = {
+  cr_caller : string;
+  cr_cs_index : int;
+  cr_callee : string;
+  cr_executable : bool;
+      (** false when the method proved the site unreachable; such sites
+          propagate nothing *)
+  cr_args : Lattice.t array;
+  cr_globals : (string * Lattice.t) list;
+      (** values at the site of the globals in the callee's REF closure *)
+}
+
+type proc_entry = {
+  pe_formals : Lattice.t array;
+  pe_globals : (string * Lattice.t) list;
+}
+
+type t = {
+  method_name : string;
+  entries : (string, proc_entry) Hashtbl.t;
+  call_records : callsite_record list;
+  scc_runs : int;
+      (** flow-sensitive intraprocedural analyses performed — the paper's
+          headline is exactly one per procedure for the FS method *)
+  scc_results : (string, Scc.result) Hashtbl.t;
+}
+
+val empty_entry : proc_entry
+val entry : t -> string -> proc_entry
+
+(** Entry lattice value of the [i]-th formal of a procedure. *)
+val formal_value : t -> string -> int -> Lattice.t
+
+(** Entry lattice value of a global in a procedure ([Bot] if untracked). *)
+val global_value : t -> string -> string -> Lattice.t
+
+val constant_formals : t -> (string * int * Fsicp_lang.Value.t) list
+val constant_globals : t -> (string * string * Fsicp_lang.Value.t) list
+val find_call_record : t -> caller:string -> cs_index:int -> callsite_record option
+val pp : t Fmt.t

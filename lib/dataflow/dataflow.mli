@@ -1,0 +1,47 @@
+(** Generic iterative dataflow over {!Fsicp_cfg.Ir} CFGs, plus the
+    intraprocedural liveness/upward-exposed-uses instances the USE
+    computation builds on.  The tests also use it as an independent
+    reference against the sparse SCC engine. *)
+
+open Fsicp_cfg
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = { block_in : L.t array; block_out : L.t array }
+
+  (** Iterate to a fixpoint.  [init] is the boundary value (entry block for
+      [Forward], every [Ret] block for [Backward]); [transfer b v] pushes a
+      value through block [b]. *)
+  val solve :
+    direction:direction -> init:L.t -> transfer:(int -> L.t -> L.t) ->
+    Ir.cfg -> result
+end
+
+module VarSetLattice : LATTICE with type t = Ir.VarSet.t
+module VarSets : module type of Make (VarSetLattice)
+
+(** Per-instruction uses; [call_uses] adds what a call reads beyond its
+    textual arguments (interprocedural REF). *)
+val instr_uses : ?call_uses:(string -> Ir.var list) -> Ir.instr -> Ir.var list
+
+(** Per-instruction definitions; [call_defs] supplies what a call may write
+    (interprocedural MOD). *)
+val instr_defs :
+  ?call_defs:(callee:string -> byrefs:Ir.var list -> Ir.var list) ->
+  Ir.instr -> Ir.var list
+
+(** Variables possibly read before written on some path from entry. *)
+val upward_exposed :
+  ?call_uses:(string -> Ir.var list) ->
+  ?call_defs:(callee:string -> byrefs:Ir.var list -> Ir.var list) ->
+  Ir.cfg -> Ir.VarSet.t

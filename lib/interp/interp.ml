@@ -1,0 +1,170 @@
+(** Reference interpreter for MiniFort.
+
+    The interpreter is the ground truth that the constant-propagation
+    soundness property tests check against: every constant an analysis
+    claims to hold at a procedure entry must equal the value the interpreter
+    observes at {e every} dynamic entry to that procedure.
+
+    Semantics highlights (shared with the analyses):
+    - parameters are passed by reference when the actual is a bare variable,
+      otherwise through a fresh temporary cell;
+    - locals are implicitly initialised to [Int 0] at procedure entry
+      (the analyses treat the entry value as unknown, which is sound);
+    - globals not initialised by block data start as [Int 0];
+    - division/modulus by zero raises {!Runtime_error};
+    - execution is fuel-bounded to make property tests on generated
+      (possibly diverging) programs safe. *)
+
+open Fsicp_lang
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+(** One dynamic procedure-entry event, recorded when tracing is on. *)
+type entry_event = {
+  ev_proc : string;
+  ev_formals : (string * Value.t) list;  (** formal name, value at entry *)
+  ev_globals : (string * Value.t) list;  (** global name, value at entry *)
+}
+
+type result = {
+  prints : Value.t list;  (** values printed, in order *)
+  entries : entry_event list;  (** procedure-entry trace, in order *)
+  steps : int;  (** statements executed *)
+}
+
+type state = {
+  prog : Ast.program;
+  genv : (string, Value.t ref) Hashtbl.t;
+  mutable fuel : int;
+  mutable nsteps : int;
+  trace : bool;
+  mutable prints_rev : Value.t list;
+  mutable entries_rev : entry_event list;
+}
+
+exception Return_exc
+
+let runtime_error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type frame = { cells : (string, Value.t ref) Hashtbl.t; fformals : string list }
+
+let lookup_cell st (frame : frame) x : Value.t ref =
+  match Hashtbl.find_opt frame.cells x with
+  | Some c -> c
+  | None -> (
+      match Hashtbl.find_opt st.genv x with
+      | Some c -> c
+      | None ->
+          (* Implicitly-declared local: comes into existence as Int 0. *)
+          let c = ref (Value.Int 0) in
+          Hashtbl.add frame.cells x c;
+          c)
+
+let rec eval st frame (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Const v -> v
+  | Ast.Var x -> !(lookup_cell st frame x)
+  | Ast.Unary (op, e) -> (
+      let v = eval st frame e in
+      match Value.eval_unop op v with
+      | Some r -> r
+      | None -> runtime_error "unary %s undefined" (Ops.unop_to_string op))
+  | Ast.Binary (op, l, r) -> (
+      let a = eval st frame l in
+      let b = eval st frame r in
+      match Value.eval_binop op a b with
+      | Some v -> v
+      | None ->
+          runtime_error "binary %s undefined on %s and %s"
+            (Ops.binop_to_string op) (Value.to_string a) (Value.to_string b))
+
+let rec exec_block st frame (body : Ast.stmt list) =
+  List.iter (exec_stmt st frame) body
+
+and exec_stmt st frame (s : Ast.stmt) =
+  if st.fuel <= 0 then raise Out_of_fuel;
+  st.fuel <- st.fuel - 1;
+  st.nsteps <- st.nsteps + 1;
+  match s.sdesc with
+  | Ast.Assign (x, e) ->
+      let v = eval st frame e in
+      lookup_cell st frame x := v
+  | Ast.If (c, t, e) ->
+      if Value.truthy (eval st frame c) then exec_block st frame t
+      else exec_block st frame e
+  | Ast.While (c, body) ->
+      while Value.truthy (eval st frame c) do
+        if st.fuel <= 0 then raise Out_of_fuel;
+        exec_block st frame body
+      done
+  | Ast.Call (q, args) -> call_proc st frame q args
+  | Ast.Return -> raise Return_exc
+  | Ast.Print e -> st.prints_rev <- eval st frame e :: st.prints_rev
+
+and call_proc st (caller : frame) q args =
+  let callee = Ast.find_proc_exn st.prog q in
+  let cells = Hashtbl.create 8 in
+  List.iter2
+    (fun formal arg ->
+      let cell =
+        match arg with
+        | Ast.Var x -> lookup_cell st caller x
+        | e -> ref (eval st caller e)
+      in
+      (* By-reference binding: the formal shares the actual's cell.  When
+         the same variable is passed twice, both formals alias it — the
+         behaviour the interprocedural alias analysis must over-approximate. *)
+      Hashtbl.replace cells formal cell)
+    callee.formals args;
+  let frame = { cells; fformals = callee.formals } in
+  if st.trace then begin
+    let ev_formals =
+      List.map (fun f -> (f, !(Hashtbl.find cells f))) callee.formals
+    in
+    let ev_globals =
+      List.map (fun g -> (g, !(Hashtbl.find st.genv g))) st.prog.globals
+    in
+    st.entries_rev <-
+      { ev_proc = q; ev_formals; ev_globals } :: st.entries_rev
+  end;
+  try exec_block st frame callee.body with Return_exc -> ()
+
+(** [run ?fuel ?trace prog] executes [prog] from its entry procedure.
+
+    @param fuel maximum number of statements to execute (default 200_000)
+    @param trace record procedure-entry events (default [true])
+    @raise Runtime_error on division/modulus by zero
+    @raise Out_of_fuel when the fuel budget is exhausted *)
+let run ?(fuel = 200_000) ?(trace = true) (prog : Ast.program) : result =
+  let genv = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace genv g (ref (Value.Int 0))) prog.globals;
+  List.iter (fun (g, v) -> Hashtbl.replace genv g (ref v)) prog.blockdata;
+  let st =
+    { prog; genv; fuel; nsteps = 0; trace; prints_rev = []; entries_rev = [] }
+  in
+  let main = Ast.find_proc_exn prog prog.main in
+  let frame = { cells = Hashtbl.create 8; fformals = [] } in
+  if st.trace then
+    st.entries_rev <-
+      {
+        ev_proc = prog.main;
+        ev_formals = [];
+        ev_globals =
+          List.map (fun g -> (g, !(Hashtbl.find genv g))) prog.globals;
+      }
+      :: st.entries_rev;
+  (try exec_block st frame main.body with Return_exc -> ());
+  {
+    prints = List.rev st.prints_rev;
+    entries = List.rev st.entries_rev;
+    steps = st.nsteps;
+  }
+
+(** [run_opt] is [run] but maps both runtime errors and fuel exhaustion to
+    [None]; convenient in property tests where generated programs may
+    divide by zero or diverge. *)
+let run_opt ?fuel ?trace prog =
+  match run ?fuel ?trace prog with
+  | r -> Some r
+  | exception (Runtime_error _ | Out_of_fuel) -> None

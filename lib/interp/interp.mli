@@ -1,0 +1,36 @@
+(** Reference interpreter for MiniFort — the ground truth the constant
+    propagation soundness tests check against.
+
+    Semantics: by-reference parameters (bare-variable actuals share the
+    caller's cell; other actuals get hidden temporaries); locals and
+    non-block-data globals start at [Int 0]; division/modulus by zero is a
+    runtime error; execution is fuel-bounded. *)
+
+open Fsicp_lang
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+(** One dynamic procedure entry, recorded when tracing is on: the values of
+    every formal and every global at the instant the callee starts. *)
+type entry_event = {
+  ev_proc : string;
+  ev_formals : (string * Value.t) list;
+  ev_globals : (string * Value.t) list;
+}
+
+type result = {
+  prints : Value.t list;  (** values printed, in order *)
+  entries : entry_event list;  (** procedure-entry trace, in order *)
+  steps : int;  (** statements executed *)
+}
+
+(** Execute from the entry procedure.
+    @param fuel statement budget (default 200_000)
+    @param trace record {!entry_event}s (default [true])
+    @raise Runtime_error on arithmetic errors
+    @raise Out_of_fuel when the budget runs out *)
+val run : ?fuel:int -> ?trace:bool -> Ast.program -> result
+
+(** [run] with runtime errors and fuel exhaustion mapped to [None]. *)
+val run_opt : ?fuel:int -> ?trace:bool -> Ast.program -> result option

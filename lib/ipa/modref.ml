@@ -1,0 +1,158 @@
+(** Interprocedural MOD and REF (Figure 2 step 4).
+
+    A flow-insensitive computation over the PCG in the style of
+    Cooper–Kennedy/Banning: for each procedure [p],
+
+    - [GMOD(p)]: the formals of [p] and globals that a call to [p] may
+      modify (directly in [p] or transitively through calls [p] makes);
+    - [GREF(p)]: likewise for references.
+
+    Both sets are closed under the reference-parameter aliases computed by
+    {!Alias} (the paper performs the alias phase first for this reason):
+    if formal [i] is modified and may alias formal [j] or global [g], then
+    [j]/[g] are also in GMOD.
+
+    Fixpoint: iterate the reverse topological order of the PCG (callees
+    before callers, cycles via repeated sweeps) binding callee sets through
+    call-site argument lists:  a modified formal [j] of callee [q] maps to
+    whatever actual the caller passes at position [j] — a formal of the
+    caller, a global, or (invisibly for interprocedural purposes) a local or
+    temporary. *)
+
+open Summary
+
+type t = {
+  gmod : (string, VrefSet.t) Hashtbl.t;
+  gref : (string, VrefSet.t) Hashtbl.t;
+  summaries : Summary.t;
+}
+
+let get tbl name = Option.value (Hashtbl.find_opt tbl name) ~default:VrefSet.empty
+
+(* Close a set over the procedure's alias pairs. *)
+let alias_close (aliases : Alias.t) proc (s : VrefSet.t) : VrefSet.t =
+  VrefSet.fold
+    (fun v acc ->
+      match v with
+      | Vformal i ->
+          let acc =
+            List.fold_left
+              (fun acc j -> VrefSet.add (Vformal j) acc)
+              acc
+              (Alias.formals_aliasing_formal aliases proc i)
+          in
+          List.fold_left
+            (fun acc g -> VrefSet.add (Vglobal g) acc)
+            acc
+            (Alias.globals_aliasing_formal aliases proc i)
+      | Vglobal _ -> acc)
+    s s
+
+(* Map a callee-side set through a call site into caller-side vrefs. *)
+let bind_through_call (c : call_summary) (callee_set : VrefSet.t) : VrefSet.t =
+  VrefSet.fold
+    (fun v acc ->
+      match v with
+      | Vglobal g -> VrefSet.add (Vglobal g) acc
+      | Vformal j ->
+          if j < Array.length c.cs_args then
+            match c.cs_args.(j) with
+            | Aformal i -> VrefSet.add (Vformal i) acc
+            | Aglobal g -> VrefSet.add (Vglobal g) acc
+            | Alit _ | Alocal _ | Aexpr -> acc
+          else acc)
+    callee_set VrefSet.empty
+
+let compute (summaries : Summary.t) (aliases : Alias.t)
+    (pcg : Fsicp_callgraph.Callgraph.t) : t =
+  let gmod = Hashtbl.create 16 and gref = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun name ->
+        let s = Summary.find summaries name in
+        let step tbl immediate =
+          let acc = ref (VrefSet.union immediate (get tbl name)) in
+          List.iter
+            (fun c ->
+              let callee_set =
+                alias_close aliases c.cs_callee (get tbl c.cs_callee)
+              in
+              acc := VrefSet.union !acc (bind_through_call c callee_set))
+            s.ps_calls;
+          let closed = alias_close aliases name !acc in
+          if not (VrefSet.equal closed (get tbl name)) then begin
+            Hashtbl.replace tbl name closed;
+            changed := true
+          end
+        in
+        step gmod s.ps_imod;
+        step gref s.ps_iref)
+      (Fsicp_callgraph.Callgraph.reverse_order pcg)
+  done;
+  { gmod; gref; summaries }
+
+(* ------------------------------------------------------------------ *)
+(* Queries used by the constant propagation methods                    *)
+(* ------------------------------------------------------------------ *)
+
+let gmod_of t name = get t.gmod name
+let gref_of t name = get t.gref name
+
+(** May [p] (or anything it calls) modify its [i]-th formal's location? *)
+let formal_modified t p i = VrefSet.mem (Vformal i) (get t.gmod p)
+
+(** May [p] (or anything it calls) modify global [g]? *)
+let global_modified_in t p g = VrefSet.mem (Vglobal g) (get t.gmod p)
+
+(** May [p] (or anything it calls) reference global [g]? *)
+let global_referenced_in t p g = VrefSet.mem (Vglobal g) (get t.gref p)
+
+(** Globals modified anywhere in the program reachable from [main]: these
+    are the ones the flow-insensitive method removes from the block-data
+    candidate list (paper Figure 3). *)
+let globals_modified_anywhere t ~main : string list =
+  VrefSet.fold
+    (fun v acc -> match v with Vglobal g -> g :: acc | Vformal _ -> acc)
+    (get t.gmod main) []
+
+(** Variables a call to [callee] may define, as caller-side IR variables —
+    the oracle SSA construction uses at call instructions.  [byrefs] are the
+    by-reference actuals in argument order ([None] for value arguments). *)
+let call_defs t ~callee ~(byref_args : Fsicp_cfg.Ir.var option array) :
+    Fsicp_cfg.Ir.var list =
+  let ms = get t.gmod callee in
+  let acc = ref [] in
+  VrefSet.iter
+    (fun v ->
+      match v with
+      | Vglobal g -> acc := Fsicp_cfg.Ir.global g :: !acc
+      | Vformal j -> (
+          if j < Array.length byref_args then
+            match byref_args.(j) with
+            | Some v -> acc := v :: !acc
+            | None -> ()))
+    ms;
+  (* Distinct: a global may be both in GMOD directly and via an alias. *)
+  List.sort_uniq Fsicp_cfg.Ir.Var.compare !acc
+
+(** Globals a call to [callee] may reference (transitively); the FS ICP
+    records the lattice value of each of these at the call site. *)
+let call_global_refs t ~callee : Fsicp_cfg.Ir.var list =
+  VrefSet.fold
+    (fun v acc ->
+      match v with
+      | Vglobal g -> Fsicp_cfg.Ir.global g :: acc
+      | Vformal _ -> acc)
+    (get t.gref callee) []
+
+let pp ppf t =
+  let pp_set ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Vref.pp) (VrefSet.elements s)
+  in
+  Hashtbl.iter
+    (fun name _ ->
+      Fmt.pf ppf "%s: MOD=%a REF=%a@\n" name pp_set (get t.gmod name) pp_set
+        (get t.gref name))
+    t.gmod

@@ -1,0 +1,34 @@
+(** Interprocedural MOD and REF (Figure 2 step 4): Cooper–Kennedy-style
+    flow-insensitive PCG fixpoint binding callee sets through call-site
+    argument lists, closed under reference-parameter aliases. *)
+
+open Summary
+
+type t
+
+val compute : Summary.t -> Alias.t -> Fsicp_callgraph.Callgraph.t -> t
+
+val gmod_of : t -> string -> VrefSet.t
+val gref_of : t -> string -> VrefSet.t
+
+(** May the procedure (or anything it calls) modify its [i]-th formal's
+    location? *)
+val formal_modified : t -> string -> int -> bool
+
+val global_modified_in : t -> string -> string -> bool
+val global_referenced_in : t -> string -> string -> bool
+
+(** Globals modified anywhere reachable from [main] — the ones Figure 3's
+    flow-insensitive method removes from the block-data candidates. *)
+val globals_modified_anywhere : t -> main:string -> string list
+
+(** SSA oracle: variables (caller-side) a call may define, given the
+    by-reference actuals in argument order. *)
+val call_defs :
+  t -> callee:string -> byref_args:Fsicp_cfg.Ir.var option array ->
+  Fsicp_cfg.Ir.var list
+
+(** Globals whose value at a call to [callee] the FS method records. *)
+val call_global_refs : t -> callee:string -> Fsicp_cfg.Ir.var list
+
+val pp : t Fmt.t

@@ -1,0 +1,110 @@
+(** Flow-sensitive interprocedural USE (paper §3.2).
+
+    [USE(p)] is the set of formals and globals that may be {e referenced
+    before being defined} when [p] is invoked — upward-exposed uses,
+    propagated interprocedurally.  The paper computes it with the same
+    one-pass discipline as the flow-sensitive ICP, mirrored here: one
+    reverse topological traversal of the PCG in which a call site uses the
+    callee's already-computed USE set for forward edges and falls back to
+    the (flow-insensitive) REF information for back edges.
+
+    Within a procedure we run the backward upward-exposed-uses dataflow of
+    {!Fsicp_dataflow.Dataflow}.  Call sites {e kill} nothing (MOD is may-
+    information; only must-definitions may kill a use, and plain assignments
+    are the only must-definitions), which keeps USE an over-approximation. *)
+
+open Fsicp_cfg
+open Summary
+
+type t = { use : (string, VrefSet.t) Hashtbl.t }
+
+let get t name = Option.value (Hashtbl.find_opt t.use name) ~default:VrefSet.empty
+
+let vref_of_var (v : Ir.var) : vref option =
+  match v.Ir.vkind with
+  | Ir.Formal i -> Some (Vformal i)
+  | Ir.Global -> Some (Vglobal v.Ir.vname)
+  | Ir.Local | Ir.Temp -> None
+
+(** [compute procs modref pcg] computes USE for every reachable procedure.
+    [procs] must contain the lowered body of each reachable procedure. *)
+let compute (procs : (string, Ir.proc) Hashtbl.t) (modref : Modref.t)
+    (pcg : Fsicp_callgraph.Callgraph.t) : t =
+  let use = Hashtbl.create 16 in
+  let processed = Hashtbl.create 16 in
+  Array.iter
+    (fun name ->
+      let p = Hashtbl.find procs name in
+      (* Per-call-site uses: bind the callee's USE (or REF on back edges)
+         through the argument list into caller-side variables. *)
+      let call_uses_of_instr (ins : Ir.instr) : Ir.var list =
+        match ins with
+        | Ir.Call { cs_id; callee; args } ->
+            let callee_set =
+              let edge_is_back =
+                Hashtbl.mem pcg.Fsicp_callgraph.Callgraph.back_edges
+                  (name, cs_id)
+              in
+              if edge_is_back || not (Hashtbl.mem processed callee) then
+                Modref.gref_of modref callee
+              else get { use } callee
+            in
+            VrefSet.fold
+              (fun v acc ->
+                match v with
+                | Vglobal g -> Ir.global g :: acc
+                | Vformal j -> (
+                    if j < Array.length args then
+                      match args.(j).Ir.a_byref with
+                      | Some v -> v :: acc
+                      | None -> acc
+                    else acc))
+              callee_set []
+        | Ir.Assign _ | Ir.Print _ -> []
+      in
+      (* The generic engine takes a per-callee function; we need per-site
+         (back-edge distinction), so inline the transfer here. *)
+      let transfer b (live_out : Ir.VarSet.t) =
+        let blk = p.Ir.cfg.Ir.blocks.(b) in
+        let live = ref live_out in
+        (match blk.Ir.term with
+        | Ir.Cond (Ir.Var v, _, _) -> live := Ir.VarSet.add v !live
+        | Ir.Cond (Ir.Const _, _, _) | Ir.Goto _ | Ir.Ret -> ());
+        for i = Array.length blk.Ir.instrs - 1 downto 0 do
+          let ins = blk.Ir.instrs.(i) in
+          (match ins with
+          | Ir.Assign (v, _) -> live := Ir.VarSet.remove v !live
+          | Ir.Call _ | Ir.Print _ -> ());
+          List.iter
+            (fun u -> live := Ir.VarSet.add u !live)
+            (Fsicp_dataflow.Dataflow.instr_uses ins);
+          List.iter (fun u -> live := Ir.VarSet.add u !live) (call_uses_of_instr ins)
+        done;
+        !live
+      in
+      let res =
+        Fsicp_dataflow.Dataflow.VarSets.solve
+          ~direction:Fsicp_dataflow.Dataflow.Backward ~init:Ir.VarSet.empty
+          ~transfer p.Ir.cfg
+      in
+      let entry_live =
+        res.Fsicp_dataflow.Dataflow.VarSets.block_in.(p.Ir.cfg.Ir.entry)
+      in
+      let vrefs =
+        Ir.VarSet.fold
+          (fun v acc ->
+            match vref_of_var v with
+            | Some r -> VrefSet.add r acc
+            | None -> acc)
+          entry_live VrefSet.empty
+      in
+      Hashtbl.replace use name vrefs;
+      Hashtbl.replace processed name ())
+    (Fsicp_callgraph.Callgraph.reverse_order pcg);
+  { use }
+
+(** Is global [g] in USE(p)? *)
+let global_used t p g = VrefSet.mem (Vglobal g) (get t p)
+
+(** Is formal [i] in USE(p)? *)
+let formal_used t p i = VrefSet.mem (Vformal i) (get t p)

@@ -1,0 +1,18 @@
+(** Flow-sensitive interprocedural USE (paper §3.2): formals and globals
+    possibly referenced before defined, computed in one reverse topological
+    traversal of the PCG with REF information substituted on back edges —
+    the same one-pass discipline as the flow-sensitive ICP. *)
+
+open Fsicp_cfg
+open Summary
+
+type t
+
+(** [compute procs modref pcg]; [procs] maps every reachable procedure to
+    its lowered body. *)
+val compute :
+  (string, Ir.proc) Hashtbl.t -> Modref.t -> Fsicp_callgraph.Callgraph.t -> t
+
+val get : t -> string -> VrefSet.t
+val global_used : t -> string -> string -> bool
+val formal_used : t -> string -> int -> bool

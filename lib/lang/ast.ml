@@ -1,0 +1,210 @@
+(** Abstract syntax of MiniFort.
+
+    MiniFort mirrors the Fortran-77 subset that the paper's measurements were
+    taken on, in the aspects the analyses care about:
+
+    - a program is a set of procedures (subroutines) plus flat scalar
+      {e global} variables (modelling COMMON), some of which are initialised
+      in a {e block data} section;
+    - all parameters are passed {b by reference} — assigning to a formal
+      writes through to the actual when the actual is a variable, which is
+      what drives the interprocedural MOD and aliasing analyses;
+    - there are no function results; the paper's "returned constants" are
+      the constant {e out}-values of reference parameters and globals, which
+      is exactly what our return-constants extension propagates;
+    - control flow is structured ([if]/[while]), which lowers to the
+      arbitrary CFGs the analyses operate on.
+
+    Name resolution is purely lexical: an identifier appearing in a procedure
+    body denotes the formal of that name if one exists, otherwise the global
+    of that name if one is declared, otherwise a procedure-local variable.
+    Locals are implicitly declared by use and initialised to integer 0 at
+    procedure entry (see {!Fsicp_interp}); the constant propagator treats
+    their entry value as unknown, which is sound. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+let pp_pos ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Unary of Ops.unop * expr
+  | Binary of Ops.binop * expr * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Call of string * expr list
+      (** [Call (p, args)]: an argument that is a bare variable is passed by
+          reference; any other expression is evaluated into a hidden
+          temporary cell (so callee stores to it do not escape). *)
+  | Return  (** early exit from the procedure *)
+  | Print of expr
+      (** observable output; also the canonical "use" for the metrics *)
+
+type proc = {
+  pname : string;
+  formals : string list;
+  body : stmt list;
+  ppos : pos;
+}
+
+type program = {
+  globals : string list;  (** declared global scalars, in declaration order *)
+  blockdata : (string * Value.t) list;
+      (** block-data initialisations; a subset of [globals] *)
+  procs : proc list;
+  main : string;  (** name of the entry procedure *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Equality (structural, ignoring positions)                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Var x, Var y -> String.equal x y
+  | Unary (o, e), Unary (o', e') -> Ops.equal_unop o o' && equal_expr e e'
+  | Binary (o, l, r), Binary (o', l', r') ->
+      Ops.equal_binop o o' && equal_expr l l' && equal_expr r r'
+  | (Const _ | Var _ | Unary _ | Binary _), _ -> false
+
+let rec equal_stmt a b =
+  match (a.sdesc, b.sdesc) with
+  | Assign (x, e), Assign (x', e') -> String.equal x x' && equal_expr e e'
+  | If (c, t, f), If (c', t', f') ->
+      equal_expr c c' && equal_block t t' && equal_block f f'
+  | While (c, body), While (c', body') ->
+      equal_expr c c' && equal_block body body'
+  | Call (p, args), Call (p', args') ->
+      String.equal p p' && List.equal equal_expr args args'
+  | Return, Return -> true
+  | Print e, Print e' -> equal_expr e e'
+  | (Assign _ | If _ | While _ | Call _ | Return | Print _), _ -> false
+
+and equal_block a b = List.equal equal_stmt a b
+
+let equal_proc a b =
+  String.equal a.pname b.pname
+  && List.equal String.equal a.formals b.formals
+  && equal_block a.body b.body
+
+let equal_program a b =
+  List.equal String.equal a.globals b.globals
+  && List.equal
+       (fun (n, v) (n', v') -> String.equal n n' && Value.equal v v')
+       a.blockdata b.blockdata
+  && List.equal equal_proc a.procs b.procs
+  && String.equal a.main b.main
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers shared by the analyses                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter_stmts f body] applies [f] to every statement in [body], including
+    statements nested inside [if]/[while]. *)
+let rec iter_stmts f body =
+  List.iter
+    (fun s ->
+      f s;
+      match s.sdesc with
+      | If (_, t, e) ->
+          iter_stmts f t;
+          iter_stmts f e
+      | While (_, b) -> iter_stmts f b
+      | Assign _ | Call _ | Return | Print _ -> ())
+    body
+
+(** [iter_exprs f body] applies [f] to every expression occurring in [body]
+    (conditions, right-hand sides, arguments, print operands). *)
+let iter_exprs f body =
+  iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Assign (_, e) -> f e
+      | If (c, _, _) -> f c
+      | While (c, _) -> f c
+      | Call (_, args) -> List.iter f args
+      | Print e -> f e
+      | Return -> ())
+    body
+
+(** Variables read anywhere in an expression. *)
+let rec expr_vars acc = function
+  | Const _ -> acc
+  | Var x -> x :: acc
+  | Unary (_, e) -> expr_vars acc e
+  | Binary (_, l, r) -> expr_vars (expr_vars acc l) r
+
+(** All identifiers {e mentioned} in a procedure body (read or written,
+    including by-reference arguments).  Used to infer which globals are
+    visible in a procedure, which the VIS metric of Table 1 relies on. *)
+let mentioned_vars (p : proc) : string list =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Assign (x, e) -> acc := x :: expr_vars !acc e
+      | If (c, _, _) | While (c, _) -> acc := expr_vars !acc c
+      | Call (_, args) -> List.iter (fun a -> acc := expr_vars !acc a) args
+      | Print e -> acc := expr_vars !acc e
+      | Return -> ())
+    p.body;
+  List.sort_uniq String.compare !acc
+
+(** Variables directly assigned in [p] ([Assign] targets only; by-reference
+    effects of calls are the interprocedural MOD analysis's job). *)
+let assigned_vars (p : proc) : string list =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Assign (x, _) -> acc := x :: !acc
+      | If _ | While _ | Call _ | Return | Print _ -> ())
+    p.body;
+  List.sort_uniq String.compare !acc
+
+(** Variables read in [p] (in any expression). *)
+let read_vars (p : proc) : string list =
+  let acc = ref [] in
+  iter_exprs (fun e -> acc := expr_vars !acc e) p.body;
+  List.sort_uniq String.compare !acc
+
+(** Call sites of [p], in textual order: [(callee, args, position)]. *)
+let call_sites (p : proc) : (string * expr list * pos) list =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Call (q, args) -> acc := (q, args, s.spos) :: !acc
+      | Assign _ | If _ | While _ | Return | Print _ -> ())
+    p.body;
+  List.rev !acc
+
+let find_proc (prog : program) (name : string) : proc option =
+  List.find_opt (fun p -> String.equal p.pname name) prog.procs
+
+let find_proc_exn prog name =
+  match find_proc prog name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Ast.find_proc_exn: %s" name)
+
+(** Smart constructors used by the builder DSL and tests. *)
+let mk_stmt ?(pos = no_pos) sdesc = { sdesc; spos = pos }
+let assign ?pos x e = mk_stmt ?pos (Assign (x, e))
+let if_ ?pos c t e = mk_stmt ?pos (If (c, t, e))
+let while_ ?pos c b = mk_stmt ?pos (While (c, b))
+let call ?pos p args = mk_stmt ?pos (Call (p, args))
+let return_ ?pos () = mk_stmt ?pos Return
+let print ?pos e = mk_stmt ?pos (Print e)
+let int n = Const (Value.Int n)
+let real r = Const (Value.Real r)
+let var x = Var x
+let binary op l r = Binary (op, l, r)
+let unary op e = Unary (op, e)

@@ -1,0 +1,63 @@
+(** A small combinator DSL for constructing MiniFort programs in OCaml.
+
+    Used by the synthetic workload generator and by tests; avoids going
+    through concrete syntax for programmatically generated programs.
+
+    {[
+      let prog =
+        Builder.(
+          program
+            ~blockdata:[ ("g", Value.Int 3) ]
+            [
+              proc "main" [] [ call "sub1" [ i 0 ] ];
+              proc "sub1" [ "f1" ]
+                [
+                  "x" <-- i 1;
+                  if_ (v "f1" <> i 0) [ "y" <-- i 1 ] [ "y" <-- i 0 ];
+                  call "sub2" [ v "y"; i 4; v "f1"; v "x" ];
+                ];
+            ])
+    ]} *)
+
+let i n = Ast.int n
+let r x = Ast.real x
+let v x = Ast.var x
+let ( + ) a b = Ast.binary Ops.Add a b
+let ( - ) a b = Ast.binary Ops.Sub a b
+let ( * ) a b = Ast.binary Ops.Mul a b
+let ( / ) a b = Ast.binary Ops.Div a b
+let ( % ) a b = Ast.binary Ops.Mod a b
+let ( == ) a b = Ast.binary Ops.Eq a b
+let ( <> ) a b = Ast.binary Ops.Ne a b
+let ( < ) a b = Ast.binary Ops.Lt a b
+let ( <= ) a b = Ast.binary Ops.Le a b
+let ( > ) a b = Ast.binary Ops.Gt a b
+let ( >= ) a b = Ast.binary Ops.Ge a b
+let ( &&& ) a b = Ast.binary Ops.And a b
+let ( ||| ) a b = Ast.binary Ops.Or a b
+let neg e = Ast.unary Ops.Neg e
+let not_ e = Ast.unary Ops.Not e
+let ( <-- ) x e = Ast.assign x e
+let if_ c t e = Ast.if_ c t e
+let when_ c t = Ast.if_ c t []
+let while_ c b = Ast.while_ c b
+let call p args = Ast.call p args
+let return_ = Ast.return_ ()
+let print e = Ast.print e
+let proc name formals body : Ast.proc =
+  { Ast.pname = name; formals; body; ppos = Ast.no_pos }
+
+(** [program ?globals ?blockdata ?main procs] assembles a program.  Globals
+    are the union of [globals] and the block-data names, preserving order.
+    Defaults: no globals, entry point ["main"]. *)
+let program ?(globals = []) ?(blockdata = []) ?(main = "main") procs :
+    Ast.program =
+  let bd_names = List.map fst blockdata in
+  let all = globals @ List.filter (fun g -> not (List.mem g globals)) bd_names in
+  { Ast.globals = all; blockdata; procs; main }
+
+(** Assemble and check in one step; raises {!Sema.Illformed} on errors. *)
+let program_exn ?globals ?blockdata ?main procs =
+  let p = program ?globals ?blockdata ?main procs in
+  Sema.check_exn p;
+  p

@@ -1,0 +1,65 @@
+(** Operators of the MiniFort expression language.
+
+    MiniFort is the small, Fortran-77-flavoured imperative language that the
+    interprocedural constant propagation pipeline analyses.  Operators are
+    shared between the AST ({!Ast}), the lowered IR ({!Fsicp_cfg.Ir}) and the
+    constant evaluator ({!Value}), so they live in their own module. *)
+
+type unop =
+  | Neg  (** arithmetic negation, [-e] *)
+  | Not  (** logical negation, [!e]; follows C truthiness on integers *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** logical conjunction (non-short-circuiting, Fortran [.AND.]) *)
+  | Or   (** logical disjunction (non-short-circuiting, Fortran [.OR.]) *)
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+(** Binding strength used both by the parser (precedence climbing) and the
+    pretty-printer (minimal parenthesisation).  Higher binds tighter. *)
+let binop_precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let equal_unop (a : unop) (b : unop) = a = b
+let equal_binop (a : binop) (b : binop) = a = b
+
+let pp_unop ppf u = Fmt.string ppf (unop_to_string u)
+let pp_binop ppf b = Fmt.string ppf (binop_to_string b)
+
+(** All binary operators, in a fixed order (used by random program
+    generation and exhaustive operator tests). *)
+let all_binops =
+  [ Add; Sub; Mul; Div; Mod; Eq; Ne; Lt; Le; Gt; Ge; And; Or ]
+
+let all_unops = [ Neg; Not ]

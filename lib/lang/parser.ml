@@ -1,0 +1,287 @@
+(** Recursive-descent parser for MiniFort.
+
+    Grammar (EBNF):
+    {v
+    program   ::= toplevel*
+    toplevel  ::= "global" ident ("," ident)* ";"
+                | "blockdata" "{" (ident "=" literal ";")* "}"
+                | "proc" ident "(" params? ")" block
+    params    ::= ident ("," ident)*
+    block     ::= "{" stmt* "}"
+    stmt      ::= ident "=" expr ";"
+                | "if" "(" expr ")" block ("else" block)?
+                | "while" "(" expr ")" block
+                | "call" ident "(" args? ")" ";"
+                | "return" ";"
+                | "print" expr ";"
+    expr      ::= binary expression over atoms, C-like precedence
+    atom      ::= literal | ident | "(" expr ")" | "-" atom | "!" atom
+    literal   ::= int | real | "-" int | "-" real
+    v}
+
+    The entry procedure is the one named [main]; {!Sema} checks it exists.
+    Block-data identifiers are implicitly added to the global list. *)
+
+exception Error of string * Ast.pos
+
+type t = {
+  lx : Lexer.t;
+  mutable tok : Lexer.token;
+  mutable tpos : Ast.pos;
+}
+
+let error st fmt =
+  Fmt.kstr (fun s -> raise (Error (s, st.tpos))) fmt
+
+let advance st =
+  let tok, pos = Lexer.next st.lx in
+  st.tok <- tok;
+  st.tpos <- pos
+
+let create src =
+  let lx = Lexer.create src in
+  let tok, tpos = Lexer.next lx in
+  { lx; tok; tpos }
+
+let expect st tok =
+  if st.tok = tok then advance st
+  else
+    error st "expected '%s' but found '%s'" (Lexer.token_to_string tok)
+      (Lexer.token_to_string st.tok)
+
+let expect_ident st =
+  match st.tok with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> error st "expected identifier but found '%s'" (Lexer.token_to_string t)
+
+let binop_of_token = function
+  | Lexer.OP_PLUS -> Some Ops.Add
+  | Lexer.OP_MINUS -> Some Ops.Sub
+  | Lexer.OP_STAR -> Some Ops.Mul
+  | Lexer.OP_SLASH -> Some Ops.Div
+  | Lexer.OP_PERCENT -> Some Ops.Mod
+  | Lexer.OP_EQ -> Some Ops.Eq
+  | Lexer.OP_NE -> Some Ops.Ne
+  | Lexer.OP_LT -> Some Ops.Lt
+  | Lexer.OP_LE -> Some Ops.Le
+  | Lexer.OP_GT -> Some Ops.Gt
+  | Lexer.OP_GE -> Some Ops.Ge
+  | Lexer.OP_ANDAND -> Some Ops.And
+  | Lexer.OP_OROR -> Some Ops.Or
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+(* Precedence climbing: parse operators of precedence >= [min_prec];
+   all binary operators are left-associative. *)
+and parse_binary st min_prec =
+  let lhs = ref (parse_atom st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token st.tok with
+    | Some op when Ops.binop_precedence op >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (Ops.binop_precedence op + 1) in
+        lhs := Ast.Binary (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_atom st =
+  match st.tok with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Const (Value.Int n)
+  | Lexer.REAL r ->
+      advance st;
+      Ast.Const (Value.Real r)
+  | Lexer.IDENT x ->
+      advance st;
+      Ast.Var x
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.OP_MINUS ->
+      advance st;
+      (* Fold negation of literals so that [-3] is a constant, matching the
+         paper's notion of an immediate (literal) argument. *)
+      (match parse_atom st with
+      | Ast.Const (Value.Int n) -> Ast.Const (Value.Int (-n))
+      | Ast.Const (Value.Real r) -> Ast.Const (Value.Real (-.r))
+      | e -> Ast.Unary (Ops.Neg, e))
+  | Lexer.OP_BANG ->
+      advance st;
+      Ast.Unary (Ops.Not, parse_atom st)
+  | t -> error st "expected expression but found '%s'" (Lexer.token_to_string t)
+
+let parse_literal st =
+  match parse_atom st with
+  | Ast.Const v -> v
+  | _ -> error st "expected a literal constant"
+
+let rec parse_stmt st : Ast.stmt =
+  let pos = st.tpos in
+  match st.tok with
+  | Lexer.IDENT x ->
+      advance st;
+      expect st Lexer.ASSIGN;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Ast.assign ~pos x e
+  | Lexer.KW_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_ = parse_block st in
+      let else_ =
+        if st.tok = Lexer.KW_ELSE then (
+          advance st;
+          parse_block st)
+        else []
+      in
+      Ast.if_ ~pos c then_ else_
+  | Lexer.KW_WHILE ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = parse_expr st in
+      expect st Lexer.RPAREN;
+      let body = parse_block st in
+      Ast.while_ ~pos c body
+  | Lexer.KW_CALL ->
+      advance st;
+      let callee = expect_ident st in
+      expect st Lexer.LPAREN;
+      let args =
+        if st.tok = Lexer.RPAREN then []
+        else
+          let rec go acc =
+            let e = parse_expr st in
+            if st.tok = Lexer.COMMA then (
+              advance st;
+              go (e :: acc))
+            else List.rev (e :: acc)
+          in
+          go []
+      in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Ast.call ~pos callee args
+  | Lexer.KW_RETURN ->
+      advance st;
+      expect st Lexer.SEMI;
+      Ast.return_ ~pos ()
+  | Lexer.KW_PRINT ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Ast.print ~pos e
+  | t -> error st "expected statement but found '%s'" (Lexer.token_to_string t)
+
+and parse_block st : Ast.stmt list =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    if st.tok = Lexer.RBRACE then (
+      advance st;
+      List.rev acc)
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_proc st : Ast.proc =
+  let ppos = st.tpos in
+  expect st Lexer.KW_PROC;
+  let pname = expect_ident st in
+  expect st Lexer.LPAREN;
+  let formals =
+    if st.tok = Lexer.RPAREN then []
+    else
+      let rec go acc =
+        let f = expect_ident st in
+        if st.tok = Lexer.COMMA then (
+          advance st;
+          go (f :: acc))
+        else List.rev (f :: acc)
+      in
+      go []
+  in
+  expect st Lexer.RPAREN;
+  let body = parse_block st in
+  { Ast.pname; formals; body; ppos }
+
+let parse_program st : Ast.program =
+  let globals = ref [] and blockdata = ref [] and procs = ref [] in
+  let rec go () =
+    match st.tok with
+    | Lexer.EOF -> ()
+    | Lexer.KW_GLOBAL ->
+        advance st;
+        let rec names () =
+          let g = expect_ident st in
+          globals := g :: !globals;
+          if st.tok = Lexer.COMMA then (
+            advance st;
+            names ())
+        in
+        names ();
+        expect st Lexer.SEMI;
+        go ()
+    | Lexer.KW_BLOCKDATA ->
+        advance st;
+        expect st Lexer.LBRACE;
+        let rec inits () =
+          if st.tok = Lexer.RBRACE then advance st
+          else begin
+            let g = expect_ident st in
+            expect st Lexer.ASSIGN;
+            let v = parse_literal st in
+            expect st Lexer.SEMI;
+            blockdata := (g, v) :: !blockdata;
+            if not (List.mem g !globals) then globals := g :: !globals;
+            inits ()
+          end
+        in
+        inits ();
+        go ()
+    | Lexer.KW_PROC ->
+        procs := parse_proc st :: !procs;
+        go ()
+    | t ->
+        error st "expected 'global', 'blockdata' or 'proc' but found '%s'"
+          (Lexer.token_to_string t)
+  in
+  go ();
+  (* A name may appear both in a [global] declaration and in [blockdata];
+     keep the first occurrence only. *)
+  let dedup names =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun g ->
+        if Hashtbl.mem seen g then false
+        else (
+          Hashtbl.add seen g ();
+          true))
+      names
+  in
+  {
+    Ast.globals = dedup (List.rev !globals);
+    blockdata = List.rev !blockdata;
+    procs = List.rev !procs;
+    main = "main";
+  }
+
+(** Parse a complete program from a string.
+    @raise Error on syntax errors
+    @raise Lexer.Error on lexical errors *)
+let program_of_string src = parse_program (create src)
+
+(** Parse a single expression (testing convenience). *)
+let expr_of_string src =
+  let st = create src in
+  let e = parse_expr st in
+  expect st Lexer.EOF;
+  e

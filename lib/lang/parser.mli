@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniFort concrete syntax (grammar in the
+    implementation header).  The entry procedure is the one named [main];
+    {!Sema.check} enforces its existence. *)
+
+exception Error of string * Ast.pos
+
+(** Parse a complete program.
+    @raise Error on syntax errors
+    @raise Lexer.Error on lexical errors *)
+val program_of_string : string -> Ast.program
+
+(** Parse a single expression (testing convenience).
+    @raise Error if trailing input remains *)
+val expr_of_string : string -> Ast.expr

@@ -1,0 +1,84 @@
+(** Pretty-printer for MiniFort.
+
+    The output is valid concrete syntax: for every well-formed program [p],
+    [Parser.program_of_string (to_string p)] is structurally equal to [p]
+    (positions aside).  This round-trip is checked by a property test. *)
+
+open Ast
+
+let rec pp_expr ?(prec = 0) ppf e =
+  match e with
+  | Const v -> Value.pp ppf v
+  | Var x -> Fmt.string ppf x
+  | Unary (op, e) -> Fmt.pf ppf "%a%a" Ops.pp_unop op (pp_atom ~prec:10) e
+  | Binary (op, l, r) ->
+      let p = Ops.binop_precedence op in
+      let body ppf () =
+        (* Left-associative: the right operand needs strictly higher
+           precedence to avoid re-association on re-parse. *)
+        Fmt.pf ppf "%a %a %a" (pp_expr ~prec:p) l Ops.pp_binop op
+          (pp_expr ~prec:(p + 1))
+          r
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+and pp_atom ~prec ppf e =
+  match e with
+  | Const (Value.Int n) when n < 0 -> Fmt.pf ppf "(%d)" n
+  | Const (Value.Real r) when r < 0.0 -> Fmt.pf ppf "(%a)" Value.pp (Value.Real r)
+  | Const _ | Var _ -> pp_expr ~prec ppf e
+  | Unary _ | Binary _ -> Fmt.pf ppf "(%a)" (pp_expr ~prec:0) e
+
+let rec pp_stmt ~indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.sdesc with
+  | Assign (x, e) -> Fmt.pf ppf "%s%s = %a;" pad x (pp_expr ~prec:0) e
+  | If (c, t, []) ->
+      Fmt.pf ppf "%sif (%a) %a" pad (pp_expr ~prec:0) c (pp_block ~indent) t
+  | If (c, t, e) ->
+      Fmt.pf ppf "%sif (%a) %a else %a" pad (pp_expr ~prec:0) c
+        (pp_block ~indent) t (pp_block ~indent) e
+  | While (c, body) ->
+      Fmt.pf ppf "%swhile (%a) %a" pad (pp_expr ~prec:0) c (pp_block ~indent)
+        body
+  | Call (p, args) ->
+      Fmt.pf ppf "%scall %s(%a);" pad p
+        (Fmt.list ~sep:(Fmt.any ", ") (pp_expr ~prec:0))
+        args
+  | Return -> Fmt.pf ppf "%sreturn;" pad
+  | Print e -> Fmt.pf ppf "%sprint %a;" pad (pp_expr ~prec:0) e
+
+and pp_block ~indent ppf (body : stmt list) =
+  if body = [] then Fmt.string ppf "{ }"
+  else begin
+    Fmt.pf ppf "{@\n";
+    List.iter (fun s -> Fmt.pf ppf "%a@\n" (pp_stmt ~indent:(indent + 2)) s) body;
+    Fmt.pf ppf "%s}" (String.make indent ' ')
+  end
+
+let pp_proc ppf (p : proc) =
+  Fmt.pf ppf "proc %s(%a) %a" p.pname
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    p.formals (pp_block ~indent:0) p.body
+
+let pp_program ppf (prog : program) =
+  let declared_only =
+    List.filter (fun g -> not (List.mem_assoc g prog.blockdata)) prog.globals
+  in
+  if declared_only <> [] then
+    Fmt.pf ppf "global %a;@\n"
+      (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      declared_only;
+  if prog.blockdata <> [] then begin
+    Fmt.pf ppf "blockdata {@\n";
+    List.iter
+      (fun (g, v) -> Fmt.pf ppf "  %s = %a;@\n" g Value.pp v)
+      prog.blockdata;
+    Fmt.pf ppf "}@\n"
+  end;
+  List.iter (fun p -> Fmt.pf ppf "%a@\n" pp_proc p) prog.procs
+
+let expr_to_string e = Fmt.str "%a" (pp_expr ~prec:0) e
+let stmt_to_string s = Fmt.str "%a" (pp_stmt ~indent:0) s
+let proc_to_string p = Fmt.str "%a" pp_proc p
+let program_to_string p = Fmt.str "%a" pp_program p

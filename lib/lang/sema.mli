@@ -1,0 +1,27 @@
+(** Semantic checks for MiniFort programs.  The analysis pipeline assumes
+    [check]-clean input (calls resolve, arities match, no duplicate
+    declarations). *)
+
+type error = {
+  msg : string;
+  where : string;  (** procedure name, or ["<program>"] *)
+  pos : Ast.pos;
+}
+
+val pp_error : error Fmt.t
+
+exception Illformed of error list
+
+(** Variable classification shared with lowering: formals shadow globals;
+    anything else is a procedure-local. *)
+type var_class = Formal of int | Global | Local
+
+val classify :
+  globals:string list -> formals:string list -> string -> var_class
+
+val check : Ast.program -> (unit, error list) result
+
+(** @raise Illformed when [check] reports errors. *)
+val check_exn : Ast.program -> unit
+
+val errors_to_string : error list -> string

@@ -1,0 +1,110 @@
+(** Runtime and compile-time constant values of MiniFort.
+
+    The same value domain is used by the reference interpreter
+    ({!Fsicp_interp}), by the sparse conditional constant propagation lattice
+    ({!Fsicp_scc.Lattice}) and by every interprocedural method, so that a
+    "propagated constant" always means the same thing the interpreter would
+    compute.
+
+    MiniFort has two scalar types, mirroring the Fortran subset the paper
+    measures: integers and reals.  Mixed-mode arithmetic promotes to real,
+    comparisons and logical operators yield integer 0/1, and division by zero
+    is a runtime error (the evaluator returns [None]; the constant propagator
+    maps this to bottom). *)
+
+type t =
+  | Int of int
+  | Real of float
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Real x, Real y -> Float.equal x y
+  | Int _, Real _ | Real _, Int _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Int _, Real _ -> -1
+  | Real _, Int _ -> 1
+
+let is_real = function Real _ -> true | Int _ -> false
+
+(** Truthiness, used by [if]/[while] conditions and the logical operators:
+    any non-zero value is true (Fortran logicals are modelled as integers). *)
+let truthy = function Int n -> n <> 0 | Real r -> not (Float.equal r 0.0)
+
+let of_bool b = Int (if b then 1 else 0)
+
+let to_float = function Int n -> float_of_int n | Real r -> r
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Real r ->
+      (* Print reals so that the lexer can read them back: always keep a
+         decimal point or exponent. *)
+      let s = Printf.sprintf "%.12g" r in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s
+      then Fmt.string ppf s
+      else Fmt.pf ppf "%s.0" s
+
+let to_string v = Fmt.str "%a" pp v
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let eval_unop (op : Ops.unop) (v : t) : t option =
+  match (op, v) with
+  | Ops.Neg, Int n -> Some (Int (-n))
+  | Ops.Neg, Real r -> Some (Real (-.r))
+  | Ops.Not, v -> Some (of_bool (not (truthy v)))
+
+let arith op_int op_float a b : t option =
+  match (a, b) with
+  | Int x, Int y -> Some (Int (op_int x y))
+  | _ -> Some (Real (op_float (to_float a) (to_float b)))
+
+(* Numeric comparison promotes mixed operands to real, unlike the structural
+   [equal]/[compare] above which distinguish Int 1 from Real 1.0 (the lattice
+   needs structural equality; the language needs numeric equality). *)
+let equal_numeric a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | _ -> Float.equal (to_float a) (to_float b)
+
+let compare_numeric a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | _ -> Float.compare (to_float a) (to_float b)
+
+(** [eval_binop op a b] is [Some r] when the operation is defined, [None] on
+    a runtime error (division or modulus by zero).  Constant folding in the
+    analyses uses exactly this function, which keeps the propagated constants
+    bit-identical to interpreter results. *)
+let eval_binop (op : Ops.binop) (a : t) (b : t) : t option =
+  match op with
+  | Ops.Add -> arith ( + ) ( +. ) a b
+  | Ops.Sub -> arith ( - ) ( -. ) a b
+  | Ops.Mul -> arith ( * ) ( *. ) a b
+  | Ops.Div -> (
+      match (a, b) with
+      | _, Int 0 -> None
+      | Int x, Int y -> Some (Int (x / y))
+      | _, Real r when Float.equal r 0.0 -> None
+      | _ -> Some (Real (to_float a /. to_float b)))
+  | Ops.Mod -> (
+      match (a, b) with
+      | _, Int 0 -> None
+      | Int x, Int y -> Some (Int (x mod y))
+      | _, Real r when Float.equal r 0.0 -> None
+      | _ -> Some (Real (Float.rem (to_float a) (to_float b))))
+  | Ops.Eq -> Some (of_bool (equal_numeric a b))
+  | Ops.Ne -> Some (of_bool (not (equal_numeric a b)))
+  | Ops.Lt -> Some (of_bool (compare_numeric a b < 0))
+  | Ops.Le -> Some (of_bool (compare_numeric a b <= 0))
+  | Ops.Gt -> Some (of_bool (compare_numeric a b > 0))
+  | Ops.Ge -> Some (of_bool (compare_numeric a b >= 0))
+  | Ops.And -> Some (of_bool (truthy a && truthy b))
+  | Ops.Or -> Some (of_bool (truthy a || truthy b))

@@ -1,0 +1,42 @@
+(** Runtime and compile-time constant values of MiniFort.
+
+    One value domain serves the interpreter and every analysis, so a
+    "propagated constant" always denotes exactly what the interpreter would
+    compute. *)
+
+type t =
+  | Int of int
+  | Real of float
+
+(** Structural equality: [Int 1] and [Real 1.0] differ (the lattice needs
+    this); the language's [==] operator uses {!equal_numeric} instead. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val is_real : t -> bool
+
+(** Truthiness for conditions and logical operators: non-zero is true. *)
+val truthy : t -> bool
+
+val of_bool : bool -> t
+val to_float : t -> float
+
+(** Numeric equality/comparison with int→real promotion (the semantics of
+    [==], [<], …). *)
+val equal_numeric : t -> t -> bool
+
+val compare_numeric : t -> t -> int
+
+(** Prints in a form the lexer reads back ([Real] always keeps a decimal
+    point or exponent). *)
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+(** [None] exactly when the operation is a runtime error (the evaluator
+    raises, the constant propagator yields ⊥). *)
+val eval_unop : Ops.unop -> t -> t option
+
+(** Total except division/modulus by zero.  Mixed int/real promotes to
+    real; comparisons and logical operators yield [Int 0]/[Int 1]. *)
+val eval_binop : Ops.binop -> t -> t -> t option

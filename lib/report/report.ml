@@ -1,0 +1,88 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Right-aligns numeric columns, left-aligns the first (label) column,
+    and prints an optional title and rule lines — enough to render the
+    paper's Tables 1–5 and the ablation reports legibly in a terminal or
+    a log file.  A CSV emitter is included for downstream plotting. *)
+
+type align = L | R
+
+type t = {
+  title : string option;
+  header : string list;
+  rows : string list list;
+}
+
+let make ?title ~header rows = { title; header; rows }
+
+let widths (t : t) : int array =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.header)
+      t.rows
+  in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  feed t.header;
+  List.iter feed t.rows;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | L -> s ^ String.make n ' '
+    | R -> String.make n ' ' ^ s
+
+let render ?(aligns : align list = []) (t : t) : string =
+  let w = widths t in
+  let align_of i =
+    match List.nth_opt aligns i with
+    | Some a -> a
+    | None -> if i = 0 then L else R
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (align_of i) w.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.header;
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter render_row t.rows;
+  Buffer.contents buf
+
+let print ?aligns t = print_string (render ?aligns t)
+
+(** Escape and join as CSV (RFC-4180-ish; quotes cells containing commas,
+    quotes or newlines). *)
+let to_csv (t : t) : string =
+  let escape s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"
+
+(** Shorthand for percentage cells, matching the paper's "13%" style. *)
+let pct n total =
+  if total = 0 then "-"
+  else Printf.sprintf "%.0f%%" (100.0 *. float_of_int n /. float_of_int total)
+
+let int = string_of_int

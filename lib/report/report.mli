@@ -1,0 +1,25 @@
+(** Plain-text and CSV table rendering for the experiment harness. *)
+
+type align = L | R
+
+type t = {
+  title : string option;
+  header : string list;
+  rows : string list list;
+}
+
+val make : ?title:string -> header:string list -> string list list -> t
+
+(** Column-aligned text; the first column left-aligns, the rest right-align
+    unless overridden. *)
+val render : ?aligns:align list -> t -> string
+
+val print : ?aligns:align list -> t -> unit
+
+(** RFC-4180-ish CSV (quotes cells containing commas, quotes, newlines). *)
+val to_csv : t -> string
+
+(** ["13%"]-style cell, ["-"] when the denominator is zero. *)
+val pct : int -> int -> string
+
+val int : int -> string

@@ -1,0 +1,71 @@
+(** The three-level constant propagation lattice of Wegman–Zadeck / Kildall:
+
+    {v
+            Top  (⊤ — "no evidence yet"; optimistic initial value)
+          /  |  \
+        ... c c' ...      one element per constant value
+          \  |  /
+            Bot  (⊥ — "not constant")
+    v}
+
+    The interprocedural methods use the same lattice for formal parameters
+    and globals, so a single [meet] underlies the intraprocedural SCC, the
+    flow-insensitive ICP of paper Figure 3 and the flow-sensitive ICP of
+    paper Figure 4. *)
+
+open Fsicp_lang
+
+type t = Top | Const of Value.t | Bot
+
+let equal a b =
+  match (a, b) with
+  | Top, Top | Bot, Bot -> true
+  | Const x, Const y -> Value.equal x y
+  | (Top | Const _ | Bot), _ -> false
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bot, _ | _, Bot -> Bot
+  | Const x, Const y -> if Value.equal x y then a else Bot
+
+(** Partial order: [le a b] iff a ⊑ b (Bot ⊑ Const c ⊑ Top). *)
+let le a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Top -> true
+  | Const x, Const y -> Value.equal x y
+  | (Top | Const _), _ -> false
+
+let is_const = function Const _ -> true | Top | Bot -> false
+let const_value = function Const v -> Some v | Top | Bot -> None
+
+(** Height of an element (used to argue termination in tests):
+    Top = 2, Const = 1, Bot = 0; values only ever decrease. *)
+let height = function Top -> 2 | Const _ -> 1 | Bot -> 0
+
+let pp ppf = function
+  | Top -> Fmt.string ppf "⊤"
+  | Bot -> Fmt.string ppf "⊥"
+  | Const v -> Value.pp ppf v
+
+let to_string t = Fmt.str "%a" pp t
+
+(* -- Abstract evaluation -------------------------------------------- *)
+
+let eval_unop op (a : t) : t =
+  match a with
+  | Top -> Top
+  | Bot -> Bot
+  | Const v -> (
+      match Value.eval_unop op v with Some r -> Const r | None -> Bot)
+
+(** Abstract binary evaluation.  [Top] operands mean "not yet known", so the
+    result stays [Top] (it will be re-evaluated when the operand lowers);
+    a folding failure (division by zero) yields [Bot]. *)
+let eval_binop op (a : t) (b : t) : t =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | Const x, Const y -> (
+      match Value.eval_binop op x y with Some r -> Const r | None -> Bot)

@@ -1,0 +1,35 @@
+(** The three-level constant propagation lattice (Kildall / Wegman–Zadeck):
+    ⊤ above one element per constant value above ⊥.  Shared by the
+    intraprocedural SCC engine and every interprocedural method, so that
+    "constant" means the same thing everywhere. *)
+
+type t =
+  | Top  (** no evidence yet — the optimistic initial value *)
+  | Const of Fsicp_lang.Value.t  (** proven to be exactly this value *)
+  | Bot  (** not a constant *)
+
+val equal : t -> t -> bool
+
+(** Greatest lower bound.  [meet Top x = x]; [meet Bot _ = Bot]; two equal
+    constants stay, different constants collapse to [Bot]. *)
+val meet : t -> t -> t
+
+(** Partial order: [le a b] iff a ⊑ b, i.e. [Bot] ⊑ [Const c] ⊑ [Top]. *)
+val le : t -> t -> bool
+
+val is_const : t -> bool
+val const_value : t -> Fsicp_lang.Value.t option
+
+(** Element height: [Top] = 2, [Const _] = 1, [Bot] = 0.  Values only ever
+    descend during propagation; tests use this to check monotonicity. *)
+val height : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Abstract evaluation of the language operators.  [Top] operands keep the
+    result [Top] (it will be re-evaluated when they lower); a folding error
+    (division by zero) yields [Bot]. *)
+val eval_unop : Fsicp_lang.Ops.unop -> t -> t
+
+val eval_binop : Fsicp_lang.Ops.binop -> t -> t -> t

@@ -1,0 +1,290 @@
+(** Sparse Conditional Constant propagation (Wegman & Zadeck, TOPLAS 1991)
+    over the SSA form of {!Fsicp_ssa.Ssa}.
+
+    This is the paper's intraprocedural engine: "The routine is an
+    implementation of the Sparse Conditional Constant (SCC) algorithm of
+    Wegman and Zadeck, and is built upon an implementation of SSA data-flow
+    analysis.  This is an optimistic algorithm that discards unreachable
+    code during the propagation, which may permit the identification of
+    additional constants."
+
+    Two worklists drive the analysis: a {e flow} worklist of CFG edges whose
+    executability was just discovered, and an {e SSA} worklist of def–use
+    edges whose source value just lowered.  Conditional branches with a
+    known-constant condition only mark one successor edge executable, which
+    is how unreachable code is pruned and how the flow-sensitive ICP of the
+    paper finds constants that no jump-function method can (paper Figure 1).
+
+    Interprocedural hooks:
+    - [entry_env] gives the lattice value of every variable's version-0
+      (procedure entry) name — formals and globals constant on entry is
+      exactly what the interprocedural methods establish;
+    - [call_def_value] gives the post-call value of each variable a call
+      may define (always [Bot] unless the return-constants extension
+      supplies a summary). *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ssa
+
+type config = {
+  entry_env : Ir.var -> Lattice.t;
+      (** entry value per variable; must be [Bot] or a constant for
+          soundness (Top would claim dead code on all inputs) *)
+  call_def_value : callee:string -> Ir.var -> Lattice.t;
+      (** value of a call-defined variable after the call *)
+}
+
+let default_config =
+  {
+    entry_env = (fun _ -> Lattice.Bot);
+    call_def_value = (fun ~callee:_ _ -> Lattice.Bot);
+  }
+
+(** Entry environment from an association list; unlisted variables are
+    [Bot] (unknown), except temporaries which never carry entry values. *)
+let env_of_list (l : (Ir.var * Value.t) list) : Ir.var -> Lattice.t =
+ fun v ->
+  match List.find_opt (fun (v', _) -> Ir.Var.equal v v') l with
+  | Some (_, value) -> Lattice.Const value
+  | None -> Lattice.Bot
+
+type result = {
+  proc : Ssa.proc;
+  values : Lattice.t array;  (** lattice value per SSA name id *)
+  block_executable : bool array;
+  edge_executable : (int * int, bool) Hashtbl.t;
+}
+
+let value_of (r : result) (n : Ssa.name) = r.values.(n.Ssa.id)
+
+let operand_value (r : result) (o : Ssa.operand) : Lattice.t =
+  match o with
+  | Ssa.Oconst v -> Lattice.Const v
+  | Ssa.Oname n -> r.values.(n.Ssa.id)
+
+(** Run SCC on an SSA procedure. *)
+let run ?(config = default_config) (p : Ssa.proc) : result =
+  let values = Array.make (max 1 p.n_names) Lattice.Top in
+  let block_executable = Array.make (Array.length p.blocks) false in
+  let edge_executable : (int * int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let flow_wl : (int * int) Queue.t = Queue.create () in
+  let ssa_wl : Ssa.use_site Queue.t = Queue.create () in
+
+  let res = { proc = p; values; block_executable; edge_executable } in
+
+  let lower (n : Ssa.name) (v : Lattice.t) =
+    let old = values.(n.Ssa.id) in
+    let merged = Lattice.meet old v in
+    if not (Lattice.equal old merged) then begin
+      (* Monotone: values only move down the lattice. *)
+      assert (Lattice.le merged old);
+      values.(n.Ssa.id) <- merged;
+      List.iter (fun site -> Queue.add site ssa_wl) p.uses.(n.Ssa.id)
+    end
+  in
+
+  let edge_is_exec (s, d) =
+    Option.value (Hashtbl.find_opt edge_executable (s, d)) ~default:false
+  in
+
+  let visit_phi b pi =
+    let ph = p.blocks.(b).Ssa.phis.(pi) in
+    let v =
+      Array.fold_left
+        (fun acc (pred, n) ->
+          if edge_is_exec (pred, b) then Lattice.meet acc values.(n.Ssa.id)
+          else acc)
+        Lattice.Top ph.Ssa.p_args
+    in
+    lower ph.Ssa.p_name v
+  in
+
+  let visit_instr b i =
+    match p.blocks.(b).Ssa.instrs.(i) with
+    | Ssa.Assign (n, rhs) ->
+        let v =
+          match rhs with
+          | Ssa.Copy o -> operand_value res o
+          | Ssa.Unop (op, o) -> Lattice.eval_unop op (operand_value res o)
+          | Ssa.Binop (op, a, c) ->
+              Lattice.eval_binop op (operand_value res a) (operand_value res c)
+        in
+        lower n v
+    | Ssa.Kill kills ->
+        (* The location was possibly written through an alias: unknown. *)
+        Array.iter (fun (_, n) -> lower n Lattice.Bot) kills
+    | Ssa.Call c ->
+        Array.iter
+          (fun (base, n) ->
+            lower n (config.call_def_value ~callee:c.Ssa.c_callee base))
+          c.Ssa.c_defs
+    | Ssa.Print _ -> ()
+  in
+
+  let mark_edge s d =
+    if not (edge_is_exec (s, d)) then Queue.add (s, d) flow_wl
+  in
+
+  let visit_term b =
+    match p.blocks.(b).Ssa.term with
+    | Ssa.Goto t -> mark_edge b t
+    | Ssa.Ret -> ()
+    | Ssa.Cond (c, t, f) -> (
+        match operand_value res c with
+        | Lattice.Top -> () (* not yet known; revisited when it lowers *)
+        | Lattice.Const v ->
+            if Value.truthy v then mark_edge b t else mark_edge b f
+        | Lattice.Bot ->
+            mark_edge b t;
+            mark_edge b f)
+  in
+
+  let visit_block b =
+    Array.iteri (fun pi _ -> visit_phi b pi) p.blocks.(b).Ssa.phis;
+    Array.iteri (fun i _ -> visit_instr b i) p.blocks.(b).Ssa.instrs;
+    visit_term b
+  in
+
+  (* Initialise entry names from the environment, then start at the entry
+     block.  Entry values are seeded directly (not via [lower]) because
+     Top-initialised cells must be allowed to take any lattice value. *)
+  Array.iter
+    (fun ((v : Ir.var), (n : Ssa.name)) ->
+      let init =
+        match v.Ir.vkind with
+        | Ir.Temp -> Lattice.Bot (* version-0 temps are never read *)
+        | Ir.Local | Ir.Formal _ | Ir.Global -> config.entry_env v
+      in
+      values.(n.Ssa.id) <- init)
+    p.entry_names;
+
+  (* Pseudo-edge into the entry block. *)
+  Queue.add (-1, p.entry) flow_wl;
+
+  while not (Queue.is_empty flow_wl && Queue.is_empty ssa_wl) do
+    while not (Queue.is_empty flow_wl) do
+      let s, d = Queue.take flow_wl in
+      if not (edge_is_exec (s, d)) then begin
+        Hashtbl.replace edge_executable (s, d) true;
+        let first_visit = not block_executable.(d) in
+        block_executable.(d) <- true;
+        if first_visit then visit_block d
+        else
+          (* Only the phis can change when an extra in-edge lights up. *)
+          Array.iteri (fun pi _ -> visit_phi d pi) p.blocks.(d).Ssa.phis
+      end
+    done;
+    while not (Queue.is_empty ssa_wl) do
+      match Queue.take ssa_wl with
+      | Ssa.Uphi (b, pi) -> if block_executable.(b) then visit_phi b pi
+      | Ssa.Uinstr (b, i) -> if block_executable.(b) then visit_instr b i
+      | Ssa.Uterm b -> if block_executable.(b) then visit_term b
+    done
+  done;
+  res
+
+(* ------------------------------------------------------------------ *)
+(* Result queries used by the interprocedural phases and the metrics   *)
+(* ------------------------------------------------------------------ *)
+
+(** Call sites together with executability: the FS ICP only propagates
+    argument and global values from {e executable} call sites — an
+    unreachable call contributes nothing to the callee's entry meet, which
+    is how "the path containing y = 0 is not executed" of paper Figure 1
+    sharpens the interprocedural solution. *)
+let executable_call_sites (r : result) : (int * int * Ssa.call) list =
+  Ssa.call_sites r.proc
+  |> List.filter (fun (b, _, _) -> r.block_executable.(b))
+
+(** Lattice value of argument [j] at call [c] (which must be executable). *)
+let arg_value (r : result) (c : Ssa.call) j : Lattice.t =
+  operand_value r c.Ssa.c_args.(j).Ssa.sa_operand
+
+(** Lattice value of global [g] immediately before call [c], if the SSA
+    construction recorded it (i.e. [g] is in the callee's REF closure). *)
+let global_at_call (r : result) (c : Ssa.call) (g : Ir.var) : Lattice.t option =
+  Array.fold_left
+    (fun acc (v, n) -> if Ir.Var.equal v g then Some r.values.(n.Ssa.id) else acc)
+    None c.Ssa.c_global_uses
+
+(** Count of {e uses} of source-level variables (not compiler temporaries)
+    that are proved constant in executable code: the "intraprocedural
+    substitutions" metric used by Grove–Torczon and Metzger–Stroud, which
+    Table 5 compares against.  Each textual use site counts once; phi
+    arguments are not uses (they have no textual counterpart). *)
+let substitution_count (r : result) : int =
+  let p = r.proc in
+  let count = ref 0 in
+  let count_op o =
+    match o with
+    | Ssa.Oconst _ -> ()
+    | Ssa.Oname n ->
+        if Ir.Var.is_source n.Ssa.base && Lattice.is_const r.values.(n.Ssa.id)
+        then incr count
+  in
+  Array.iteri
+    (fun b (blk : Ssa.block) ->
+      if r.block_executable.(b) then begin
+        Array.iter
+          (fun ins ->
+            match ins with
+            | Ssa.Assign (_, Ssa.Copy o) | Ssa.Assign (_, Ssa.Unop (_, o)) ->
+                count_op o
+            | Ssa.Assign (_, Ssa.Binop (_, x, y)) ->
+                count_op x;
+                count_op y
+            | Ssa.Kill _ -> ()
+            | Ssa.Call c ->
+                Array.iter (fun (a : Ssa.ssa_arg) -> count_op a.Ssa.sa_operand) c.Ssa.c_args
+            | Ssa.Print o -> count_op o)
+          blk.Ssa.instrs;
+        match blk.Ssa.term with
+        | Ssa.Cond (c, _, _) -> count_op c
+        | Ssa.Goto _ | Ssa.Ret -> ()
+      end)
+    p.blocks;
+  !count
+
+(** Names of source variables proved constant somewhere (diagnostics). *)
+let constant_names (r : result) : (Ssa.name * Value.t) list =
+  let acc = ref [] in
+  let add n =
+    match r.values.(n.Ssa.id) with
+    | Lattice.Const v when Ir.Var.is_source n.Ssa.base -> acc := (n, v) :: !acc
+    | _ -> ()
+  in
+  Array.iter (fun (_, n) -> add n) r.proc.entry_names;
+  Array.iter
+    (fun (blk : Ssa.block) ->
+      Array.iter (fun (ph : Ssa.phi) -> add ph.Ssa.p_name) blk.Ssa.phis;
+      Array.iter
+        (function
+          | Ssa.Assign (n, _) -> add n
+          | Ssa.Kill kills -> Array.iter (fun (_, n) -> add n) kills
+          | Ssa.Call c -> Array.iter (fun (_, n) -> add n) c.Ssa.c_defs
+          | Ssa.Print _ -> ())
+        blk.Ssa.instrs)
+    r.proc.blocks;
+  List.rev !acc
+
+(** Value of variable [v] at procedure exit: the meet, over all {e
+    executable} return blocks, of the reaching SSA version's value.  [Top]
+    if no return block is executable (the procedure cannot return — then a
+    call to it never completes, so any claim about post-call values is
+    vacuous).  Drives the return-constants extension (paper §3.2). *)
+let exit_value (r : result) (v : Ir.var) : Lattice.t =
+  List.fold_left
+    (fun acc (b, names) ->
+      if r.block_executable.(b) then
+        let here =
+          Array.fold_left
+            (fun acc' (v', n) ->
+              if Ir.Var.equal v v' then Some r.values.(n.Ssa.id) else acc')
+            None names
+        in
+        match here with
+        | Some value -> Lattice.meet acc value
+        | None -> Lattice.Bot (* not recorded: unknown *)
+      else acc)
+    Lattice.Top r.proc.exit_names

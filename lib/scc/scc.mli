@@ -1,0 +1,68 @@
+(** Sparse Conditional Constant propagation (Wegman & Zadeck, TOPLAS 1991)
+    over SSA form — the paper's intraprocedural engine.
+
+    The algorithm is optimistic: SSA names start at ⊤, CFG edges start
+    non-executable, and two worklists (flow edges, SSA def–use edges) drive
+    everything monotonically downward.  Conditional branches with constant
+    conditions mark only one successor executable, discarding unreachable
+    code during propagation.
+
+    The interprocedural methods plug in through {!config}: the entry
+    environment supplies lattice values for each variable's version-0
+    (procedure-entry) name, and the call oracle supplies post-call values
+    of call-defined variables. *)
+
+open Fsicp_cfg
+open Fsicp_ssa
+
+type config = {
+  entry_env : Ir.var -> Lattice.t;
+      (** value of each variable at procedure entry; must be [Bot] or a
+          constant for soundness ([Top] would claim dead code everywhere) *)
+  call_def_value : callee:string -> Ir.var -> Lattice.t;
+      (** value of a variable a call may define, after the call returns
+          ([Bot] unless a return-constants summary knows better) *)
+}
+
+(** Everything unknown: entry values ⊥, call effects ⊥. *)
+val default_config : config
+
+(** Entry environment from an association list; unlisted variables are
+    unknown. *)
+val env_of_list : (Ir.var * Fsicp_lang.Value.t) list -> Ir.var -> Lattice.t
+
+type result = {
+  proc : Ssa.proc;
+  values : Lattice.t array;  (** lattice value per SSA name id *)
+  block_executable : bool array;
+  edge_executable : (int * int, bool) Hashtbl.t;
+}
+
+(** Run the analysis.  Terminates in O(names × height + edges). *)
+val run : ?config:config -> Ssa.proc -> result
+
+val value_of : result -> Ssa.name -> Lattice.t
+val operand_value : result -> Ssa.operand -> Lattice.t
+
+(** Call sites whose block the analysis proved executable — the only ones
+    whose arguments the flow-sensitive ICP propagates. *)
+val executable_call_sites : result -> (int * int * Ssa.call) list
+
+(** Lattice value of the [j]-th argument of call [c]. *)
+val arg_value : result -> Ssa.call -> int -> Lattice.t
+
+(** Value of global [g] immediately before call [c], if recorded (i.e. [g]
+    is in the callee's REF closure). *)
+val global_at_call : result -> Ssa.call -> Ir.var -> Lattice.t option
+
+(** The Grove–Torczon / Metzger–Stroud metric: textual uses of source-level
+    variables proved constant in executable code (Table 5). *)
+val substitution_count : result -> int
+
+(** Source-variable SSA names proved constant (diagnostics). *)
+val constant_names : result -> (Ssa.name * Fsicp_lang.Value.t) list
+
+(** Value of variable [v] at procedure exit: the meet over executable
+    return blocks of the reaching version's value; [Top] when the procedure
+    cannot return.  Drives the return-constants extension. *)
+val exit_value : result -> Ir.var -> Lattice.t

@@ -1,0 +1,596 @@
+(** Static single assignment form (Cytron et al.), over the {!Fsicp_cfg.Ir}
+    quad IR.
+
+    The paper's intraprocedural analysis — Wegman–Zadeck Sparse Conditional
+    Constant propagation — is "built upon an implementation of SSA data-flow
+    analysis"; this module is that implementation.
+
+    Besides ordinary assignments, {e call} instructions are definition
+    points: a call may write through its by-reference actuals and may modify
+    globals.  Which variables a particular call defines, and which globals'
+    values at the call the interprocedural phase wants recorded, are
+    supplied by a {!call_effects} oracle (in the full pipeline this oracle
+    is the interprocedural MOD/REF information; tests can use the
+    conservative {!conservative_effects}).
+
+    Every variable has an implicit {e entry definition} (version 0) in the
+    entry block, whose lattice value the constant propagator takes from its
+    entry environment — this is precisely the hook through which
+    interprocedural constants enter the intraprocedural analysis. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+
+(** An SSA name: a base IR variable plus version.  [id] is a dense index
+    unique within the procedure, used for constant-time lattice lookups. *)
+type name = { base : Ir.var; ver : int; id : int }
+
+let pp_name ppf n = Fmt.pf ppf "%a.%d" Ir.Var.pp n.base n.ver
+
+type operand = Oconst of Value.t | Oname of name
+
+let pp_operand ppf = function
+  | Oconst v -> Value.pp ppf v
+  | Oname n -> pp_name ppf n
+
+type rhs =
+  | Copy of operand
+  | Unop of Ops.unop * operand
+  | Binop of Ops.binop * operand * operand
+
+let pp_rhs ppf = function
+  | Copy o -> pp_operand ppf o
+  | Unop (op, o) -> Fmt.pf ppf "%a%a" Ops.pp_unop op pp_operand o
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "%a %a %a" pp_operand a Ops.pp_binop op pp_operand b
+
+type ssa_arg = { sa_operand : operand; sa_byref : Ir.var option }
+
+type call = {
+  c_cs_id : int;  (** call-site id (textual order, from lowering) *)
+  c_callee : string;
+  c_args : ssa_arg array;
+  c_global_uses : (Ir.var * name) array;
+      (** reaching SSA version of each global whose value at this call the
+          interprocedural analysis needs (callee's REF set) *)
+  c_defs : (Ir.var * name) array;
+      (** fresh versions for the variables this call may modify *)
+}
+
+type instr =
+  | Assign of name * rhs
+  | Kill of (Ir.var * name) array
+      (** alias kill: fresh, unknown-valued versions of variables whose
+          location may have been written by the {e preceding} assignment
+          through a reference-parameter alias.  Keeps SSA sound when a
+          store through one name may change the value of another. *)
+  | Call of call
+  | Print of operand
+
+type phi = {
+  p_name : name;
+  p_args : (int * name) array;  (** (predecessor block, incoming name) *)
+}
+
+type terminator = Goto of int | Cond of operand * int * int | Ret
+
+type block = {
+  phis : phi array;
+  instrs : instr array;
+  term : terminator;
+}
+
+(** Where a name is defined; used by def–use chains and the SCC worklist. *)
+type def_site =
+  | Dentry  (** version 0, defined at procedure entry *)
+  | Dinstr of int * int  (** (block, instruction index) — assign or call *)
+  | Dphi of int * int  (** (block, phi index) *)
+
+(** A use site; pushing these onto the SCC's SSA worklist re-evaluates the
+    corresponding phi/instruction/terminator. *)
+type use_site =
+  | Uphi of int * int  (** (block, phi index) *)
+  | Uinstr of int * int  (** (block, instruction index) *)
+  | Uterm of int  (** block terminator (condition) *)
+
+type proc = {
+  name : string;
+  formals : Ir.var array;
+  blocks : block array;
+  entry : int;
+  preds : int list array;
+  dom : Dominance.t;
+  entry_names : (Ir.var * name) array;  (** version-0 names, all variables *)
+  exit_names : (int * (Ir.var * name) array) list;
+      (** for each [Ret]-terminated block: the SSA version of every formal
+          and global reaching the return — the values a call observes after
+          the procedure finishes (drives the return-constants extension) *)
+  n_names : int;
+  defs : def_site array;  (** indexed by name id *)
+  uses : use_site list array;  (** indexed by name id *)
+  n_call_sites : int;
+}
+
+(** Oracle describing interprocedural side effects of calls and of stores
+    through possibly-aliased names. *)
+type call_effects = {
+  defs_of_call : callee:string -> byref_args:Ir.var option array -> Ir.var list;
+      (** variables (caller-side) the call may define *)
+  globals_used_by : callee:string -> Ir.var list;
+      (** globals whose reaching value should be recorded at the call *)
+  assign_aliases : Ir.var -> Ir.var list;
+      (** variables whose location a store to the given variable may also
+          write (reference-parameter may-aliases); each direct assignment
+          is followed by a {!Kill} of these *)
+}
+
+(** Sound default when MOD/REF and alias information are unavailable: a
+    call may define every by-reference actual and every global of the
+    program; the value of every global is relevant; and — since any two
+    by-reference names could alias — a store to a formal clobbers every
+    other formal and every global (and vice versa).  The full pipeline
+    replaces this with the {!Fsicp_ipa} oracles, which is where all the
+    precision comes from. *)
+let conservative_effects ?(formals : Ir.var list = []) (prog : Ast.program) :
+    call_effects =
+  let globals = List.map Ir.global prog.Ast.globals in
+  {
+    defs_of_call =
+      (fun ~callee:_ ~byref_args ->
+        let byrefs =
+          Array.to_list byref_args |> List.filter_map (fun x -> x)
+        in
+        List.sort_uniq Ir.Var.compare (byrefs @ globals));
+    globals_used_by = (fun ~callee:_ -> globals);
+    assign_aliases =
+      (fun v ->
+        match v.Ir.vkind with
+        | Ir.Formal _ | Ir.Global ->
+            List.filter
+              (fun w -> not (Ir.Var.equal v w))
+              (formals @ globals)
+        | Ir.Local | Ir.Temp -> []);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let byref_array (args : Ir.arg array) : Ir.var option array =
+  Array.map (fun (a : Ir.arg) -> a.Ir.a_byref) args
+
+(** Build SSA form for a lowered procedure. *)
+let of_proc ?(effects : call_effects option) (prog : Ast.program)
+    (p : Ir.proc) : proc =
+  let effects =
+    match effects with
+    | Some e -> e
+    | None ->
+        conservative_effects ~formals:(Array.to_list p.Ir.formals) prog
+  in
+  let cfg = p.Ir.cfg in
+  let nblocks = Array.length cfg.Ir.blocks in
+  let preds = Ir.predecessors cfg in
+  let dom = Dominance.compute cfg in
+  let df = Dominance.frontiers cfg dom in
+
+  (* -- The variable universe ---------------------------------------- *)
+  (* Occurring vars, plus call-defined vars and recorded globals. *)
+  let universe = ref (Ir.occurring_vars p) in
+  let call_defs_cache : (int * int, Ir.var list) Hashtbl.t = Hashtbl.create 8 in
+  let call_guses_cache : (int * int, Ir.var list) Hashtbl.t = Hashtbl.create 8 in
+  let kill_cache : (int * int, Ir.var list) Hashtbl.t = Hashtbl.create 8 in
+  Ir.iter_instrs
+    (fun ~block ~index ins ->
+      match ins with
+      | Ir.Call { callee; args; _ } ->
+          let ds =
+            effects.defs_of_call ~callee ~byref_args:(byref_array args)
+          in
+          let gs = effects.globals_used_by ~callee in
+          Hashtbl.replace call_defs_cache (block, index) ds;
+          Hashtbl.replace call_guses_cache (block, index) gs;
+          List.iter (fun v -> universe := Ir.VarSet.add v !universe) ds;
+          List.iter (fun v -> universe := Ir.VarSet.add v !universe) gs
+      | Ir.Assign (v, _) ->
+          let ks =
+            List.sort_uniq Ir.Var.compare (effects.assign_aliases v)
+            |> List.filter (fun w -> not (Ir.Var.equal v w))
+          in
+          if ks <> [] then Hashtbl.replace kill_cache (block, index) ks;
+          List.iter (fun w -> universe := Ir.VarSet.add w !universe) ks
+      | Ir.Print _ -> ())
+    cfg;
+  let vars = Array.of_list (Ir.VarSet.elements !universe) in
+  let nvars = Array.length vars in
+  let var_index : int Ir.VarMap.t =
+    Array.to_list vars
+    |> List.mapi (fun i v -> (v, i))
+    |> List.to_seq |> Ir.VarMap.of_seq
+  in
+  let vidx v = Ir.VarMap.find v var_index in
+
+  (* -- Phi placement (iterated dominance frontier) ------------------- *)
+  let def_blocks = Array.make nvars [] in
+  Ir.iter_instrs
+    (fun ~block ~index ins ->
+      match ins with
+      | Ir.Assign (v, _) ->
+          def_blocks.(vidx v) <- block :: def_blocks.(vidx v);
+          List.iter
+            (fun w -> def_blocks.(vidx w) <- block :: def_blocks.(vidx w))
+            (Option.value (Hashtbl.find_opt kill_cache (block, index))
+               ~default:[])
+      | Ir.Call _ ->
+          List.iter
+            (fun v -> def_blocks.(vidx v) <- block :: def_blocks.(vidx v))
+            (Hashtbl.find call_defs_cache (block, index))
+      | Ir.Print _ -> ())
+    cfg;
+  (* The entry block implicitly defines version 0 of everything. *)
+  for i = 0 to nvars - 1 do
+    def_blocks.(i) <- cfg.Ir.entry :: def_blocks.(i)
+  done;
+  (* phis_at.(b) = list of var indices needing a phi at block b *)
+  let phis_at = Array.make nblocks [] in
+  let has_phi = Hashtbl.create 64 in
+  for v = 0 to nvars - 1 do
+    let work = ref (List.sort_uniq Int.compare def_blocks.(v)) in
+    let ever = Hashtbl.create 8 in
+    List.iter (fun b -> Hashtbl.replace ever b ()) !work;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | b :: rest ->
+          work := rest;
+          List.iter
+            (fun y ->
+              if not (Hashtbl.mem has_phi (y, v)) then begin
+                Hashtbl.replace has_phi (y, v) ();
+                phis_at.(y) <- v :: phis_at.(y);
+                if not (Hashtbl.mem ever y) then begin
+                  Hashtbl.replace ever y ();
+                  work := y :: !work
+                end
+              end)
+            df.(b)
+    done
+  done;
+  Array.iteri (fun b l -> phis_at.(b) <- List.rev l) phis_at;
+
+  (* -- Renaming ------------------------------------------------------ *)
+  let next_id = ref 0 in
+  let next_ver = Array.make nvars 0 in
+  let fresh base_idx =
+    let v = vars.(base_idx) in
+    let n = { base = v; ver = next_ver.(base_idx); id = !next_id } in
+    next_ver.(base_idx) <- next_ver.(base_idx) + 1;
+    incr next_id;
+    n
+  in
+  let stacks : name list array = Array.make nvars [] in
+  let push n = stacks.(vidx n.base) <- n :: stacks.(vidx n.base) in
+  let top base_idx =
+    match stacks.(base_idx) with
+    | n :: _ -> n
+    | [] -> assert false (* entry def dominates everything *)
+  in
+  (* Entry definitions: version 0 of every var. *)
+  let entry_names = Array.map (fun v -> (v, fresh (vidx v))) vars in
+  Array.iter (fun (_, n) -> push n) entry_names;
+
+  (* Output blocks under construction. *)
+  let out_phis : phi array array = Array.make nblocks [||] in
+  let out_instrs : instr array array = Array.make nblocks [||] in
+  let out_terms : terminator array =
+    Array.make nblocks Ret
+  in
+  (* phi argument accumulation: (block, phi index) -> (pred, name) list *)
+  let phi_args : (int * int, (int * name) list) Hashtbl.t = Hashtbl.create 64 in
+  let exit_names_acc : (int * (Ir.var * name) array) list ref = ref [] in
+  (* Remember which var each phi at a block is for, in order. *)
+  let phi_vars : int array array = Array.make nblocks [||] in
+  Array.iteri
+    (fun b l -> phi_vars.(b) <- Array.of_list l)
+    phis_at;
+
+  let rename_operand (o : Ir.operand) : operand =
+    match o with
+    | Ir.Const v -> Oconst v
+    | Ir.Var v -> Oname (top (vidx v))
+  in
+  let rename_rhs = function
+    | Ir.Copy o -> Copy (rename_operand o)
+    | Ir.Unop (op, o) -> Unop (op, rename_operand o)
+    | Ir.Binop (op, a, b) -> Binop (op, rename_operand a, rename_operand b)
+  in
+
+  let rec rename_block b =
+    let pushed = ref [] in
+    let push' n =
+      push n;
+      pushed := vidx n.base :: !pushed
+    in
+    (* Phis define first. *)
+    let phis =
+      Array.map
+        (fun v ->
+          let n = fresh v in
+          push' n;
+          { p_name = n; p_args = [||] })
+        phi_vars.(b)
+    in
+    out_phis.(b) <- phis;
+    (* Instructions.  One IR instruction can yield two SSA instructions
+       (an assignment followed by its alias [Kill]). *)
+    let blk = cfg.Ir.blocks.(b) in
+    let acc = ref [] in
+    Array.iteri
+      (fun i ins ->
+        match ins with
+        | Ir.Assign (v, rhs) ->
+            let rhs = rename_rhs rhs in
+            let n = fresh (vidx v) in
+            push' n;
+            acc := Assign (n, rhs) :: !acc;
+            (match Hashtbl.find_opt kill_cache (b, i) with
+            | None | Some [] -> ()
+            | Some ks ->
+                let kills =
+                  List.map
+                    (fun w ->
+                      let kn = fresh (vidx w) in
+                      push' kn;
+                      (w, kn))
+                    ks
+                in
+                acc := Kill (Array.of_list kills) :: !acc)
+        | Ir.Print o -> acc := Print (rename_operand o) :: !acc
+        | Ir.Call { cs_id; callee; args } ->
+            let c_args =
+              Array.map
+                (fun (a : Ir.arg) ->
+                  {
+                    sa_operand = rename_operand a.Ir.a_operand;
+                    sa_byref = a.Ir.a_byref;
+                  })
+                args
+            in
+            let c_global_uses =
+              Hashtbl.find call_guses_cache (b, i)
+              |> List.map (fun g -> (g, top (vidx g)))
+              |> Array.of_list
+            in
+            let c_defs =
+              Hashtbl.find call_defs_cache (b, i)
+              |> List.map (fun v ->
+                     let n = fresh (vidx v) in
+                     push' n;
+                     (v, n))
+              |> Array.of_list
+            in
+            acc :=
+              Call
+                { c_cs_id = cs_id; c_callee = callee; c_args; c_global_uses;
+                  c_defs }
+              :: !acc)
+      blk.Ir.instrs;
+    out_instrs.(b) <- Array.of_list (List.rev !acc);
+    (* Record reaching versions of formals and globals at returns. *)
+    (match blk.Ir.term with
+    | Ir.Ret ->
+        let interesting =
+          Array.to_list vars
+          |> List.filter (fun (v : Ir.var) ->
+                 match v.Ir.vkind with
+                 | Ir.Formal _ | Ir.Global -> true
+                 | Ir.Local | Ir.Temp -> false)
+        in
+        exit_names_acc :=
+          (b, Array.of_list (List.map (fun v -> (v, top (vidx v))) interesting))
+          :: !exit_names_acc
+    | Ir.Goto _ | Ir.Cond _ -> ());
+    (* Terminator. *)
+    out_terms.(b) <-
+      (match blk.Ir.term with
+      | Ir.Goto t -> Goto t
+      | Ir.Cond (c, t, f) -> Cond (rename_operand c, t, f)
+      | Ir.Ret -> Ret);
+    (* Fill phi arguments of successors. *)
+    List.iter
+      (fun s ->
+        Array.iteri
+          (fun pi v ->
+            let cur = top v in
+            let key = (s, pi) in
+            let l = Option.value (Hashtbl.find_opt phi_args key) ~default:[] in
+            Hashtbl.replace phi_args key ((b, cur) :: l))
+          phi_vars.(s))
+      (Ir.successors blk);
+    (* Recurse over dominator-tree children. *)
+    List.iter rename_block dom.Dominance.children.(b);
+    (* Pop. *)
+    List.iter
+      (fun vi ->
+        match stacks.(vi) with
+        | _ :: tl -> stacks.(vi) <- tl
+        | [] -> assert false)
+      !pushed
+  in
+  rename_block cfg.Ir.entry;
+
+  (* Attach accumulated phi arguments. *)
+  let blocks =
+    Array.init nblocks (fun b ->
+        let phis =
+          Array.mapi
+            (fun pi (ph : phi) ->
+              let args =
+                Option.value (Hashtbl.find_opt phi_args (b, pi)) ~default:[]
+              in
+              { ph with p_args = Array.of_list (List.rev args) })
+            out_phis.(b)
+        in
+        { phis; instrs = out_instrs.(b); term = out_terms.(b) })
+  in
+
+  (* -- Def sites and def-use chains ---------------------------------- *)
+  let n_names = !next_id in
+  let defs = Array.make n_names Dentry in
+  let uses : use_site list array = Array.make n_names [] in
+  let add_use n site = uses.(n.id) <- site :: uses.(n.id) in
+  let use_operand o site =
+    match o with Oconst _ -> () | Oname n -> add_use n site
+  in
+  Array.iteri
+    (fun b (blk : block) ->
+      Array.iteri
+        (fun pi (ph : phi) ->
+          defs.(ph.p_name.id) <- Dphi (b, pi);
+          Array.iter (fun (_, n) -> add_use n (Uphi (b, pi))) ph.p_args)
+        blk.phis;
+      Array.iteri
+        (fun i ins ->
+          match ins with
+          | Assign (n, rhs) ->
+              defs.(n.id) <- Dinstr (b, i);
+              (match rhs with
+              | Copy o | Unop (_, o) -> use_operand o (Uinstr (b, i))
+              | Binop (_, x, y) ->
+                  use_operand x (Uinstr (b, i));
+                  use_operand y (Uinstr (b, i)))
+          | Kill kills ->
+              Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) kills
+          | Call c ->
+              Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) c.c_defs;
+              Array.iter
+                (fun (a : ssa_arg) -> use_operand a.sa_operand (Uinstr (b, i)))
+                c.c_args;
+              Array.iter (fun (_, n) -> add_use n (Uinstr (b, i))) c.c_global_uses
+          | Print o -> use_operand o (Uinstr (b, i)))
+        blk.instrs;
+      match blk.term with
+      | Cond (c, _, _) -> use_operand c (Uterm b)
+      | Goto _ | Ret -> ())
+    blocks;
+
+  {
+    name = p.Ir.name;
+    formals = p.Ir.formals;
+    blocks;
+    entry = cfg.Ir.entry;
+    preds;
+    dom;
+    entry_names;
+    exit_names = List.rev !exit_names_acc;
+    n_names;
+    defs;
+    uses;
+    n_call_sites = p.Ir.n_call_sites;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries and validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The entry (version-0) name of a variable, if it exists in the proc. *)
+let entry_name (p : proc) (v : Ir.var) : name option =
+  Array.fold_left
+    (fun acc (v', n) -> if Ir.Var.equal v v' then Some n else acc)
+    None p.entry_names
+
+(** All call instructions, as [(block, instr index, call)] in block order. *)
+let call_sites (p : proc) : (int * int * call) list =
+  let acc = ref [] in
+  Array.iteri
+    (fun b (blk : block) ->
+      Array.iteri
+        (fun i ins ->
+          match ins with Call c -> acc := (b, i, c) :: !acc | _ -> ())
+        blk.instrs)
+    p.blocks;
+  List.rev !acc
+
+(** Structural invariants, raised upon by the test-suite:
+    - every name has exactly one definition site;
+    - each phi has exactly one argument per predecessor;
+    - uses are reachable from their definitions (def dominates use for
+      instruction uses; for phi uses, def dominates the corresponding
+      predecessor block). *)
+let validate (p : proc) : (unit, string) result =
+  let err fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let seen = Array.make p.n_names false in
+  let def_block = Array.make p.n_names (-1) in
+  let ok = ref (Ok ()) in
+  let check_def n b =
+    if seen.(n.id) then ok := err "name %a defined twice" pp_name n
+    else begin
+      seen.(n.id) <- true;
+      def_block.(n.id) <- b
+    end
+  in
+  Array.iter (fun (_, n) -> check_def n p.entry) p.entry_names;
+  Array.iteri
+    (fun b (blk : block) ->
+      Array.iter (fun (ph : phi) -> check_def ph.p_name b) blk.phis;
+      Array.iter
+        (function
+          | Assign (n, _) -> check_def n b
+          | Kill kills -> Array.iter (fun (_, n) -> check_def n b) kills
+          | Call c -> Array.iter (fun (_, n) -> check_def n b) c.c_defs
+          | Print _ -> ())
+        blk.instrs)
+    p.blocks;
+  (match !ok with
+  | Error _ -> ()
+  | Ok () ->
+      Array.iteri
+        (fun b (blk : block) ->
+          let npreds = List.length p.preds.(b) in
+          Array.iter
+            (fun (ph : phi) ->
+              if Array.length ph.p_args <> npreds then
+                ok :=
+                  err "phi %a at B%d has %d args for %d preds" pp_name
+                    ph.p_name b (Array.length ph.p_args) npreds)
+            blk.phis)
+        p.blocks);
+  !ok
+
+let pp_proc ppf (p : proc) =
+  Fmt.pf ppf "ssa proc %s:@\n" p.name;
+  Array.iteri
+    (fun b (blk : block) ->
+      Fmt.pf ppf "B%d:@\n" b;
+      Array.iter
+        (fun (ph : phi) ->
+          Fmt.pf ppf "  %a = phi(%a)@\n" pp_name ph.p_name
+            Fmt.(
+              array ~sep:(any ", ") (fun ppf (pred, n) ->
+                  pf ppf "B%d:%a" pred pp_name n))
+            ph.p_args)
+        blk.phis;
+      Array.iter
+        (fun ins ->
+          match ins with
+          | Assign (n, rhs) -> Fmt.pf ppf "  %a = %a@\n" pp_name n pp_rhs rhs
+          | Kill kills ->
+              Fmt.pf ppf "  kill(%a)@\n"
+                Fmt.(array ~sep:(any ", ") (fun ppf (_, n) -> pp_name ppf n))
+                kills
+          | Call c ->
+              Fmt.pf ppf "  call[%d] %s(%a) defs(%a)@\n" c.c_cs_id c.c_callee
+                Fmt.(
+                  array ~sep:(any ", ") (fun ppf a -> pp_operand ppf a.sa_operand))
+                c.c_args
+                Fmt.(
+                  array ~sep:(any ", ") (fun ppf (_, n) -> pp_name ppf n))
+                c.c_defs
+          | Print o -> Fmt.pf ppf "  print %a@\n" pp_operand o)
+        blk.instrs;
+      match blk.term with
+      | Goto t -> Fmt.pf ppf "  goto B%d@\n" t
+      | Cond (c, t, f) ->
+          Fmt.pf ppf "  if %a then B%d else B%d@\n" pp_operand c t f
+      | Ret -> Fmt.pf ppf "  ret@\n")
+    p.blocks

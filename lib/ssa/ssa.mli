@@ -1,0 +1,103 @@
+(** Static single assignment form (Cytron et al.) over the quad IR — the
+    representation the paper's intraprocedural SCC analysis runs on.
+
+    Call instructions are definition points (by-reference actuals, modified
+    globals), stores through possibly-aliased names are followed by
+    {!instr.Kill} definitions, every variable has an implicit entry
+    definition (version 0) whose value the interprocedural phase supplies,
+    and each return block records the reaching version of every formal and
+    global (for the return-constants extension). *)
+
+open Fsicp_lang
+open Fsicp_cfg
+
+(** An SSA name; [id] is a dense per-procedure index for O(1) lattice
+    lookup. *)
+type name = { base : Ir.var; ver : int; id : int }
+
+val pp_name : name Fmt.t
+
+type operand = Oconst of Value.t | Oname of name
+
+val pp_operand : operand Fmt.t
+
+type rhs =
+  | Copy of operand
+  | Unop of Ops.unop * operand
+  | Binop of Ops.binop * operand * operand
+
+val pp_rhs : rhs Fmt.t
+
+type ssa_arg = { sa_operand : operand; sa_byref : Ir.var option }
+
+type call = {
+  c_cs_id : int;  (** call-site id, textual order *)
+  c_callee : string;
+  c_args : ssa_arg array;
+  c_global_uses : (Ir.var * name) array;
+      (** reaching version of each global the callee's REF closure needs *)
+  c_defs : (Ir.var * name) array;
+      (** fresh versions of the variables the call may modify *)
+}
+
+type instr =
+  | Assign of name * rhs
+  | Kill of (Ir.var * name) array
+      (** fresh unknown versions after a store through an alias *)
+  | Call of call
+  | Print of operand
+
+type phi = { p_name : name; p_args : (int * name) array }
+
+type terminator = Goto of int | Cond of operand * int * int | Ret
+
+type block = { phis : phi array; instrs : instr array; term : terminator }
+
+type def_site = Dentry | Dinstr of int * int | Dphi of int * int
+
+type use_site = Uphi of int * int | Uinstr of int * int | Uterm of int
+
+type proc = {
+  name : string;
+  formals : Ir.var array;
+  blocks : block array;
+  entry : int;
+  preds : int list array;
+  dom : Dominance.t;
+  entry_names : (Ir.var * name) array;  (** version-0 names, all variables *)
+  exit_names : (int * (Ir.var * name) array) list;
+      (** per return block: reaching versions of formals and globals *)
+  n_names : int;
+  defs : def_site array;  (** by name id *)
+  uses : use_site list array;  (** by name id *)
+  n_call_sites : int;
+}
+
+(** Oracle for interprocedural side effects (the precision comes from
+    plugging in {!Fsicp_ipa} results; see [conservative_effects]). *)
+type call_effects = {
+  defs_of_call : callee:string -> byref_args:Ir.var option array -> Ir.var list;
+  globals_used_by : callee:string -> Ir.var list;
+  assign_aliases : Ir.var -> Ir.var list;
+}
+
+(** Sound default when no IPA information is available: calls clobber every
+    by-reference actual and every global; stores to formals/globals clobber
+    all other formals and globals. *)
+val conservative_effects : ?formals:Ir.var list -> Ast.program -> call_effects
+
+val byref_array : Ir.arg array -> Ir.var option array
+
+(** Build SSA for a lowered procedure. *)
+val of_proc : ?effects:call_effects -> Ast.program -> Ir.proc -> proc
+
+val entry_name : proc -> Ir.var -> name option
+
+(** All call instructions as [(block, instr index, call)], block order. *)
+val call_sites : proc -> (int * int * call) list
+
+(** Structural invariants: single definitions, one phi argument per
+    predecessor. *)
+val validate : proc -> (unit, string) result
+
+val pp_proc : proc Fmt.t

@@ -1,0 +1,71 @@
+(** The example program of the paper's Figure 1.
+
+    The published figure's OCR is corrupt; this reconstruction satisfies
+    every constraint the paper's prose states (see DESIGN.md) and
+    reproduces the figure's precision table exactly:
+
+    {v
+      METHOD             FORMAL PARAMETER CONSTANTS
+      flow-sensitive     f1, f2, f3, f4, f5
+      flow-insensitive   f1, f3, f4
+      literal            f1, f3
+      intra              f1, f3, f5
+      pass-through       f1, f3, f4, f5
+      polynomial         f1, f3, f4, f5
+    v}
+
+    Why each method finds what it finds:
+    - [f1]: literal 0 at the only call of [sub1] — every method.
+    - [f3]: literal 4 — every method.
+    - [f4]: [sub1] passes its own unmodified formal [f1]; the pass-through
+      machinery (FI's fp_bind, the pass-through/polynomial jump functions,
+      FS's SCC which knows f1 = 0) all see it; literal and intra do not.
+    - [f5]: [x] is 1 on every path — any flow-sensitive intraprocedural
+      analysis (intra/pass-through/polynomial jump functions, FS) finds it;
+      the flow-insensitive method cannot.
+    - [f2]: [y] is 0 {e only because} the [f1 != 0] path is dead once
+      f1 = 0 is known interprocedurally — "x and y must be the same
+      constant on all paths from the entry of sub1 to the call of sub2.
+      Since f1 has the constant value 0, the path containing y = 1 is not
+      executed."  Only the flow-sensitive interprocedural method, which
+      re-runs the intraprocedural analysis {e with} f1's value, finds it. *)
+
+open Fsicp_lang
+
+let source =
+  {|
+proc main() {
+  call sub1(0);
+}
+proc sub1(f1) {
+  x = 1;
+  if (f1 != 0) {
+    y = 1;
+  } else {
+    y = 0;
+  }
+  call sub2(y, 4, f1, x);
+}
+proc sub2(f2, f3, f4, f5) {
+  t = f2 + f3 + f4 + f5;
+  print t;
+}
+|}
+
+let program : Ast.program =
+  let p = Parser.program_of_string source in
+  Sema.check_exn p;
+  p
+
+(** The expected per-method formal-constant sets, as
+    [(method, [(proc, formal index)])] — the paper's Figure 1 table. *)
+let expected : (string * (string * int) list) list =
+  let sub2 = List.map (fun i -> ("sub2", i)) in
+  [
+    ("flow-sensitive", (("sub1", 0) :: sub2 [ 0; 1; 2; 3 ]));
+    ("flow-insensitive", (("sub1", 0) :: sub2 [ 1; 2 ]));
+    ("literal", (("sub1", 0) :: sub2 [ 1 ]));
+    ("intra", (("sub1", 0) :: sub2 [ 1; 3 ]));
+    ("pass-through", (("sub1", 0) :: sub2 [ 1; 2; 3 ]));
+    ("polynomial", (("sub1", 0) :: sub2 [ 1; 2; 3 ]));
+  ]

@@ -1,0 +1,8 @@
+(** The paper's Figure 1 example program (reconstructed; see DESIGN.md) and
+    the expected per-method constant sets it must induce. *)
+
+val source : string
+val program : Fsicp_lang.Ast.program
+
+(** [(method name, [(proc, formal index)])] — the published table. *)
+val expected : (string * (string * int) list) list

@@ -1,0 +1,66 @@
+(** Deterministic pseudo-random number generator for workload synthesis.
+
+    A splitmix64-style mixer over OCaml's native ints.  The generator is
+    explicit-state and seed-stable across runs and platforms, so every
+    synthetic benchmark is reproducible — the whole point of the workload
+    suite.  (The global [Random] module is deliberately not used anywhere
+    in this repository.) *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.logxor (Int64.of_int seed) 0x2545F4914F6CDD1DL }
+
+(* The canonical splitmix64 (Steele–Lea–Flood), on full-width Int64;
+   the result is truncated to OCaml's non-negative int range at the end. *)
+let next (t : t) : int =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
+
+(** Uniform int in [0, bound). [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+(** Uniform int in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t = Stdlib.float_of_int (int t 1_000_000) /. 1_000_000.0
+
+(** Bernoulli draw with probability [p]. *)
+let bool t p = float t < p
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(** Weighted choice: [(weight, value)] pairs, weights non-negative and not
+    all zero. *)
+let weighted t (choices : (float * 'a) list) : 'a =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Prng.weighted: no positive weight";
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> snd (List.hd (List.rev choices))
+    | (w, v) :: tl -> if acc +. w > x then v else go (acc +. w) tl
+  in
+  go 0.0 choices
+
+(** Fisher–Yates shuffle (fresh list). *)
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,29 @@
+(** Deterministic, explicit-state PRNG (canonical splitmix64) for workload
+    synthesis: every synthetic benchmark is reproducible from its seed; the
+    global [Random] is not used anywhere in the repository. *)
+
+type t
+
+val create : int -> t
+
+(** Next raw value, uniform over non-negative ints. *)
+val next : t -> int
+
+(** Uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli draw. *)
+val bool : t -> float -> bool
+
+val choose : t -> 'a list -> 'a
+
+(** Weighted choice; consumes exactly one draw regardless of list length. *)
+val weighted : t -> (float * 'a) list -> 'a
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,38 @@
+(** The calibrated SPEC-like benchmark suite: one generator instance per
+    benchmark of the paper's §4 measurements, with the published numbers
+    attached for side-by-side reporting (see EXPERIMENTS.md). *)
+
+(** The paper's published values (−1 = not reported / OCR-illegible). *)
+type paper_row = {
+  p_arg : int;
+  p_imm : int;
+  p_fi_args : int;
+  p_fs_args : int;
+  p_gl_cand : int;
+  p_gl_fs_sites : int;
+  p_gl_vis : int;
+  p_fp : int;
+  p_fi_formals : int;
+  p_fs_formals : int;
+  p_procs : int;
+  p_gl_fi : int;
+  p_gl_fs : int;
+}
+
+type benchmark = {
+  b_name : string;
+  b_profile : Generator.profile;
+  b_paper : paper_row;
+}
+
+val program : benchmark -> Fsicp_lang.Ast.program
+
+(** The full suite of Tables 1–2, in the paper's order (12 benchmarks). *)
+val suite : benchmark list
+
+(** The Grove–Torczon comparison subset of Tables 3–5; run with floats
+    disabled. *)
+val first_release : benchmark list
+
+(** Paper Table 5 values (POLYNOMIAL, FI, FS) per subset benchmark. *)
+val table5_paper : (string * (int * int * int)) list

@@ -1,0 +1,166 @@
+(** Tests for the program call graph: reachability, traversal orders,
+    back-edge classification, the back-edge ratio, and Tarjan SCCs. *)
+
+open Fsicp_callgraph
+
+let build src = Callgraph.build (Test_util.parse src)
+
+let test_reachability () =
+  let g =
+    build
+      {|proc main() { call a(); }
+        proc a() { call b(); }
+        proc b() { }
+        proc dead() { call deader(); }
+        proc deader() { }|}
+  in
+  Alcotest.(check (list string)) "only reachable procs"
+    [ "a"; "b"; "main" ]
+    (Array.to_list g.Callgraph.nodes |> List.sort String.compare);
+  Alcotest.(check bool) "dead unreachable" false (Callgraph.is_reachable g "dead")
+
+let test_forward_order_topological () =
+  let g =
+    build
+      {|proc main() { call a(); call b(); }
+        proc a() { call c(); }
+        proc b() { call c(); }
+        proc c() { }|}
+  in
+  let order = Array.to_list (Callgraph.forward_order g) in
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | y :: _ when y = x -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "main first" true (pos "main" = 0);
+  Alcotest.(check bool) "a before c" true (pos "a" < pos "c");
+  Alcotest.(check bool) "b before c" true (pos "b" < pos "c");
+  (* reverse order is the mirror *)
+  Alcotest.(check (list string)) "reverse is mirror"
+    (List.rev order)
+    (Array.to_list (Callgraph.reverse_order g))
+
+let test_no_back_edges_in_dag () =
+  let g =
+    build
+      {|proc main() { call a(); call b(); }
+        proc a() { call b(); }
+        proc b() { }|}
+  in
+  Alcotest.(check bool) "acyclic" false (Callgraph.has_cycles g);
+  Alcotest.(check (float 1e-9)) "ratio 0" 0.0 (Callgraph.back_edge_ratio g)
+
+let test_self_recursion () =
+  let g =
+    build
+      {|proc main() { call f(); }
+        proc f() { if (c) { call f(); } }|}
+  in
+  Alcotest.(check bool) "cyclic" true (Callgraph.has_cycles g);
+  let back = List.filter (Callgraph.is_back_edge g) g.Callgraph.edges in
+  Alcotest.(check int) "one back edge" 1 (List.length back);
+  let e = List.hd back in
+  Alcotest.(check string) "self edge caller" "f" e.Callgraph.caller;
+  Alcotest.(check string) "self edge callee" "f" e.Callgraph.callee
+
+let test_mutual_recursion () =
+  let g =
+    build
+      {|proc main() { call even(); }
+        proc even() { if (c) { call odd(); } }
+        proc odd() { if (c) { call even(); } }|}
+  in
+  Alcotest.(check bool) "cyclic" true (Callgraph.has_cycles g);
+  let sccs = Callgraph.sccs g in
+  let big = List.find (fun c -> List.length c > 1) sccs in
+  Alcotest.(check (list string)) "even/odd component" [ "even"; "odd" ]
+    (List.sort String.compare big)
+
+let test_multiple_call_sites_are_edges () =
+  let g =
+    build
+      {|proc main() { call f(); call f(); call f(); }
+        proc f() { }|}
+  in
+  Alcotest.(check int) "three edges" 3 (List.length g.Callgraph.edges);
+  let idx =
+    List.map (fun (e : Callgraph.edge) -> e.Callgraph.cs_index) g.Callgraph.edges
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "distinct call-site indices" [ 0; 1; 2 ] idx
+
+let test_in_out_edges () =
+  let g =
+    build
+      {|proc main() { call a(); call b(); }
+        proc a() { call b(); }
+        proc b() { }|}
+  in
+  Alcotest.(check int) "b has two in-edges" 2
+    (List.length (Callgraph.in_edges g "b"));
+  Alcotest.(check int) "main has two out-edges" 2
+    (List.length (Callgraph.out_edges g "main"))
+
+let test_back_edge_ratio_monotone () =
+  (* More back-call probability -> (weakly) larger ratio, on average. *)
+  let ratio prob =
+    let profile =
+      {
+        (Fsicp_workloads.Generator.small_profile 5) with
+        Fsicp_workloads.Generator.g_procs = 12;
+        g_back_edge_prob = prob;
+      }
+    in
+    let p = Fsicp_workloads.Generator.generate profile in
+    Callgraph.back_edge_ratio (Callgraph.build p)
+  in
+  Alcotest.(check (float 1e-9)) "no back calls, no back edges" 0.0 (ratio 0.0);
+  Alcotest.(check bool) "full back calls create back edges" true
+    (ratio 1.0 > 0.0)
+
+let prop_forward_order_respects_forward_edges =
+  Test_util.qcheck ~count:40
+    ~name:"forward order: non-back edges go left to right"
+    Test_util.seed_gen
+    (fun seed ->
+      let g = Callgraph.build (Test_util.program_of_seed seed) in
+      let pos = Hashtbl.create 16 in
+      Array.iteri
+        (fun i n -> Hashtbl.replace pos n i)
+        (Callgraph.forward_order g);
+      List.for_all
+        (fun (e : Callgraph.edge) ->
+          Callgraph.is_back_edge g e
+          || Hashtbl.find pos e.Callgraph.caller
+             < Hashtbl.find pos e.Callgraph.callee)
+        g.Callgraph.edges)
+
+let prop_sccs_partition =
+  Test_util.qcheck ~count:40 ~name:"SCCs partition the reachable nodes"
+    Test_util.seed_gen
+    (fun seed ->
+      let g = Callgraph.build (Test_util.program_of_seed seed) in
+      let all = List.concat (Callgraph.sccs g) in
+      List.length all = Array.length g.Callgraph.nodes
+      && List.sort_uniq String.compare all
+         = List.sort String.compare (Array.to_list g.Callgraph.nodes))
+
+let suite =
+  [
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "forward order topological" `Quick
+      test_forward_order_topological;
+    Alcotest.test_case "DAG has no back edges" `Quick test_no_back_edges_in_dag;
+    Alcotest.test_case "self recursion" `Quick test_self_recursion;
+    Alcotest.test_case "mutual recursion SCC" `Quick test_mutual_recursion;
+    Alcotest.test_case "one edge per call site" `Quick
+      test_multiple_call_sites_are_edges;
+    Alcotest.test_case "in/out edges" `Quick test_in_out_edges;
+    Alcotest.test_case "back-edge ratio" `Quick test_back_edge_ratio_monotone;
+    prop_forward_order_respects_forward_edges;
+    prop_sccs_partition;
+  ]

@@ -1,0 +1,195 @@
+(** Tests for lowering and the CFG representation. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+
+let lower_main src =
+  let p = Test_util.parse src in
+  Lower.lower_proc p (Ast.find_proc_exn p p.Ast.main)
+
+let lower_named src name =
+  let p = Test_util.parse src in
+  Lower.lower_proc p (Ast.find_proc_exn p name)
+
+let n_blocks (p : Ir.proc) = Array.length p.Ir.cfg.Ir.blocks
+
+let test_straight_line () =
+  let p = lower_main "proc main() { x = 1; y = x + 2; print y; }" in
+  Alcotest.(check int) "single block" 1 (n_blocks p);
+  let b = p.Ir.cfg.Ir.blocks.(0) in
+  (match b.Ir.term with
+  | Ir.Ret -> ()
+  | _ -> Alcotest.fail "straight-line code ends in ret");
+  (* x = 1; t = x + 2; y = t; print y => 4 instructions *)
+  Alcotest.(check int) "instruction count" 4 (Array.length b.Ir.instrs)
+
+let test_if_shape () =
+  let p =
+    lower_main "proc main() { if (x > 0) { y = 1; } else { y = 2; } print y; }"
+  in
+  (* cond, then, else, join *)
+  Alcotest.(check int) "four blocks" 4 (n_blocks p);
+  match p.Ir.cfg.Ir.blocks.(0).Ir.term with
+  | Ir.Cond (_, t, f) ->
+      Alcotest.(check bool) "distinct branch targets" true (t <> f)
+  | _ -> Alcotest.fail "entry ends in conditional branch"
+
+let test_while_shape () =
+  let p = lower_main "proc main() { while (x < 3) { x = x + 1; } print x; }" in
+  (* pre, header, body, exit *)
+  Alcotest.(check int) "four blocks" 4 (n_blocks p);
+  (* the back edge exists: some block jumps to a lower-numbered one *)
+  let has_back = ref false in
+  Array.iteri
+    (fun i b ->
+      List.iter (fun s -> if s <= i then has_back := true) (Ir.successors b))
+    p.Ir.cfg.Ir.blocks;
+  Alcotest.(check bool) "loop back edge" true !has_back
+
+let test_return_prunes () =
+  let p = lower_main "proc main() { print 1; return; print 2; }" in
+  (* the unreachable tail is pruned *)
+  Ir.iter_instrs
+    (fun ~block:_ ~index:_ ins ->
+      match ins with
+      | Ir.Print (Ir.Const (Value.Int 2)) ->
+          Alcotest.fail "unreachable print survived pruning"
+      | _ -> ())
+    p.Ir.cfg
+
+let test_return_in_branch () =
+  let p =
+    lower_main
+      "proc main() { if (x) { return; } else { print 1; } print 2; }"
+  in
+  (* print 2 is reachable via the else branch *)
+  let found = ref false in
+  Ir.iter_instrs
+    (fun ~block:_ ~index:_ ins ->
+      match ins with
+      | Ir.Print (Ir.Const (Value.Int 2)) -> found := true
+      | _ -> ())
+    p.Ir.cfg;
+  Alcotest.(check bool) "join reachable" true !found
+
+let test_call_lowering () =
+  let p =
+    lower_named
+      "proc main() { call s(x, 3, x + 1); } proc s(a, b, c) { }" "main"
+  in
+  let call = ref None in
+  Ir.iter_instrs
+    (fun ~block:_ ~index:_ ins ->
+      match ins with Ir.Call _ -> call := Some ins | _ -> ())
+    p.Ir.cfg;
+  match !call with
+  | Some (Ir.Call { args; _ }) ->
+      Alcotest.(check int) "three args" 3 (Array.length args);
+      (match args.(0) with
+      | { Ir.a_byref = Some v; a_operand = Ir.Var v' } ->
+          Alcotest.(check bool) "byref var arg" true (Ir.Var.equal v v')
+      | _ -> Alcotest.fail "first arg by reference");
+      (match args.(1) with
+      | { Ir.a_byref = None; a_operand = Ir.Const (Value.Int 3) } -> ()
+      | _ -> Alcotest.fail "literal arg stays Const");
+      (match args.(2) with
+      | { Ir.a_byref = None; a_operand = Ir.Var { Ir.vkind = Ir.Temp; _ } } ->
+          ()
+      | _ -> Alcotest.fail "expression arg lowered to temp")
+  | _ -> Alcotest.fail "no call instruction found"
+
+let test_kind_resolution () =
+  let p =
+    lower_named
+      "global g; proc main() { call s(1); } proc s(a) { l = a + g; }" "s"
+  in
+  let kinds = ref [] in
+  Ir.iter_instrs
+    (fun ~block:_ ~index:_ ins ->
+      match ins with
+      | Ir.Assign (v, _) -> kinds := (v.Ir.vname, v.Ir.vkind) :: !kinds
+      | _ -> ())
+    p.Ir.cfg;
+  let uses = Ir.occurring_vars p in
+  Alcotest.(check bool) "formal resolved" true
+    (Ir.VarSet.mem (Ir.formal "a" 0) uses);
+  Alcotest.(check bool) "global resolved" true
+    (Ir.VarSet.mem (Ir.global "g") uses);
+  Alcotest.(check bool) "local assigned" true
+    (List.mem_assoc "l" !kinds)
+
+let test_rpo_starts_at_entry () =
+  let p = lower_main "proc main() { if (x) { y = 1; } print y; }" in
+  let rpo = Ir.reverse_postorder p.Ir.cfg in
+  Alcotest.(check int) "rpo starts at entry" p.Ir.cfg.Ir.entry rpo.(0);
+  Alcotest.(check int) "rpo covers all blocks" (n_blocks p) (Array.length rpo)
+
+let test_call_site_numbering () =
+  let p =
+    lower_named
+      {|proc main() {
+          call s(1);
+          if (x) { call s(2); } else { call s(3); }
+          call s(4);
+        }
+        proc s(a) { }|}
+      "main"
+  in
+  Alcotest.(check int) "four call sites" 4 p.Ir.n_call_sites;
+  (* ids are unique and dense *)
+  let seen = Hashtbl.create 4 in
+  Ir.iter_instrs
+    (fun ~block:_ ~index:_ ins ->
+      match ins with
+      | Ir.Call { cs_id; _ } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cs_id %d unique" cs_id)
+            false (Hashtbl.mem seen cs_id);
+          Hashtbl.replace seen cs_id ()
+      | _ -> ())
+    p.Ir.cfg;
+  Alcotest.(check int) "all ids seen" 4 (Hashtbl.length seen)
+
+let test_preds_consistent () =
+  let p =
+    lower_main
+      "proc main() { while (a) { if (b) { x = 1; } else { x = 2; } } print x; }"
+  in
+  let preds = Ir.predecessors p.Ir.cfg in
+  Array.iteri
+    (fun i b ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "edge %d->%d reflected in preds" i s)
+            true (List.mem i preds.(s)))
+        (Ir.successors b))
+    p.Ir.cfg.Ir.blocks
+
+let prop_lowering_total =
+  Test_util.qcheck ~count:60 ~name:"lowering succeeds on generated programs"
+    Test_util.seed_gen
+    (fun seed ->
+      let p = Test_util.program_of_seed seed in
+      let procs = Fsicp_cfg.Lower.lower_program p in
+      List.for_all
+        (fun (pr : Ir.proc) ->
+          Array.length pr.Ir.cfg.Ir.blocks > 0
+          && Array.length (Ir.reverse_postorder pr.Ir.cfg)
+             = Array.length pr.Ir.cfg.Ir.blocks)
+        procs)
+
+let suite =
+  [
+    Alcotest.test_case "straight-line lowering" `Quick test_straight_line;
+    Alcotest.test_case "if shape" `Quick test_if_shape;
+    Alcotest.test_case "while shape" `Quick test_while_shape;
+    Alcotest.test_case "return prunes tail" `Quick test_return_prunes;
+    Alcotest.test_case "return in one branch" `Quick test_return_in_branch;
+    Alcotest.test_case "call lowering" `Quick test_call_lowering;
+    Alcotest.test_case "name-kind resolution" `Quick test_kind_resolution;
+    Alcotest.test_case "reverse postorder" `Quick test_rpo_starts_at_entry;
+    Alcotest.test_case "call-site numbering" `Quick test_call_site_numbering;
+    Alcotest.test_case "preds/succs consistent" `Quick test_preds_consistent;
+    prop_lowering_total;
+  ]

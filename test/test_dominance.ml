@@ -1,0 +1,152 @@
+(** Tests for the dominator computation: unit cases on crafted CFGs plus a
+    property comparing against a naive O(n²) dataflow reference on the CFGs
+    of generated programs. *)
+
+open Fsicp_cfg
+
+let lower_all seed =
+  let p = Test_util.program_of_seed seed in
+  Lower.lower_program p
+
+(* Naive dominators: iterate Dom(b) = {b} ∪ ⋂ Dom(preds) to fixpoint. *)
+let naive_dominators (cfg : Ir.cfg) : bool array array =
+  let n = Array.length cfg.Ir.blocks in
+  let preds = Ir.predecessors cfg in
+  let full = Array.init n (fun _ -> Array.make n true) in
+  let dom = full in
+  dom.(cfg.Ir.entry) <- Array.init n (fun i -> i = cfg.Ir.entry);
+  for i = 0 to n - 1 do
+    if i <> cfg.Ir.entry then dom.(i) <- Array.make n true
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if b <> cfg.Ir.entry then begin
+        let inter = Array.make n true in
+        (match preds.(b) with
+        | [] -> Array.fill inter 0 n false (* unreachable: keep all or none *)
+        | ps ->
+            List.iter
+              (fun p -> Array.iteri (fun i v -> inter.(i) <- inter.(i) && v) dom.(p))
+              ps);
+        inter.(b) <- true;
+        if inter <> dom.(b) then begin
+          dom.(b) <- inter;
+          changed := true
+        end
+      end
+    done
+  done;
+  dom
+
+let check_proc_dominators (p : Ir.proc) =
+  let cfg = p.Ir.cfg in
+  let t = Dominance.compute cfg in
+  let naive = naive_dominators cfg in
+  let n = Array.length cfg.Ir.blocks in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let fast = Dominance.dominates t a b in
+      let slow = naive.(b).(a) in
+      if fast <> slow then
+        Alcotest.failf "%s: dominates %d %d: fast=%b naive=%b" p.Ir.name a b
+          fast slow
+    done
+  done
+
+let test_diamond () =
+  let p =
+    Test_util.parse
+      "proc main() { if (c) { x = 1; } else { x = 2; } print x; }"
+  in
+  let pr = Lower.lower_proc p (Fsicp_lang.Ast.find_proc_exn p "main") in
+  let t = Dominance.compute pr.Ir.cfg in
+  (* entry dominates everything; neither arm dominates the join *)
+  Alcotest.(check int) "entry idom itself" 0 t.Dominance.idom.(0);
+  let join =
+    match pr.Ir.cfg.Ir.blocks.(0).Ir.term with
+    | Ir.Cond (_, a, b) ->
+        (* the join is the common successor of both arms *)
+        let sa = Ir.successors pr.Ir.cfg.Ir.blocks.(a) in
+        let sb = Ir.successors pr.Ir.cfg.Ir.blocks.(b) in
+        List.find (fun x -> List.mem x sb) sa
+    | _ -> Alcotest.fail "diamond"
+  in
+  Alcotest.(check int) "join's idom is the branch block" 0
+    t.Dominance.idom.(join)
+
+let test_loop_dominators () =
+  let p =
+    Test_util.parse "proc main() { while (c) { x = x + 1; } print x; }"
+  in
+  let pr = Lower.lower_proc p (Fsicp_lang.Ast.find_proc_exn p "main") in
+  check_proc_dominators pr
+
+let test_frontier_diamond () =
+  let p =
+    Test_util.parse
+      "proc main() { if (c) { x = 1; } else { x = 2; } print x; }"
+  in
+  let pr = Lower.lower_proc p (Fsicp_lang.Ast.find_proc_exn p "main") in
+  let t = Dominance.compute pr.Ir.cfg in
+  let df = Dominance.frontiers pr.Ir.cfg t in
+  (* both arms have the join in their dominance frontier *)
+  match pr.Ir.cfg.Ir.blocks.(0).Ir.term with
+  | Ir.Cond (_, a, b) ->
+      let join = List.hd (Ir.successors pr.Ir.cfg.Ir.blocks.(a)) in
+      Alcotest.(check bool) "then-arm DF has join" true (List.mem join df.(a));
+      Alcotest.(check bool) "else-arm DF has join" true (List.mem join df.(b));
+      Alcotest.(check (list int)) "join's own DF empty" [] df.(join)
+  | _ -> Alcotest.fail "diamond"
+
+(* DF definition check: y in DF(x) iff x dominates a pred of y but does not
+   strictly dominate y. *)
+let check_frontier_def (p : Ir.proc) =
+  let cfg = p.Ir.cfg in
+  let t = Dominance.compute cfg in
+  let df = Dominance.frontiers cfg t in
+  let preds = Ir.predecessors cfg in
+  let n = Array.length cfg.Ir.blocks in
+  for x = 0 to n - 1 do
+    if t.Dominance.idom.(x) <> -1 then
+      for y = 0 to n - 1 do
+        if t.Dominance.idom.(y) <> -1 then begin
+          let dominates_pred =
+            List.exists
+              (fun pr ->
+                t.Dominance.idom.(pr) <> -1 && Dominance.dominates t x pr)
+              preds.(y)
+          in
+          let strictly = x <> y && Dominance.dominates t x y in
+          let expected = dominates_pred && not strictly in
+          let got = List.mem y df.(x) in
+          if expected <> got then
+            Alcotest.failf "%s: DF(%d) ∋ %d: expected %b got %b" p.Ir.name x y
+              expected got
+        end
+      done
+  done
+
+let prop_dominators_match_naive =
+  Test_util.qcheck ~count:30 ~name:"CHK dominators = naive dataflow"
+    Test_util.seed_gen
+    (fun seed ->
+      List.iter check_proc_dominators (lower_all seed);
+      true)
+
+let prop_frontier_definition =
+  Test_util.qcheck ~count:30 ~name:"dominance frontier matches definition"
+    Test_util.seed_gen
+    (fun seed ->
+      List.iter check_frontier_def (lower_all seed);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "diamond dominators" `Quick test_diamond;
+    Alcotest.test_case "loop dominators vs naive" `Quick test_loop_dominators;
+    Alcotest.test_case "diamond frontier" `Quick test_frontier_diamond;
+    prop_dominators_match_naive;
+    prop_frontier_definition;
+  ]

@@ -1,0 +1,177 @@
+(** Tests for the flow-insensitive ICP of paper Figure 3. *)
+
+open Fsicp_lang
+open Fsicp_core
+open Fsicp_scc
+module L = Lattice
+
+let solve src =
+  let ctx = Context.create (Test_util.parse src) in
+  (ctx, Fi_icp.solve ctx)
+
+let lat = Test_util.lattice_testable
+
+let test_literal_args () =
+  let _, sol =
+    solve {|proc main() { call f(3, 4); call f(3, 5); } proc f(a, b) { print a; }|}
+  in
+  Alcotest.check lat "same literal everywhere" (L.Const (Value.Int 3))
+    (Solution.formal_value sol "f" 0);
+  Alcotest.check lat "different literals meet to bot" L.Bot
+    (Solution.formal_value sol "f" 1)
+
+let test_pass_through () =
+  let _, sol =
+    solve
+      {|proc main() { call f(7); }
+        proc f(a) { call g(a); }
+        proc g(b) { print b; }|}
+  in
+  Alcotest.check lat "pass-through chain" (L.Const (Value.Int 7))
+    (Solution.formal_value sol "g" 0)
+
+let test_no_pass_through_when_modified () =
+  let _, sol =
+    solve
+      {|proc main() { call f(7); }
+        proc f(a) { a = a + 1; call g(a); }
+        proc g(b) { print b; }|}
+  in
+  Alcotest.check lat "modified formal not passed" L.Bot
+    (Solution.formal_value sol "g" 0)
+
+let test_no_pass_through_when_indirectly_modified () =
+  let _, sol =
+    solve
+      {|proc main() { call f(7); }
+        proc f(a) { call bump(a); call g(a); }
+        proc bump(x) { x = x + 1; }
+        proc g(b) { print b; }|}
+  in
+  (* a is modified indirectly (by reference through bump) *)
+  Alcotest.check lat "indirect modification blocks pass-through" L.Bot
+    (Solution.formal_value sol "g" 0)
+
+let test_local_const_invisible () =
+  (* The FI method sees argument shapes only — a locally computed constant
+     is opaque to it (the key difference from the FS method). *)
+  let _, sol =
+    solve
+      {|proc main() { x = 3; call f(x); }
+        proc f(a) { print a; }|}
+  in
+  Alcotest.check lat "local constant invisible to FI" L.Bot
+    (Solution.formal_value sol "f" 0)
+
+let test_worklist_lowering_on_cycle () =
+  (* Recursive pass-through: f(7) from main, but f calls itself with a+0
+     shape-changing argument, lowering the recursive contribution.  The
+     fp_bind worklist must lower g's formal too. *)
+  let _, sol =
+    solve
+      {|proc main() { call f(7); }
+        proc f(a) { call g(a); if (u) { call f(a + 1); } }
+        proc g(b) { print b; }|}
+  in
+  (* f is called with 7 and with a+1 (expr) -> a is bot; the pass-through
+     binding f.a -> g.b must be lowered by the worklist *)
+  Alcotest.check lat "f's formal lowered" L.Bot (Solution.formal_value sol "f" 0);
+  Alcotest.check lat "binding lowered transitively" L.Bot
+    (Solution.formal_value sol "g" 0)
+
+let test_cycle_stable_constant () =
+  (* Recursion that passes the same literal: stays constant. *)
+  let _, sol =
+    solve
+      {|proc main() { call f(7); }
+        proc f(a) { if (u) { call f(7); } print a; }|}
+  in
+  Alcotest.check lat "recursive constant" (L.Const (Value.Int 7))
+    (Solution.formal_value sol "f" 0)
+
+let test_global_constants () =
+  let _, sol =
+    solve
+      {|blockdata { g = 4; h = 5; }
+        proc main() { h = 9; call f(); }
+        proc f() { print g; print h; }|}
+  in
+  Alcotest.check lat "unmodified blockdata global" (L.Const (Value.Int 4))
+    (Solution.global_value sol "f" "g");
+  Alcotest.check lat "modified blockdata global dropped" L.Bot
+    (Solution.global_value sol "f" "h")
+
+let test_global_modified_through_alias () =
+  let _, sol =
+    solve
+      {|blockdata { g = 4; }
+        proc main() { call f(g); call r(); }
+        proc f(a) { a = 5; }
+        proc r() { print g; }|}
+  in
+  Alcotest.check lat "global modified via reference parameter" L.Bot
+    (Solution.global_value sol "r" "g")
+
+let test_global_constant_as_arg () =
+  let _, sol =
+    solve
+      {|blockdata { g = 4; }
+        proc main() { call f(g); }
+        proc f(a) { print a; }|}
+  in
+  (* g is a program-wide constant, so passing it makes the formal constant
+     (Figure 3: "if arg is an immediate constant or a global constant") *)
+  Alcotest.check lat "global constant argument" (L.Const (Value.Int 4))
+    (Solution.formal_value sol "f" 0)
+
+let test_no_scc_runs () =
+  let _, sol = solve {|proc main() { call f(1); } proc f(a) { }|} in
+  Alcotest.(check int) "FI performs no flow-sensitive analyses" 0
+    sol.Solution.scc_runs
+
+let test_censor_floats () =
+  let prog =
+    Test_util.parse
+      {|proc main() { call f(2.5, 3); } proc f(a, b) { print a + b; }|}
+  in
+  let ctx = Context.create ~floats:false prog in
+  let sol = Fi_icp.solve ctx in
+  Alcotest.check lat "float literal censored" L.Bot
+    (Solution.formal_value sol "f" 0);
+  Alcotest.check lat "int literal kept" (L.Const (Value.Int 3))
+    (Solution.formal_value sol "f" 1)
+
+let prop_sound =
+  Test_util.qcheck ~count:60 ~name:"FI solution sound w.r.t. interpreter"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let ctx = Context.create prog in
+      let sol = Fi_icp.solve ctx in
+      match Test_util.check_solution_sound prog sol with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
+let suite =
+  [
+    Alcotest.test_case "literal arguments" `Quick test_literal_args;
+    Alcotest.test_case "pass-through" `Quick test_pass_through;
+    Alcotest.test_case "modified formal blocks pass-through" `Quick
+      test_no_pass_through_when_modified;
+    Alcotest.test_case "indirect modification blocks pass-through" `Quick
+      test_no_pass_through_when_indirectly_modified;
+    Alcotest.test_case "local constants invisible" `Quick
+      test_local_const_invisible;
+    Alcotest.test_case "worklist lowering on cycles" `Quick
+      test_worklist_lowering_on_cycle;
+    Alcotest.test_case "stable recursive constant" `Quick
+      test_cycle_stable_constant;
+    Alcotest.test_case "block-data globals" `Quick test_global_constants;
+    Alcotest.test_case "alias-modified global dropped" `Quick
+      test_global_modified_through_alias;
+    Alcotest.test_case "global constant as argument" `Quick
+      test_global_constant_as_arg;
+    Alcotest.test_case "zero SCC runs" `Quick test_no_scc_runs;
+    Alcotest.test_case "float censoring" `Quick test_censor_floats;
+    prop_sound;
+  ]

@@ -1,0 +1,97 @@
+(** End-to-end reproduction of the paper's Figure 1: six methods, six
+    precision levels, on the reconstructed example program. *)
+
+open Fsicp_lang
+open Fsicp_core
+open Fsicp_workloads
+
+let sorted l = List.sort compare l
+
+let constants_found (sol : Solution.t) : (string * int) list =
+  Solution.constant_formals sol |> List.map (fun (p, i, _) -> (p, i)) |> sorted
+
+let check_method name expected actual () =
+  Alcotest.(check (list (pair string int)))
+    (Printf.sprintf "%s finds exactly the Figure 1 constants" name)
+    (sorted expected) actual
+
+let ctx () = Context.create Figure1.program
+
+let test_flow_sensitive () =
+  let c = ctx () in
+  let fs = Fs_icp.solve c in
+  check_method "flow-sensitive"
+    (List.assoc "flow-sensitive" Figure1.expected)
+    (constants_found fs) ();
+  (* values: f1=0 f2=0 f3=4 f4=0 f5=1 *)
+  Alcotest.(check (list (pair string int)))
+    "value check support" [] [];
+  let v p i = Solution.formal_value fs p i in
+  Alcotest.(check bool) "f1 = 0" true
+    (v "sub1" 0 = Fsicp_scc.Lattice.Const (Value.Int 0));
+  Alcotest.(check bool) "f2 = 0" true
+    (v "sub2" 0 = Fsicp_scc.Lattice.Const (Value.Int 0));
+  Alcotest.(check bool) "f3 = 4" true
+    (v "sub2" 1 = Fsicp_scc.Lattice.Const (Value.Int 4));
+  Alcotest.(check bool) "f4 = 0" true
+    (v "sub2" 2 = Fsicp_scc.Lattice.Const (Value.Int 0));
+  Alcotest.(check bool) "f5 = 1" true
+    (v "sub2" 3 = Fsicp_scc.Lattice.Const (Value.Int 1))
+
+let test_flow_insensitive () =
+  let c = ctx () in
+  check_method "flow-insensitive"
+    (List.assoc "flow-insensitive" Figure1.expected)
+    (constants_found (Fi_icp.solve c)) ()
+
+let test_variant variant () =
+  let c = ctx () in
+  let name = Jump_functions.variant_name variant in
+  check_method name
+    (List.assoc name Figure1.expected)
+    (constants_found (Jump_functions.solve c variant)) ()
+
+let test_figure1_helper () =
+  (* The Metrics.figure1 convenience must agree with the direct runs. *)
+  let rows = Metrics.figure1 (ctx ()) in
+  List.iter
+    (fun (r : Metrics.figure1_row) ->
+      let expected = List.assoc r.Metrics.f1_method Figure1.expected in
+      Alcotest.(check (list (pair string int)))
+        (r.Metrics.f1_method ^ " via Metrics.figure1")
+        (sorted expected)
+        (sorted r.Metrics.f1_constants))
+    rows
+
+let test_one_scc_per_proc () =
+  let c = ctx () in
+  let fs = Fs_icp.solve c in
+  Alcotest.(check int)
+    "FS performs exactly one SCC run per reachable procedure" 3
+    fs.Solution.scc_runs
+
+let test_program_runs () =
+  (* The example program prints f2+f3+f4+f5 = 0+4+0+1 = 5. *)
+  let r = Fsicp_interp.Interp.run Figure1.program in
+  Alcotest.(check (list string))
+    "prints 5"
+    [ "5" ]
+    (List.map Value.to_string r.Fsicp_interp.Interp.prints)
+
+let suite =
+  [
+    Alcotest.test_case "flow-sensitive finds f1..f5" `Quick test_flow_sensitive;
+    Alcotest.test_case "flow-insensitive finds f1,f3,f4" `Quick
+      test_flow_insensitive;
+    Alcotest.test_case "literal finds f1,f3" `Quick
+      (test_variant Jump_functions.Literal);
+    Alcotest.test_case "intra finds f1,f3,f5" `Quick
+      (test_variant Jump_functions.Intra);
+    Alcotest.test_case "pass-through finds f1,f3,f4,f5" `Quick
+      (test_variant Jump_functions.Pass_through);
+    Alcotest.test_case "polynomial finds f1,f3,f4,f5" `Quick
+      (test_variant Jump_functions.Polynomial);
+    Alcotest.test_case "Metrics.figure1 agrees" `Quick test_figure1_helper;
+    Alcotest.test_case "one SCC per procedure" `Quick test_one_scc_per_proc;
+    Alcotest.test_case "program prints 5" `Quick test_program_runs;
+  ]

@@ -1,0 +1,167 @@
+(** Tests for procedure inlining (the backward walk's other transformation). *)
+
+open Fsicp_lang
+open Fsicp_core
+module I = Fsicp_interp.Interp
+
+let setup src =
+  let prog = Test_util.parse src in
+  (prog, Context.create prog)
+
+let test_simple_inline () =
+  let prog, ctx =
+    setup
+      {|proc main() { x = 2; call double(x); print x; }
+        proc double(a) { a = a * 2; }|}
+  in
+  let prog', n = Inline.inline_program ctx () in
+  Alcotest.(check int) "one call expanded" 1 n;
+  Sema.check_exn prog';
+  let main = Ast.find_proc_exn prog' "main" in
+  let calls =
+    List.filter
+      (fun (s : Ast.stmt) ->
+        match s.Ast.sdesc with Ast.Call _ -> true | _ -> false)
+      main.Ast.body
+  in
+  Alcotest.(check int) "no calls remain in main" 0 (List.length calls);
+  Alcotest.(check (list Test_util.value_testable))
+    "behaviour preserved" (I.run prog).I.prints (I.run prog').I.prints
+
+let test_by_reference_substitution () =
+  (* Writing through the formal must write the caller's variable. *)
+  let prog, ctx =
+    setup
+      {|proc main() { x = 1; call set(x); print x; }
+        proc set(p) { p = 9; }|}
+  in
+  let prog', _ = Inline.inline_program ctx () in
+  Alcotest.(check (list Test_util.value_testable))
+    "by-ref write survives inlining" (I.run prog).I.prints (I.run prog').I.prints
+
+let test_expression_arg_uses_temp () =
+  (* Writing to a formal bound to an expression must NOT escape. *)
+  let prog, ctx =
+    setup
+      {|proc main() { x = 1; call f(x + 0); print x; }
+        proc f(p) { p = 9; print p; }|}
+  in
+  let prog', _ = Inline.inline_program ctx () in
+  Sema.check_exn prog';
+  Alcotest.(check (list Test_util.value_testable))
+    "temp binding" (I.run prog).I.prints (I.run prog').I.prints
+
+let test_local_capture_avoided () =
+  (* Caller and callee both use a local named t. *)
+  let prog, ctx =
+    setup
+      {|proc main() { t = 5; call f(1); print t; }
+        proc f(a) { t = a + 10; print t; }|}
+  in
+  let prog', _ = Inline.inline_program ctx () in
+  Alcotest.(check (list Test_util.value_testable))
+    "no capture" (I.run prog).I.prints (I.run prog').I.prints
+
+let test_inlined_local_rezeroed_in_loop () =
+  (* The callee reads its own local before writing (implicit 0); inside a
+     caller loop the inlined copy must see 0 every iteration. *)
+  let prog, ctx =
+    setup
+      {|proc main() { i = 0; while (i < 3) { call f(i); i = i + 1; } }
+        proc f(a) { acc = acc + a; print acc; }|}
+  in
+  let prog', _ = Inline.inline_program ctx () in
+  Alcotest.(check (list Test_util.value_testable))
+    "locals reset per entry" (I.run prog).I.prints (I.run prog').I.prints
+
+let test_recursive_not_inlined () =
+  let _, ctx =
+    setup
+      {|proc main() { call f(3); }
+        proc f(a) { if (u) { call f(a); } print a; }|}
+  in
+  let _, n = Inline.inline_program ctx () in
+  Alcotest.(check int) "recursion not expanded" 0 n
+
+let test_return_blocks_inlining () =
+  let _, ctx =
+    setup
+      {|proc main() { call f(1); }
+        proc f(a) { if (a) { return; } print a; }|}
+  in
+  let _, n = Inline.inline_program ctx () in
+  Alcotest.(check int) "early return blocks inlining" 0 n
+
+let test_size_threshold () =
+  let _, ctx =
+    setup
+      {|proc main() { call f(1); }
+        proc f(a) { print a; print a; print a; print a; print a; }|}
+  in
+  let _, n = Inline.inline_program ctx ~max_body:3 () in
+  Alcotest.(check int) "too big to inline" 0 n;
+  let _, n' = Inline.inline_program ctx ~max_body:10 () in
+  Alcotest.(check int) "within threshold" 1 n'
+
+let test_inlining_helps_icp () =
+  (* After inlining, colliding constants become separate code paths and the
+     purely intraprocedural analysis folds them. *)
+  let _, ctx =
+    setup
+      {|proc main() { call f(2); call f(3); }
+        proc f(a) { print a * 10; }|}
+  in
+  let fs0 = Fs_icp.solve ctx in
+  Alcotest.(check int) "collision before" 0
+    (List.length (Solution.constant_formals fs0));
+  let prog', n = Inline.inline_program ctx () in
+  Alcotest.(check int) "both sites expanded" 2 n;
+  let ctx' = Context.create prog' in
+  let _, subs = Transform.substitutions ctx' (Fs_icp.solve ctx') in
+  Alcotest.(check bool) "folds after inlining" true (subs >= 2)
+
+let prop_inlining_preserves_semantics =
+  Test_util.qcheck ~count:60 ~name:"inlining preserves behaviour"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let ctx = Context.create prog in
+      let prog', _ = Inline.inline_program ctx () in
+      Sema.check_exn prog';
+      match (I.run_opt prog, I.run_opt prog') with
+      | Some a, Some b -> List.equal Value.equal a.I.prints b.I.prints
+      | None, None -> true
+      | _ -> false)
+
+let prop_inlining_then_icp_sound =
+  Test_util.qcheck ~count:30 ~name:"ICP after inlining still sound"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let ctx = Context.create prog in
+      let prog', _ = Inline.inline_program ctx () in
+      let ctx' = Context.create prog' in
+      match
+        Test_util.check_solution_sound prog' (Fs_icp.solve ctx')
+      with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
+let suite =
+  [
+    Alcotest.test_case "simple inline" `Quick test_simple_inline;
+    Alcotest.test_case "by-reference substitution" `Quick
+      test_by_reference_substitution;
+    Alcotest.test_case "expression arg uses temp" `Quick
+      test_expression_arg_uses_temp;
+    Alcotest.test_case "local capture avoided" `Quick test_local_capture_avoided;
+    Alcotest.test_case "locals re-zeroed in loops" `Quick
+      test_inlined_local_rezeroed_in_loop;
+    Alcotest.test_case "recursion not inlined" `Quick test_recursive_not_inlined;
+    Alcotest.test_case "return blocks inlining" `Quick
+      test_return_blocks_inlining;
+    Alcotest.test_case "size threshold" `Quick test_size_threshold;
+    Alcotest.test_case "inlining helps ICP" `Quick test_inlining_helps_icp;
+    prop_inlining_preserves_semantics;
+    prop_inlining_then_icp_sound;
+  ]

@@ -1,0 +1,173 @@
+(** Tests for the reference interpreter — the semantics every analysis is
+    judged against, so its own behaviour is pinned down carefully here. *)
+
+open Fsicp_lang
+module I = Fsicp_interp.Interp
+
+let run src = I.run (Test_util.parse src)
+
+let prints src =
+  List.map Value.to_string (run src).I.prints
+
+let check_prints name expected src =
+  Alcotest.(check (list string)) name expected (prints src)
+
+let test_arith_and_print () =
+  check_prints "arith" [ "7"; "2.5" ]
+    "proc main() { x = 3 + 4; print x; print 5.0 / 2; }"
+
+let test_if_else () =
+  check_prints "then branch" [ "1" ]
+    "proc main() { if (2 > 1) { print 1; } else { print 2; } }";
+  check_prints "else branch" [ "2" ]
+    "proc main() { if (0) { print 1; } else { print 2; } }"
+
+let test_while () =
+  check_prints "sum 0..4" [ "10" ]
+    {|proc main() { s = 0; i = 0;
+       while (i < 5) { s = s + i; i = i + 1; }
+       print s; }|}
+
+let test_uninitialised_local_is_zero () =
+  check_prints "implicit zero" [ "0" ] "proc main() { print nevermind; }"
+
+let test_globals_and_blockdata () =
+  check_prints "blockdata initialised" [ "3"; "0" ]
+    "blockdata { g = 3; } global h; proc main() { print g; print h; }"
+
+let test_by_reference () =
+  check_prints "callee writes through formal" [ "9" ]
+    {|proc main() { x = 1; call set9(x); print x; }
+      proc set9(a) { a = 9; }|}
+
+let test_by_value_temp () =
+  check_prints "expression argument does not escape" [ "1" ]
+    {|proc main() { x = 1; call set9(x + 0); print x; }
+      proc set9(a) { a = 9; }|}
+
+let test_literal_arg_temp () =
+  check_prints "literal argument writable without effect" [ "5" ]
+    {|proc main() { call f(3); print 5; }
+      proc f(a) { a = 4; }|}
+
+let test_aliased_formals () =
+  (* Passing the same variable twice aliases both formals. *)
+  check_prints "aliasing visible" [ "7"; "7" ]
+    {|proc main() { x = 1; call two(x, x); print x; }
+      proc two(a, b) { a = 7; print b; }|}
+
+let test_global_passed_byref () =
+  check_prints "global aliased to formal" [ "4"; "4" ]
+    {|global g;
+      proc main() { g = 1; call f(g); print g; }
+      proc f(a) { a = 4; print g; }|}
+
+let test_return_early () =
+  check_prints "return skips rest" [ "1" ]
+    {|proc main() { call f(); }
+      proc f() { print 1; return; print 2; }|}
+
+let test_return_from_loop () =
+  check_prints "return exits loop and proc" [ "0"; "1" ]
+    {|proc main() { call f(); print 1; }
+      proc f() { i = 0; while (1) { print i; return; } }|}
+
+let test_recursion () =
+  check_prints "factorial via global accumulator" [ "120" ]
+    {|global acc;
+      proc main() { acc = 1; call fact(5); print acc; }
+      proc fact(n) { if (n > 1) { acc = acc * n; m = n - 1; call fact(m); } }|}
+
+let test_fuel () =
+  let p = Test_util.parse "proc main() { while (1) { x = x + 1; } }" in
+  (match I.run ~fuel:1000 p with
+  | exception I.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel");
+  Alcotest.(check bool) "run_opt maps to None" true
+    (I.run_opt ~fuel:1000 p = None)
+
+let test_runtime_error () =
+  let p = Test_util.parse "proc main() { x = 1 / 0; }" in
+  match I.run p with
+  | exception I.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let test_entry_trace () =
+  let r =
+    run
+      {|global g;
+        proc main() { g = 5; call f(2, 3); call f(4, g); }
+        proc f(a, b) { print a + b; }|}
+  in
+  let entries =
+    List.filter (fun e -> e.I.ev_proc = "f") r.I.entries
+  in
+  Alcotest.(check int) "two entries to f" 2 (List.length entries);
+  let first = List.hd entries in
+  Alcotest.(check (list (pair string Test_util.value_testable)))
+    "first entry formals"
+    [ ("a", Value.Int 2); ("b", Value.Int 3) ]
+    first.I.ev_formals;
+  Alcotest.(check (option Test_util.value_testable))
+    "global snapshot" (Some (Value.Int 5))
+    (List.assoc_opt "g" first.I.ev_globals)
+
+let test_nested_scopes_independent () =
+  check_prints "locals are per procedure" [ "2"; "1" ]
+    {|proc main() { x = 1; call f(); print x; }
+      proc f() { x = 2; y = x; print y; }|}
+
+(* Order fix: f prints 2 (its own x), then main prints its unchanged 1. *)
+let test_nested_scopes_order () =
+  check_prints "callee local does not clobber caller" [ "2"; "1" ]
+    {|proc main() { x = 1; call f(); print x; }
+      proc f() { x = 2; print x; }|}
+
+let prop_terminating_or_flagged =
+  Test_util.qcheck ~count:40 ~name:"generated programs run or are flagged"
+    Test_util.seed_gen
+    (fun seed ->
+      let p = Test_util.program_of_seed seed in
+      match I.run_opt ~fuel:500_000 p with
+      | Some r -> r.I.steps > 0
+      | None -> true)
+
+let prop_deterministic =
+  Test_util.qcheck ~count:25 ~name:"interpretation is deterministic"
+    Test_util.seed_gen
+    (fun seed ->
+      let p = Test_util.program_of_seed seed in
+      match (I.run_opt p, I.run_opt p) with
+      | Some a, Some b ->
+          List.equal Value.equal a.I.prints b.I.prints
+          && a.I.steps = b.I.steps
+      | None, None -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic and print" `Quick test_arith_and_print;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "while" `Quick test_while;
+    Alcotest.test_case "uninitialised local is 0" `Quick
+      test_uninitialised_local_is_zero;
+    Alcotest.test_case "globals and blockdata" `Quick test_globals_and_blockdata;
+    Alcotest.test_case "by-reference parameters" `Quick test_by_reference;
+    Alcotest.test_case "expression args use temps" `Quick test_by_value_temp;
+    Alcotest.test_case "literal args writable" `Quick test_literal_arg_temp;
+    Alcotest.test_case "aliased formals" `Quick test_aliased_formals;
+    Alcotest.test_case "global passed by reference" `Quick
+      test_global_passed_byref;
+    Alcotest.test_case "early return" `Quick test_return_early;
+    Alcotest.test_case "return from loop" `Quick test_return_from_loop;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel;
+    Alcotest.test_case "division by zero" `Quick test_runtime_error;
+    Alcotest.test_case "entry-event trace" `Quick test_entry_trace;
+    Alcotest.test_case "locals are per-procedure" `Quick
+      test_nested_scopes_independent;
+    Alcotest.test_case "caller locals survive calls" `Quick
+      test_nested_scopes_order;
+    prop_terminating_or_flagged;
+    prop_deterministic;
+  ]

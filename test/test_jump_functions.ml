@@ -1,0 +1,238 @@
+(** Tests for the jump-function baselines and the polynomial algebra. *)
+
+open Fsicp_lang
+open Fsicp_core
+open Fsicp_scc
+module L = Lattice
+module JF = Jump_functions
+
+let lat = Test_util.lattice_testable
+
+let solve variant src =
+  let ctx = Context.create (Test_util.parse src) in
+  JF.solve ctx variant
+
+(* -- Poly algebra ------------------------------------------------------- *)
+
+let test_poly_basics () =
+  let f0 = Poly.formal 0 and f1 = Poly.formal 1 in
+  let two = Poly.const (Value.Int 2) in
+  (* 2*f0 + f1 *)
+  let p =
+    match Poly.mul two f0 with
+    | Some tf0 -> (
+        match Poly.add tf0 f1 with Some p -> p | None -> Alcotest.fail "add")
+    | None -> Alcotest.fail "mul"
+  in
+  Alcotest.(check (option Test_util.value_testable))
+    "eval 2*3+4" (Some (Value.Int 10))
+    (Poly.eval p (fun i -> Some (Value.Int (i + 3))));
+  Alcotest.(check (list int)) "formals used" [ 0; 1 ] (Poly.formals_used p)
+
+let test_poly_cancellation () =
+  let f0 = Poly.formal 0 in
+  match Poly.sub f0 f0 with
+  | Some p ->
+      Alcotest.(check (option Test_util.value_testable))
+        "f0 - f0 = 0" (Some (Value.Int 0)) (Poly.is_const p)
+  | None -> Alcotest.fail "sub"
+
+let test_poly_product_of_sums () =
+  (* (f0 + 1) * (f0 - 1) = f0^2 - 1 *)
+  let f0 = Poly.formal 0 in
+  let one = Poly.const (Value.Int 1) in
+  let a = Option.get (Poly.add f0 one) in
+  let b = Option.get (Poly.sub f0 one) in
+  let p = Option.get (Poly.mul a b) in
+  Alcotest.(check (option Test_util.value_testable))
+    "eval at f0=5: 24" (Some (Value.Int 24))
+    (Poly.eval p (fun _ -> Some (Value.Int 5)))
+
+let test_poly_degree_cap () =
+  (* repeated squaring exceeds the degree cap and gives up *)
+  let rec pow p n = if n = 0 then Some p else
+    match Poly.mul p p with Some q -> pow q (n - 1) | None -> None
+  in
+  Alcotest.(check bool) "degree cap triggers" true
+    (pow (Poly.formal 0) 5 = None)
+
+let test_poly_equal_normalised () =
+  let f0 = Poly.formal 0 and f1 = Poly.formal 1 in
+  let a = Option.get (Poly.add f0 f1) in
+  let b = Option.get (Poly.add f1 f0) in
+  Alcotest.(check bool) "f0+f1 = f1+f0" true (Poly.equal a b)
+
+(* -- variants ------------------------------------------------------------ *)
+
+let src_chain =
+  {|proc main() { call f(3, x); }
+    proc f(a, b) { call g(a, a + 1, a * a + 2); }
+    proc g(p, q, r) { print p + q + r; }|}
+
+let test_literal_variant () =
+  let sol = solve JF.Literal src_chain in
+  Alcotest.check lat "literal: direct literal" (L.Const (Value.Int 3))
+    (Solution.formal_value sol "f" 0);
+  Alcotest.check lat "literal: formal arg opaque" L.Bot
+    (Solution.formal_value sol "g" 0);
+  Alcotest.check lat "literal: expression opaque" L.Bot
+    (Solution.formal_value sol "g" 1)
+
+let test_pass_through_variant () =
+  let sol = solve JF.Pass_through src_chain in
+  Alcotest.check lat "pass-through: forwarded formal" (L.Const (Value.Int 3))
+    (Solution.formal_value sol "g" 0);
+  Alcotest.check lat "pass-through: a+1 opaque" L.Bot
+    (Solution.formal_value sol "g" 1)
+
+let test_polynomial_variant () =
+  let sol = solve JF.Polynomial src_chain in
+  Alcotest.check lat "poly: a+1 = 4" (L.Const (Value.Int 4))
+    (Solution.formal_value sol "g" 1);
+  Alcotest.check lat "poly: a*a+2 = 11" (L.Const (Value.Int 11))
+    (Solution.formal_value sol "g" 2)
+
+let test_intra_variant () =
+  let sol =
+    solve JF.Intra
+      {|proc main() { x = 5; call f(x, y); }
+        proc f(a, b) { print a; }|}
+  in
+  Alcotest.check lat "intra: locally constant arg" (L.Const (Value.Int 5))
+    (Solution.formal_value sol "f" 0);
+  Alcotest.check lat "intra: unknown local" L.Bot
+    (Solution.formal_value sol "f" 1)
+
+let test_pass_through_requires_unmodified () =
+  let sol =
+    solve JF.Pass_through
+      {|proc main() { call f(3); }
+        proc f(a) { a = a + 1; call g(a); }
+        proc g(b) { print b; }|}
+  in
+  Alcotest.check lat "modified formal is not pass-through" L.Bot
+    (Solution.formal_value sol "g" 0)
+
+let test_pass_through_flow_sensitive_detection () =
+  (* a is modified only AFTER the call: the SSA-version-0 test accepts it,
+     which is more precise than a whole-procedure MOD check. *)
+  let sol =
+    solve JF.Pass_through
+      {|proc main() { call f(3); }
+        proc f(a) { call g(a); a = 9; }
+        proc g(b) { print b; }|}
+  in
+  Alcotest.check lat "pass-through before later modification"
+    (L.Const (Value.Int 3))
+    (Solution.formal_value sol "g" 0)
+
+let test_poly_does_not_prune_formal_branches () =
+  (* The defining weakness vs the FS method (paper Figure 1's f2). *)
+  let src =
+    {|proc main() { call f(0); }
+      proc f(a) {
+        if (a != 0) { y = 1; } else { y = 0; }
+        call g(y);
+      }
+      proc g(b) { print b; }|}
+  in
+  let poly = solve JF.Polynomial src in
+  Alcotest.check lat "polynomial cannot see pruned branch" L.Bot
+    (Solution.formal_value poly "g" 0);
+  let ctx = Context.create (Test_util.parse src) in
+  let fs = Fs_icp.solve ctx in
+  Alcotest.check lat "flow-sensitive can" (L.Const (Value.Int 0))
+    (Solution.formal_value fs "g" 0)
+
+let test_globals_not_propagated () =
+  let sol =
+    solve JF.Polynomial
+      {|blockdata { g = 4; }
+        proc main() { call f(); }
+        proc f() { print g; }|}
+  in
+  Alcotest.check lat "jump functions ignore globals" L.Bot
+    (Solution.global_value sol "f" "g")
+
+let test_cycles_converge () =
+  let sol =
+    solve JF.Polynomial
+      {|proc main() { call f(3); }
+        proc f(a) { if (u) { call f(a); } print a; }|}
+  in
+  Alcotest.check lat "identity recursion keeps constant"
+    (L.Const (Value.Int 3))
+    (Solution.formal_value sol "f" 0);
+  let sol2 =
+    solve JF.Polynomial
+      {|proc main() { call f(3); }
+        proc f(a) { if (u) { call f(a + 1); } print a; }|}
+  in
+  Alcotest.check lat "increasing recursion lowers to bot" L.Bot
+    (Solution.formal_value sol2 "f" 0)
+
+(* -- hierarchy property --------------------------------------------------- *)
+
+let prop_hierarchy =
+  Test_util.qcheck ~count:40
+    ~name:"literal ⊑ intra ⊑ pass-through ⊑ polynomial ⊑ FS (acyclic)"
+    Test_util.seed_gen
+    (fun seed ->
+      let profile =
+        {
+          (Fsicp_workloads.Generator.small_profile seed) with
+          Fsicp_workloads.Generator.g_back_edge_prob = 0.0;
+        }
+      in
+      let prog = Fsicp_workloads.Generator.generate profile in
+      let ctx = Context.create prog in
+      let procs = Test_util.reachable_procs ctx in
+      let lit = JF.solve ctx JF.Literal in
+      let intra = JF.solve ctx JF.Intra in
+      let pass = JF.solve ctx JF.Pass_through in
+      let poly = JF.solve ctx JF.Polynomial in
+      let fs = Fs_icp.solve ctx in
+      Test_util.solution_le lit intra ~procs
+      && Test_util.solution_le intra pass ~procs
+      && Test_util.solution_le pass poly ~procs
+      && Test_util.solution_le poly fs ~procs)
+
+let prop_sound =
+  Test_util.qcheck ~count:40 ~name:"all jump-function variants sound"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let ctx = Context.create prog in
+      List.for_all
+        (fun variant ->
+          match
+            Test_util.check_solution_sound prog (JF.solve ctx variant)
+          with
+          | Ok () -> true
+          | Error msg ->
+              QCheck2.Test.fail_reportf "%s: %s" (JF.variant_name variant) msg)
+        JF.all_variants)
+
+let suite =
+  [
+    Alcotest.test_case "poly basics" `Quick test_poly_basics;
+    Alcotest.test_case "poly cancellation" `Quick test_poly_cancellation;
+    Alcotest.test_case "poly product of sums" `Quick test_poly_product_of_sums;
+    Alcotest.test_case "poly degree cap" `Quick test_poly_degree_cap;
+    Alcotest.test_case "poly normalisation" `Quick test_poly_equal_normalised;
+    Alcotest.test_case "literal variant" `Quick test_literal_variant;
+    Alcotest.test_case "pass-through variant" `Quick test_pass_through_variant;
+    Alcotest.test_case "polynomial variant" `Quick test_polynomial_variant;
+    Alcotest.test_case "intra variant" `Quick test_intra_variant;
+    Alcotest.test_case "pass-through needs unmodified" `Quick
+      test_pass_through_requires_unmodified;
+    Alcotest.test_case "pass-through is flow-sensitive" `Quick
+      test_pass_through_flow_sensitive_detection;
+    Alcotest.test_case "polynomial misses pruned branches" `Quick
+      test_poly_does_not_prune_formal_branches;
+    Alcotest.test_case "globals not propagated" `Quick
+      test_globals_not_propagated;
+    Alcotest.test_case "cycles converge" `Quick test_cycles_converge;
+    prop_hierarchy;
+    prop_sound;
+  ]

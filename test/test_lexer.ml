@@ -1,0 +1,94 @@
+(** Tests for the MiniFort lexer. *)
+
+open Fsicp_lang
+
+let toks src = Lexer.tokens_of_string src
+
+let tok_testable =
+  Alcotest.testable
+    (fun ppf t -> Fmt.string ppf (Lexer.token_to_string t))
+    ( = )
+
+let check name expected src =
+  Alcotest.(check (list tok_testable)) name expected (toks src)
+
+let test_keywords () =
+  check "keywords"
+    Lexer.
+      [
+        KW_GLOBAL; KW_BLOCKDATA; KW_PROC; KW_IF; KW_ELSE; KW_WHILE; KW_CALL;
+        KW_RETURN; KW_PRINT; EOF;
+      ]
+    "global blockdata proc if else while call return print"
+
+let test_idents_not_keywords () =
+  check "prefixed identifiers stay identifiers"
+    Lexer.[ IDENT "iffy"; IDENT "global1"; IDENT "printx"; EOF ]
+    "iffy global1 printx"
+
+let test_numbers () =
+  check "integers" Lexer.[ INT 0; INT 42; INT 1000000; EOF ] "0 42 1000000";
+  check "reals" Lexer.[ REAL 0.5; REAL 3.0; REAL 120.0; EOF ] "0.5 3.0 1.2e2";
+  check "exponent forms" Lexer.[ REAL 1e-3; REAL 2.5e2; EOF ] "1e-3 2.5e+2"
+
+let test_operators () =
+  check "punctuation and operators"
+    Lexer.
+      [
+        LPAREN; RPAREN; LBRACE; RBRACE; COMMA; SEMI; ASSIGN; OP_PLUS;
+        OP_MINUS; OP_STAR; OP_SLASH; OP_PERCENT; OP_EQ; OP_NE; OP_LT; OP_LE;
+        OP_GT; OP_GE; OP_ANDAND; OP_OROR; OP_BANG; EOF;
+      ]
+    "( ) { } , ; = + - * / % == != < <= > >= && || !"
+
+let test_two_char_disambiguation () =
+  check "= vs ==" Lexer.[ ASSIGN; OP_EQ; ASSIGN; EOF ] "= == =";
+  check "< vs <=" Lexer.[ OP_LT; OP_LE; EOF ] "< <=";
+  check "! vs !=" Lexer.[ OP_BANG; OP_NE; EOF ] "! !="
+
+let test_comments () =
+  check "line comments skipped"
+    Lexer.[ INT 1; INT 2; EOF ]
+    "1 // comment until eol\n2";
+  check "hash comments" Lexer.[ INT 1; INT 2; EOF ] "1 # note\n2";
+  check "comment at eof" Lexer.[ INT 3; EOF ] "3 // trailing"
+
+let test_whitespace () =
+  check "mixed whitespace" Lexer.[ IDENT "a"; IDENT "b"; EOF ] "  a\t\r\n  b  "
+
+let test_positions () =
+  let lx = Lexer.create "a\n  bb\n" in
+  let _, p1 = Lexer.next lx in
+  let _, p2 = Lexer.next lx in
+  Alcotest.(check (pair int int)) "first token at 1:1" (1, 1)
+    (p1.Ast.line, p1.Ast.col);
+  Alcotest.(check (pair int int)) "second token at 2:3" (2, 3)
+    (p2.Ast.line, p2.Ast.col)
+
+let test_errors () =
+  let raises src =
+    match toks src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.failf "expected lexical error for %S" src
+  in
+  raises "@";
+  raises "&x";
+  raises "|";
+  raises "$"
+
+let test_division_not_comment () =
+  check "single slash is division" Lexer.[ INT 1; OP_SLASH; INT 2; EOF ] "1 / 2"
+
+let suite =
+  [
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "identifiers vs keywords" `Quick test_idents_not_keywords;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "two-char tokens" `Quick test_two_char_disambiguation;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "whitespace" `Quick test_whitespace;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "lexical errors" `Quick test_errors;
+    Alcotest.test_case "division vs comment" `Quick test_division_not_comment;
+  ]

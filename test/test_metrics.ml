@@ -1,0 +1,192 @@
+(** Tests for the paper's metrics (§4): the counting rules behind Tables
+    1–5, exercised on crafted programs where every count is known by hand. *)
+
+open Fsicp_core
+
+let setup ?(floats = true) src =
+  let prog = Test_util.parse src in
+  let ctx = Context.create ~floats prog in
+  let fi = Fi_icp.solve ctx in
+  let fs = Fs_icp.solve ~fi ctx in
+  (ctx, fi, fs)
+
+let candidates ?floats src =
+  let ctx, fi, fs = setup ?floats src in
+  Metrics.candidates ctx ~fi ~fs ~name:"t"
+
+let propagated ?floats src =
+  let ctx, fi, fs = setup ?floats src in
+  Metrics.propagated ctx ~fi ~fs ~name:"t"
+
+let test_arg_and_imm_counts () =
+  let c =
+    candidates
+      {|proc main() { x = 1; call f(1, x, x + 1); call f(2, 3, 4); }
+        proc f(a, b, c) { print a; }|}
+  in
+  Alcotest.(check int) "six arguments" 6 c.Metrics.cd_args;
+  Alcotest.(check int) "four literals" 4 c.Metrics.cd_imm
+
+let test_fi_vs_fs_args () =
+  let c =
+    candidates
+      {|proc main() { x = 5; call f(1, x); }
+        proc f(a, b) { print a + b; }|}
+  in
+  (* FI sees the literal only; FS also sees the local constant *)
+  Alcotest.(check int) "FI args" 1 c.Metrics.cd_fi;
+  Alcotest.(check int) "FS args" 2 c.Metrics.cd_fs
+
+let test_dead_site_not_counted () =
+  let c =
+    candidates
+      {|proc main() { if (0) { call f(1); } call f(2); }
+        proc f(a) { print a; }|}
+  in
+  (* IMM counts both textually; FS counts only the live site *)
+  Alcotest.(check int) "IMM textual" 2 c.Metrics.cd_imm;
+  Alcotest.(check int) "FS live only" 1 c.Metrics.cd_fs
+
+let test_global_candidates_and_sites () =
+  let c =
+    candidates
+      {|blockdata { g = 1; h = 2; }
+        proc main() { h = 9; call f(); call f(); call other(); }
+        proc f() { print g; print h; }
+        proc other() { }|}
+  in
+  (* candidates: both blockdata globals *)
+  Alcotest.(check int) "two candidates" 2 c.Metrics.cd_gl_fi;
+  (* FS sites: g is constant and referenced by f at two sites; h is
+     constant at the sites too (assigned 9 before both calls)! So g and h
+     count at both calls to f; nothing at the call to other (no refs). *)
+  Alcotest.(check int) "four (site,global) pairs" 4 c.Metrics.cd_gl_fs;
+  (* main mentions h (writes it) and not g... visibility counts reads or
+     writes in the caller: h visible, g invisible *)
+  Alcotest.(check int) "two visible" 2 c.Metrics.cd_gl_vis
+
+let test_invisible_global () =
+  let c =
+    candidates
+      {|global g;
+        proc main() { g = 5; call mid(); }
+        proc mid() { call leaf(); }
+        proc leaf() { print g; }|}
+  in
+  (* g reaches both call sites and leaf references it (directly; mid
+     transitively): 2 counting sites.  Visible: main mentions g (1); mid
+     does not (0). *)
+  Alcotest.(check int) "two counting sites" 2 c.Metrics.cd_gl_fs;
+  Alcotest.(check int) "one visible" 1 c.Metrics.cd_gl_vis
+
+let test_propagated_formals () =
+  let p =
+    propagated
+      {|proc main() { x = 7; call f(1, x); call f(1, x); call g(2); call g(3); }
+        proc f(a, b) { print a + b; }
+        proc g(c) { print c; }|}
+  in
+  Alcotest.(check int) "three formals" 3 p.Metrics.pr_fp;
+  (* FI: f.a = 1; FS adds f.b = 7; g.c collides *)
+  Alcotest.(check int) "FI formals" 1 p.Metrics.pr_fi;
+  Alcotest.(check int) "FS formals" 2 p.Metrics.pr_fs;
+  Alcotest.(check int) "three procs" 3 p.Metrics.pr_procs
+
+let test_propagated_globals_direct_ref_only () =
+  let p =
+    propagated
+      {|blockdata { g = 1; }
+        proc main() { call direct(); call indirect(); }
+        proc direct() { print g; }
+        proc indirect() { call direct(); }|}
+  in
+  (* g counts for main? main doesn't read g directly. direct reads it;
+     indirect only transitively -> counted once for direct only *)
+  Alcotest.(check int) "FI globals: direct refs only" 1 p.Metrics.pr_gl_fi;
+  Alcotest.(check int) "FS agrees here" 1 p.Metrics.pr_gl_fs
+
+let test_float_ablation () =
+  let with_f =
+    propagated
+      {|proc main() { call f(2.5, 3); } proc f(a, b) { print a + b; }|}
+  in
+  let without_f =
+    propagated ~floats:false
+      {|proc main() { call f(2.5, 3); } proc f(a, b) { print a + b; }|}
+  in
+  Alcotest.(check int) "floats on: both formals" 2 with_f.Metrics.pr_fs;
+  Alcotest.(check int) "floats off: int only" 1 without_f.Metrics.pr_fs
+
+let test_counted_once_per_proc () =
+  (* The paper's headline rule: a constant propagated to a procedure is
+     counted once regardless of how many uses it has. *)
+  let p =
+    propagated
+      {|proc main() { call f(4); }
+        proc f(a) { print a; print a; print a + a; }|}
+  in
+  Alcotest.(check int) "one formal, counted once" 1 p.Metrics.pr_fs
+
+let test_substitutions_row () =
+  let ctx, fi, fs =
+    setup
+      {|proc main() { x = 2; call f(x); }
+        proc f(a) { print a; print a; }|}
+  in
+  let row = Metrics.substitutions ctx ~fi ~fs ~name:"t" () in
+  (* FS: x used at the call site (1) + a used twice in f = 3.
+     FI: knows nothing interprocedural; x is still an intraprocedural
+     constant in main (1 use at the call). *)
+  Alcotest.(check int) "FS substitutions" 3 row.Metrics.sb_fs;
+  Alcotest.(check int) "FI substitutions" 1 row.Metrics.sb_fi;
+  Alcotest.(check bool) "poly between" true
+    (row.Metrics.sb_poly >= row.Metrics.sb_fi
+    && row.Metrics.sb_poly <= row.Metrics.sb_fs)
+
+let prop_fs_args_at_least_fi =
+  Test_util.qcheck ~count:40 ~name:"FS candidate args >= FI's (acyclic)"
+    Test_util.seed_gen
+    (fun seed ->
+      let profile =
+        {
+          (Fsicp_workloads.Generator.small_profile seed) with
+          Fsicp_workloads.Generator.g_back_edge_prob = 0.0;
+        }
+      in
+      let prog = Fsicp_workloads.Generator.generate profile in
+      let ctx = Context.create prog in
+      let fi = Fi_icp.solve ctx in
+      let fs = Fs_icp.solve ~fi ctx in
+      let c = Metrics.candidates ctx ~fi ~fs ~name:"p" in
+      c.Metrics.cd_fs >= c.Metrics.cd_fi && c.Metrics.cd_fi >= 0)
+
+let prop_imm_le_args =
+  Test_util.qcheck ~count:40 ~name:"IMM <= ARG always"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let ctx = Context.create prog in
+      let fi = Fi_icp.solve ctx in
+      let fs = Fs_icp.solve ~fi ctx in
+      let c = Metrics.candidates ctx ~fi ~fs ~name:"p" in
+      c.Metrics.cd_imm <= c.Metrics.cd_args
+      && c.Metrics.cd_gl_vis <= c.Metrics.cd_gl_fs)
+
+let suite =
+  [
+    Alcotest.test_case "ARG and IMM counts" `Quick test_arg_and_imm_counts;
+    Alcotest.test_case "FI vs FS argument counts" `Quick test_fi_vs_fs_args;
+    Alcotest.test_case "dead sites not counted" `Quick test_dead_site_not_counted;
+    Alcotest.test_case "global candidates and sites" `Quick
+      test_global_candidates_and_sites;
+    Alcotest.test_case "invisible globals" `Quick test_invisible_global;
+    Alcotest.test_case "propagated formals" `Quick test_propagated_formals;
+    Alcotest.test_case "globals need direct refs" `Quick
+      test_propagated_globals_direct_ref_only;
+    Alcotest.test_case "float ablation" `Quick test_float_ablation;
+    Alcotest.test_case "counted once per procedure" `Quick
+      test_counted_once_per_proc;
+    Alcotest.test_case "substitutions row" `Quick test_substitutions_row;
+    prop_fs_args_at_least_fi;
+    prop_imm_le_args;
+  ]

@@ -1,0 +1,183 @@
+(** Tests for the MiniFort parser, including the pretty-printer round-trip
+    property (parse ∘ print = id up to positions). *)
+
+open Fsicp_lang
+
+let expr s = Parser.expr_of_string s
+
+let expr_testable =
+  Alcotest.testable
+    (fun ppf e -> Fmt.string ppf (Pretty.expr_to_string e))
+    Ast.equal_expr
+
+let check_expr name expected src =
+  Alcotest.check expr_testable name expected (expr src)
+
+let test_precedence () =
+  check_expr "mul binds tighter than add"
+    Ast.(binary Ops.Add (var "a") (binary Ops.Mul (var "b") (var "c")))
+    "a + b * c";
+  check_expr "left associativity of -"
+    Ast.(binary Ops.Sub (binary Ops.Sub (var "a") (var "b")) (var "c"))
+    "a - b - c";
+  check_expr "comparison below arithmetic"
+    Ast.(binary Ops.Lt (binary Ops.Add (var "a") (var "b")) (var "c"))
+    "a + b < c";
+  check_expr "and below comparison"
+    Ast.(
+      binary Ops.And
+        (binary Ops.Lt (var "a") (var "b"))
+        (binary Ops.Gt (var "c") (var "d")))
+    "a < b && c > d";
+  check_expr "or below and"
+    Ast.(
+      binary Ops.Or
+        (binary Ops.And (var "a") (var "b"))
+        (var "c"))
+    "a && b || c";
+  check_expr "parens override"
+    Ast.(binary Ops.Mul (binary Ops.Add (var "a") (var "b")) (var "c"))
+    "(a + b) * c"
+
+let test_unary () =
+  check_expr "negated literal folds" (Ast.int (-3)) "-3";
+  check_expr "negated real folds" (Ast.real (-0.5)) "-0.5";
+  check_expr "negated variable" Ast.(unary Ops.Neg (var "x")) "-x";
+  check_expr "double negation folds" (Ast.int 3) "--3";
+  check_expr "not" Ast.(unary Ops.Not (var "x")) "!x";
+  check_expr "neg binds tighter than *"
+    Ast.(binary Ops.Mul (unary Ops.Neg (var "x")) (var "y"))
+    "-x * y"
+
+let test_program_structure () =
+  let p =
+    Test_util.parse
+      {|
+      global gx, gy;
+      blockdata { gz = 3; gw = 2.5; }
+      proc main() { call s(1); }
+      proc s(a) { print a; }
+      |}
+  in
+  Alcotest.(check (list string)) "globals in order"
+    [ "gx"; "gy"; "gz"; "gw" ] p.Ast.globals;
+  Alcotest.(check int) "two procs" 2 (List.length p.Ast.procs);
+  Alcotest.(check (list (pair string Test_util.value_testable)))
+    "blockdata"
+    [ ("gz", Value.Int 3); ("gw", Value.Real 2.5) ]
+    p.Ast.blockdata
+
+let test_blockdata_implicit_global () =
+  let p = Test_util.parse "blockdata { g = 1; } proc main() { print g; }" in
+  Alcotest.(check (list string)) "blockdata implies global" [ "g" ]
+    p.Ast.globals
+
+let test_statements () =
+  let p =
+    Test_util.parse
+      {|
+      proc main() {
+        x = 1;
+        if (x > 0) { y = 2; } else { y = 3; }
+        if (y > 0) { z = 1; }
+        while (z < 10) { z = z + 1; }
+        call s(x, z + 1, 4);
+        print z;
+        return;
+      }
+      proc s(a, b, c) { }
+      |}
+  in
+  let main = Ast.find_proc_exn p "main" in
+  Alcotest.(check int) "seven statements" 7 (List.length main.Ast.body);
+  match (List.nth main.Ast.body 2).Ast.sdesc with
+  | Ast.If (_, _, []) -> ()
+  | _ -> Alcotest.fail "if without else should have empty else block"
+
+let test_call_args () =
+  let p = Test_util.parse "proc main() { call s(1, x, x + 1); } proc s(a,b,c) {}" in
+  let main = Ast.find_proc_exn p "main" in
+  match (List.hd main.Ast.body).Ast.sdesc with
+  | Ast.Call ("s", [ Ast.Const _; Ast.Var "x"; Ast.Binary _ ]) -> ()
+  | _ -> Alcotest.fail "call argument shapes"
+
+let test_parse_errors () =
+  let raises src =
+    match Parser.program_of_string src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  raises "proc main() { x = ; }";
+  raises "proc main() { if x { } }";
+  raises "proc main() { call s(1,) ; }";
+  raises "proc main( { }";
+  raises "proc main() { x = 1 }";
+  raises "junk";
+  raises "proc main() { while () { } }"
+
+let test_sema_errors () =
+  let errs src =
+    match Sema.check (Parser.program_of_string src) with
+    | Ok () -> Alcotest.failf "expected semantic error for %S" src
+    | Error es -> es
+  in
+  ignore (errs "proc notmain() { }");
+  ignore (errs "proc main(x) { }");
+  ignore (errs "proc main() { call missing(); }");
+  ignore (errs "proc main() { call s(1); } proc s(a, b) { }");
+  ignore (errs "proc main() { } proc main() { }");
+  ignore (errs "proc main() { } proc s(a, a) { }");
+  (* "global g; global g;" is deduplicated by the parser, not an error *)
+  ignore (errs "blockdata { g = 1; g = 2; } proc main() { }")
+
+let test_sema_ok () =
+  (* Shadowing: a formal may share a global's name. *)
+  match
+    Sema.check
+      (Parser.program_of_string
+         "global g; proc main() { call s(1); } proc s(g) { print g; }")
+  with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected errors: %s" (Sema.errors_to_string es)
+
+(* Round-trip: pretty-printing a generated program and reparsing yields the
+   same AST (globals may reorder between declaration and blockdata, so the
+   comparison normalises their order). *)
+let normalize (p : Ast.program) =
+  { p with Ast.globals = List.sort String.compare p.Ast.globals }
+
+let prop_roundtrip =
+  Test_util.qcheck ~count:60 ~name:"parse (print p) = p"
+    Test_util.seed_gen
+    (fun seed ->
+      let p = Test_util.program_of_seed seed in
+      let printed = Pretty.program_to_string p in
+      match Parser.program_of_string printed with
+      | p' -> Ast.equal_program (normalize p) (normalize p')
+      | exception e ->
+          QCheck2.Test.fail_reportf "reparse failed: %s@.%s"
+            (Printexc.to_string e) printed)
+
+let prop_generated_sema_clean =
+  Test_util.qcheck ~count:60 ~name:"generated programs pass Sema.check"
+    Test_util.seed_gen
+    (fun seed ->
+      match Sema.check (Test_util.program_of_seed seed) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "unary operators" `Quick test_unary;
+    Alcotest.test_case "program structure" `Quick test_program_structure;
+    Alcotest.test_case "blockdata implies global" `Quick
+      test_blockdata_implicit_global;
+    Alcotest.test_case "statement forms" `Quick test_statements;
+    Alcotest.test_case "call arguments" `Quick test_call_args;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "semantic errors" `Quick test_sema_errors;
+    Alcotest.test_case "formal shadows global" `Quick test_sema_ok;
+    prop_roundtrip;
+    prop_generated_sema_clean;
+  ]

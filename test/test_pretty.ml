@@ -1,0 +1,119 @@
+(** Dedicated pretty-printer properties: random expression trees explore
+    precedence and associativity much more densely than whole-program
+    round-trips. *)
+
+open Fsicp_lang
+
+(* Random expression trees over a few variables and small literals. *)
+let gen_expr : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map (fun i -> Ast.int i) (int_range (-20) 20);
+            map (fun i -> Ast.real (float_of_int i /. 4.0)) (int_range (-20) 20);
+            map Ast.var (oneofl [ "a"; "b"; "c" ]);
+          ]
+      else
+        frequency
+          [
+            (1, map (fun e -> Ast.unary Ops.Neg e) (self (n / 2)));
+            (1, map (fun e -> Ast.unary Ops.Not e) (self (n / 2)));
+            ( 6,
+              map3
+                (fun op l r -> Ast.binary op l r)
+                (oneofl Ops.all_binops) (self (n / 2)) (self (n / 2)) );
+            (1, self 0);
+          ])
+
+(* The parser folds negation of literals ([-3] is a constant), so compare
+   modulo that normalisation. *)
+let rec fold_neg_lit (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Unary (Ops.Neg, inner) -> (
+      match fold_neg_lit inner with
+      | Ast.Const (Value.Int n) -> Ast.Const (Value.Int (-n))
+      | Ast.Const (Value.Real r) -> Ast.Const (Value.Real (-.r))
+      | inner' -> Ast.Unary (Ops.Neg, inner'))
+  | Ast.Unary (op, inner) -> Ast.Unary (op, fold_neg_lit inner)
+  | Ast.Binary (op, l, r) -> Ast.Binary (op, fold_neg_lit l, fold_neg_lit r)
+  | Ast.Const _ | Ast.Var _ -> e
+
+let prop_expr_roundtrip =
+  Test_util.qcheck ~count:500 ~name:"expression print/parse round-trip"
+    gen_expr
+    (fun e ->
+      let s = Pretty.expr_to_string e in
+      match Parser.expr_of_string s with
+      | e' ->
+          Ast.equal_expr (fold_neg_lit e) (fold_neg_lit e')
+          || QCheck2.Test.fail_reportf "%s reparsed differently" s
+      | exception exn ->
+          QCheck2.Test.fail_reportf "%s failed to reparse: %s" s
+            (Printexc.to_string exn))
+
+(* Independent check through the interpreter: printing must preserve the
+   VALUE of the expression, not just its shape. *)
+let eval_with env e =
+  let prog =
+    {
+      Ast.globals = [];
+      blockdata = [];
+      procs =
+        [
+          {
+            Ast.pname = "main";
+            formals = [];
+            body =
+              List.map (fun (x, v) -> Ast.assign x (Ast.Const v)) env
+              @ [ Ast.print e ];
+            ppos = Ast.no_pos;
+          };
+        ];
+      main = "main";
+    }
+  in
+  match Fsicp_interp.Interp.run_opt ~fuel:10_000 prog with
+  | Some r -> Some r.Fsicp_interp.Interp.prints
+  | None -> None
+
+let prop_expr_value_preserved =
+  Test_util.qcheck ~count:500 ~name:"printing preserves expression value"
+    gen_expr
+    (fun e ->
+      let env =
+        [ ("a", Value.Int 3); ("b", Value.Int (-2)); ("c", Value.Real 1.5) ]
+      in
+      let v1 = eval_with env e in
+      let v2 = eval_with env (Parser.expr_of_string (Pretty.expr_to_string e)) in
+      match (v1, v2) with
+      | Some a, Some b -> List.equal Value.equal a b
+      | None, None -> true (* both divide by zero identically *)
+      | _ -> false)
+
+let test_minimal_parens () =
+  (* The printer should not wrap everything: a + b * c has no parens. *)
+  Alcotest.(check string) "no redundant parens" "a + b * c"
+    (Pretty.expr_to_string
+       Ast.(binary Ops.Add (var "a") (binary Ops.Mul (var "b") (var "c"))));
+  Alcotest.(check string) "needed parens kept" "(a + b) * c"
+    (Pretty.expr_to_string
+       Ast.(binary Ops.Mul (binary Ops.Add (var "a") (var "b")) (var "c")));
+  (* Left-associativity: a - (b - c) must keep its parens. *)
+  Alcotest.(check string) "right-nested subtraction" "a - (b - c)"
+    (Pretty.expr_to_string
+       Ast.(binary Ops.Sub (var "a") (binary Ops.Sub (var "b") (var "c"))))
+
+let test_stmt_rendering () =
+  let s = Ast.if_ (Ast.var "c") [ Ast.assign "x" (Ast.int 1) ] [] in
+  let txt = Pretty.stmt_to_string s in
+  Alcotest.(check bool) "if renders" true (String.length txt > 0)
+
+let suite =
+  [
+    prop_expr_roundtrip;
+    prop_expr_value_preserved;
+    Alcotest.test_case "minimal parenthesisation" `Quick test_minimal_parens;
+    Alcotest.test_case "statement rendering" `Quick test_stmt_rendering;
+  ]

@@ -1,0 +1,227 @@
+(** Tests for SSA construction: structural invariants, phi placement, alias
+    kills, exit names, and the [Ssa.validate] checker on generated
+    programs. *)
+
+open Fsicp_lang
+open Fsicp_cfg
+open Fsicp_ssa
+
+let ssa_of ?effects src name =
+  let p = Test_util.parse src in
+  Ssa.of_proc ?effects p (Lower.lower_proc p (Ast.find_proc_exn p name))
+
+let test_straight_line_versions () =
+  let s = ssa_of "proc main() { x = 1; x = 2; print x; }" "main" in
+  (* x has versions 0 (entry), 1, 2; the print uses version 2 *)
+  let print_use = ref None in
+  Array.iter
+    (fun (b : Ssa.block) ->
+      Array.iter
+        (function
+          | Ssa.Print (Ssa.Oname n) -> print_use := Some n
+          | _ -> ())
+        b.Ssa.instrs)
+    s.Ssa.blocks;
+  match !print_use with
+  | Some n ->
+      Alcotest.(check string) "prints x" "x" n.Ssa.base.Ir.vname;
+      Alcotest.(check int) "uses latest version" 2 n.Ssa.ver
+  | None -> Alcotest.fail "no print found"
+
+let test_phi_at_join () =
+  let s =
+    ssa_of "proc main() { if (c) { x = 1; } else { x = 2; } print x; }" "main"
+  in
+  let phis = ref [] in
+  Array.iteri
+    (fun b (blk : Ssa.block) ->
+      Array.iter
+        (fun (ph : Ssa.phi) -> phis := (b, ph) :: !phis)
+        blk.Ssa.phis)
+    s.Ssa.blocks;
+  let x_phis =
+    List.filter (fun (_, ph) -> ph.Ssa.p_name.Ssa.base.Ir.vname = "x") !phis
+  in
+  Alcotest.(check int) "exactly one phi for x" 1 (List.length x_phis);
+  let _, ph = List.hd x_phis in
+  Alcotest.(check int) "phi has two operands" 2 (Array.length ph.Ssa.p_args)
+
+let test_no_phi_when_single_def () =
+  let s = ssa_of "proc main() { x = 1; if (c) { y = 2; } print x; }" "main" in
+  Array.iter
+    (fun (blk : Ssa.block) ->
+      Array.iter
+        (fun (ph : Ssa.phi) ->
+          if ph.Ssa.p_name.Ssa.base.Ir.vname = "x" then
+            Alcotest.fail "x has a single def; no phi expected")
+        blk.Ssa.phis)
+    s.Ssa.blocks
+
+let test_loop_phi () =
+  let s =
+    ssa_of "proc main() { i = 0; while (i < 3) { i = i + 1; } print i; }"
+      "main"
+  in
+  let i_phis = ref 0 in
+  Array.iter
+    (fun (blk : Ssa.block) ->
+      Array.iter
+        (fun (ph : Ssa.phi) ->
+          if ph.Ssa.p_name.Ssa.base.Ir.vname = "i" then incr i_phis)
+        blk.Ssa.phis)
+    s.Ssa.blocks;
+  Alcotest.(check bool) "loop variable needs a phi" true (!i_phis >= 1)
+
+let test_call_defines_byref () =
+  let s =
+    ssa_of
+      {|proc main() { x = 1; call f(x); print x; }
+        proc f(a) { a = 2; }|}
+      "main"
+  in
+  (* The conservative oracle makes the call define x; the print must use the
+     post-call version, not version 1. *)
+  let call_def_ver = ref (-1) and print_ver = ref (-1) in
+  Array.iter
+    (fun (blk : Ssa.block) ->
+      Array.iter
+        (function
+          | Ssa.Call c ->
+              Array.iter
+                (fun ((v : Ir.var), (n : Ssa.name)) ->
+                  if v.Ir.vname = "x" then call_def_ver := n.Ssa.ver)
+                c.Ssa.c_defs
+          | Ssa.Print (Ssa.Oname n) ->
+              if n.Ssa.base.Ir.vname = "x" then print_ver := n.Ssa.ver
+          | _ -> ())
+        blk.Ssa.instrs)
+    s.Ssa.blocks;
+  Alcotest.(check bool) "call defines x" true (!call_def_ver > 0);
+  Alcotest.(check int) "print uses post-call version" !call_def_ver !print_ver
+
+let test_alias_kill_emitted () =
+  let p =
+    Test_util.parse
+      {|proc main() { x = 1; call f(x, x); }
+        proc f(a, b) { a = 9; print b; }|}
+  in
+  let ctx = Fsicp_core.Context.create p in
+  let s = Fsicp_core.Context.ssa ctx "f" in
+  (* assigning a must kill b (they may alias) *)
+  let kills = ref [] in
+  Array.iter
+    (fun (blk : Ssa.block) ->
+      Array.iter
+        (function
+          | Ssa.Kill ks ->
+              Array.iter (fun ((v : Ir.var), _) -> kills := v.Ir.vname :: !kills) ks
+          | _ -> ())
+        blk.Ssa.instrs)
+    s.Ssa.blocks;
+  Alcotest.(check bool) "b killed by store to a" true (List.mem "b" !kills)
+
+let test_global_uses_recorded () =
+  let p =
+    Test_util.parse
+      {|global g;
+        proc main() { g = 5; call f(); }
+        proc f() { print g; }|}
+  in
+  let ctx = Fsicp_core.Context.create p in
+  let s = Fsicp_core.Context.ssa ctx "main" in
+  let recorded = ref [] in
+  List.iter
+    (fun (_, _, (c : Ssa.call)) ->
+      Array.iter
+        (fun ((v : Ir.var), _) -> recorded := v.Ir.vname :: !recorded)
+        c.Ssa.c_global_uses)
+    (Ssa.call_sites s);
+  Alcotest.(check bool) "g recorded at call to f" true (List.mem "g" !recorded)
+
+let test_exit_names_present () =
+  let s =
+    ssa_of
+      {|global g;
+        proc main() { call f(1); }
+        proc f(a) { a = 3; g = 4; }|}
+      "f"
+  in
+  Alcotest.(check bool) "at least one return record" true
+    (s.Ssa.exit_names <> []);
+  let _, names = List.hd s.Ssa.exit_names in
+  let find name =
+    Array.to_list names
+    |> List.find_opt (fun ((v : Ir.var), _) -> v.Ir.vname = name)
+  in
+  (match find "a" with
+  | Some (_, n) -> Alcotest.(check bool) "a's exit version > 0" true (n.Ssa.ver > 0)
+  | None -> Alcotest.fail "formal missing from exit names");
+  match find "g" with
+  | Some (_, n) -> Alcotest.(check bool) "g's exit version > 0" true (n.Ssa.ver > 0)
+  | None -> Alcotest.fail "global missing from exit names"
+
+let test_def_use_chains () =
+  let s = ssa_of "proc main() { x = 1; y = x + x; print y; }" "main" in
+  (* version 1 of x is used twice, both in the same instr *)
+  Array.iter
+    (fun (blk : Ssa.block) ->
+      Array.iter
+        (function
+          | Ssa.Assign (n, _) when n.Ssa.base.Ir.vname = "x" ->
+              Alcotest.(check int) "x.1 has two uses (one site each)" 2
+                (List.length s.Ssa.uses.(n.Ssa.id))
+          | _ -> ())
+        blk.Ssa.instrs)
+    s.Ssa.blocks
+
+let validate_program seed =
+  let p = Test_util.program_of_seed seed in
+  let ctx = Fsicp_core.Context.create p in
+  Array.iter
+    (fun name ->
+      let s = Fsicp_core.Context.ssa ctx name in
+      match Ssa.validate s with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" name msg)
+    ctx.Fsicp_core.Context.pcg.Fsicp_callgraph.Callgraph.nodes
+
+let prop_validate =
+  Test_util.qcheck ~count:50 ~name:"SSA invariants on generated programs"
+    Test_util.seed_gen
+    (fun seed ->
+      validate_program seed;
+      true)
+
+(* Every use's defining name id is within range and its def site is set. *)
+let prop_defs_total =
+  Test_util.qcheck ~count:30 ~name:"every name has a def site"
+    Test_util.seed_gen
+    (fun seed ->
+      let p = Test_util.program_of_seed seed in
+      let ctx = Fsicp_core.Context.create p in
+      Array.for_all
+        (fun name ->
+          let s = Fsicp_core.Context.ssa ctx name in
+          (* entry names are Dentry; everything else Dinstr/Dphi; just check
+             array sizes line up *)
+          Array.length s.Ssa.defs = s.Ssa.n_names
+          && Array.length s.Ssa.uses = s.Ssa.n_names)
+        ctx.Fsicp_core.Context.pcg.Fsicp_callgraph.Callgraph.nodes)
+
+let suite =
+  [
+    Alcotest.test_case "straight-line versions" `Quick
+      test_straight_line_versions;
+    Alcotest.test_case "phi at join" `Quick test_phi_at_join;
+    Alcotest.test_case "no phi for single def" `Quick test_no_phi_when_single_def;
+    Alcotest.test_case "loop phi" `Quick test_loop_phi;
+    Alcotest.test_case "call defines by-ref actuals" `Quick
+      test_call_defines_byref;
+    Alcotest.test_case "alias kill emitted" `Quick test_alias_kill_emitted;
+    Alcotest.test_case "global uses recorded at calls" `Quick
+      test_global_uses_recorded;
+    Alcotest.test_case "exit names at returns" `Quick test_exit_names_present;
+    Alcotest.test_case "def-use chains" `Quick test_def_use_chains;
+    prop_validate;
+    prop_defs_total;
+  ]

@@ -1,0 +1,115 @@
+(** Shared helpers for the test suites: program constructors, random program
+    generation for property tests, and the interpreter-backed soundness
+    oracle that every constant propagation method is checked against. *)
+
+open Fsicp_lang
+open Fsicp_core
+open Fsicp_workloads
+
+let parse src =
+  let p = Parser.program_of_string src in
+  Sema.check_exn p;
+  p
+
+(** Random well-formed programs for property tests: a seed selects a
+    generator profile with every mechanism enabled (including guarded
+    recursion for one seed in three). *)
+let program_of_seed seed : Ast.program =
+  Generator.generate (Generator.small_profile seed)
+
+let seed_gen = QCheck2.Gen.int_range 0 100_000
+
+let qcheck ?(count = 50) ~name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* The soundness oracle                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [check_solution_sound prog sol] executes [prog] (if it terminates
+    within fuel and without runtime errors) and verifies that every formal
+    and global the solution claims constant at a procedure entry has
+    exactly that value at {e every} dynamic entry of the procedure.
+    Returns [Ok ()] or a description of the first violation. *)
+let check_solution_sound (prog : Ast.program) (sol : Solution.t) :
+    (unit, string) result =
+  match Fsicp_interp.Interp.run_opt ~fuel:500_000 prog with
+  | None -> Ok () (* diverging or erroring programs constrain nothing *)
+  | Some r ->
+      let violations = ref [] in
+      List.iter
+        (fun (ev : Fsicp_interp.Interp.entry_event) ->
+          let entry = Solution.entry sol ev.Fsicp_interp.Interp.ev_proc in
+          List.iteri
+            (fun i (fname, actual) ->
+              match
+                if i < Array.length entry.Solution.pe_formals then
+                  entry.Solution.pe_formals.(i)
+                else Fsicp_scc.Lattice.Bot
+              with
+              | Fsicp_scc.Lattice.Const claimed
+                when not (Value.equal claimed actual) ->
+                  violations :=
+                    Printf.sprintf
+                      "%s: formal %s claimed %s but observed %s"
+                      ev.Fsicp_interp.Interp.ev_proc fname
+                      (Value.to_string claimed) (Value.to_string actual)
+                    :: !violations
+              | _ -> ())
+            ev.Fsicp_interp.Interp.ev_formals;
+          List.iter
+            (fun (gname, actual) ->
+              match List.assoc_opt gname entry.Solution.pe_globals with
+              | Some (Fsicp_scc.Lattice.Const claimed)
+                when not (Value.equal claimed actual) ->
+                  violations :=
+                    Printf.sprintf
+                      "%s: global %s claimed %s but observed %s"
+                      ev.Fsicp_interp.Interp.ev_proc gname
+                      (Value.to_string claimed) (Value.to_string actual)
+                    :: !violations
+              | _ -> ())
+            ev.Fsicp_interp.Interp.ev_globals)
+        r.Fsicp_interp.Interp.entries;
+      (match !violations with
+      | [] -> Ok ()
+      | v :: _ -> Error v)
+
+let assert_sound name prog sol =
+  match check_solution_sound prog sol with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: unsound: %s" name msg
+
+(** Partial order on solutions: [le a b] iff [a]'s formal entry values are
+    all ⊑ [b]'s (b at least as precise as... note: in this lattice smaller
+    means less precise — [Const ⊒ Bot]).  Used for the method-hierarchy
+    properties. *)
+let solution_le (a : Solution.t) (b : Solution.t) ~(procs : string list) :
+    bool =
+  List.for_all
+    (fun proc ->
+      let ea = Solution.entry a proc and eb = Solution.entry b proc in
+      let n =
+        max (Array.length ea.Solution.pe_formals)
+          (Array.length eb.Solution.pe_formals)
+      in
+      let get (e : Solution.proc_entry) i =
+        if i < Array.length e.Solution.pe_formals then
+          e.Solution.pe_formals.(i)
+        else Fsicp_scc.Lattice.Bot
+      in
+      List.for_all
+        (fun i -> Fsicp_scc.Lattice.le (get ea i) (get eb i))
+        (List.init n (fun i -> i)))
+    procs
+
+let reachable_procs (ctx : Context.t) : string list =
+  Array.to_list ctx.Context.pcg.Fsicp_callgraph.Callgraph.nodes
+
+(* Common Alcotest testables *)
+let value_testable =
+  Alcotest.testable Value.pp Value.equal
+
+let lattice_testable =
+  Alcotest.testable Fsicp_scc.Lattice.pp Fsicp_scc.Lattice.equal

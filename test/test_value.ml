@@ -1,0 +1,146 @@
+(** Unit and property tests for the value domain ({!Fsicp_lang.Value}). *)
+
+open Fsicp_lang
+
+let v = Test_util.value_testable
+let i n = Value.Int n
+let r x = Value.Real x
+
+let binop op a b = Value.eval_binop op a b
+let check_some name expected got =
+  Alcotest.(check (option v)) name (Some expected) got
+
+let test_int_arith () =
+  check_some "2+3" (i 5) (binop Ops.Add (i 2) (i 3));
+  check_some "2-3" (i (-1)) (binop Ops.Sub (i 2) (i 3));
+  check_some "2*3" (i 6) (binop Ops.Mul (i 2) (i 3));
+  check_some "7/2" (i 3) (binop Ops.Div (i 7) (i 2));
+  check_some "7%2" (i 1) (binop Ops.Mod (i 7) (i 2));
+  check_some "-7/2" (i (-3)) (binop Ops.Div (i (-7)) (i 2))
+
+let test_real_arith () =
+  check_some "1.5+2.5" (r 4.0) (binop Ops.Add (r 1.5) (r 2.5));
+  check_some "1.5*2.0" (r 3.0) (binop Ops.Mul (r 1.5) (r 2.0));
+  check_some "3.0/2.0" (r 1.5) (binop Ops.Div (r 3.0) (r 2.0))
+
+let test_mixed_promotes () =
+  check_some "1+2.5" (r 3.5) (binop Ops.Add (i 1) (r 2.5));
+  check_some "2.5*2" (r 5.0) (binop Ops.Mul (r 2.5) (i 2));
+  check_some "5/2.0" (r 2.5) (binop Ops.Div (i 5) (r 2.0))
+
+let test_division_by_zero () =
+  Alcotest.(check (option v)) "1/0" None (binop Ops.Div (i 1) (i 0));
+  Alcotest.(check (option v)) "1%0" None (binop Ops.Mod (i 1) (i 0));
+  Alcotest.(check (option v)) "1.0/0.0" None (binop Ops.Div (r 1.0) (r 0.0));
+  Alcotest.(check (option v)) "1/0.0" None (binop Ops.Div (i 1) (r 0.0))
+
+let test_comparisons () =
+  check_some "2<3" (i 1) (binop Ops.Lt (i 2) (i 3));
+  check_some "3<2" (i 0) (binop Ops.Lt (i 3) (i 2));
+  check_some "2<=2" (i 1) (binop Ops.Le (i 2) (i 2));
+  check_some "2>1" (i 1) (binop Ops.Gt (i 2) (i 1));
+  check_some "2>=3" (i 0) (binop Ops.Ge (i 2) (i 3));
+  check_some "2==2" (i 1) (binop Ops.Eq (i 2) (i 2));
+  check_some "2!=2" (i 0) (binop Ops.Ne (i 2) (i 2));
+  (* Numeric comparison across kinds: 2 == 2.0 *)
+  check_some "2==2.0" (i 1) (binop Ops.Eq (i 2) (r 2.0));
+  check_some "2<2.5" (i 1) (binop Ops.Lt (i 2) (r 2.5))
+
+let test_logical () =
+  check_some "1&&2" (i 1) (binop Ops.And (i 1) (i 2));
+  check_some "1&&0" (i 0) (binop Ops.And (i 1) (i 0));
+  check_some "0||0" (i 0) (binop Ops.Or (i 0) (i 0));
+  check_some "0||7" (i 1) (binop Ops.Or (i 0) (i 7));
+  check_some "0.0||0" (i 0) (binop Ops.Or (r 0.0) (i 0));
+  check_some "0.5&&1" (i 1) (binop Ops.And (r 0.5) (i 1))
+
+let test_unops () =
+  Alcotest.(check (option v)) "-(3)" (Some (i (-3)))
+    (Value.eval_unop Ops.Neg (i 3));
+  Alcotest.(check (option v)) "-(2.5)" (Some (r (-2.5)))
+    (Value.eval_unop Ops.Neg (r 2.5));
+  Alcotest.(check (option v)) "!0" (Some (i 1)) (Value.eval_unop Ops.Not (i 0));
+  Alcotest.(check (option v)) "!3" (Some (i 0)) (Value.eval_unop Ops.Not (i 3));
+  Alcotest.(check (option v)) "!0.0" (Some (i 1))
+    (Value.eval_unop Ops.Not (r 0.0))
+
+let test_truthiness () =
+  Alcotest.(check bool) "0 falsy" false (Value.truthy (i 0));
+  Alcotest.(check bool) "1 truthy" true (Value.truthy (i 1));
+  Alcotest.(check bool) "-1 truthy" true (Value.truthy (i (-1)));
+  Alcotest.(check bool) "0.0 falsy" false (Value.truthy (r 0.0));
+  Alcotest.(check bool) "0.1 truthy" true (Value.truthy (r 0.1))
+
+let test_structural_equality () =
+  (* The lattice distinguishes Int 1 from Real 1.0 (structural), while the
+     language's == does not (numeric). *)
+  Alcotest.(check bool) "Int 1 <> Real 1.0 structurally" false
+    (Value.equal (i 1) (r 1.0));
+  Alcotest.(check bool) "equal ints" true (Value.equal (i 4) (i 4));
+  Alcotest.(check bool) "equal reals" true (Value.equal (r 0.5) (r 0.5))
+
+let test_printing_roundtrip () =
+  List.iter
+    (fun value ->
+      let s = Value.to_string value in
+      let e = Parser.expr_of_string s in
+      match e with
+      | Ast.Const parsed ->
+          Alcotest.check v (Printf.sprintf "roundtrip %s" s) value parsed
+      | _ -> Alcotest.failf "literal %s did not parse to a constant" s)
+    [ i 0; i 42; i 1000000; r 0.5; r 3.0; r 123.25; r 1e10 ]
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun n -> Value.Int n) (int_range (-1000) 1000);
+        map (fun n -> Value.Real (float_of_int n /. 4.0)) (int_range (-1000) 1000);
+      ])
+
+let gen_binop = QCheck2.Gen.oneofl Ops.all_binops
+
+let prop_eval_total_or_divzero =
+  Test_util.qcheck ~count:500 ~name:"eval_binop is total except /0 and %0"
+    QCheck2.Gen.(triple gen_binop gen_value gen_value)
+    (fun (op, a, b) ->
+      match Value.eval_binop op a b with
+      | Some _ -> true
+      | None -> (
+          match op with
+          | Ops.Div | Ops.Mod -> not (Value.truthy b)
+          | _ -> false))
+
+let prop_comparison_bool =
+  Test_util.qcheck ~count:500 ~name:"comparisons yield 0 or 1"
+    QCheck2.Gen.(triple (oneofl Ops.[ Eq; Ne; Lt; Le; Gt; Ge; And; Or ]) gen_value gen_value)
+    (fun (op, a, b) ->
+      match Value.eval_binop op a b with
+      | Some (Value.Int (0 | 1)) -> true
+      | _ -> false)
+
+let prop_add_commutes =
+  Test_util.qcheck ~count:500 ~name:"+ and * commute"
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) ->
+      Value.eval_binop Ops.Add a b = Value.eval_binop Ops.Add b a
+      && Value.eval_binop Ops.Mul a b = Value.eval_binop Ops.Mul b a)
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick test_int_arith;
+    Alcotest.test_case "real arithmetic" `Quick test_real_arith;
+    Alcotest.test_case "mixed-mode promotion" `Quick test_mixed_promotes;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "logical operators" `Quick test_logical;
+    Alcotest.test_case "unary operators" `Quick test_unops;
+    Alcotest.test_case "truthiness" `Quick test_truthiness;
+    Alcotest.test_case "structural vs numeric equality" `Quick
+      test_structural_equality;
+    Alcotest.test_case "literal print/parse roundtrip" `Quick
+      test_printing_roundtrip;
+    prop_eval_total_or_divzero;
+    prop_comparison_bool;
+    prop_add_commutes;
+  ]

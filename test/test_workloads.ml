@@ -1,0 +1,168 @@
+(** Tests for the workload suite: determinism, well-formedness, scale, the
+    PRNG, and the report renderer. *)
+
+open Fsicp_lang
+open Fsicp_workloads
+
+(* -- PRNG ---------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 99 and b = Prng.create 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 10 (fun _ -> Prng.next a) in
+  let ys = List.init 10 (fun _ -> Prng.next b) in
+  Alcotest.(check bool) "different seeds differ" false (xs = ys)
+
+let test_prng_uniformity () =
+  let t = Prng.create 7 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = Prng.int t 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d has %d, expected ~%d" i c expected)
+    buckets
+
+let test_prng_weighted () =
+  let t = Prng.create 11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.weighted t [ (0.2, `A); (0.8, `B) ] = `A then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "0.2 weight hit %.3f" frac)
+    true
+    (frac > 0.17 && frac < 0.23)
+
+(* -- generator ------------------------------------------------------------ *)
+
+let test_generation_deterministic () =
+  let p1 = Generator.generate (Generator.small_profile 5) in
+  let p2 = Generator.generate (Generator.small_profile 5) in
+  Alcotest.(check bool) "same seed, same program" true
+    (Ast.equal_program p1 p2)
+
+let test_generation_scale () =
+  let profile =
+    { Generator.default_profile with Generator.g_procs = 20; g_seed = 3 }
+  in
+  let p = Generator.generate profile in
+  Alcotest.(check int) "21 procedures" 21 (List.length p.Ast.procs)
+
+let test_back_edges_guarded () =
+  (* Back-call programs must still terminate under the interpreter. *)
+  let profile =
+    {
+      (Generator.small_profile 9) with
+      Generator.g_procs = 10;
+      g_back_edge_prob = 1.0;
+    }
+  in
+  let p = Generator.generate profile in
+  let pcg = Fsicp_callgraph.Callgraph.build p in
+  Alcotest.(check bool) "has back edges" true
+    (Fsicp_callgraph.Callgraph.has_cycles pcg);
+  match Fsicp_interp.Interp.run_opt ~fuel:500_000 p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "guarded recursion should terminate"
+
+let test_suite_well_formed () =
+  List.iter
+    (fun (b : Spec.benchmark) ->
+      let p = Spec.program b in
+      match Sema.check p with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s: %s" b.Spec.b_name (Sema.errors_to_string es))
+    (Spec.suite @ Spec.first_release)
+
+let test_suite_scales_match_paper () =
+  (* Structural columns must land near the paper: procedure counts exactly,
+     FP and ARG within 25%. *)
+  List.iter
+    (fun (b : Spec.benchmark) ->
+      let p = Spec.program b in
+      let pcg = Fsicp_callgraph.Callgraph.build p in
+      let paper = b.Spec.b_paper in
+      Alcotest.(check int)
+        (b.Spec.b_name ^ " procs")
+        paper.Spec.p_procs
+        (Array.length pcg.Fsicp_callgraph.Callgraph.nodes);
+      let fp =
+        Array.fold_left
+          (fun acc name ->
+            acc
+            + List.length (Ast.find_proc_exn p name).Ast.formals)
+          0 pcg.Fsicp_callgraph.Callgraph.nodes
+      in
+      let within ~target ~got ~pct =
+        target = 0 || abs (got - target) * 100 <= target * pct
+      in
+      if not (within ~target:paper.Spec.p_fp ~got:fp ~pct:25) then
+        Alcotest.failf "%s: FP %d vs paper %d" b.Spec.b_name fp paper.Spec.p_fp)
+    Spec.suite
+
+let test_figure1_program_parses () =
+  Alcotest.(check int) "three procedures" 3
+    (List.length Figure1.program.Ast.procs)
+
+(* -- report renderer -------------------------------------------------------- *)
+
+let test_report_render () =
+  let t =
+    Fsicp_report.Report.make ~title:"T"
+      ~header:[ "A"; "BB" ]
+      [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  let s = Fsicp_report.Report.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 1 = "T");
+  (* columns aligned: every line has the same position for column 2 *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "four lines (title, header, rule, 2 rows)" 5
+    (List.length lines)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_report_csv () =
+  let t =
+    Fsicp_report.Report.make ~header:[ "a"; "b" ]
+      [ [ "x,y"; "2" ]; [ "q\"q"; "3" ] ]
+  in
+  let csv = Fsicp_report.Report.to_csv t in
+  Alcotest.(check bool) "comma cell quoted" true (contains csv "\"x,y\"");
+  Alcotest.(check bool) "quote cell escaped" true (contains csv "\"q\"\"q\"")
+
+let suite =
+  [
+    Alcotest.test_case "PRNG deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "PRNG seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "PRNG uniformity" `Quick test_prng_uniformity;
+    Alcotest.test_case "PRNG weighted choice" `Quick test_prng_weighted;
+    Alcotest.test_case "generation deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "generation scale" `Quick test_generation_scale;
+    Alcotest.test_case "guarded back edges terminate" `Quick
+      test_back_edges_guarded;
+    Alcotest.test_case "suite well-formed" `Quick test_suite_well_formed;
+    Alcotest.test_case "suite scales match paper" `Quick
+      test_suite_scales_match_paper;
+    Alcotest.test_case "figure 1 program" `Quick test_figure1_program_parses;
+    Alcotest.test_case "report rendering" `Quick test_report_render;
+    Alcotest.test_case "report CSV" `Quick test_report_csv;
+  ]
