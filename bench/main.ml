@@ -7,13 +7,34 @@
     dune exec bench/main.exe -- t1      # one artefact: fig1 fig2 t1..t5
                                         #   time backedge floats returns
     dune exec bench/main.exe -- bechamel  # micro-benchmarks only
-    v} *)
+    FSICP_JOBS=4 dune exec bench/main.exe -- bechamel --json BENCH_results.json
+                                        # machine-readable estimates + phase
+                                        # timings for the perf trajectory
+    v}
+
+    Worker-domain count comes from [FSICP_JOBS] (default: all cores). *)
 
 open Fsicp_core
 open Fsicp_workloads
 open Fsicp_report
+open Fsicp_par
 
 let section title = Printf.printf "\n================ %s ================\n" title
+
+(* Estimates collected for --json: (name, ms per run). *)
+let bechamel_rows : (string * float) list ref = ref []
+
+(* The largest suite program by procedure count — the program where the
+   wavefront has the most parallelism to exploit. *)
+let largest_bench () =
+  List.fold_left
+    (fun acc (b : Spec.benchmark) ->
+      if
+        b.Spec.b_profile.Generator.g_procs
+        > acc.Spec.b_profile.Generator.g_procs
+      then b
+      else acc)
+    (List.hd Spec.suite) (List.tl Spec.suite)
 
 let fig1 () =
   section "FIGURE 1";
@@ -100,6 +121,8 @@ let bechamel () =
   let bench name = List.find (fun b -> b.Spec.b_name = name) Spec.suite in
   let nasa = Spec.program (bench "093.NASA7") in
   let wave = Spec.program (bench "039.WAVE5") in
+  let largest = largest_bench () in
+  let largest_prog = Spec.program largest in
   let tests =
     [
       Test.make ~name:"context(NASA7)"
@@ -124,6 +147,15 @@ let bechamel () =
             fun () ->
               Hashtbl.reset ctx.Context.ssa_cache;
               ignore (Fs_icp.solve ctx)));
+      (* The acceptance benchmark for the wavefront: the largest suite
+         program, SSA rebuilt per run so the parallel pre-build is
+         measured too. *)
+      Test.make ~name:"fs-icp(largest)"
+        (Staged.stage
+           (let ctx = Context.create largest_prog in
+            fun () ->
+              Hashtbl.reset ctx.Context.ssa_cache;
+              ignore (Fs_icp.solve ctx)));
       Test.make ~name:"poly-jf(NASA7)"
         (Staged.stage
            (let ctx = Context.create nasa in
@@ -137,6 +169,9 @@ let bechamel () =
               ignore (Reference.solve ctx)));
     ]
   in
+  Printf.printf "(jobs = %d, largest program = %s with %d procedures)\n%!"
+    (Par.default_jobs ()) largest.Spec.b_name
+    largest.Spec.b_profile.Generator.g_procs;
   let test = Test.make_grouped ~name:"fsicp" ~fmt:"%s/%s" tests in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -151,14 +186,62 @@ let bechamel () =
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] ->
-          rows := [ name; Printf.sprintf "%.3f" (est /. 1e6) ] :: !rows
+      | Some [ est ] -> rows := (name, est /. 1e6) :: !rows
       | _ -> ())
     results;
+  let rows = List.sort compare !rows in
+  bechamel_rows := rows;
   Report.print
     (Report.make ~title:"analysis cost per run (monotonic clock)"
        ~header:[ "BENCHMARK"; "ms/run" ]
-       (List.sort compare !rows))
+       (List.map (fun (name, ms) -> [ name; Printf.sprintf "%.3f" ms ]) rows))
+
+(* -- machine-readable results (--json FILE) -------------------------------- *)
+
+(** Emit the collected Bechamel estimates plus one [Driver] per-phase trace
+    of the largest suite program, so the perf trajectory across PRs is
+    machine-readable.  Plain printf JSON: names are ASCII identifiers. *)
+let write_json path =
+  let largest = largest_bench () in
+  let d = Driver.run (Spec.program largest) in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  (* Array elements, one per line, comma-separated (no trailing comma). *)
+  let elements items =
+    List.iteri
+      (fun i s ->
+        out "    %s%s\n" s (if i = List.length items - 1 then "" else ","))
+      items
+  in
+  out "{\n";
+  out "  \"jobs\": %d,\n" (Par.default_jobs ());
+  out "  \"suite\": [\n";
+  elements
+    (List.map
+       (fun (b : Spec.benchmark) ->
+         Printf.sprintf "{ \"name\": %S, \"procs\": %d }" b.Spec.b_name
+           b.Spec.b_profile.Generator.g_procs)
+       Spec.suite);
+  out "  ],\n";
+  out "  \"bechamel\": [\n";
+  elements
+    (List.map
+       (fun (name, ms) ->
+         Printf.sprintf "{ \"name\": %S, \"ms_per_run\": %.6f }" name ms)
+       !bechamel_rows);
+  out "  ],\n";
+  out "  \"driver\": { \"program\": %S, \"procs\": %d, \"phases\": [\n"
+    largest.Spec.b_name largest.Spec.b_profile.Generator.g_procs;
+  elements
+    (List.map
+       (fun (t : Driver.timing) ->
+         Printf.sprintf "{ \"phase\": %S, \"ms\": %.6f }" t.Driver.t_phase
+           (1000.0 *. t.Driver.t_seconds))
+       d.Driver.timings);
+  out "  ] }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let all () =
   fig1 ();
@@ -196,5 +279,16 @@ let () =
           other;
         exit 2
   in
-  if Array.length Sys.argv <= 1 then all ()
-  else Array.iteri (fun i a -> if i > 0 then dispatch a) Sys.argv
+  (* Strip [--json FILE] anywhere in the argument list, then dispatch the
+     remaining experiment names (none = everything). *)
+  let rec split json acc = function
+    | "--json" :: file :: rest -> split (Some file) acc rest
+    | "--json" :: [] ->
+        Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | a :: rest -> split json (a :: acc) rest
+    | [] -> (json, List.rev acc)
+  in
+  let json, cmds = split None [] (List.tl (Array.to_list Sys.argv)) in
+  (match cmds with [] -> all () | l -> List.iter dispatch l);
+  Option.iter write_json json

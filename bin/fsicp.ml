@@ -2,8 +2,9 @@
     constant propagation library.
 
     {v
-    fsicp analyze FILE [--method M] [--no-floats]   constants found by M
-    fsicp pipeline FILE                              full Figure-2 pipeline
+    fsicp analyze FILE [--method M] [--no-floats] [--jobs N]
+                                                     constants found by M
+    fsicp pipeline FILE [--jobs N]                   full Figure-2 pipeline
     fsicp run FILE                                   interpret the program
     fsicp dump FILE --what ast|cfg|ssa|pcg|modref    intermediate forms
     fsicp fold FILE [--method M]                     folded/optimised output
@@ -57,9 +58,9 @@ let meth_conv =
         | Ref -> "ref"
         | JF v -> Jump_functions.variant_name v))
 
-let solve_with meth ctx =
+let solve_with ?jobs meth ctx =
   match meth with
-  | FS -> Fs_icp.solve ctx
+  | FS -> Fs_icp.solve ?jobs ctx
   | FI -> Fi_icp.solve ctx
   | Ref -> Reference.solve ctx
   | JF v -> Jump_functions.solve ctx v
@@ -75,27 +76,40 @@ let no_floats_arg =
   Arg.(value & flag & info [ "no-floats" ]
          ~doc:"disable interprocedural propagation of floating-point constants")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"worker domains for parallel phases (default: FSICP_JOBS, \
+               else all cores); results are identical for every N")
+
+let resolve_jobs = function
+  | Some j -> max 1 j
+  | None -> Fsicp_par.Par.default_jobs ()
+
 (* -- analyze --------------------------------------------------------- *)
 
-let analyze file meth no_floats =
+let analyze file meth no_floats jobs =
+  let jobs = resolve_jobs jobs in
   let prog = read_program file in
-  let ctx = Context.create ~floats:(not no_floats) prog in
-  let sol = solve_with meth ctx in
+  let ctx = Context.create ~floats:(not no_floats) ~jobs prog in
+  let sol = solve_with ~jobs meth ctx in
   Fmt.pr "%a" Solution.pp sol;
-  let cands = Metrics.candidates ctx ~fi:(Fi_icp.solve ctx) ~fs:(Fs_icp.solve ctx) ~name:file in
+  let cands =
+    Metrics.candidates ctx ~fi:(Fi_icp.solve ctx)
+      ~fs:(Fs_icp.solve ~jobs ctx) ~name:file
+  in
   Fmt.pr "call sites: %d args, %d literal, %d FI-constant, %d FS-constant@."
     cands.Metrics.cd_args cands.Metrics.cd_imm cands.Metrics.cd_fi
     cands.Metrics.cd_fs
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"report interprocedural constants")
-    Term.(const analyze $ file_arg $ meth_arg $ no_floats_arg)
+    Term.(const analyze $ file_arg $ meth_arg $ no_floats_arg $ jobs_arg)
 
 (* -- pipeline --------------------------------------------------------- *)
 
-let pipeline file =
+let pipeline file jobs =
   let prog = read_program file in
-  let d = Driver.run prog in
+  let d = Driver.run ~jobs:(resolve_jobs jobs) prog in
   Fmt.pr "%a" Driver.pp d;
   Fmt.pr "FI: %d constant formals, %d constant globals@."
     (List.length (Solution.constant_formals d.Driver.fi))
@@ -106,7 +120,7 @@ let pipeline file =
 
 let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc:"run the full Figure-2 pipeline")
-    Term.(const pipeline $ file_arg)
+    Term.(const pipeline $ file_arg $ jobs_arg)
 
 (* -- run --------------------------------------------------------------- *)
 
@@ -163,17 +177,18 @@ let dump_cmd =
 
 (* -- fold --------------------------------------------------------------- *)
 
-let fold file meth no_floats =
+let fold file meth no_floats jobs =
+  let jobs = resolve_jobs jobs in
   let prog = read_program file in
-  let ctx = Context.create ~floats:(not no_floats) prog in
-  let sol = solve_with meth ctx in
+  let ctx = Context.create ~floats:(not no_floats) ~jobs prog in
+  let sol = solve_with ~jobs meth ctx in
   let folded = Fold.fold_program ctx sol in
   Fmt.pr "%a" Pretty.pp_program folded
 
 let fold_cmd =
   Cmd.v
     (Cmd.info "fold" ~doc:"constant-fold the program using ICP results")
-    Term.(const fold $ file_arg $ meth_arg $ no_floats_arg)
+    Term.(const fold $ file_arg $ meth_arg $ no_floats_arg $ jobs_arg)
 
 (* -- inline / clone ------------------------------------------------------ *)
 

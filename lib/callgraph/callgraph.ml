@@ -36,6 +36,10 @@ type t = {
   index : (string, int) Hashtbl.t;  (** node name -> position in [nodes] *)
   back_edges : (string * int, unit) Hashtbl.t;
       (** keys: (caller, cs_index) of edges classified as back edges *)
+  out_tbl : (string, edge list) Hashtbl.t;
+      (** caller -> out edges, call-site order *)
+  in_tbl : (string, edge list) Hashtbl.t;
+      (** callee -> in edges, in global [edges] order *)
 }
 
 let node_index t name = Hashtbl.find_opt t.index name
@@ -71,9 +75,29 @@ let build (prog : Ast.program) : t =
   dfs prog.Ast.main;
   let nodes = Array.of_list !order in
   Array.iteri (fun i n -> Hashtbl.replace index n i) nodes;
-  { prog; nodes; edges = List.rev !edges; index; back_edges }
+  let edges = List.rev !edges in
+  (* Adjacency tables, so per-procedure edge queries are O(degree) rather
+     than a scan of every edge in the program. *)
+  let out_tbl = Hashtbl.create 16 in
+  let in_tbl = Hashtbl.create 16 in
+  let push tbl key e =
+    Hashtbl.replace tbl key
+      (e :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+  in
+  List.iter
+    (fun e ->
+      push out_tbl e.caller e;
+      push in_tbl e.callee e)
+    edges;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) out_tbl;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) in_tbl;
+  { prog; nodes; edges; index; back_edges; out_tbl; in_tbl }
 
 let is_back_edge t (e : edge) = Hashtbl.mem t.back_edges (e.caller, e.cs_index)
+
+(** O(1) back-edge query by call site, without materialising the edge. *)
+let is_back_edge_at t ~caller ~cs_index =
+  Hashtbl.mem t.back_edges (caller, cs_index)
 
 (** Forward topological traversal order (callers before callees, up to back
     edges): the DFS reverse postorder computed by {!build}. *)
@@ -85,13 +109,13 @@ let reverse_order t =
   let n = Array.length t.nodes in
   Array.init n (fun i -> t.nodes.(n - 1 - i))
 
-(** Call edges into [callee]. *)
+(** Call edges into [callee], in global edge order. *)
 let in_edges t callee =
-  List.filter (fun e -> String.equal e.callee callee) t.edges
+  Option.value (Hashtbl.find_opt t.in_tbl callee) ~default:[]
 
 (** Call edges out of [caller], in call-site order. *)
 let out_edges t caller =
-  List.filter (fun e -> String.equal e.caller caller) t.edges
+  Option.value (Hashtbl.find_opt t.out_tbl caller) ~default:[]
 
 let has_cycles t = Hashtbl.length t.back_edges > 0
 

@@ -17,6 +17,10 @@ type t = {
   index : (string, int) Hashtbl.t;
   back_edges : (string * int, unit) Hashtbl.t;
       (** (caller, cs_index) of edges classified as back edges *)
+  out_tbl : (string, edge list) Hashtbl.t;
+      (** caller -> out edges, call-site order *)
+  in_tbl : (string, edge list) Hashtbl.t;
+      (** callee -> in edges, in global [edges] order *)
 }
 
 (** Build the PCG, restricted to procedures reachable from the entry.  An
@@ -27,6 +31,10 @@ val build : Ast.program -> t
 val node_index : t -> string -> int option
 val is_reachable : t -> string -> bool
 val is_back_edge : t -> edge -> bool
+
+(** O(1) back-edge query by [(caller, cs_index)] against the precomputed
+    back-edge set, without materialising an [edge]. *)
+val is_back_edge_at : t -> caller:string -> cs_index:int -> bool
 
 (** Callers before callees, up to back edges (DFS reverse postorder). *)
 val forward_order : t -> string array

@@ -20,6 +20,7 @@ open Fsicp_ipa
 open Fsicp_ssa
 open Fsicp_callgraph
 open Fsicp_scc
+open Fsicp_par
 
 type t = {
   prog : Ast.program;
@@ -32,18 +33,31 @@ type t = {
   ssa_cache : (string, Ssa.proc) Hashtbl.t;
 }
 
-(** Build the context for a {!Sema.check}-clean program. *)
-let create ?(floats = true) (prog : Ast.program) : t =
+(** Lower every reachable procedure on [jobs] domains.  Each lowering is
+    independent (all mutable state is builder-local), so the work is
+    embarrassingly parallel; the cache itself is filled sequentially from
+    the index-keyed result array, keeping the table single-writer. *)
+let lower_all ~jobs prog (pcg : Callgraph.t) : (string, Ir.proc) Hashtbl.t =
+  let nodes = pcg.Callgraph.nodes in
+  let procs =
+    Par.parallel_init ~jobs (Array.length nodes) (fun i ->
+        Lower.lower_proc prog (Ast.find_proc_exn prog nodes.(i)))
+  in
+  let lowered = Hashtbl.create 16 in
+  Array.iteri (fun i name -> Hashtbl.replace lowered name procs.(i)) nodes;
+  lowered
+
+(** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
+    domains used for per-procedure lowering (default
+    {!Fsicp_par.Par.default_jobs}); the result is identical for every
+    value. *)
+let create ?(floats = true) ?jobs (prog : Ast.program) : t =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
   let pcg = Callgraph.build prog in
   let summaries = Summary.collect prog in
   let aliases = Alias.compute summaries pcg in
   let modref = Modref.compute summaries aliases pcg in
-  let lowered = Hashtbl.create 16 in
-  Array.iter
-    (fun name ->
-      let p = Ast.find_proc_exn prog name in
-      Hashtbl.replace lowered name (Lower.lower_proc prog p))
-    pcg.Callgraph.nodes;
+  let lowered = lower_all ~jobs prog pcg in
   { prog; pcg; summaries; aliases; modref; floats;
     lowered; ssa_cache = Hashtbl.create 16 }
 
@@ -99,6 +113,28 @@ let ssa t name : Ssa.proc =
       in
       Hashtbl.replace t.ssa_cache name p;
       p
+
+(** Pre-build the SSA form of every reachable procedure not yet cached, on
+    [jobs] domains.  Construction per procedure only reads shared immutable
+    analysis results, so it parallelises freely; the cache is filled
+    sequentially afterwards.  Once this returns, {!ssa} is a read-only
+    cache hit from any domain. *)
+let build_ssa ?jobs t : unit =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  let missing =
+    Array.of_list
+      (List.filter
+         (fun name -> not (Hashtbl.mem t.ssa_cache name))
+         (Array.to_list t.pcg.Callgraph.nodes))
+  in
+  let built =
+    Par.parallel_init ~jobs (Array.length missing) (fun i ->
+        Ssa.of_proc
+          ~effects:(effects_for t missing.(i))
+          t.prog
+          (lowered_proc t missing.(i)))
+  in
+  Array.iteri (fun i name -> Hashtbl.replace t.ssa_cache name built.(i)) missing
 
 (** Demote real-valued constants to bottom when float propagation is off.
     Applied at every interprocedural boundary. *)

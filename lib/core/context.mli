@@ -26,8 +26,16 @@ type t = {
   ssa_cache : (string, Ssa.proc) Hashtbl.t;
 }
 
-(** Build the context for a {!Sema.check}-clean program. *)
-val create : ?floats:bool -> Ast.program -> t
+(** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
+    domains used for per-procedure lowering (default
+    {!Fsicp_par.Par.default_jobs}); the result is identical for every
+    value. *)
+val create : ?floats:bool -> ?jobs:int -> Ast.program -> t
+
+(** Lower every reachable procedure on [jobs] domains; the building block
+    {!create} and {!Driver.run} share. *)
+val lower_all :
+  jobs:int -> Ast.program -> Callgraph.t -> (string, Ir.proc) Hashtbl.t
 
 val lowered_proc : t -> string -> Ir.proc
 
@@ -38,6 +46,11 @@ val effects_for : t -> string -> Ssa.call_effects
 
 (** SSA form of a reachable procedure (cached). *)
 val ssa : t -> string -> Ssa.proc
+
+(** Pre-build the SSA form of every reachable procedure not yet cached, on
+    [jobs] domains; afterwards {!ssa} is a read-only cache hit from any
+    domain. *)
+val build_ssa : ?jobs:int -> t -> unit
 
 (** Demote real-valued constants to ⊥ when float propagation is off. *)
 val censor : t -> Lattice.t -> Lattice.t

@@ -13,12 +13,19 @@
     The timings back the paper's cost claim: "The flow-sensitive method
     increases the analysis phase of the compilation by 50% over the
     flow-insensitive method" — compare [fi_seconds] against
-    [fs_seconds]. *)
+    [fs_seconds].
+
+    Independent phases run concurrently when [jobs > 1]: steps 1 and 2
+    need only the program, so the IPA collection and the PCG construction
+    overlap; lowering fans out per procedure; and the flow-sensitive ICP
+    runs its PCG wavefront on the same domain budget.  Each phase is still
+    timed individually (inside its own task), so the Figure-2 trace keeps
+    one entry per phase regardless of [jobs]. *)
 
 open Fsicp_lang
-open Fsicp_cfg
 open Fsicp_ipa
 open Fsicp_callgraph
+open Fsicp_par
 
 type timing = { t_phase : string; t_seconds : float }
 
@@ -30,30 +37,31 @@ type t = {
   timings : timing list;
 }
 
-let timed phase acc f =
+let time_it f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  let dt = Unix.gettimeofday () -. t0 in
-  acc := { t_phase = phase; t_seconds = dt } :: !acc;
-  r
+  (r, Unix.gettimeofday () -. t0)
 
-(** Run the complete pipeline.  The program must be {!Sema.check}-clean. *)
-let run ?(floats = true) (prog : Ast.program) : t =
-  let acc = ref [] in
-  (* Steps 1–4 plus lowering: the IPA infrastructure. *)
-  let pcg = timed "2:call-graph" acc (fun () -> Callgraph.build prog) in
-  let summaries = timed "1:ipa-collect" acc (fun () -> Summary.collect prog) in
-  let aliases = timed "3:aliasing" acc (fun () -> Alias.compute summaries pcg) in
-  let modref =
-    timed "4:mod-ref" acc (fun () -> Modref.compute summaries aliases pcg)
+(** Run the complete pipeline on [jobs] domains (default
+    {!Fsicp_par.Par.default_jobs}).  The program must be
+    {!Sema.check}-clean; the analysis results are identical for every
+    [jobs]. *)
+let run ?(floats = true) ?jobs (prog : Ast.program) : t =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  (* Steps 1–2 are independent given the program: collect the IPA inputs
+     while the PCG is being built. *)
+  let (pcg, t_pcg), (summaries, t_sum) =
+    Par.both ~jobs
+      (fun () -> time_it (fun () -> Callgraph.build prog))
+      (fun () -> time_it (fun () -> Summary.collect prog))
   in
-  let lowered = Hashtbl.create 16 in
-  timed "lowering" acc (fun () ->
-      Array.iter
-        (fun name ->
-          Hashtbl.replace lowered name
-            (Lower.lower_proc prog (Ast.find_proc_exn prog name)))
-        pcg.Callgraph.nodes);
+  let aliases, t_alias = time_it (fun () -> Alias.compute summaries pcg) in
+  let modref, t_modref =
+    time_it (fun () -> Modref.compute summaries aliases pcg)
+  in
+  let lowered, t_lower =
+    time_it (fun () -> Context.lower_all ~jobs prog pcg)
+  in
   let ctx =
     {
       Context.prog;
@@ -69,14 +77,26 @@ let run ?(floats = true) (prog : Ast.program) : t =
   (* Step 5: interprocedural constant propagation.  The FS timing includes
      SSA construction and the one-per-procedure SCC runs, mirroring the
      paper's "analysis phase" accounting; the FI method needs neither. *)
-  let fi = timed "5a:fi-icp" acc (fun () -> Fi_icp.solve ctx) in
-  let fs = timed "5b:fs-icp" acc (fun () -> Fs_icp.solve ~fi ctx) in
+  let fi, t_fi = time_it (fun () -> Fi_icp.solve ctx) in
+  let fs, t_fs = time_it (fun () -> Fs_icp.solve ~jobs ~fi ctx) in
   (* Step 6: reverse topological traversal — USE computation here; the
      transformation itself is on demand ({!Transform}, {!Fold}). *)
-  let use =
-    timed "6:use" acc (fun () -> Use.compute lowered modref pcg)
+  let use, t_use = time_it (fun () -> Use.compute lowered modref pcg) in
+  let timings =
+    List.map
+      (fun (t_phase, t_seconds) -> { t_phase; t_seconds })
+      [
+        ("2:call-graph", t_pcg);
+        ("1:ipa-collect", t_sum);
+        ("3:aliasing", t_alias);
+        ("4:mod-ref", t_modref);
+        ("lowering", t_lower);
+        ("5a:fi-icp", t_fi);
+        ("5b:fs-icp", t_fs);
+        ("6:use", t_use);
+      ]
   in
-  { ctx; fi; fs; use; timings = List.rev !acc }
+  { ctx; fi; fs; use; timings }
 
 let timing_of t phase =
   List.find_opt (fun x -> String.equal x.t_phase phase) t.timings

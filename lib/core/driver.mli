@@ -14,8 +14,12 @@ type t = {
   timings : timing list;
 }
 
-(** Run steps 1–6 on a {!Sema.check}-clean program. *)
-val run : ?floats:bool -> Ast.program -> t
+(** Run steps 1–6 on a {!Sema.check}-clean program.  Independent phases
+    (IPA collection ∥ PCG construction, per-procedure lowering, the FS
+    wavefront) run on [jobs] domains (default
+    {!Fsicp_par.Par.default_jobs}); results are identical for every
+    [jobs]. *)
+val run : ?floats:bool -> ?jobs:int -> Ast.program -> t
 
 val timing_of : t -> string -> float option
 val fi_seconds : t -> float

@@ -198,10 +198,5 @@ let solve (ctx : Context.t) : Solution.t =
                })
              s.Summary.ps_calls)
   in
-  {
-    Solution.method_name;
-    entries;
-    call_records;
-    scc_runs = 0;
-    scc_results = Hashtbl.create 1;
-  }
+  Solution.make ~method_name ~entries ~call_records ~scc_runs:0
+    ~scc_results:(Hashtbl.create 1)

@@ -21,7 +21,24 @@
     PCG is acyclic the result coincides with the full iterative
     flow-sensitive solution (checked against {!Reference} in the tests),
     and as the back-edge ratio grows the solution degrades gracefully
-    toward the flow-insensitive one (the BACKEDGE experiment). *)
+    toward the flow-insensitive one (the BACKEDGE experiment).
+
+    {2 Parallel execution}
+
+    The traversal is a dependency {e wavefront}: a procedure is ready as
+    soon as all of its forward-edge callers have been analysed,
+    independently of its siblings, so ready procedures run concurrently on
+    [jobs] domains ({!Fsicp_par.Par.wavefront}).  Procedure [p]'s entry
+    meet is {e pulled} at dispatch time from the call records its forward
+    callers already produced — in canonical in-edge order, so the result is
+    independent of completion order — rather than pushed by the callers,
+    which keeps the per-call-site hot path free of locks: the scheduler's
+    ready-count bookkeeping is the only synchronisation point.  Back-edge
+    contributions come from the flow-insensitive seed, which is complete
+    before the wavefront starts, so no cross-domain race exists.
+    [jobs = 1] processes the nodes sequentially in exactly the forward
+    order the original implementation used; any [jobs] yields a
+    bit-identical {!Solution.t} (verified by the test suite). *)
 
 open Fsicp_lang
 open Fsicp_cfg
@@ -29,16 +46,16 @@ open Fsicp_ssa
 open Fsicp_callgraph
 open Fsicp_ipa
 open Fsicp_scc
+open Fsicp_par
 
 let method_name = "flow-sensitive"
 
-type pending = {
-  mutable p_formals : Lattice.t array;
-  p_globals : (string, Lattice.t) Hashtbl.t;
-      (** accumulating meet per global in the procedure's REF closure *)
-}
+(** [solve ?jobs ?fi ?call_def_value ctx] computes the flow-sensitive
+    solution.
 
-(** [solve ?fi ?call_def_value ctx] computes the flow-sensitive solution.
+    [jobs] is the number of worker domains for the wavefront traversal and
+    the SSA pre-build (default {!Fsicp_par.Par.default_jobs}); the solution
+    is identical for every value.
 
     [fi] overrides the flow-insensitive solution used for back edges
     (computed on demand when the PCG has cycles, matching the paper:
@@ -48,11 +65,16 @@ type pending = {
     [call_def_value] refines the post-call value of call-defined variables;
     the return-constants extension ({!Return_consts}) passes the summaries
     of its reverse traversal here. *)
-let solve ?fi
+let solve ?jobs ?fi
     ?(call_def_value :
        (caller:string -> Ssa.call -> Ir.var -> Lattice.t) option)
     (ctx : Context.t) : Solution.t =
   let pcg = ctx.Context.pcg in
+  let nodes = pcg.Callgraph.nodes in
+  let n = Array.length nodes in
+  let jobs =
+    max 1 (min (match jobs with Some j -> j | None -> Par.default_jobs ()) n)
+  in
   let fi =
     match fi with
     | Some s -> Some s
@@ -67,131 +89,173 @@ let solve ?fi
          | Summary.Vformal _ -> None)
   in
 
-  (* Pending entry meets, accumulated as callers are processed. *)
-  let pending : (string, pending) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun proc ->
-      let s = Summary.find ctx.Context.summaries proc in
-      let nf = List.length s.Summary.ps_formals in
-      let p_globals = Hashtbl.create 8 in
-      List.iter (fun g -> Hashtbl.replace p_globals g Lattice.Top)
-        (gref_globals proc);
-      Hashtbl.replace pending proc
-        { p_formals = Array.make nf Lattice.Top; p_globals })
-    pcg.Callgraph.nodes;
+  (* Wavefront shape: procedure [i] depends on the distinct procedures that
+     call it over forward (non-back) edges; back edges contribute the FI
+     seed instead and impose no ordering.  The forward-edge graph is acyclic
+     and consistent with reverse postorder by construction. *)
+  let in_edges = Array.map (fun proc -> Callgraph.in_edges pcg proc) nodes in
+  let idx name = Hashtbl.find pcg.Callgraph.index name in
+  let deps = Array.make n [] in
+  let dependents = Array.make n [] in
+  Array.iteri
+    (fun i es ->
+      let callers =
+        List.filter_map
+          (fun (e : Callgraph.edge) ->
+            if Callgraph.is_back_edge pcg e then None
+            else Some (idx e.Callgraph.caller))
+          es
+        |> List.sort_uniq compare
+      in
+      deps.(i) <- callers;
+      List.iter (fun c -> dependents.(c) <- i :: dependents.(c)) callers)
+    in_edges;
+  Array.iteri (fun i l -> dependents.(i) <- List.rev l) dependents;
 
-  let meet_formal proc j v =
-    let p = Hashtbl.find pending proc in
-    if j < Array.length p.p_formals then
-      p.p_formals.(j) <- Lattice.meet p.p_formals.(j) v
-  in
-  let meet_global proc g v =
-    let p = Hashtbl.find pending proc in
-    match Hashtbl.find_opt p.p_globals g with
-    | Some cur -> Hashtbl.replace p.p_globals g (Lattice.meet cur v)
-    | None -> () (* not in the REF closure: its entry value is never used *)
-  in
+  (* Pre-build SSA for every procedure (embarrassingly parallel, and the
+     bulk of the flow-sensitive setup time); afterwards [Context.ssa] is a
+     read-only cache hit from any domain. *)
+  if jobs > 1 then Context.build_ssa ~jobs ctx;
 
-  (* Back edges contribute the flow-insensitive per-call-site statuses,
-     seeded before the traversal begins. *)
-  (match fi with
-  | None -> ()
-  | Some fi ->
-      List.iter
-        (fun (e : Callgraph.edge) ->
-          if Callgraph.is_back_edge pcg e then
-            match
-              Solution.find_call_record fi ~caller:e.Callgraph.caller
-                ~cs_index:e.Callgraph.cs_index
-            with
-            | None -> ()
-            | Some cr ->
-                Array.iteri
-                  (fun j v -> meet_formal e.Callgraph.callee j v)
-                  cr.Solution.cr_args;
-                List.iter
-                  (fun (g, v) -> meet_global e.Callgraph.callee g v)
-                  cr.Solution.cr_globals)
-        pcg.Callgraph.edges);
-
-  (* Entry environment of [main]: block data constants; everything else
-     unknown. *)
   let blockdata = Context.blockdata_env ctx in
-  (let main = ctx.Context.prog.Ast.main in
-   let p = Hashtbl.find pending main in
-   Hashtbl.iter
-     (fun g _ ->
-       let v =
-         match List.assoc_opt g blockdata with
-         | Some v -> v
-         | None -> Lattice.Bot
-       in
-       Hashtbl.replace p.p_globals g v)
-     p.p_globals);
+  let main = ctx.Context.prog.Ast.main in
 
-  let entries = Hashtbl.create 16 in
-  let scc_results = Hashtbl.create 16 in
-  let call_records = ref [] in
-  let scc_runs = ref 0 in
+  (* Per-procedure outputs, written only by the domain that processes the
+     procedure and read by its dependents after the scheduler's
+     happens-before edge. *)
+  let entries_arr = Array.make n Solution.empty_entry in
+  let results_arr : Scc.result option array = Array.make n None in
+  let records_arr : Solution.callsite_record list array = Array.make n [] in
+  let record_tbl : (int, Solution.callsite_record) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 8)
+  in
 
-  Array.iter
-    (fun proc ->
-      let pend = Hashtbl.find pending proc in
-      (* Top after all contributions = no executable call reaches the
-         procedure; treat as unknown rather than claiming dead-code
-         constants. *)
-      let finalize v = match v with Lattice.Top -> Lattice.Bot | v -> v in
-      let pe_formals = Array.map finalize pend.p_formals in
-      let pe_globals =
-        Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) pend.p_globals []
-        |> List.sort compare
-      in
-      Hashtbl.replace entries proc { Solution.pe_formals; pe_globals };
-      (* One flow-sensitive intraprocedural analysis of [proc]. *)
-      let entry_env (v : Ir.var) =
-        match v.Ir.vkind with
-        | Ir.Formal i ->
-            if i < Array.length pe_formals then pe_formals.(i)
-            else Lattice.Bot
-        | Ir.Global -> (
-            match List.assoc_opt v.Ir.vname pe_globals with
-            | Some value -> value
-            | None ->
-                (* Not in the REF closure but still versioned (e.g. only in
-                   the MOD closure of some callee): unknown at entry unless
-                   this is [main] and block data initialises it. *)
-                if String.equal proc ctx.Context.prog.Ast.main then
-                  match List.assoc_opt v.Ir.vname blockdata with
-                  | Some value -> value
-                  | None -> Lattice.Bot
-                else Lattice.Bot)
-        | Ir.Local | Ir.Temp -> Lattice.Bot
-      in
-      let ssa = Context.ssa ctx proc in
-      let cdv =
-        match call_def_value with
-        | None -> Scc.default_config.Scc.call_def_value
-        | Some f ->
-            (* The SCC core keys call effects by callee name; when several
-               calls to the same callee define the same variable, meet
-               their summaries (conservative and rare). *)
-            let calls = Ssa.call_sites ssa in
-            fun ~callee v ->
-              List.fold_left
-                (fun acc (_, _, (c : Ssa.call)) ->
-                  if String.equal c.Ssa.c_callee callee then
-                    Lattice.meet acc (f ~caller:proc c v)
-                  else acc)
-                Lattice.Top calls
-              |> fun r -> if r = Lattice.Top then Lattice.Bot else r
-      in
-      let config = { Scc.entry_env; call_def_value = cdv } in
-      let res = Scc.run ~config ssa in
-      incr scc_runs;
-      Hashtbl.replace scc_results proc res;
-      (* Record call-site values and contribute to callees. *)
-      let out_edges = Callgraph.out_edges pcg proc in
-      List.iter
+  let process i =
+    let proc = nodes.(i) in
+    let s = Summary.find ctx.Context.summaries proc in
+    let nf = List.length s.Summary.ps_formals in
+    let formals = Array.make nf Lattice.Top in
+    let globals = Hashtbl.create 8 in
+    List.iter (fun g -> Hashtbl.replace globals g Lattice.Top)
+      (gref_globals proc);
+    let meet_formal j v =
+      if j < nf then formals.(j) <- Lattice.meet formals.(j) v
+    in
+    let meet_global g v =
+      match Hashtbl.find_opt globals g with
+      | Some cur -> Hashtbl.replace globals g (Lattice.meet cur v)
+      | None -> () (* not in the REF closure: its entry value is never used *)
+    in
+    let contribute (cr : Solution.callsite_record) =
+      Array.iteri meet_formal cr.Solution.cr_args;
+      List.iter (fun (g, v) -> meet_global g v) cr.Solution.cr_globals
+    in
+    (* Back edges contribute the flow-insensitive per-call-site statuses. *)
+    (match fi with
+    | None -> ()
+    | Some fi ->
+        List.iter
+          (fun (e : Callgraph.edge) ->
+            if Callgraph.is_back_edge pcg e then
+              match
+                Solution.find_call_record fi ~caller:e.Callgraph.caller
+                  ~cs_index:e.Callgraph.cs_index
+              with
+              | None -> ()
+              | Some cr -> contribute cr)
+          in_edges.(i));
+    (* Entry environment of [main]: block data constants; everything else
+       unknown.  (Any call edge into [main] is necessarily a back edge, so
+       this replacement is main's whole global story bar the FI seed, which
+       it deliberately overrides — as the sequential traversal always did.) *)
+    if String.equal proc main then
+      Hashtbl.iter
+        (fun g _ ->
+          let v =
+            match List.assoc_opt g blockdata with
+            | Some v -> v
+            | None -> Lattice.Bot
+          in
+          Hashtbl.replace globals g v)
+        (Hashtbl.copy globals);
+    (* Forward edges: every forward caller has been processed (the
+       scheduler guarantees it), so pull its recorded executable call-site
+       values, in canonical in-edge order. *)
+    List.iter
+      (fun (e : Callgraph.edge) ->
+        if not (Callgraph.is_back_edge pcg e) then
+          match
+            Hashtbl.find_opt
+              record_tbl.(idx e.Callgraph.caller)
+              e.Callgraph.cs_index
+          with
+          | Some cr when cr.Solution.cr_executable -> contribute cr
+          | Some _ | None -> ())
+      in_edges.(i);
+    (* Top after all contributions = no executable call reaches the
+       procedure; treat as unknown rather than claiming dead-code
+       constants. *)
+    let finalize v = match v with Lattice.Top -> Lattice.Bot | v -> v in
+    let pe_formals = Array.map finalize formals in
+    let pe_globals =
+      Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) globals []
+      |> List.sort compare
+    in
+    entries_arr.(i) <- { Solution.pe_formals; pe_globals };
+    (* One flow-sensitive intraprocedural analysis of [proc]. *)
+    let entry_env (v : Ir.var) =
+      match v.Ir.vkind with
+      | Ir.Formal i ->
+          if i < Array.length pe_formals then pe_formals.(i) else Lattice.Bot
+      | Ir.Global -> (
+          match List.assoc_opt v.Ir.vname pe_globals with
+          | Some value -> value
+          | None ->
+              (* Not in the REF closure but still versioned (e.g. only in
+                 the MOD closure of some callee): unknown at entry unless
+                 this is [main] and block data initialises it. *)
+              if String.equal proc main then
+                match List.assoc_opt v.Ir.vname blockdata with
+                | Some value -> value
+                | None -> Lattice.Bot
+              else Lattice.Bot)
+      | Ir.Local | Ir.Temp -> Lattice.Bot
+    in
+    let ssa = Context.ssa ctx proc in
+    let call_sites = Ssa.call_sites ssa in
+    let cdv =
+      match call_def_value with
+      | None -> Scc.default_config.Scc.call_def_value
+      | Some f ->
+          (* The SCC core keys call effects by callee name; when several
+             calls to the same callee define the same variable, meet their
+             summaries (conservative and rare).  The calls are indexed by
+             callee once, so each query folds only that callee's sites. *)
+          let by_callee : (string, Ssa.call list) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          List.iter
+            (fun (_, _, (c : Ssa.call)) ->
+              Hashtbl.replace by_callee c.Ssa.c_callee
+                (c
+                :: Option.value
+                     (Hashtbl.find_opt by_callee c.Ssa.c_callee)
+                     ~default:[]))
+            (List.rev call_sites);
+          fun ~callee v ->
+            List.fold_left
+              (fun acc (c : Ssa.call) ->
+                Lattice.meet acc (f ~caller:proc c v))
+              Lattice.Top
+              (Option.value (Hashtbl.find_opt by_callee callee) ~default:[])
+            |> fun r -> if r = Lattice.Top then Lattice.Bot else r
+    in
+    let config = { Scc.entry_env; call_def_value = cdv } in
+    let res = Scc.run ~config ssa in
+    results_arr.(i) <- Some res;
+    (* Record call-site values for the callees' later meets. *)
+    let recs =
+      List.map
         (fun (b, _, (c : Ssa.call)) ->
           let executable = res.Scc.block_executable.(b) in
           let cr_args =
@@ -209,7 +273,7 @@ let solve ?fi
                        Context.censor ctx res.Scc.values.(n.Ssa.id)
                      else Lattice.Top ))
           in
-          call_records :=
+          let cr =
             {
               Solution.cr_caller = proc;
               cr_cs_index = c.Ssa.c_cs_id;
@@ -218,33 +282,28 @@ let solve ?fi
               cr_args;
               cr_globals;
             }
-            :: !call_records;
-          (* Contribute to the callee's pending meet — unless this edge is
-             a back edge, whose contribution was the FI seed. *)
-          let edge =
-            List.find_opt
-              (fun (e : Callgraph.edge) ->
-                e.Callgraph.cs_index = c.Ssa.c_cs_id)
-              out_edges
           in
-          match edge with
-          | Some e when Callgraph.is_back_edge pcg e -> ()
-          | Some _ | None ->
-              if executable then begin
-                Array.iteri
-                  (fun j v -> meet_formal c.Ssa.c_callee j v)
-                  cr_args;
-                List.iter
-                  (fun (g, v) -> meet_global c.Ssa.c_callee g v)
-                  cr_globals
-              end)
-        (Ssa.call_sites ssa))
-    (Callgraph.forward_order pcg);
+          Hashtbl.replace record_tbl.(i) c.Ssa.c_cs_id cr;
+          cr)
+        call_sites
+    in
+    records_arr.(i) <- recs
+  in
 
-  {
-    Solution.method_name;
-    entries;
-    call_records = List.rev !call_records;
-    scc_runs = !scc_runs;
-    scc_results;
-  }
+  Par.wavefront ~jobs ~order:(Array.init n (fun i -> i)) ~deps ~dependents
+    process;
+
+  (* Canonical normalisation point: assemble per-procedure outputs in
+     forward (reverse postorder) node order, so the recorded call-record
+     order — and hence the whole solution — is identical for every [jobs]. *)
+  let entries = Hashtbl.create 16 in
+  let scc_results = Hashtbl.create 16 in
+  Array.iteri
+    (fun i proc ->
+      Hashtbl.replace entries proc entries_arr.(i);
+      match results_arr.(i) with
+      | Some res -> Hashtbl.replace scc_results proc res
+      | None -> ())
+    nodes;
+  let call_records = List.concat (Array.to_list records_arr) in
+  Solution.make ~method_name ~entries ~call_records ~scc_runs:n ~scc_results

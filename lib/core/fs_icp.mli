@@ -4,16 +4,26 @@
     at call sites; back edges take the flow-insensitive solution; each
     procedure receives exactly one flow-sensitive analysis, recursion
     included.  On acyclic PCGs the result equals the iterative
-    flow-sensitive fixpoint ({!Reference}). *)
+    flow-sensitive fixpoint ({!Reference}).
+
+    The traversal is executed as a dependency wavefront over the PCG's
+    forward edges: procedures whose forward callers have all been analysed
+    run concurrently on [jobs] domains, with entry meets pulled in
+    canonical in-edge order at dispatch time, so the solution is identical
+    for every [jobs]. *)
 
 val method_name : string
 
-(** [solve ?fi ?call_def_value ctx]:
+(** [solve ?jobs ?fi ?call_def_value ctx]:
+    [jobs] is the number of worker domains for the wavefront traversal
+    (default {!Fsicp_par.Par.default_jobs}; [1] is the sequential
+    reference path, and every value yields the same solution);
     [fi] overrides the flow-insensitive solution used for back edges
     (computed on demand only when the PCG has cycles, as in the paper);
     [call_def_value] refines post-call values of call-defined variables —
     the hook the return-constants extension uses. *)
 val solve :
+  ?jobs:int ->
   ?fi:Solution.t ->
   ?call_def_value:
     (caller:string -> Fsicp_ssa.Ssa.call -> Fsicp_cfg.Ir.var -> Fsicp_scc.Lattice.t) ->

@@ -421,10 +421,5 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
         })
       sites
   in
-  {
-    Solution.method_name = variant_name variant;
-    entries;
-    call_records;
-    scc_runs;
-    scc_results = Hashtbl.create 1;
-  }
+  Solution.make ~method_name:(variant_name variant) ~entries ~call_records
+    ~scc_runs ~scc_results:(Hashtbl.create 1)

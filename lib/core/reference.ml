@@ -186,10 +186,5 @@ let solve (ctx : Context.t) : Solution.t =
         :: acc)
       records []
   in
-  {
-    Solution.method_name;
-    entries = entries_tbl;
-    call_records;
-    scc_runs = !scc_runs;
-    scc_results;
-  }
+  Solution.make ~method_name ~entries:entries_tbl ~call_records
+    ~scc_runs:!scc_runs ~scc_results

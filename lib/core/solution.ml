@@ -39,6 +39,9 @@ type t = {
   method_name : string;
   entries : (string, proc_entry) Hashtbl.t;  (** per reachable procedure *)
   call_records : callsite_record list;
+  call_index : (string * int, callsite_record) Hashtbl.t;
+      (** the same records keyed by (caller, cs_index); built by {!make} in
+          the same pass as the list, so {!find_call_record} is O(1) *)
   scc_runs : int;
       (** number of flow-sensitive intraprocedural analyses performed — the
           paper's headline is that the FS method needs exactly one per
@@ -47,6 +50,18 @@ type t = {
       (** the per-procedure SCC runs, when the method performs them (empty
           for flow-insensitive methods) *)
 }
+
+(** Assemble a solution, indexing the call records by (caller, cs_index) in
+    the same pass.  When duplicates exist the first record wins, matching
+    the former linear scan. *)
+let make ~method_name ~entries ~call_records ~scc_runs ~scc_results : t =
+  let call_index = Hashtbl.create (2 * List.length call_records + 1) in
+  List.iter
+    (fun cr ->
+      let key = (cr.cr_caller, cr.cr_cs_index) in
+      if not (Hashtbl.mem call_index key) then Hashtbl.add call_index key cr)
+    call_records;
+  { method_name; entries; call_records; call_index; scc_runs; scc_results }
 
 let empty_entry = { pe_formals = [||]; pe_globals = [] }
 
@@ -93,9 +108,7 @@ let constant_globals t : (string * string * Fsicp_lang.Value.t) list =
   |> List.sort compare
 
 let find_call_record t ~caller ~cs_index =
-  List.find_opt
-    (fun cr -> String.equal cr.cr_caller caller && cr.cr_cs_index = cs_index)
-    t.call_records
+  Hashtbl.find_opt t.call_index (caller, cs_index)
 
 let pp ppf t =
   Fmt.pf ppf "method %s (%d SCC runs):@\n" t.method_name t.scc_runs;

@@ -26,11 +26,24 @@ type t = {
   method_name : string;
   entries : (string, proc_entry) Hashtbl.t;
   call_records : callsite_record list;
+  call_index : (string * int, callsite_record) Hashtbl.t;
+      (** records keyed by (caller, cs_index); kept consistent with
+          [call_records] by {!make} *)
   scc_runs : int;
       (** flow-sensitive intraprocedural analyses performed — the paper's
           headline is exactly one per procedure for the FS method *)
   scc_results : (string, Scc.result) Hashtbl.t;
 }
+
+(** Assemble a solution, building the (caller, cs_index) call-record index
+    in the same pass as the list. *)
+val make :
+  method_name:string ->
+  entries:(string, proc_entry) Hashtbl.t ->
+  call_records:callsite_record list ->
+  scc_runs:int ->
+  scc_results:(string, Scc.result) Hashtbl.t ->
+  t
 
 val empty_entry : proc_entry
 val entry : t -> string -> proc_entry

@@ -8,6 +8,7 @@
 open Fsicp_core
 open Fsicp_workloads
 open Fsicp_report
+open Fsicp_par
 
 type run = {
   r_bench : Spec.benchmark;
@@ -18,12 +19,15 @@ type run = {
   r_propagated : Metrics.propagated_row;
 }
 
-(** Analyse one benchmark (generate, build context, run both methods). *)
-let run_benchmark ?(floats = true) (b : Spec.benchmark) : run =
+(** Analyse one benchmark (generate, build context, run both methods).
+    [jobs] is threaded to the context build and the FS wavefront; the
+    per-suite fan-out below parallelises across benchmarks instead and
+    pins the inner analyses to one domain. *)
+let run_benchmark ?(floats = true) ?jobs (b : Spec.benchmark) : run =
   let prog = Spec.program b in
-  let ctx = Context.create ~floats prog in
+  let ctx = Context.create ~floats ?jobs prog in
   let fi = Fi_icp.solve ctx in
-  let fs = Fs_icp.solve ~fi ctx in
+  let fs = Fs_icp.solve ?jobs ~fi ctx in
   {
     r_bench = b;
     r_ctx = ctx;
@@ -44,7 +48,13 @@ let psum f rows = List.fold_left (fun acc r -> acc + max 0 (f r)) 0 rows
     [~floats:false]): interprocedural call-site constant candidates. *)
 let candidates_table ?(floats = true) ~title (benchmarks : Spec.benchmark list)
     : Report.t * run list =
-  let runs = List.map (run_benchmark ~floats) benchmarks in
+  (* Benchmarks are independent: fan out across the suite, one domain per
+     benchmark, keeping each benchmark's own analyses sequential. *)
+  let runs =
+    Par.map_list ~jobs:(Par.default_jobs ())
+      (run_benchmark ~floats ~jobs:1)
+      benchmarks
+  in
   let papers = List.map (fun r -> r.r_bench.Spec.b_paper) runs in
   let row (r : run) =
     let c = r.r_candidates and p = r.r_bench.Spec.b_paper in
@@ -174,32 +184,38 @@ let figure1_table () : Report.t =
     probability and report precision (FS constant formals) relative to the
     iterative reference and the FI floor. *)
 let backedge_sweep ?(seeds = [ 7; 21; 35 ]) () : Report.t =
-  let probe prob =
-    let counts =
-      List.map
-        (fun seed ->
-          let profile =
-            {
-              (Generator.small_profile seed) with
-              Generator.g_procs = 12;
-              g_back_edge_prob = prob;
-              g_w_imm = 2.0;
-              g_w_local_const = 2.0;
-              g_w_prune = 1.0;
-              g_w_bot = 2.0;
-            }
-          in
-          let prog = Generator.generate profile in
-          let ctx = Context.create prog in
-          let fi = Fi_icp.solve ctx in
-          let fs = Fs_icp.solve ~fi ctx in
-          let reference = Reference.solve ctx in
-          let n sol = List.length (Solution.constant_formals sol) in
-          let ratio =
-            Fsicp_callgraph.Callgraph.back_edge_ratio ctx.Context.pcg
-          in
-          (ratio, n fi, n fs, n reference))
-        seeds
+  let probs = [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ] in
+  (* Every (probability, seed) cell is independent — including the
+     expensive iterative-reference solve — so the whole sweep fans out at
+     once, one domain per cell. *)
+  let probe (prob, seed) =
+    let profile =
+      {
+        (Generator.small_profile seed) with
+        Generator.g_procs = 12;
+        g_back_edge_prob = prob;
+        g_w_imm = 2.0;
+        g_w_local_const = 2.0;
+        g_w_prune = 1.0;
+        g_w_bot = 2.0;
+      }
+    in
+    let prog = Generator.generate profile in
+    let ctx = Context.create ~jobs:1 prog in
+    let fi = Fi_icp.solve ctx in
+    let fs = Fs_icp.solve ~jobs:1 ~fi ctx in
+    let reference = Reference.solve ctx in
+    let n sol = List.length (Solution.constant_formals sol) in
+    let ratio = Fsicp_callgraph.Callgraph.back_edge_ratio ctx.Context.pcg in
+    (prob, (ratio, n fi, n fs, n reference))
+  in
+  let cells =
+    Par.map_list ~jobs:(Par.default_jobs ()) probe
+      (List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) probs)
+  in
+  let row prob =
+    let counts = List.filter_map
+        (fun (p, c) -> if p = prob then Some c else None) cells
     in
     let avg f =
       List.fold_left (fun acc c -> acc +. f c) 0.0 counts
@@ -219,16 +235,16 @@ let backedge_sweep ?(seeds = [ 7; 21; 35 ]) () : Report.t =
        as the back-edge ratio grows"
     ~header:
       [ "BACK-PROB"; "EDGE-RATIO"; "FI-CONSTS"; "FS-CONSTS"; "ITER-CONSTS" ]
-    (List.map probe [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ])
+    (List.map row probs)
 
 (** §4 float ablation: global and argument constants with and without
     floating-point propagation. *)
 let floats_table () : Report.t =
   let both =
-    List.map
+    Par.map_list ~jobs:(Par.default_jobs ())
       (fun b ->
-        let w = run_benchmark ~floats:true b in
-        let wo = run_benchmark ~floats:false b in
+        let w = run_benchmark ~floats:true ~jobs:1 b in
+        let wo = run_benchmark ~floats:false ~jobs:1 b in
         (b, w, wo))
       Spec.suite
   in
@@ -347,7 +363,7 @@ let figure2 () : string =
     extension (kept off in the tables, as in the paper). *)
 let returns_table () : Report.t =
   let rows =
-    List.map
+    Par.map_list ~jobs:(Par.default_jobs ())
       (fun (b : Spec.benchmark) ->
         (* Give every benchmark a slice of out-parameters (callees that
            store a constant through a reference before returning) — the
@@ -361,11 +377,11 @@ let returns_table () : Report.t =
           }
         in
         let prog = Generator.generate profile in
-        let ctx = Context.create prog in
-        let fs = Fs_icp.solve ctx in
+        let ctx = Context.create ~jobs:1 prog in
+        let fs = Fs_icp.solve ~jobs:1 ctx in
         let rc = Return_consts.compute ctx ~fs in
         let fs2 =
-          Fs_icp.solve
+          Fs_icp.solve ~jobs:1
             ~call_def_value:
               (Return_consts.as_oracle rc ~censor:(Context.censor ctx))
             ctx

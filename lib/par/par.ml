@@ -1,0 +1,133 @@
+(** Domain-based parallel execution primitives (see the interface for the
+    determinism and safety contracts).
+
+    The pool is deliberately minimal: [k-1] spawned domains plus the calling
+    domain all pull indices from one atomic counter, so there is no work
+    queue to balance and no per-task allocation.  The wavefront scheduler
+    keeps its pending-count bookkeeping under one mutex taken only at node
+    completion — never inside [process] — so the hot path (the per-node
+    analysis itself) runs lock-free. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "FSICP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Run [worker] on [k-1] fresh domains and the current one, join, and
+   re-raise the first exception any worker recorded. *)
+let run_pool k (err : exn option Atomic.t) worker =
+  let doms = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join doms;
+  match Atomic.get err with Some e -> raise e | None -> ()
+
+let record_error err e = ignore (Atomic.compare_and_set err None (Some e))
+
+let parallel_init ~jobs n f =
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let err = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get err <> None then continue := false
+        else
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> record_error err e
+      done
+    in
+    run_pool (min jobs n) err worker;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_iter ~jobs n f =
+  if n > 0 then
+    if jobs <= 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else ignore (parallel_init ~jobs n f)
+
+let map_list ~jobs f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let a = Array.of_list l in
+      Array.to_list (parallel_init ~jobs (Array.length a) (fun i -> f a.(i)))
+
+let both ~jobs f g =
+  if jobs <= 1 then
+    let a = f () in
+    let b = g () in
+    (a, b)
+  else begin
+    let d = Domain.spawn g in
+    let a = match f () with v -> Ok v | exception e -> Error e in
+    (* Join unconditionally so the domain never leaks; [Domain.join]
+       re-raises [g]'s own exception if it failed. *)
+    let b = match Domain.join d with v -> Ok v | exception e -> Error e in
+    match (a, b) with
+    | Ok a, Ok b -> (a, b)
+    | Error e, _ | _, Error e -> raise e
+  end
+
+let wavefront ~jobs ~order ~deps ~dependents process =
+  let n = Array.length order in
+  if n = 0 then ()
+  else if jobs <= 1 || n = 1 then Array.iter process order
+  else begin
+    let pending = Array.map List.length deps in
+    let mutex = Mutex.create () in
+    let nonempty = Condition.create () in
+    let ready = Queue.create () in
+    let remaining = ref n in
+    let err = Atomic.make None in
+    (* Seed the roots in [order] order so low-index nodes dispatch first. *)
+    Array.iter (fun i -> if pending.(i) = 0 then Queue.add i ready) order;
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        Mutex.lock mutex;
+        while Queue.is_empty ready && !remaining > 0 && Atomic.get err = None do
+          Condition.wait nonempty mutex
+        done;
+        if !remaining = 0 || Atomic.get err <> None then begin
+          Mutex.unlock mutex;
+          continue := false
+        end
+        else begin
+          let i = Queue.take ready in
+          Mutex.unlock mutex;
+          match process i with
+          | () ->
+              Mutex.lock mutex;
+              decr remaining;
+              List.iter
+                (fun d ->
+                  pending.(d) <- pending.(d) - 1;
+                  if pending.(d) = 0 then Queue.add d ready)
+                dependents.(i);
+              (* Completion can unblock several nodes (or end the run for
+                 every waiter), so wake everyone. *)
+              Condition.broadcast nonempty;
+              Mutex.unlock mutex
+          | exception e ->
+              record_error err e;
+              Mutex.lock mutex;
+              Condition.broadcast nonempty;
+              Mutex.unlock mutex;
+              continue := false
+        end
+      done
+    in
+    run_pool (min jobs n) err worker
+  end

@@ -1,0 +1,55 @@
+(** Domain-based parallel execution primitives: a work-stealing-free worker
+    pool over an atomic index, and a dependency-wavefront scheduler for
+    DAG-shaped work such as the PCG forward traversal.
+
+    Every combinator takes an explicit [jobs] count.  [jobs <= 1] runs the
+    work sequentially in the calling domain, in the canonical order — the
+    deterministic reference path the parallel paths must reproduce.  All
+    result-producing combinators are deterministic by construction: results
+    land in slots keyed by input index, never by completion order. *)
+
+(** Number of workers to use by default: the [FSICP_JOBS] environment
+    variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [parallel_init ~jobs n f] is [Array.init n f] computed by up to [jobs]
+    domains.  [f] must be safe to call concurrently on distinct indices.
+    The first exception raised by any [f i] is re-raised after all workers
+    stop. *)
+val parallel_init : jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** [parallel_iter ~jobs n f] is [for i = 0 to n-1 do f i done] with the
+    same contract as {!parallel_init}. *)
+val parallel_iter : jobs:int -> int -> (int -> unit) -> unit
+
+(** [map_list ~jobs f l] is [List.map f l]; list order is preserved. *)
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [both ~jobs f g] runs the two thunks, concurrently when [jobs > 1]. *)
+val both : jobs:int -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+(** [wavefront ~jobs ~order ~deps ~dependents process] runs [process i]
+    once for every node [i] of a dependency DAG, dispatching a node as soon
+    as all of its [deps] have been processed.
+
+    - [order] lists all nodes in a topological order of [deps]; with
+      [jobs <= 1] the nodes are processed sequentially in exactly this
+      order.
+    - [deps.(i)] are the nodes that must complete before [i] starts;
+      [dependents.(i)] is the inverse relation.  Both must mention each
+      edge exactly once (no duplicates).
+    - Mutual exclusion: [process i] may freely read anything written by
+      [process d] for [d] a (transitive) dependency — the scheduler's
+      ready-count bookkeeping provides the happens-before edge — but nodes
+      with no dependency relation run concurrently.
+
+    The first exception raised by any [process i] aborts the wavefront and
+    is re-raised after all workers stop. *)
+val wavefront :
+  jobs:int ->
+  order:int array ->
+  deps:int list array ->
+  dependents:int list array ->
+  (int -> unit) ->
+  unit

@@ -24,5 +24,6 @@ let () =
       ("edge-cases", Test_edge.suite);
       ("metrics", Test_metrics.suite);
       ("workloads", Test_workloads.suite);
+      ("par", Test_par.suite);
       ("figure1", Test_figure1.suite);
     ]

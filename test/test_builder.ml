@@ -98,13 +98,8 @@ let prop_float_censoring_monotone =
    substitution during the backward walk, after all interprocedural
    analysis has been taken. *)
 let empty_solution name : Solution.t =
-  {
-    Solution.method_name = name;
-    entries = Hashtbl.create 1;
-    call_records = [];
-    scc_runs = 0;
-    scc_results = Hashtbl.create 1;
-  }
+  Solution.make ~method_name:name ~entries:(Hashtbl.create 1)
+    ~call_records:[] ~scc_runs:0 ~scc_results:(Hashtbl.create 1)
 
 let prop_insertion_makes_constants_local =
   Test_util.qcheck ~count:30

@@ -1,0 +1,198 @@
+(** Tests for the {!Fsicp_par.Par} primitives and for the determinism
+    contract of the parallel pipeline: solving with any number of worker
+    domains must produce exactly the same {!Solution.t} as the sequential
+    path ([jobs = 1]), on every suite program and on generated programs
+    including cyclic PCGs. *)
+
+open Fsicp_core
+open Fsicp_workloads
+open Fsicp_par
+module L = Fsicp_scc.Lattice
+
+(* -- primitives ----------------------------------------------------------- *)
+
+let test_parallel_init () =
+  let f i = (i * 37) mod 101 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "Array.init equivalent (jobs=%d)" jobs)
+        (Array.init 200 f)
+        (Par.parallel_init ~jobs 200 f))
+    [ 1; 2; 4 ]
+
+let test_map_list () =
+  let l = List.init 123 Fun.id in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "List.map equivalent (jobs=%d)" jobs)
+        (List.map (fun x -> x * x) l)
+        (Par.map_list ~jobs (fun x -> x * x) l))
+    [ 1; 2; 4 ]
+
+let test_both () =
+  List.iter
+    (fun jobs ->
+      let a, b = Par.both ~jobs (fun () -> 41) (fun () -> "x") in
+      Alcotest.(check int) "first thunk" 41 a;
+      Alcotest.(check string) "second thunk" "x" b)
+    [ 1; 2 ]
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Par.parallel_init ~jobs 50 (fun i ->
+            if i = 17 then failwith "boom" else i)
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m ->
+          Alcotest.(check string)
+            (Printf.sprintf "exception re-raised (jobs=%d)" jobs)
+            "boom" m)
+    [ 1; 4 ]
+
+(* A diamond with a tail: 0 → {1,2} → 3 → 4, plus the skew edge 0 → 4. *)
+let diamond_deps = [| []; [ 0 ]; [ 0 ]; [ 1; 2 ]; [ 3; 0 ] |]
+let diamond_dependents = [| [ 1; 2; 4 ]; [ 3 ]; [ 3 ]; [ 4 ]; [] |]
+let diamond_order = [| 0; 1; 2; 3; 4 |]
+
+let test_wavefront_sequential_order () =
+  (* jobs=1 must visit nodes in exactly the given topological order. *)
+  let visited = ref [] in
+  Par.wavefront ~jobs:1 ~order:diamond_order ~deps:diamond_deps
+    ~dependents:diamond_dependents (fun i -> visited := i :: !visited);
+  Alcotest.(check (list int))
+    "sequential wavefront = order array" [ 0; 1; 2; 3; 4 ]
+    (List.rev !visited)
+
+let test_wavefront_respects_deps () =
+  List.iter
+    (fun jobs ->
+      let m = Mutex.create () in
+      let finished = Array.make 5 false in
+      let violation = ref false in
+      Par.wavefront ~jobs ~order:diamond_order ~deps:diamond_deps
+        ~dependents:diamond_dependents (fun i ->
+          Mutex.lock m;
+          List.iter
+            (fun d -> if not finished.(d) then violation := true)
+            diamond_deps.(i);
+          Mutex.unlock m;
+          Mutex.lock m;
+          finished.(i) <- true;
+          Mutex.unlock m);
+      Alcotest.(check bool)
+        (Printf.sprintf "dependencies complete before dispatch (jobs=%d)" jobs)
+        false !violation;
+      Alcotest.(check bool)
+        "every node processed" true
+        (Array.for_all Fun.id finished))
+    [ 1; 2; 4 ]
+
+(* -- solution equality ---------------------------------------------------- *)
+
+let globals_equal a b =
+  List.equal
+    (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && L.equal v1 v2)
+    a b
+
+let record_equal (a : Solution.callsite_record) (b : Solution.callsite_record)
+    =
+  String.equal a.Solution.cr_caller b.Solution.cr_caller
+  && a.Solution.cr_cs_index = b.Solution.cr_cs_index
+  && String.equal a.Solution.cr_callee b.Solution.cr_callee
+  && a.Solution.cr_executable = b.Solution.cr_executable
+  && Array.length a.Solution.cr_args = Array.length b.Solution.cr_args
+  && Array.for_all2 L.equal a.Solution.cr_args b.Solution.cr_args
+  && globals_equal a.Solution.cr_globals b.Solution.cr_globals
+
+let entry_equal (a : Solution.proc_entry) (b : Solution.proc_entry) =
+  Array.length a.Solution.pe_formals = Array.length b.Solution.pe_formals
+  && Array.for_all2 L.equal a.Solution.pe_formals b.Solution.pe_formals
+  && globals_equal a.Solution.pe_globals b.Solution.pe_globals
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+(** Structural identity including call-record order — the determinism
+    contract is stronger than lattice equality. *)
+let solutions_identical (a : Solution.t) (b : Solution.t) =
+  a.Solution.scc_runs = b.Solution.scc_runs
+  && List.equal String.equal
+       (sorted_keys a.Solution.entries)
+       (sorted_keys b.Solution.entries)
+  && Hashtbl.fold
+       (fun name ea acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.Solution.entries name with
+         | Some eb -> entry_equal ea eb
+         | None -> false)
+       a.Solution.entries true
+  && List.equal record_equal a.Solution.call_records b.Solution.call_records
+
+let solve_jobs prog jobs =
+  let ctx = Context.create ~jobs prog in
+  Fs_icp.solve ~jobs ctx
+
+let check_jobs_equivalent ~what prog =
+  let base = solve_jobs prog 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jobs=%d identical to jobs=1" what jobs)
+        true
+        (solutions_identical base (solve_jobs prog jobs)))
+    [ 2; 4 ]
+
+let test_suite_jobs_equivalent () =
+  List.iter
+    (fun (b : Spec.benchmark) ->
+      check_jobs_equivalent ~what:b.Spec.b_name (Spec.program b))
+    Spec.suite
+
+let prop_generated_jobs_equivalent =
+  Test_util.qcheck ~count:30 ~name:"generated programs: jobs ∈ {1,2,4} identical"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let base = solve_jobs prog 1 in
+      List.for_all
+        (fun jobs -> solutions_identical base (solve_jobs prog jobs))
+        [ 2; 4 ])
+
+let prop_cyclic_jobs_equivalent =
+  Test_util.qcheck ~count:30
+    ~name:"cyclic PCGs (back-edge prob 0.9): jobs ∈ {1,2,4} identical"
+    Test_util.seed_gen
+    (fun seed ->
+      let profile =
+        {
+          (Generator.small_profile seed) with
+          Generator.g_back_edge_prob = 0.9;
+        }
+      in
+      let prog = Generator.generate profile in
+      let base = solve_jobs prog 1 in
+      List.for_all
+        (fun jobs -> solutions_identical base (solve_jobs prog jobs))
+        [ 2; 4 ])
+
+let suite =
+  [
+    Alcotest.test_case "parallel_init = Array.init" `Quick test_parallel_init;
+    Alcotest.test_case "map_list = List.map" `Quick test_map_list;
+    Alcotest.test_case "both returns both results" `Quick test_both;
+    Alcotest.test_case "worker exception re-raised" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "wavefront jobs=1 follows order" `Quick
+      test_wavefront_sequential_order;
+    Alcotest.test_case "wavefront dependency discipline" `Quick
+      test_wavefront_respects_deps;
+    Alcotest.test_case "suite programs: jobs equivalence" `Slow
+      test_suite_jobs_equivalent;
+    prop_generated_jobs_equivalent;
+    prop_cyclic_jobs_equivalent;
+  ]
