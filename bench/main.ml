@@ -135,7 +135,7 @@ let bechamel () =
         (Staged.stage
            (let ctx = Context.create nasa in
             fun () ->
-              Hashtbl.reset ctx.Context.ssa_cache;
+              Context.reset_ssa_cache ctx;
               ignore (Fs_icp.solve ctx)));
       Test.make ~name:"fi-icp(WAVE5)"
         (Staged.stage
@@ -145,7 +145,7 @@ let bechamel () =
         (Staged.stage
            (let ctx = Context.create wave in
             fun () ->
-              Hashtbl.reset ctx.Context.ssa_cache;
+              Context.reset_ssa_cache ctx;
               ignore (Fs_icp.solve ctx)));
       (* The acceptance benchmark for the wavefront: the largest suite
          program, SSA rebuilt per run so the parallel pre-build is
@@ -154,7 +154,7 @@ let bechamel () =
         (Staged.stage
            (let ctx = Context.create largest_prog in
             fun () ->
-              Hashtbl.reset ctx.Context.ssa_cache;
+              Context.reset_ssa_cache ctx;
               ignore (Fs_icp.solve ctx)));
       Test.make ~name:"poly-jf(NASA7)"
         (Staged.stage
@@ -165,7 +165,7 @@ let bechamel () =
         (Staged.stage
            (let ctx = Context.create nasa in
             fun () ->
-              Hashtbl.reset ctx.Context.ssa_cache;
+              Context.reset_ssa_cache ctx;
               ignore (Reference.solve ctx)));
     ]
   in
@@ -243,6 +243,71 @@ let write_json path =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* -- perf regression gate (--check BASELINE) ------------------------------- *)
+
+(** Read the ["bechamel"] rows of a previously committed [--json] file.
+    Line-oriented on purpose: the writer emits one object per line and the
+    toolchain has no JSON parser to lean on. *)
+let read_baseline path : (string * float) list =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       try
+         Scanf.sscanf line "{ \"name\": %S, \"ms_per_run\": %f }"
+           (fun name ms -> rows := (name, ms) :: !rows)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(** Compare the fresh Bechamel estimates against the committed baseline and
+    fail (exit 1) when any flow-sensitive solve is more than [tolerance]
+    slower.  Other rows are reported but not gated: only [Fs_icp.solve] has
+    a stated perf acceptance bar. *)
+let check_against path =
+  let tolerance = 1.10 in
+  let baseline = read_baseline path in
+  if !bechamel_rows = [] then bechamel ();
+  let failures = ref [] in
+  Printf.printf "\nperf gate vs %s (fail: fs-icp > %.0f%%):\n" path
+    ((tolerance -. 1.0) *. 100.0);
+  List.iter
+    (fun (name, base_ms) ->
+      match List.assoc_opt name !bechamel_rows with
+      | None -> Printf.printf "  %-24s baseline only (skipped)\n" name
+      | Some now_ms ->
+          let ratio = now_ms /. base_ms in
+          let gated =
+            (* substring match: rows are named "fsicp/fs-icp(PROGRAM)" *)
+            let sub = "fs-icp" in
+            let n = String.length name and m = String.length sub in
+            let rec at i =
+              i + m <= n && (String.sub name i m = sub || at (i + 1))
+            in
+            at 0
+          in
+          let verdict =
+            if gated && ratio > tolerance then begin
+              failures := name :: !failures;
+              "REGRESSION"
+            end
+            else if gated then "ok (gated)"
+            else "ok"
+          in
+          Printf.printf "  %-24s %8.3f -> %8.3f ms  (%+.1f%%)  %s\n" name
+            base_ms now_ms
+            ((ratio -. 1.0) *. 100.0)
+            verdict)
+    baseline;
+  if !failures <> [] then begin
+    Printf.printf "perf gate FAILED: %s\n" (String.concat ", " !failures);
+    exit 1
+  end
+  else Printf.printf "perf gate passed\n"
+
 let all () =
   fig1 ();
   fig2 ();
@@ -279,16 +344,23 @@ let () =
           other;
         exit 2
   in
-  (* Strip [--json FILE] anywhere in the argument list, then dispatch the
-     remaining experiment names (none = everything). *)
-  let rec split json acc = function
-    | "--json" :: file :: rest -> split (Some file) acc rest
-    | "--json" :: [] ->
-        Printf.eprintf "--json requires a file argument\n";
+  (* Strip [--json FILE] / [--check BASELINE] anywhere in the argument
+     list, then dispatch the remaining experiment names.  With no names:
+     everything, unless --check is given alone (the CI gate runs only the
+     Bechamel estimates it needs). *)
+  let rec split json check acc = function
+    | "--json" :: file :: rest -> split (Some file) check acc rest
+    | "--check" :: file :: rest -> split json (Some file) acc rest
+    | ("--json" | "--check") :: [] ->
+        Printf.eprintf "--json/--check require a file argument\n";
         exit 2
-    | a :: rest -> split json (a :: acc) rest
-    | [] -> (json, List.rev acc)
+    | a :: rest -> split json check (a :: acc) rest
+    | [] -> (json, check, List.rev acc)
   in
-  let json, cmds = split None [] (List.tl (Array.to_list Sys.argv)) in
-  (match cmds with [] -> all () | l -> List.iter dispatch l);
-  Option.iter write_json json
+  let json, check, cmds = split None None [] (List.tl (Array.to_list Sys.argv)) in
+  (match (cmds, check) with
+  | [], Some _ -> bechamel ()
+  | [], None -> all ()
+  | l, _ -> List.iter dispatch l);
+  Option.iter write_json json;
+  Option.iter check_against check

@@ -153,8 +153,8 @@ let dump file what =
   | "ssa" ->
       let ctx = Context.create prog in
       Array.iter
-        (fun name ->
-          Fmt.pr "%a@\n" Fsicp_ssa.Ssa.pp_proc (Context.ssa ctx name))
+        (fun pid ->
+          Fmt.pr "%a@\n" Fsicp_ssa.Ssa.pp_proc (Context.ssa_at ctx pid))
         ctx.Context.pcg.Fsicp_callgraph.Callgraph.nodes
   | "pcg" ->
       let pcg = Fsicp_callgraph.Callgraph.build prog in

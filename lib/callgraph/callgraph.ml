@@ -17,33 +17,43 @@
 
     Only procedures reachable from [main] participate, matching the paper's
     measurements ("we only include measurements for procedures that are
-    reachable from the main procedure"). *)
+    reachable from the main procedure").
+
+    The build mints the program database ({!Fsicp_prog.Prog}): each
+    reachable procedure's {!Prog.Proc.id} is its reverse-postorder index,
+    adjacency is dense arrays indexed by id, and the back-edge set is a flat
+    bitset over the caller-major call-site numbering — no string hashing on
+    any analysis path. *)
 
 open Fsicp_lang
+open Fsicp_prog
 
 type edge = {
-  caller : string;
-  callee : string;
+  caller : Prog.Proc.id;
+  callee : Prog.Proc.id;
   cs_index : int;
       (** call-site index within the caller, in textual order; matches the
           [cs_id] assigned by {!Fsicp_cfg.Lower} *)
+  back : bool;
 }
 
 type t = {
   prog : Ast.program;
-  nodes : string array;  (** reachable procedures, in reverse postorder from main *)
-  edges : edge list;  (** all call edges between reachable procedures *)
-  index : (string, int) Hashtbl.t;  (** node name -> position in [nodes] *)
-  back_edges : (string * int, unit) Hashtbl.t;
-      (** keys: (caller, cs_index) of edges classified as back edges *)
-  out_tbl : (string, edge list) Hashtbl.t;
-      (** caller -> out edges, call-site order *)
-  in_tbl : (string, edge list) Hashtbl.t;
-      (** callee -> in edges, in global [edges] order *)
+  db : Prog.t;
+  nodes : Prog.Proc.id array;
+  edges : edge list;
+  out_adj : edge array array;
+  in_adj : edge array array;
+  cs_base : int array;
+  back_bits : Prog.Bits.t;
 }
 
-let node_index t name = Hashtbl.find_opt t.index name
-let is_reachable t name = Hashtbl.mem t.index name
+let n_procs t = Prog.n_procs t.db
+let proc_id t name = Prog.proc_id t.db name
+let proc_id_exn t name = Prog.proc_id_exn t.db name
+let proc_name t id = Prog.proc_name t.db id
+let proc_ast t id = Ast.find_proc_exn t.prog (proc_name t id)
+let is_reachable t name = Prog.mem t.db name
 
 (** Build the PCG of [prog], restricted to procedures reachable from the
     entry.  Back edges are classified by the DFS that discovers the graph:
@@ -52,52 +62,84 @@ let is_reachable t name = Hashtbl.mem t.index name
     the topological traversal, since their target is finished before the
     source in reverse postorder. *)
 let build (prog : Ast.program) : t =
-  let index = Hashtbl.create 16 in
-  let back_edges = Hashtbl.create 16 in
-  let edges = ref [] in
+  (* Discovery pass over names; ids exist only once the RPO is known. *)
   let on_stack = Hashtbl.create 16 in
   let finished = Hashtbl.create 16 in
   let order = ref [] in
+  let raw_edges = ref [] in
   let rec dfs name =
     Hashtbl.replace on_stack name ();
     let p = Ast.find_proc_exn prog name in
     List.iteri
       (fun cs_index (callee, _args, _pos) ->
-        edges := { caller = name; callee; cs_index } :: !edges;
-        if Hashtbl.mem on_stack callee then
-          Hashtbl.replace back_edges (name, cs_index) ()
-        else if not (Hashtbl.mem finished callee) then dfs callee)
+        let back = Hashtbl.mem on_stack callee in
+        raw_edges := (name, callee, cs_index, back) :: !raw_edges;
+        if (not back) && not (Hashtbl.mem finished callee) then dfs callee)
       (Ast.call_sites p);
     Hashtbl.remove on_stack name;
     Hashtbl.replace finished name ();
     order := name :: !order
   in
   dfs prog.Ast.main;
-  let nodes = Array.of_list !order in
-  Array.iteri (fun i n -> Hashtbl.replace index n i) nodes;
-  let edges = List.rev !edges in
-  (* Adjacency tables, so per-procedure edge queries are O(degree) rather
-     than a scan of every edge in the program. *)
-  let out_tbl = Hashtbl.create 16 in
-  let in_tbl = Hashtbl.create 16 in
-  let push tbl key e =
-    Hashtbl.replace tbl key
-      (e :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+  let db = Prog.of_names (Array.of_list !order) in
+  let n = Prog.n_procs db in
+  let nodes = Prog.procs db in
+  let edges =
+    List.rev_map
+      (fun (caller, callee, cs_index, back) ->
+        {
+          caller = Prog.proc_id_exn db caller;
+          callee = Prog.proc_id_exn db callee;
+          cs_index;
+          back;
+        })
+      !raw_edges
   in
+  (* Dense adjacency.  Every call site of a reachable procedure targets a
+     reachable procedure, so each caller's out-row is exactly its call
+     sites: row length = call-site count, row index = cs_index. *)
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
   List.iter
     (fun e ->
-      push out_tbl e.caller e;
-      push in_tbl e.callee e)
+      out_deg.((e.caller :> int)) <- out_deg.((e.caller :> int)) + 1;
+      in_deg.((e.callee :> int)) <- in_deg.((e.callee :> int)) + 1)
     edges;
-  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) out_tbl;
-  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) in_tbl;
-  { prog; nodes; edges; index; back_edges; out_tbl; in_tbl }
+  let dummy =
+    match edges with [] -> None | e :: _ -> Some e
+  in
+  let mk deg =
+    Array.init n (fun i ->
+        match dummy with
+        | None -> [||]
+        | Some d -> Array.make deg.(i) d)
+  in
+  let out_adj = mk out_deg and in_adj = mk in_deg in
+  let in_fill = Array.make n 0 in
+  List.iter
+    (fun e ->
+      let c = (e.caller :> int) and k = (e.callee :> int) in
+      out_adj.(c).(e.cs_index) <- e;
+      in_adj.(k).(in_fill.(k)) <- e;
+      in_fill.(k) <- in_fill.(k) + 1)
+    edges;
+  (* Caller-major global call-site numbering and the back-edge bitset. *)
+  let cs_base = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    cs_base.(i + 1) <- cs_base.(i) + out_deg.(i)
+  done;
+  let back_bits = Prog.Bits.create cs_base.(n) in
+  List.iter
+    (fun e ->
+      if e.back then
+        Prog.Bits.set back_bits (cs_base.((e.caller :> int)) + e.cs_index))
+    edges;
+  { prog; db; nodes; edges; out_adj; in_adj; cs_base; back_bits }
 
-let is_back_edge t (e : edge) = Hashtbl.mem t.back_edges (e.caller, e.cs_index)
+let is_back_edge _t (e : edge) = e.back
 
 (** O(1) back-edge query by call site, without materialising the edge. *)
-let is_back_edge_at t ~caller ~cs_index =
-  Hashtbl.mem t.back_edges (caller, cs_index)
+let is_back_edge_at t ~(caller : Prog.Proc.id) ~cs_index =
+  Prog.Bits.mem t.back_bits (t.cs_base.((caller :> int)) + cs_index)
 
 (** Forward topological traversal order (callers before callees, up to back
     edges): the DFS reverse postorder computed by {!build}. *)
@@ -110,77 +152,75 @@ let reverse_order t =
   Array.init n (fun i -> t.nodes.(n - 1 - i))
 
 (** Call edges into [callee], in global edge order. *)
-let in_edges t callee =
-  Option.value (Hashtbl.find_opt t.in_tbl callee) ~default:[]
+let in_edges t (callee : Prog.Proc.id) = t.in_adj.((callee :> int))
 
-(** Call edges out of [caller], in call-site order. *)
-let out_edges t caller =
-  Option.value (Hashtbl.find_opt t.out_tbl caller) ~default:[]
+(** Call edges out of [caller], in call-site order ([cs_index]-indexed). *)
+let out_edges t (caller : Prog.Proc.id) = t.out_adj.((caller :> int))
 
-let has_cycles t = Hashtbl.length t.back_edges > 0
+let n_call_sites t (p : Prog.Proc.id) = Array.length t.out_adj.((p :> int))
+let edge_at t ~caller ~cs_index = (out_edges t caller).(cs_index)
+let has_cycles t = Prog.Bits.count t.back_bits > 0
 
 (** Back-edge ratio |back| / |edges| — the paper's measure of how much
     flow-insensitive information the combined FS solution uses (§3.2).
     0 when the PCG is acyclic (pure flow-sensitive); approaches 1 as the
     solution degenerates to the flow-insensitive one. *)
 let back_edge_ratio t =
-  let total = List.length t.edges in
+  let total = Prog.Bits.length t.back_bits in
   if total = 0 then 0.0
-  else float_of_int (Hashtbl.length t.back_edges) /. float_of_int total
+  else float_of_int (Prog.Bits.count t.back_bits) /. float_of_int total
 
 (** Strongly-connected components (Tarjan), in reverse topological order of
-    the condensation.  Used to detect mutual recursion in tests and by the
-    workload generator. *)
+    the condensation.  Runs on the dense int graph; names are restored only
+    in the returned components. *)
 let sccs (t : t) : string list list =
-  let indices = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
+  let n = n_procs t in
+  let indices = Array.make n (-1) in
+  let lowlink = Array.make n (-1) in
+  let on_stack = Array.make n false in
   let stack = ref [] in
   let counter = ref 0 in
   let comps = ref [] in
-  let succs name =
-    List.filter_map
-      (fun e -> if String.equal e.caller name then Some e.callee else None)
-      t.edges
-  in
   let rec strongconnect v =
-    Hashtbl.replace indices v !counter;
-    Hashtbl.replace lowlink v !counter;
+    indices.(v) <- !counter;
+    lowlink.(v) <- !counter;
     incr counter;
     stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
-    List.iter
-      (fun w ->
-        if not (Hashtbl.mem indices w) then begin
+    on_stack.(v) <- true;
+    Array.iter
+      (fun e ->
+        let w = (e.callee :> int) in
+        if indices.(w) < 0 then begin
           strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
         end
-        else if Hashtbl.mem on_stack w then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find indices w)))
-      (succs v);
-    if Hashtbl.find lowlink v = Hashtbl.find indices v then begin
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) indices.(w))
+      t.out_adj.(v);
+    if lowlink.(v) = indices.(v) then begin
       let rec pop acc =
         match !stack with
         | [] -> acc
         | w :: tl ->
             stack := tl;
-            Hashtbl.remove on_stack w;
-            if String.equal w v then w :: acc else pop (w :: acc)
+            on_stack.(w) <- false;
+            let name = Prog.proc_name t.db t.nodes.(w) in
+            if w = v then name :: acc else pop (name :: acc)
       in
       comps := pop [] :: !comps
     end
   in
-  Array.iter (fun v -> if not (Hashtbl.mem indices v) then strongconnect v) t.nodes;
+  for v = 0 to n - 1 do
+    if indices.(v) < 0 then strongconnect v
+  done;
   List.rev !comps
 
 let pp ppf t =
   Fmt.pf ppf "PCG: %d node(s), %d edge(s), %d back edge(s)@\n"
     (Array.length t.nodes) (List.length t.edges)
-    (Hashtbl.length t.back_edges);
+    (Prog.Bits.count t.back_bits);
   List.iter
     (fun e ->
-      Fmt.pf ppf "  %s --[cs%d]--> %s%s@\n" e.caller e.cs_index e.callee
-        (if is_back_edge t e then " (back)" else ""))
+      Fmt.pf ppf "  %s --[cs%d]--> %s%s@\n" (proc_name t e.caller) e.cs_index
+        (proc_name t e.callee)
+        (if e.back then " (back)" else ""))
     t.edges

@@ -1,26 +1,39 @@
 (** The Program Call Graph (PCG): procedures reachable from main, one edge
     per call site, DFS back-edge classification, and the traversal orders
-    the paper's methods rely on. *)
+    the paper's methods rely on.
+
+    Nodes are dense {!Fsicp_prog.Prog.Proc.id}s minted by {!build} — the id
+    of a procedure {e is} its reverse-postorder position, so the forward
+    topological order is just [0 .. n-1] and per-procedure analysis state
+    can live in plain arrays.  Names survive only for parsing ({!proc_id})
+    and printing ({!proc_name}). *)
 
 open Fsicp_lang
+open Fsicp_prog
 
 type edge = {
-  caller : string;
-  callee : string;
+  caller : Prog.Proc.id;
+  callee : Prog.Proc.id;
   cs_index : int;  (** textual call-site index within the caller *)
+  back : bool;  (** classified as a PCG back edge by the build DFS *)
 }
 
 type t = {
   prog : Ast.program;
-  nodes : string array;  (** reachable procedures, reverse postorder from main *)
-  edges : edge list;
-  index : (string, int) Hashtbl.t;
-  back_edges : (string * int, unit) Hashtbl.t;
-      (** (caller, cs_index) of edges classified as back edges *)
-  out_tbl : (string, edge list) Hashtbl.t;
-      (** caller -> out edges, call-site order *)
-  in_tbl : (string, edge list) Hashtbl.t;
-      (** callee -> in edges, in global [edges] order *)
+  db : Prog.t;  (** name <-> id bijection for the reachable procedures *)
+  nodes : Prog.Proc.id array;
+      (** reachable procedures in reverse postorder from main;
+          [nodes.(i)] has id [i] *)
+  edges : edge list;  (** all call edges, in global discovery order *)
+  out_adj : edge array array;
+      (** per caller id: out edges in call-site order, indexed by
+          [cs_index] (every call site of a reachable procedure targets a
+          reachable procedure, so the rows are dense) *)
+  in_adj : edge array array;  (** per callee id: in edges, global order *)
+  cs_base : int array;
+      (** caller-major call-site numbering: call site [(p, i)] is global
+          site [cs_base.(p) + i]; length [n_procs + 1] *)
+  back_bits : Prog.Bits.t;  (** back-edge flags over the global numbering *)
 }
 
 (** Build the PCG, restricted to procedures reachable from the entry.  An
@@ -28,22 +41,36 @@ type t = {
     (self-recursion included). *)
 val build : Ast.program -> t
 
-val node_index : t -> string -> int option
+val n_procs : t -> int
+val proc_id : t -> string -> Prog.Proc.id option
+val proc_id_exn : t -> string -> Prog.Proc.id
+val proc_name : t -> Prog.Proc.id -> string
+
+val proc_ast : t -> Prog.Proc.id -> Ast.proc
+(** The AST of a reachable procedure. *)
+
 val is_reachable : t -> string -> bool
 val is_back_edge : t -> edge -> bool
 
-(** O(1) back-edge query by [(caller, cs_index)] against the precomputed
-    back-edge set, without materialising an [edge]. *)
-val is_back_edge_at : t -> caller:string -> cs_index:int -> bool
+(** O(1) back-edge query by [(caller, cs_index)] against the back-edge
+    bitset, without materialising an [edge]. *)
+val is_back_edge_at : t -> caller:Prog.Proc.id -> cs_index:int -> bool
 
-(** Callers before callees, up to back edges (DFS reverse postorder). *)
-val forward_order : t -> string array
+(** Callers before callees, up to back edges (DFS reverse postorder).
+    Equal to [[| 0; ...; n-1 |]] by construction. *)
+val forward_order : t -> Prog.Proc.id array
 
 (** Callees before callers, up to back edges — the paper's backward walk. *)
-val reverse_order : t -> string array
+val reverse_order : t -> Prog.Proc.id array
 
-val in_edges : t -> string -> edge list
-val out_edges : t -> string -> edge list
+val in_edges : t -> Prog.Proc.id -> edge array
+val out_edges : t -> Prog.Proc.id -> edge array
+
+val n_call_sites : t -> Prog.Proc.id -> int
+(** Number of call sites in a procedure = [Array.length (out_edges t p)]. *)
+
+val edge_at : t -> caller:Prog.Proc.id -> cs_index:int -> edge
+
 val has_cycles : t -> bool
 
 (** |back edges| / |edges| — the paper's measure of how flow-insensitive

@@ -7,6 +7,7 @@
     ({!Fsicp_scc}) works on. *)
 
 open Fsicp_lang
+open Fsicp_prog
 
 (** How an identifier was resolved.  [Formal] carries the parameter index,
     which the interprocedural analyses use to bind actuals to formals. *)
@@ -16,24 +17,48 @@ type kind =
   | Global
   | Temp  (** compiler-introduced temporary; never escapes the procedure *)
 
-type var = { vname : string; vkind : kind }
+type var = { vid : Prog.Var.id; vkind : kind }
+(** [vid] is the interned name ({!Fsicp_prog.Prog.Var}): comparing, hashing
+    and equating variables are single-word integer operations on the SSA and
+    SCC hot paths.  The spelling is recovered with {!Var.name} only at
+    pretty-printing and solution-assembly boundaries.
+
+    Note the induced {!Var.compare} order is interning order, not
+    alphabetical: any user-visible listing must sort by {!Var.name}
+    explicitly. *)
 
 module Var = struct
   type t = var
 
+  let name v = Prog.Var.name v.vid
+
+  (* Explicit tag-based compare: [Stdlib.compare] on [vkind] would be
+     polymorphic (slower, and fragile the day [kind] gains a non-constant
+     constructor other than [Formal]). *)
+  let kind_tag = function Local -> 0 | Formal _ -> 1 | Global -> 2 | Temp -> 3
+
+  let compare_kind a b =
+    match (a, b) with
+    | Formal i, Formal j -> Int.compare i j
+    | _ -> Int.compare (kind_tag a) (kind_tag b)
+
   let compare a b =
-    match String.compare a.vname b.vname with
-    | 0 -> Stdlib.compare a.vkind b.vkind
+    match Prog.Var.compare a.vid b.vid with
+    | 0 -> compare_kind a.vkind b.vkind
     | c -> c
 
-  let equal a b = compare a b = 0
+  let equal a b = Prog.Var.equal a.vid b.vid && compare_kind a.vkind b.vkind = 0
+
+  let hash v =
+    let k = match v.vkind with Formal i -> 4 + i | k -> kind_tag k in
+    (Prog.Var.hash v.vid * 31) + k
 
   let pp ppf v =
     match v.vkind with
-    | Local -> Fmt.pf ppf "%s" v.vname
-    | Formal i -> Fmt.pf ppf "%s{f%d}" v.vname i
-    | Global -> Fmt.pf ppf "%s{g}" v.vname
-    | Temp -> Fmt.pf ppf "%s" v.vname
+    | Local -> Fmt.pf ppf "%s" (name v)
+    | Formal i -> Fmt.pf ppf "%s{f%d}" (name v) i
+    | Global -> Fmt.pf ppf "%s{g}" (name v)
+    | Temp -> Fmt.pf ppf "%s" (name v)
 
   let is_temp v = v.vkind = Temp
   let is_global v = v.vkind = Global
@@ -41,15 +66,22 @@ module Var = struct
 
   (** Source-level variables — the ones metrics count uses of. *)
   let is_source v = not (is_temp v)
+
+  (** Sort by source spelling — for user-visible listings, where the
+      interning order behind {!compare} would be meaningless. *)
+  let by_name a b =
+    match String.compare (name a) (name b) with
+    | 0 -> compare_kind a.vkind b.vkind
+    | c -> c
 end
 
 module VarSet = Set.Make (Var)
 module VarMap = Map.Make (Var)
 
-let local name = { vname = name; vkind = Local }
-let formal name i = { vname = name; vkind = Formal i }
-let global name = { vname = name; vkind = Global }
-let temp i = { vname = Printf.sprintf "$t%d" i; vkind = Temp }
+let local name = { vid = Prog.Var.intern name; vkind = Local }
+let formal name i = { vid = Prog.Var.intern name; vkind = Formal i }
+let global name = { vid = Prog.Var.intern name; vkind = Global }
+let temp i = { vid = Prog.Var.intern (Printf.sprintf "$t%d" i); vkind = Temp }
 
 type operand = Const of Value.t | Var of var
 

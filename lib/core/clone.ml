@@ -38,11 +38,13 @@ let clone_by_constants (ctx : Context.t) ~(fs : Solution.t)
     (fun (cr : Solution.callsite_record) ->
       if cr.Solution.cr_executable then begin
         let s = signature_of cr in
-        let callee = cr.Solution.cr_callee in
+        let callee = Solution.proc_name fs cr.Solution.cr_callee in
         let existing =
           Option.value (Hashtbl.find_opt groups callee) ~default:[]
         in
-        let site = (cr.Solution.cr_caller, cr.Solution.cr_cs_index) in
+        let site =
+          (Solution.proc_name fs cr.Solution.cr_caller, cr.Solution.cr_cs_index)
+        in
         let rec insert = function
           | [] -> [ (s, [ site ]) ]
           | (s', sites) :: tl when s = s' -> (s', site :: sites) :: tl

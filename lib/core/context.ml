@@ -15,6 +15,7 @@
     summaries) while intraprocedural folding is unaffected. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_ipa
 open Fsicp_ssa
@@ -29,23 +30,21 @@ type t = {
   aliases : Alias.t;
   modref : Modref.t;
   floats : bool;
-  lowered : (string, Ir.proc) Hashtbl.t;  (** reachable procedures only *)
-  ssa_cache : (string, Ssa.proc) Hashtbl.t;
+  lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
+  ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
 }
 
 (** Lower every reachable procedure on [jobs] domains.  Each lowering is
     independent (all mutable state is builder-local), so the work is
-    embarrassingly parallel; the cache itself is filled sequentially from
-    the index-keyed result array, keeping the table single-writer. *)
-let lower_all ~jobs prog (pcg : Callgraph.t) : (string, Ir.proc) Hashtbl.t =
-  let nodes = pcg.Callgraph.nodes in
+    embarrassingly parallel; the dense id-indexed table is exactly the
+    result array. *)
+let lower_all ~jobs prog (pcg : Callgraph.t) : Ir.proc Prog.Proc.Tbl.t =
+  let n = Callgraph.n_procs pcg in
   let procs =
-    Par.parallel_init ~jobs (Array.length nodes) (fun i ->
-        Lower.lower_proc prog (Ast.find_proc_exn prog nodes.(i)))
+    Par.parallel_init ~jobs n (fun i ->
+        Lower.lower_proc prog (Callgraph.proc_ast pcg pcg.Callgraph.nodes.(i)))
   in
-  let lowered = Hashtbl.create 16 in
-  Array.iteri (fun i name -> Hashtbl.replace lowered name procs.(i)) nodes;
-  lowered
+  Prog.tbl_init pcg.Callgraph.db (fun pid -> procs.((pid :> int)))
 
 (** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
     domains used for per-procedure lowering (default
@@ -59,11 +58,14 @@ let create ?(floats = true) ?jobs (prog : Ast.program) : t =
   let modref = Modref.compute summaries aliases pcg in
   let lowered = lower_all ~jobs prog pcg in
   { prog; pcg; summaries; aliases; modref; floats;
-    lowered; ssa_cache = Hashtbl.create 16 }
+    lowered; ssa_cache = Prog.tbl pcg.Callgraph.db None }
+
+let lowered_at t (pid : Prog.Proc.id) : Ir.proc =
+  Prog.Proc.Tbl.get t.lowered pid
 
 let lowered_proc t name : Ir.proc =
-  match Hashtbl.find_opt t.lowered name with
-  | Some p -> p
+  match Callgraph.proc_id t.pcg name with
+  | Some pid -> lowered_at t pid
   | None -> invalid_arg (Printf.sprintf "Context.lowered_proc: %s" name)
 
 (** Per-procedure SSA side-effect oracle, backed by the IPA results. *)
@@ -95,7 +97,7 @@ let effects_for t (proc_name : string) : Ssa.call_effects =
             in
             ff @ fg
         | Ir.Global ->
-            let g = v.Ir.vname in
+            let g = (Ir.Var.name v) in
             List.mapi (fun i name -> (i, name)) summary.Summary.ps_formals
             |> List.filter_map (fun (i, name) ->
                    if Alias.formal_global_may_alias t.aliases proc_name i g
@@ -103,16 +105,24 @@ let effects_for t (proc_name : string) : Ssa.call_effects =
                    else None));
   }
 
-(** SSA form of a reachable procedure (cached). *)
-let ssa t name : Ssa.proc =
-  match Hashtbl.find_opt t.ssa_cache name with
+(** SSA form of a reachable procedure (cached).  Concurrent misses on the
+    same id may build twice; the builds are pure and identical, and writes
+    to distinct array slots never interfere. *)
+let ssa_at t (pid : Prog.Proc.id) : Ssa.proc =
+  match Prog.Proc.Tbl.get t.ssa_cache pid with
   | Some p -> p
   | None ->
+      let name = Callgraph.proc_name t.pcg pid in
       let p =
-        Ssa.of_proc ~effects:(effects_for t name) t.prog (lowered_proc t name)
+        Ssa.of_proc ~effects:(effects_for t name) t.prog (lowered_at t pid)
       in
-      Hashtbl.replace t.ssa_cache name p;
+      Prog.Proc.Tbl.set t.ssa_cache pid (Some p);
       p
+
+let ssa t name : Ssa.proc =
+  match Callgraph.proc_id t.pcg name with
+  | Some pid -> ssa_at t pid
+  | None -> invalid_arg (Printf.sprintf "Context.ssa: %s" name)
 
 (** Pre-build the SSA form of every reachable procedure not yet cached, on
     [jobs] domains.  Construction per procedure only reads shared immutable
@@ -124,17 +134,23 @@ let build_ssa ?jobs t : unit =
   let missing =
     Array.of_list
       (List.filter
-         (fun name -> not (Hashtbl.mem t.ssa_cache name))
+         (fun pid -> Prog.Proc.Tbl.get t.ssa_cache pid = None)
          (Array.to_list t.pcg.Callgraph.nodes))
   in
   let built =
     Par.parallel_init ~jobs (Array.length missing) (fun i ->
-        Ssa.of_proc
-          ~effects:(effects_for t missing.(i))
-          t.prog
-          (lowered_proc t missing.(i)))
+        let pid = missing.(i) in
+        let name = Callgraph.proc_name t.pcg pid in
+        Ssa.of_proc ~effects:(effects_for t name) t.prog (lowered_at t pid))
   in
-  Array.iteri (fun i name -> Hashtbl.replace t.ssa_cache name built.(i)) missing
+  Array.iteri
+    (fun i pid -> Prog.Proc.Tbl.set t.ssa_cache pid (Some built.(i)))
+    missing
+
+let reset_ssa_cache t : unit =
+  Array.iter
+    (fun pid -> Prog.Proc.Tbl.set t.ssa_cache pid None)
+    t.pcg.Callgraph.nodes
 
 (** Demote real-valued constants to bottom when float propagation is off.
     Applied at every interprocedural boundary. *)

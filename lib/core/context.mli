@@ -4,11 +4,18 @@
     MOD/REF, lowered CFGs, and lazily-built SSA with IPA-backed call-effect
     oracles.
 
+    Per-procedure state is stored in dense {!Fsicp_prog.Prog.Proc.Tbl}
+    arrays indexed by the PCG's {!Prog.Proc.id}s.  Those ids are minted by
+    [Callgraph.build] for {e this} program: never index one context's
+    tables with ids taken from another context (see DESIGN.md, "Program
+    database").
+
     [floats] mirrors the paper's optional floating-point propagation: with
     it off, real-valued constants are demoted to ⊥ at every interprocedural
     boundary while intraprocedural folding is unaffected. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_ipa
 open Fsicp_ssa
@@ -22,8 +29,8 @@ type t = {
   aliases : Alias.t;
   modref : Modref.t;
   floats : bool;
-  lowered : (string, Ir.proc) Hashtbl.t;  (** reachable procedures only *)
-  ssa_cache : (string, Ssa.proc) Hashtbl.t;
+  lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
+  ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
 }
 
 (** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
@@ -34,9 +41,9 @@ val create : ?floats:bool -> ?jobs:int -> Ast.program -> t
 
 (** Lower every reachable procedure on [jobs] domains; the building block
     {!create} and {!Driver.run} share. *)
-val lower_all :
-  jobs:int -> Ast.program -> Callgraph.t -> (string, Ir.proc) Hashtbl.t
+val lower_all : jobs:int -> Ast.program -> Callgraph.t -> Ir.proc Prog.Proc.Tbl.t
 
+val lowered_at : t -> Prog.Proc.id -> Ir.proc
 val lowered_proc : t -> string -> Ir.proc
 
 (** Per-procedure SSA side-effect oracle backed by the IPA results:
@@ -45,12 +52,18 @@ val lowered_proc : t -> string -> Ir.proc
 val effects_for : t -> string -> Ssa.call_effects
 
 (** SSA form of a reachable procedure (cached). *)
+val ssa_at : t -> Prog.Proc.id -> Ssa.proc
+
 val ssa : t -> string -> Ssa.proc
 
 (** Pre-build the SSA form of every reachable procedure not yet cached, on
     [jobs] domains; afterwards {!ssa} is a read-only cache hit from any
     domain. *)
 val build_ssa : ?jobs:int -> t -> unit
+
+(** Drop every cached SSA form (benchmarks use this to measure cold SSA
+    construction). *)
+val reset_ssa_cache : t -> unit
 
 (** Demote real-valued constants to ⊥ when float propagation is off. *)
 val censor : t -> Lattice.t -> Lattice.t

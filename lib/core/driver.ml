@@ -71,7 +71,7 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
       modref;
       floats;
       lowered;
-      ssa_cache = Hashtbl.create 16;
+      ssa_cache = Fsicp_prog.Prog.tbl pcg.Callgraph.db None;
     }
   in
   (* Step 5: interprocedural constant propagation.  The FS timing includes

@@ -25,16 +25,32 @@
     cheap sound fallback the flow-sensitive method uses on back edges. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_ipa
 open Fsicp_callgraph
 open Fsicp_scc
-
-type key = string * int (* procedure, formal index *)
 
 let method_name = "flow-insensitive"
 
 let solve (ctx : Context.t) : Solution.t =
   let pcg = ctx.Context.pcg in
+  let db = pcg.Callgraph.db in
+  let n = Callgraph.n_procs pcg in
+  (* Dense caller-major formal numbering: formal [i] of procedure [p] is
+     slot [fp_base.(p) + i].  All per-formal state is flat arrays — the
+     former [(string * int)]-keyed hashtables hashed a boxed tuple per
+     lattice meet. *)
+  let n_formals =
+    Array.init n (fun i ->
+        let name = Prog.proc_name db pcg.Callgraph.nodes.(i) in
+        List.length
+          (Summary.find ctx.Context.summaries name).Summary.ps_formals)
+  in
+  let fp_base = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    fp_base.(i + 1) <- fp_base.(i) + n_formals.(i)
+  done;
+  let slot (p : Prog.Proc.id) i = fp_base.((p :> int)) + i in
 
   (* -- Globals -------------------------------------------------------- *)
   let modified =
@@ -49,33 +65,34 @@ let solve (ctx : Context.t) : Solution.t =
   let global_const g = List.assoc_opt g program_constants in
 
   (* -- Formals -------------------------------------------------------- *)
-  let values : (key, Lattice.t) Hashtbl.t = Hashtbl.create 64 in
-  let fp_bind : (key, key list) Hashtbl.t = Hashtbl.create 64 in
-  let value k = Option.value (Hashtbl.find_opt values k) ~default:Lattice.Top in
-  let worklist : key Queue.t = Queue.create () in
+  let n_slots = fp_base.(n) in
+  let values = Array.make n_slots Lattice.Top in
+  let fp_bind : int list array = Array.make n_slots [] in
+  let value k = values.(k) in
+  let worklist : int Queue.t = Queue.create () in
   (* [meet k v] implements the paper's meet procedure: lowering a formal
      that was not already ⊥ down to ⊥ schedules everything bound to it. *)
   let meet k v =
     let orig = value k in
     let merged = Lattice.meet orig v in
     if not (Lattice.equal orig merged) then begin
-      Hashtbl.replace values k merged;
+      values.(k) <- merged;
       if merged = Lattice.Bot && orig <> Lattice.Bot then
-        List.iter
-          (fun k' -> Queue.add k' worklist)
-          (Option.value (Hashtbl.find_opt fp_bind k) ~default:[])
+        List.iter (fun k' -> Queue.add k' worklist) fp_bind.(k)
     end
   in
 
   (* Forward topological traversal over all call sites. *)
   Array.iter
-    (fun caller ->
+    (fun caller_id ->
+      let caller = Prog.proc_name db caller_id in
       let s = Summary.find ctx.Context.summaries caller in
       List.iter
         (fun (c : Summary.call_summary) ->
+          let callee_id = Callgraph.proc_id_exn pcg c.Summary.cs_callee in
           Array.iteri
             (fun j arg ->
-              let target = (c.Summary.cs_callee, j) in
+              let target = slot callee_id j in
               match arg with
               | Summary.Alit v ->
                   meet target (Context.censor ctx (Lattice.Const v))
@@ -84,16 +101,13 @@ let solve (ctx : Context.t) : Solution.t =
                   | Some v -> meet target v
                   | None -> meet target Lattice.Bot)
               | Summary.Aformal i -> (
-                  match value (caller, i) with
+                  match value (slot caller_id i) with
                   | Lattice.Const _ as v
                     when not
                            (Modref.formal_modified ctx.Context.modref caller i)
                     ->
-                      Hashtbl.replace fp_bind (caller, i)
-                        (target
-                        :: Option.value
-                             (Hashtbl.find_opt fp_bind (caller, i))
-                             ~default:[]);
+                      let k = slot caller_id i in
+                      fp_bind.(k) <- target :: fp_bind.(k);
                       meet target v
                   | Lattice.Top | Lattice.Const _ | Lattice.Bot ->
                       meet target Lattice.Bot)
@@ -107,52 +121,50 @@ let solve (ctx : Context.t) : Solution.t =
   while not (Queue.is_empty worklist) do
     let k = Queue.take worklist in
     if value k <> Lattice.Bot then begin
-      Hashtbl.replace values k Lattice.Bot;
-      List.iter
-        (fun k' -> Queue.add k' worklist)
-        (Option.value (Hashtbl.find_opt fp_bind k) ~default:[])
+      values.(k) <- Lattice.Bot;
+      List.iter (fun k' -> Queue.add k' worklist) fp_bind.(k)
     end
   done;
 
   (* -- Assemble the solution ------------------------------------------ *)
-  let entries = Hashtbl.create 16 in
-  Array.iter
-    (fun proc ->
-      let s = Summary.find ctx.Context.summaries proc in
-      let nf = List.length s.Summary.ps_formals in
-      let pe_formals =
-        Array.init nf (fun i ->
-            match value (proc, i) with
-            | Lattice.Top ->
-                (* A formal nothing was ever propagated to (its procedure
-                   has no processed call sites) is not a constant. *)
-                Lattice.Bot
-            | v -> v)
-      in
-      (* Program-wide global constants hold at every entry; restrict to the
-         globals the procedure may reference. *)
-      let pe_globals =
-        Modref.gref_of ctx.Context.modref proc
-        |> Summary.VrefSet.elements
-        |> List.filter_map (fun vr ->
-               match vr with
-               | Summary.Vglobal g ->
-                   Some
-                     ( g,
-                       match global_const g with
-                       | Some v -> v
-                       | None -> Lattice.Bot )
-               | Summary.Vformal _ -> None)
-      in
-      Hashtbl.replace entries proc { Solution.pe_formals; pe_globals })
-    pcg.Callgraph.nodes;
+  let entries =
+    Prog.tbl_init db (fun pid ->
+        let proc = Prog.proc_name db pid in
+        let nf = n_formals.((pid :> int)) in
+        let pe_formals =
+          Array.init nf (fun i ->
+              match value (slot pid i) with
+              | Lattice.Top ->
+                  (* A formal nothing was ever propagated to (its procedure
+                     has no processed call sites) is not a constant. *)
+                  Lattice.Bot
+              | v -> v)
+        in
+        (* Program-wide global constants hold at every entry; restrict to
+           the globals the procedure may reference. *)
+        let pe_globals =
+          Modref.gref_of ctx.Context.modref proc
+          |> Summary.VrefSet.elements
+          |> List.filter_map (fun vr ->
+                 match vr with
+                 | Summary.Vglobal g ->
+                     Some
+                       ( g,
+                         match global_const g with
+                         | Some v -> v
+                         | None -> Lattice.Bot )
+                 | Summary.Vformal _ -> None)
+        in
+        { Solution.pe_formals; pe_globals })
+  in
 
   (* Per-call-site records: the final constant status of every argument
      (recomputed after convergence, so pass-through statuses are not stale)
      and of every global in the callee's REF closure. *)
   let call_records =
     Array.to_list pcg.Callgraph.nodes
-    |> List.concat_map (fun caller ->
+    |> List.concat_map (fun caller_id ->
+           let caller = Prog.proc_name db caller_id in
            let s = Summary.find ctx.Context.summaries caller in
            List.map
              (fun (c : Summary.call_summary) ->
@@ -167,7 +179,7 @@ let solve (ctx : Context.t) : Solution.t =
                          | Some v -> v
                          | None -> Lattice.Bot)
                      | Summary.Aformal i -> (
-                         match value (caller, i) with
+                         match value (slot caller_id i) with
                          | Lattice.Const _ as v
                            when not
                                   (Modref.formal_modified ctx.Context.modref
@@ -182,21 +194,21 @@ let solve (ctx : Context.t) : Solution.t =
                  Modref.call_global_refs ctx.Context.modref
                    ~callee:c.Summary.cs_callee
                  |> List.map (fun (gv : Fsicp_cfg.Ir.var) ->
-                        let g = gv.Fsicp_cfg.Ir.vname in
+                        let g = (Fsicp_cfg.Ir.Var.name gv) in
                         ( g,
                           match global_const g with
                           | Some v -> v
                           | None -> Lattice.Bot ))
                in
                {
-                 Solution.cr_caller = caller;
+                 Solution.cr_caller = caller_id;
                  cr_cs_index = c.Summary.cs_index;
-                 cr_callee = c.Summary.cs_callee;
+                 cr_callee = Callgraph.proc_id_exn pcg c.Summary.cs_callee;
                  cr_executable = true;
                  cr_args;
                  cr_globals;
                })
              s.Summary.ps_calls)
   in
-  Solution.make ~method_name ~entries ~call_records ~scc_runs:0
-    ~scc_results:(Hashtbl.create 1)
+  Solution.make ~method_name ~db ~entries ~call_records ~scc_runs:0
+    ~scc_results:(Prog.tbl db None)

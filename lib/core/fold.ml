@@ -227,7 +227,7 @@ let fold_program (ctx : Context.t) (solution : Solution.t) : Ast.program =
   let procs =
     List.map
       (fun (p : Ast.proc) ->
-        match Hashtbl.find_opt solution.Solution.entries p.Ast.pname with
+        match Solution.entry_opt solution p.Ast.pname with
         | None -> p
         | Some entry ->
             let formal_index x =

@@ -41,6 +41,7 @@
     bit-identical {!Solution.t} (verified by the test suite). *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_ssa
 open Fsicp_callgraph
@@ -92,19 +93,18 @@ let solve ?jobs ?fi
   (* Wavefront shape: procedure [i] depends on the distinct procedures that
      call it over forward (non-back) edges; back edges contribute the FI
      seed instead and impose no ordering.  The forward-edge graph is acyclic
-     and consistent with reverse postorder by construction. *)
-  let in_edges = Array.map (fun proc -> Callgraph.in_edges pcg proc) nodes in
-  let idx name = Hashtbl.find pcg.Callgraph.index name in
+     and consistent with reverse postorder by construction.  A procedure's
+     id is its reverse-postorder index, so ids double as wavefront slots. *)
+  let in_edges = Array.map (fun pid -> Callgraph.in_edges pcg pid) nodes in
   let deps = Array.make n [] in
   let dependents = Array.make n [] in
   Array.iteri
     (fun i es ->
       let callers =
-        List.filter_map
-          (fun (e : Callgraph.edge) ->
-            if Callgraph.is_back_edge pcg e then None
-            else Some (idx e.Callgraph.caller))
-          es
+        Array.to_list es
+        |> List.filter_map (fun (e : Callgraph.edge) ->
+               if e.Callgraph.back then None
+               else Some (e.Callgraph.caller :> int))
         |> List.sort_uniq compare
       in
       deps.(i) <- callers;
@@ -126,12 +126,15 @@ let solve ?jobs ?fi
   let entries_arr = Array.make n Solution.empty_entry in
   let results_arr : Scc.result option array = Array.make n None in
   let records_arr : Solution.callsite_record list array = Array.make n [] in
-  let record_tbl : (int, Solution.callsite_record) Hashtbl.t array =
-    Array.init n (fun _ -> Hashtbl.create 8)
+  (* Call records by (caller id, cs_index): dense rows, one slot per call
+     site, since a caller records each of its sites at most once. *)
+  let record_idx : Solution.callsite_record option array array =
+    Array.init n (fun i -> Array.make (Callgraph.n_call_sites pcg nodes.(i)) None)
   in
 
   let process i =
-    let proc = nodes.(i) in
+    let pid = nodes.(i) in
+    let proc = Callgraph.proc_name pcg pid in
     let s = Summary.find ctx.Context.summaries proc in
     let nf = List.length s.Summary.ps_formals in
     let formals = Array.make nf Lattice.Top in
@@ -154,9 +157,9 @@ let solve ?jobs ?fi
     (match fi with
     | None -> ()
     | Some fi ->
-        List.iter
+        Array.iter
           (fun (e : Callgraph.edge) ->
-            if Callgraph.is_back_edge pcg e then
+            if e.Callgraph.back then
               match
                 Solution.find_call_record fi ~caller:e.Callgraph.caller
                   ~cs_index:e.Callgraph.cs_index
@@ -181,13 +184,11 @@ let solve ?jobs ?fi
     (* Forward edges: every forward caller has been processed (the
        scheduler guarantees it), so pull its recorded executable call-site
        values, in canonical in-edge order. *)
-    List.iter
+    Array.iter
       (fun (e : Callgraph.edge) ->
-        if not (Callgraph.is_back_edge pcg e) then
+        if not e.Callgraph.back then
           match
-            Hashtbl.find_opt
-              record_tbl.(idx e.Callgraph.caller)
-              e.Callgraph.cs_index
+            record_idx.((e.Callgraph.caller :> int)).(e.Callgraph.cs_index)
           with
           | Some cr when cr.Solution.cr_executable -> contribute cr
           | Some _ | None -> ())
@@ -208,20 +209,20 @@ let solve ?jobs ?fi
       | Ir.Formal i ->
           if i < Array.length pe_formals then pe_formals.(i) else Lattice.Bot
       | Ir.Global -> (
-          match List.assoc_opt v.Ir.vname pe_globals with
+          match List.assoc_opt (Ir.Var.name v) pe_globals with
           | Some value -> value
           | None ->
               (* Not in the REF closure but still versioned (e.g. only in
                  the MOD closure of some callee): unknown at entry unless
                  this is [main] and block data initialises it. *)
               if String.equal proc main then
-                match List.assoc_opt v.Ir.vname blockdata with
+                match List.assoc_opt (Ir.Var.name v) blockdata with
                 | Some value -> value
                 | None -> Lattice.Bot
               else Lattice.Bot)
       | Ir.Local | Ir.Temp -> Lattice.Bot
     in
-    let ssa = Context.ssa ctx proc in
+    let ssa = Context.ssa_at ctx pid in
     let call_sites = Ssa.call_sites ssa in
     let cdv =
       match call_def_value with
@@ -268,22 +269,22 @@ let solve ?jobs ?fi
           let cr_globals =
             Array.to_list c.Ssa.c_global_uses
             |> List.map (fun ((g : Ir.var), n) ->
-                   ( g.Ir.vname,
+                   ( (Ir.Var.name g),
                      if executable then
                        Context.censor ctx res.Scc.values.(n.Ssa.id)
                      else Lattice.Top ))
           in
           let cr =
             {
-              Solution.cr_caller = proc;
+              Solution.cr_caller = pid;
               cr_cs_index = c.Ssa.c_cs_id;
-              cr_callee = c.Ssa.c_callee;
+              cr_callee = Callgraph.proc_id_exn pcg c.Ssa.c_callee;
               cr_executable = executable;
               cr_args;
               cr_globals;
             }
           in
-          Hashtbl.replace record_tbl.(i) c.Ssa.c_cs_id cr;
+          record_idx.(i).(c.Ssa.c_cs_id) <- Some cr;
           cr)
         call_sites
     in
@@ -296,14 +297,8 @@ let solve ?jobs ?fi
   (* Canonical normalisation point: assemble per-procedure outputs in
      forward (reverse postorder) node order, so the recorded call-record
      order — and hence the whole solution — is identical for every [jobs]. *)
-  let entries = Hashtbl.create 16 in
-  let scc_results = Hashtbl.create 16 in
-  Array.iteri
-    (fun i proc ->
-      Hashtbl.replace entries proc entries_arr.(i);
-      match results_arr.(i) with
-      | Some res -> Hashtbl.replace scc_results proc res
-      | None -> ())
-    nodes;
+  let db = pcg.Callgraph.db in
+  let entries = Prog.tbl_init db (fun pid -> entries_arr.((pid :> int))) in
+  let scc_results = Prog.tbl_init db (fun pid -> results_arr.((pid :> int))) in
   let call_records = List.concat (Array.to_list records_arr) in
-  Solution.make ~method_name ~entries ~call_records ~scc_runs:n ~scc_results
+  Solution.make ~method_name ~db ~entries ~call_records ~scc_runs:n ~scc_results

@@ -48,11 +48,15 @@ let inlinable (ctx : Context.t) ~(max_body : int) (callee : Ast.proc) : bool =
   (* never inline into or across a cycle: the callee must not (transitively)
      reach itself *)
   let pcg = ctx.Context.pcg in
-  List.for_all
-    (fun (e : Fsicp_callgraph.Callgraph.edge) ->
-      not (Fsicp_callgraph.Callgraph.is_back_edge pcg e))
-    (Fsicp_callgraph.Callgraph.out_edges pcg callee.Ast.pname
-    @ Fsicp_callgraph.Callgraph.in_edges pcg callee.Ast.pname)
+  match Fsicp_callgraph.Callgraph.proc_id pcg callee.Ast.pname with
+  | None -> true (* unreachable: touches no PCG cycle *)
+  | Some pid ->
+      let no_back =
+        Array.for_all (fun (e : Fsicp_callgraph.Callgraph.edge) ->
+            not e.Fsicp_callgraph.Callgraph.back)
+      in
+      no_back (Fsicp_callgraph.Callgraph.out_edges pcg pid)
+      && no_back (Fsicp_callgraph.Callgraph.in_edges pcg pid)
 
 (* Substitute variables in an expression. *)
 let rec subst_expr (env : (string * Ast.expr) list) (e : Ast.expr) : Ast.expr =

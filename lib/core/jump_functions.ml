@@ -38,6 +38,7 @@
     baselines here are well-defined on recursive programs too. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_ssa
 open Fsicp_callgraph
@@ -201,9 +202,9 @@ let polynomial_values (ssa : Ssa.proc) (intra : Scc.result) : pvalue array =
 (* ------------------------------------------------------------------ *)
 
 type site_jfs = {
-  sj_caller : string;
+  sj_caller : Prog.Proc.id;
   sj_cs_index : int;
-  sj_callee : string;
+  sj_callee : Prog.Proc.id;
   sj_live : bool;  (** false when the intra analysis proved the site dead *)
   sj_jfs : jf array;
 }
@@ -213,10 +214,12 @@ type site_jfs = {
     of flow-sensitive intraprocedural analyses used. *)
 let build_jump_functions (ctx : Context.t) (variant : variant) :
     site_jfs list * int =
+  let pcg = ctx.Context.pcg in
   let scc_runs = ref 0 in
   let sites = ref [] in
   Array.iter
-    (fun proc ->
+    (fun pid ->
+      let proc = Callgraph.proc_name pcg pid in
       match variant with
       | Literal ->
           (* Purely syntactic; no intraprocedural analysis. *)
@@ -234,16 +237,16 @@ let build_jump_functions (ctx : Context.t) (variant : variant) :
               in
               sites :=
                 {
-                  sj_caller = proc;
+                  sj_caller = pid;
                   sj_cs_index = c.Summary.cs_index;
-                  sj_callee = c.Summary.cs_callee;
+                  sj_callee = Callgraph.proc_id_exn pcg c.Summary.cs_callee;
                   sj_live = true;
                   sj_jfs;
                 }
                 :: !sites)
             s.Summary.ps_calls
       | Intra | Pass_through | Polynomial ->
-          let ssa = Context.ssa ctx proc in
+          let ssa = Context.ssa_at ctx pid in
           let intra = Scc.run ssa in
           incr scc_runs;
           let poly_values =
@@ -288,15 +291,15 @@ let build_jump_functions (ctx : Context.t) (variant : variant) :
               in
               sites :=
                 {
-                  sj_caller = proc;
+                  sj_caller = pid;
                   sj_cs_index = c.Ssa.c_cs_id;
-                  sj_callee = c.Ssa.c_callee;
+                  sj_callee = Callgraph.proc_id_exn pcg c.Ssa.c_callee;
                   sj_live = live;
                   sj_jfs;
                 }
                 :: !sites)
             (Ssa.call_sites ssa))
-    (Callgraph.forward_order ctx.Context.pcg);
+    (Callgraph.forward_order pcg);
   (List.rev !sites, !scc_runs)
 
 (* ------------------------------------------------------------------ *)
@@ -340,32 +343,36 @@ let eval_jf (ctx : Context.t) (jf : jf) (caller_formals : Lattice.t array) :
     formal constants only (no globals — see the module comment). *)
 let solve (ctx : Context.t) (variant : variant) : Solution.t =
   let pcg = ctx.Context.pcg in
+  let db = pcg.Callgraph.db in
   let sites, scc_runs = build_jump_functions ctx variant in
-  let formal_values : (string, Lattice.t array) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun proc ->
-      let s = Summary.find ctx.Context.summaries proc in
-      Hashtbl.replace formal_values proc
-        (Array.make (List.length s.Summary.ps_formals) Lattice.Top))
-    pcg.Callgraph.nodes;
-  let sites_of : (string, site_jfs list) Hashtbl.t = Hashtbl.create 16 in
+  let formal_values : Lattice.t array Prog.Proc.Tbl.t =
+    Prog.tbl_init db (fun pid ->
+        let s =
+          Summary.find ctx.Context.summaries (Prog.proc_name db pid)
+        in
+        Array.make (List.length s.Summary.ps_formals) Lattice.Top)
+  in
+  let sites_of : site_jfs list array =
+    Array.make (Callgraph.n_procs pcg) []
+  in
   List.iter
     (fun sj ->
-      Hashtbl.replace sites_of sj.sj_caller
-        (sj
-        :: Option.value (Hashtbl.find_opt sites_of sj.sj_caller) ~default:[]))
+      let c = (sj.sj_caller :> int) in
+      sites_of.(c) <- sj :: sites_of.(c))
     sites;
   (* Optimistic fixpoint: evaluate jump functions under the caller's current
      formal values; iterate while anything lowers. *)
-  let work : string Queue.t = Queue.create () in
+  let work : Prog.Proc.id Queue.t = Queue.create () in
   Array.iter (fun p -> Queue.add p work) (Callgraph.forward_order pcg);
   while not (Queue.is_empty work) do
     let caller = Queue.take work in
-    let caller_formals = Hashtbl.find formal_values caller in
+    let caller_formals = Prog.Proc.Tbl.get formal_values caller in
     List.iter
       (fun sj ->
         if sj.sj_live then begin
-          let callee_formals = Hashtbl.find formal_values sj.sj_callee in
+          let callee_formals =
+            Prog.Proc.Tbl.get formal_values sj.sj_callee
+          in
           let changed = ref false in
           Array.iteri
             (fun j jf ->
@@ -380,33 +387,32 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
             sj.sj_jfs;
           if !changed then Queue.add sj.sj_callee work
         end)
-      (Option.value (Hashtbl.find_opt sites_of caller) ~default:[])
+      sites_of.((caller :> int))
   done;
 
-  let entries = Hashtbl.create 16 in
-  Array.iter
-    (fun proc ->
-      let pe_formals =
-        Hashtbl.find formal_values proc
-        |> Array.map (fun v ->
-               match v with Lattice.Top -> Lattice.Bot | v -> v)
-      in
-      (* Globals are not handled by jump-function methods. *)
-      let pe_globals =
-        Modref.gref_of ctx.Context.modref proc
-        |> Summary.VrefSet.elements
-        |> List.filter_map (function
-             | Summary.Vglobal g -> Some (g, Lattice.Bot)
-             | Summary.Vformal _ -> None)
-      in
-      Hashtbl.replace entries proc { Solution.pe_formals; pe_globals })
-    pcg.Callgraph.nodes;
+  let entries =
+    Prog.tbl_init db (fun pid ->
+        let pe_formals =
+          Prog.Proc.Tbl.get formal_values pid
+          |> Array.map (fun v ->
+                 match v with Lattice.Top -> Lattice.Bot | v -> v)
+        in
+        (* Globals are not handled by jump-function methods. *)
+        let pe_globals =
+          Modref.gref_of ctx.Context.modref (Prog.proc_name db pid)
+          |> Summary.VrefSet.elements
+          |> List.filter_map (function
+               | Summary.Vglobal g -> Some (g, Lattice.Bot)
+               | Summary.Vformal _ -> None)
+        in
+        { Solution.pe_formals; pe_globals })
+  in
   (* Call-site records: the evaluated jump-function value per argument. *)
   let call_records =
     List.map
       (fun sj ->
         let caller_formals =
-          (Hashtbl.find formal_values sj.sj_caller
+          (Prog.Proc.Tbl.get formal_values sj.sj_caller
           |> Array.map (fun v ->
                  match v with Lattice.Top -> Lattice.Bot | v -> v))
         in
@@ -421,5 +427,5 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
         })
       sites
   in
-  Solution.make ~method_name:(variant_name variant) ~entries ~call_records
-    ~scc_runs ~scc_results:(Hashtbl.create 1)
+  Solution.make ~method_name:(variant_name variant) ~db ~entries
+    ~call_records ~scc_runs ~scc_results:(Prog.tbl db None)

@@ -6,6 +6,7 @@
     matching the framework the paper measured against. *)
 
 open Fsicp_lang
+open Fsicp_prog
 
 type variant =
   | Literal  (** literal actuals only *)
@@ -25,9 +26,9 @@ type jf =
 val pp_jf : jf Fmt.t
 
 type site_jfs = {
-  sj_caller : string;
+  sj_caller : Prog.Proc.id;
   sj_cs_index : int;
-  sj_callee : string;
+  sj_callee : Prog.Proc.id;
   sj_live : bool;  (** false when the intra analysis proved the site dead *)
   sj_jfs : jf array;
 }

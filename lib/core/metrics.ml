@@ -63,7 +63,8 @@ let candidates (ctx : Context.t) ~(fi : Solution.t) ~(fs : Solution.t)
   let pcg = ctx.Context.pcg in
   let args_total = ref 0 and imm = ref 0 in
   Array.iter
-    (fun proc ->
+    (fun pid ->
+      let proc = Fsicp_callgraph.Callgraph.proc_name pcg pid in
       let s = Summary.find ctx.Context.summaries proc in
       List.iter
         (fun (c : Summary.call_summary) ->
@@ -104,7 +105,10 @@ let candidates (ctx : Context.t) ~(fi : Solution.t) ~(fs : Solution.t)
             (fun (n, nv) (g, v) ->
               if Lattice.is_const v then
                 ( n + 1,
-                  if Context.global_visible_in ctx cr.Solution.cr_caller g
+                  if
+                    Context.global_visible_in ctx
+                      (Solution.proc_name fs cr.Solution.cr_caller)
+                      g
                   then nv + 1
                   else nv )
               else (n, nv))
@@ -130,19 +134,23 @@ let propagated (ctx : Context.t) ~(fi : Solution.t) ~(fs : Solution.t)
   let fp_total = ref 0 in
   let count_formals (sol : Solution.t) =
     Array.fold_left
-      (fun acc proc ->
-        acc + count_const (Solution.entry sol proc).Solution.pe_formals)
+      (fun acc pid ->
+        acc + count_const (Solution.entry_at sol pid).Solution.pe_formals)
       0 pcg.Fsicp_callgraph.Callgraph.nodes
   in
   Array.iter
-    (fun proc ->
-      let s = Summary.find ctx.Context.summaries proc in
+    (fun pid ->
+      let s =
+        Summary.find ctx.Context.summaries
+          (Fsicp_callgraph.Callgraph.proc_name pcg pid)
+      in
       fp_total := !fp_total + List.length s.Summary.ps_formals)
     pcg.Fsicp_callgraph.Callgraph.nodes;
   let count_globals (sol : Solution.t) =
     Array.fold_left
-      (fun acc proc ->
-        let e = Solution.entry sol proc in
+      (fun acc pid ->
+        let proc = Fsicp_callgraph.Callgraph.proc_name pcg pid in
+        let e = Solution.entry_at sol pid in
         acc
         + List.length
             (List.filter

@@ -19,6 +19,7 @@
     the first pass — the optimistic ⊤ start). *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_ssa
 open Fsicp_callgraph
@@ -31,6 +32,7 @@ let max_passes = 100
 
 let solve (ctx : Context.t) : Solution.t =
   let pcg = ctx.Context.pcg in
+  let db = pcg.Callgraph.db in
   let blockdata = Context.blockdata_env ctx in
   let gref_globals proc =
     Modref.gref_of ctx.Context.modref proc
@@ -39,20 +41,23 @@ let solve (ctx : Context.t) : Solution.t =
          | Summary.Vglobal g -> Some g
          | Summary.Vformal _ -> None)
   in
-  (* Records from the previous / current pass: (caller, cs_index) ->
-     (executable, args, globals). *)
+  (* Records from the previous / current pass, by (caller id, cs_index):
+     (executable, args, globals) in dense per-caller rows. *)
   let records :
-      (string * int, bool * Lattice.t array * (string * Lattice.t) list)
-      Hashtbl.t =
-    Hashtbl.create 64
+      (bool * Lattice.t array * (string * Lattice.t) list) option array array =
+    Array.init (Callgraph.n_procs pcg) (fun i ->
+        Array.make (Callgraph.n_call_sites pcg pcg.Callgraph.nodes.(i)) None)
   in
-  let entries_tbl = Hashtbl.create 16 in
-  let scc_results = Hashtbl.create 16 in
+  let entries_tbl : Solution.proc_entry option Prog.Proc.Tbl.t =
+    Prog.tbl db None
+  in
+  let scc_results = Prog.tbl db None in
   let scc_runs = ref 0 in
   let pass () =
     let any_change = ref false in
     Array.iter
-      (fun proc ->
+      (fun pid ->
+        let proc = Prog.proc_name db pid in
         (* Meet incoming recorded contributions. *)
         let s = Summary.find ctx.Context.summaries proc in
         let nf = List.length s.Summary.ps_formals in
@@ -69,47 +74,45 @@ let solve (ctx : Context.t) : Solution.t =
                 | Some v -> v
                 | None -> Lattice.Bot))
             (Hashtbl.copy globals);
-        List.iter
+        Array.iter
           (fun (e : Callgraph.edge) ->
-            if String.equal e.Callgraph.callee proc then
-              match
-                Hashtbl.find_opt records
-                  (e.Callgraph.caller, e.Callgraph.cs_index)
-              with
-              | None -> () (* not yet recorded: optimistic, no contribution *)
-              | Some (executable, args, gvals) ->
-                  if executable then begin
-                    Array.iteri
-                      (fun j v ->
-                        if j < nf then formals.(j) <- Lattice.meet formals.(j) v)
-                      args;
-                    List.iter
-                      (fun (g, v) ->
-                        match Hashtbl.find_opt globals g with
-                        | Some cur ->
-                            Hashtbl.replace globals g (Lattice.meet cur v)
-                        | None -> ())
-                      gvals
-                  end)
-          pcg.Callgraph.edges;
+            match records.((e.Callgraph.caller :> int)).(e.Callgraph.cs_index)
+            with
+            | None -> () (* not yet recorded: optimistic, no contribution *)
+            | Some (executable, args, gvals) ->
+                if executable then begin
+                  Array.iteri
+                    (fun j v ->
+                      if j < nf then formals.(j) <- Lattice.meet formals.(j) v)
+                    args;
+                  List.iter
+                    (fun (g, v) ->
+                      match Hashtbl.find_opt globals g with
+                      | Some cur ->
+                          Hashtbl.replace globals g (Lattice.meet cur v)
+                      | None -> ())
+                    gvals
+                end)
+          (Callgraph.in_edges pcg pid);
         let finalize = function Lattice.Top -> Lattice.Bot | v -> v in
         let pe_formals = Array.map finalize formals in
         let pe_globals =
           Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) globals []
           |> List.sort compare
         in
-        let old = Hashtbl.find_opt entries_tbl proc in
+        let old = Prog.Proc.Tbl.get entries_tbl pid in
         let entry = { Solution.pe_formals; pe_globals } in
         (match old with
         | Some o
-          when Array.for_all2 Lattice.equal o.Solution.pe_formals pe_formals
+          when Array.length o.Solution.pe_formals = Array.length pe_formals
+               && Array.for_all2 Lattice.equal o.Solution.pe_formals pe_formals
                && List.equal
                     (fun (g, v) (g', v') ->
                       String.equal g g' && Lattice.equal v v')
                     o.Solution.pe_globals pe_globals -> ()
         | Some _ | None ->
             any_change := true;
-            Hashtbl.replace entries_tbl proc entry);
+            Prog.Proc.Tbl.set entries_tbl pid (Some entry));
         (* Run SCC with this environment and record call-site values. *)
         let entry_env (v : Ir.var) =
           match v.Ir.vkind with
@@ -117,20 +120,20 @@ let solve (ctx : Context.t) : Solution.t =
               if i < Array.length pe_formals then pe_formals.(i)
               else Lattice.Bot
           | Ir.Global -> (
-              match List.assoc_opt v.Ir.vname pe_globals with
+              match List.assoc_opt (Ir.Var.name v) pe_globals with
               | Some value -> value
               | None ->
                   if String.equal proc ctx.Context.prog.Ast.main then
-                    match List.assoc_opt v.Ir.vname blockdata with
+                    match List.assoc_opt (Ir.Var.name v) blockdata with
                     | Some value -> value
                     | None -> Lattice.Bot
                   else Lattice.Bot)
           | Ir.Local | Ir.Temp -> Lattice.Bot
         in
-        let ssa = Context.ssa ctx proc in
+        let ssa = Context.ssa_at ctx pid in
         let res = Scc.run ~config:{ Scc.default_config with entry_env } ssa in
         incr scc_runs;
-        Hashtbl.replace scc_results proc res;
+        Prog.Proc.Tbl.set scc_results pid (Some res);
         List.iter
           (fun (b, _, (c : Ssa.call)) ->
             let executable = res.Scc.block_executable.(b) in
@@ -145,13 +148,13 @@ let solve (ctx : Context.t) : Solution.t =
             let gvals =
               Array.to_list c.Ssa.c_global_uses
               |> List.map (fun ((g : Ir.var), n) ->
-                     ( g.Ir.vname,
+                     ( (Ir.Var.name g),
                        if executable then
                          Context.censor ctx res.Scc.values.(n.Ssa.id)
                        else Lattice.Top ))
             in
-            Hashtbl.replace records (proc, c.Ssa.c_cs_id)
-              (executable, args, gvals))
+            records.((pid :> int)).(c.Ssa.c_cs_id) <-
+              Some (executable, args, gvals))
           (Ssa.call_sites ssa))
       (Callgraph.forward_order pcg);
     !any_change
@@ -160,31 +163,36 @@ let solve (ctx : Context.t) : Solution.t =
   while pass () && !passes < max_passes do
     incr passes
   done;
-  (* Assemble call records from the final pass. *)
+  (* Assemble call records from the final pass, caller-major. *)
   let call_records =
-    Hashtbl.fold
-      (fun (caller, cs_index) (executable, args, gvals) acc ->
-        let callee =
-          List.find_map
-            (fun (e : Callgraph.edge) ->
-              if
-                String.equal e.Callgraph.caller caller
-                && e.Callgraph.cs_index = cs_index
-              then Some e.Callgraph.callee
-              else None)
-            pcg.Callgraph.edges
-          |> Option.value ~default:"?"
-        in
-        {
-          Solution.cr_caller = caller;
-          cr_cs_index = cs_index;
-          cr_callee = callee;
-          cr_executable = executable;
-          cr_args = args;
-          cr_globals = gvals;
-        }
-        :: acc)
-      records []
+    Array.fold_left
+      (fun acc (pid : Prog.Proc.id) ->
+        let row = records.((pid :> int)) in
+        let out = Callgraph.out_edges pcg pid in
+        let acc = ref acc in
+        Array.iteri
+          (fun cs_index slot ->
+            match slot with
+            | None -> ()
+            | Some (executable, args, gvals) ->
+                acc :=
+                  {
+                    Solution.cr_caller = pid;
+                    cr_cs_index = cs_index;
+                    cr_callee = out.(cs_index).Callgraph.callee;
+                    cr_executable = executable;
+                    cr_args = args;
+                    cr_globals = gvals;
+                  }
+                  :: !acc)
+          row;
+        !acc)
+      [] (Callgraph.reverse_order pcg)
   in
-  Solution.make ~method_name ~entries:entries_tbl ~call_records
-    ~scc_runs:!scc_runs ~scc_results
+  let entries =
+    Prog.Proc.Tbl.map
+      (function Some e -> e | None -> Solution.empty_entry)
+      entries_tbl
+  in
+  Solution.make ~method_name ~db ~entries ~call_records ~scc_runs:!scc_runs
+    ~scc_results

@@ -69,7 +69,7 @@ let call_def_value_from (summaries : (string, summary) Hashtbl.t)
         c.Ssa.c_args;
       (match v.Ir.vkind with
       | Ir.Global -> (
-          match List.assoc_opt v.Ir.vname s.rs_globals with
+          match List.assoc_opt (Ir.Var.name v) s.rs_globals with
           | Some gv -> acc := Lattice.meet !acc gv
           | None -> acc := Lattice.Bot)
       | Ir.Formal _ | Ir.Local | Ir.Temp -> ());
@@ -89,8 +89,9 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
   let refined = Hashtbl.create 16 in
   let runs = ref 0 in
   Array.iter
-    (fun proc ->
-      let entry = Solution.entry fs proc in
+    (fun pid ->
+      let proc = Callgraph.proc_name pcg pid in
+      let entry = Solution.entry_at fs pid in
       let entry_env (v : Ir.var) =
         match v.Ir.vkind with
         | Ir.Formal i ->
@@ -98,17 +99,17 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
               entry.Solution.pe_formals.(i)
             else Lattice.Bot
         | Ir.Global -> (
-            match List.assoc_opt v.Ir.vname entry.Solution.pe_globals with
+            match List.assoc_opt (Ir.Var.name v) entry.Solution.pe_globals with
             | Some value -> value
             | None ->
                 if String.equal proc ctx.Context.prog.Ast.main then
-                  match List.assoc_opt v.Ir.vname blockdata with
+                  match List.assoc_opt (Ir.Var.name v) blockdata with
                   | Some value -> value
                   | None -> Lattice.Bot
                 else Lattice.Bot)
         | Ir.Local | Ir.Temp -> Lattice.Bot
       in
-      let ssa = Context.ssa ctx proc in
+      let ssa = Context.ssa_at ctx pid in
       let cdv ~callee v =
         (* Locate the calls to [callee] and meet their summary effects. *)
         List.fold_left

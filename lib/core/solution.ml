@@ -11,14 +11,20 @@
       procedure may reference;
     - per call site, the value of every argument and relevant global at the
       site as established by the method (Table 1's "call site constant
-      candidates"). *)
+      candidates").
 
+    Per-procedure state is dense: {!Prog.Proc.Tbl} arrays indexed by the
+    program database's procedure ids, and a per-caller [cs_index]-indexed
+    call-record index.  Names are recovered from the database only in the
+    user-facing accessors ({!constant_formals}, {!pp}, ...). *)
+
+open Fsicp_prog
 open Fsicp_scc
 
 type callsite_record = {
-  cr_caller : string;
+  cr_caller : Prog.Proc.id;
   cr_cs_index : int;  (** textual call-site index within the caller *)
-  cr_callee : string;
+  cr_callee : Prog.Proc.id;
   cr_executable : bool;
       (** could the method prove the site unreachable?  Flow-insensitive
           methods always say [true]; the flow-sensitive method marks sites
@@ -37,36 +43,53 @@ type proc_entry = {
 
 type t = {
   method_name : string;
-  entries : (string, proc_entry) Hashtbl.t;  (** per reachable procedure *)
+  db : Prog.t;
+  entries : proc_entry Prog.Proc.Tbl.t;  (** per reachable procedure *)
   call_records : callsite_record list;
-  call_index : (string * int, callsite_record) Hashtbl.t;
-      (** the same records keyed by (caller, cs_index); built by {!make} in
-          the same pass as the list, so {!find_call_record} is O(1) *)
+  call_index : callsite_record option array Prog.Proc.Tbl.t;
+      (** the same records, by caller id and [cs_index]; built by {!make}
+          in the same pass as the list, so {!find_call_record} is an array
+          load *)
   scc_runs : int;
       (** number of flow-sensitive intraprocedural analyses performed — the
           paper's headline is that the FS method needs exactly one per
           procedure *)
-  scc_results : (string, Scc.result) Hashtbl.t;
-      (** the per-procedure SCC runs, when the method performs them (empty
-          for flow-insensitive methods) *)
+  scc_results : Scc.result option Prog.Proc.Tbl.t;
+      (** the per-procedure SCC runs, when the method performs them ([None]
+          everywhere for flow-insensitive methods) *)
 }
 
 (** Assemble a solution, indexing the call records by (caller, cs_index) in
     the same pass.  When duplicates exist the first record wins, matching
     the former linear scan. *)
-let make ~method_name ~entries ~call_records ~scc_runs ~scc_results : t =
-  let call_index = Hashtbl.create (2 * List.length call_records + 1) in
+let make ~method_name ~db ~entries ~call_records ~scc_runs ~scc_results : t =
+  (* Row sizes: the maximum cs_index per caller among the records. *)
+  let n = Prog.n_procs db in
+  let width = Array.make n 0 in
   List.iter
     (fun cr ->
-      let key = (cr.cr_caller, cr.cr_cs_index) in
-      if not (Hashtbl.mem call_index key) then Hashtbl.add call_index key cr)
+      let c = (cr.cr_caller :> int) in
+      width.(c) <- max width.(c) (cr.cr_cs_index + 1))
     call_records;
-  { method_name; entries; call_records; call_index; scc_runs; scc_results }
+  let call_index = Prog.tbl_init db (fun pid -> Array.make width.((pid :> int)) None) in
+  List.iter
+    (fun cr ->
+      let row = Prog.Proc.Tbl.get call_index cr.cr_caller in
+      if row.(cr.cr_cs_index) = None then row.(cr.cr_cs_index) <- Some cr)
+    call_records;
+  { method_name; db; entries; call_records; call_index; scc_runs; scc_results }
 
 let empty_entry = { pe_formals = [||]; pe_globals = [] }
+let proc_name t pid = Prog.proc_name t.db pid
+let entry_at t pid = Prog.Proc.Tbl.get t.entries pid
 
 let entry t proc =
-  Option.value (Hashtbl.find_opt t.entries proc) ~default:empty_entry
+  match Prog.proc_id t.db proc with
+  | Some pid -> entry_at t pid
+  | None -> empty_entry
+
+let entry_opt t proc =
+  Option.map (entry_at t) (Prog.proc_id t.db proc)
 
 (** Entry lattice value of formal [i] of [proc]. *)
 let formal_value t proc i : Lattice.t =
@@ -81,8 +104,9 @@ let global_value t proc g : Lattice.t =
 
 (** Constant formals, as [(proc, index, value)]. *)
 let constant_formals t : (string * int * Fsicp_lang.Value.t) list =
-  Hashtbl.fold
-    (fun proc e acc ->
+  Prog.Proc.Tbl.fold
+    (fun pid e acc ->
+      let proc = proc_name t pid in
       let acc' = ref acc in
       Array.iteri
         (fun i v ->
@@ -96,8 +120,9 @@ let constant_formals t : (string * int * Fsicp_lang.Value.t) list =
 
 (** Constant globals at procedure entries, as [(proc, global, value)]. *)
 let constant_globals t : (string * string * Fsicp_lang.Value.t) list =
-  Hashtbl.fold
-    (fun proc e acc ->
+  Prog.Proc.Tbl.fold
+    (fun pid e acc ->
+      let proc = proc_name t pid in
       List.fold_left
         (fun acc (g, v) ->
           match v with
@@ -108,7 +133,8 @@ let constant_globals t : (string * string * Fsicp_lang.Value.t) list =
   |> List.sort compare
 
 let find_call_record t ~caller ~cs_index =
-  Hashtbl.find_opt t.call_index (caller, cs_index)
+  let row = Prog.Proc.Tbl.get t.call_index caller in
+  if cs_index < Array.length row then row.(cs_index) else None
 
 let pp ppf t =
   Fmt.pf ppf "method %s (%d SCC runs):@\n" t.method_name t.scc_runs;

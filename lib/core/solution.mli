@@ -1,14 +1,22 @@
 (** The result shape shared by every interprocedural constant propagation
     method: per-procedure entry lattice values (formals and globals) and
     per-call-site argument/global values — the two things the paper's
-    metrics count. *)
+    metrics count.
 
+    Procedures are identified by the program database's dense
+    {!Fsicp_prog.Prog.Proc.id}s; per-procedure state is stored in
+    {!Prog.Proc.Tbl} arrays and call records are indexed by
+    [(caller id, cs_index)] without any string hashing.  Ids come from the
+    {!Fsicp_callgraph.Callgraph.t} the solution was computed over; ids from
+    any other program database are out of contract. *)
+
+open Fsicp_prog
 open Fsicp_scc
 
 type callsite_record = {
-  cr_caller : string;
+  cr_caller : Prog.Proc.id;
   cr_cs_index : int;
-  cr_callee : string;
+  cr_callee : Prog.Proc.id;
   cr_executable : bool;
       (** false when the method proved the site unreachable; such sites
           propagate nothing *)
@@ -24,29 +32,41 @@ type proc_entry = {
 
 type t = {
   method_name : string;
-  entries : (string, proc_entry) Hashtbl.t;
+  db : Prog.t;  (** the program database the ids below belong to *)
+  entries : proc_entry Prog.Proc.Tbl.t;
   call_records : callsite_record list;
-  call_index : (string * int, callsite_record) Hashtbl.t;
-      (** records keyed by (caller, cs_index); kept consistent with
+  call_index : callsite_record option array Prog.Proc.Tbl.t;
+      (** records by caller id and [cs_index]; kept consistent with
           [call_records] by {!make} *)
   scc_runs : int;
       (** flow-sensitive intraprocedural analyses performed — the paper's
           headline is exactly one per procedure for the FS method *)
-  scc_results : (string, Scc.result) Hashtbl.t;
+  scc_results : Scc.result option Prog.Proc.Tbl.t;
+      (** per-procedure SCC runs, when the method performs them ([None]
+          everywhere for flow-insensitive methods) *)
 }
 
-(** Assemble a solution, building the (caller, cs_index) call-record index
-    in the same pass as the list. *)
+(** Assemble a solution, building the dense [(caller, cs_index)]
+    call-record index in the same pass as the list. *)
 val make :
   method_name:string ->
-  entries:(string, proc_entry) Hashtbl.t ->
+  db:Prog.t ->
+  entries:proc_entry Prog.Proc.Tbl.t ->
   call_records:callsite_record list ->
   scc_runs:int ->
-  scc_results:(string, Scc.result) Hashtbl.t ->
+  scc_results:Scc.result option Prog.Proc.Tbl.t ->
   t
 
 val empty_entry : proc_entry
+
+val proc_name : t -> Prog.Proc.id -> string
+val entry_at : t -> Prog.Proc.id -> proc_entry
+
+(** Name-based lookups, for boundary code that still holds AST names
+    (unreachable procedures resolve to {!empty_entry} / [None]). *)
 val entry : t -> string -> proc_entry
+
+val entry_opt : t -> string -> proc_entry option
 
 (** Entry lattice value of the [i]-th formal of a procedure. *)
 val formal_value : t -> string -> int -> Lattice.t
@@ -56,5 +76,8 @@ val global_value : t -> string -> string -> Lattice.t
 
 val constant_formals : t -> (string * int * Fsicp_lang.Value.t) list
 val constant_globals : t -> (string * string * Fsicp_lang.Value.t) list
-val find_call_record : t -> caller:string -> cs_index:int -> callsite_record option
+
+val find_call_record :
+  t -> caller:Prog.Proc.id -> cs_index:int -> callsite_record option
+
 val pp : t Fmt.t

@@ -30,7 +30,7 @@ let insert_entry_constants (ctx : Context.t) (solution : Solution.t) :
   let procs =
     List.map
       (fun (p : Ast.proc) ->
-        match Hashtbl.find_opt solution.Solution.entries p.Ast.pname with
+        match Solution.entry_opt solution p.Ast.pname with
         | None -> p
         | Some entry ->
             let read = Ast.read_vars p in
@@ -72,10 +72,12 @@ let insert_entry_constants (ctx : Context.t) (solution : Solution.t) :
 let substitutions (ctx : Context.t) (solution : Solution.t) :
     (string * int) list * int =
   let blockdata = Context.blockdata_env ctx in
+  let pcg = ctx.Context.pcg in
   let per_proc =
-    Array.to_list (Fsicp_callgraph.Callgraph.forward_order ctx.Context.pcg)
-    |> List.map (fun proc ->
-           let entry = Solution.entry solution proc in
+    Array.to_list (Fsicp_callgraph.Callgraph.forward_order pcg)
+    |> List.map (fun pid ->
+           let proc = Fsicp_callgraph.Callgraph.proc_name pcg pid in
+           let entry = Solution.entry_at solution pid in
            let entry_env (v : Ir.var) =
              match v.Ir.vkind with
              | Ir.Formal i ->
@@ -84,12 +86,12 @@ let substitutions (ctx : Context.t) (solution : Solution.t) :
                  else Lattice.Bot
              | Ir.Global -> (
                  match
-                   List.assoc_opt v.Ir.vname entry.Solution.pe_globals
+                   List.assoc_opt (Ir.Var.name v) entry.Solution.pe_globals
                  with
                  | Some value -> value
                  | None ->
                      if String.equal proc ctx.Context.prog.Ast.main then
-                       match List.assoc_opt v.Ir.vname blockdata with
+                       match List.assoc_opt (Ir.Var.name v) blockdata with
                        | Some value -> value
                        | None -> Lattice.Bot
                      else Lattice.Bot)
@@ -98,7 +100,7 @@ let substitutions (ctx : Context.t) (solution : Solution.t) :
            let res =
              Scc.run
                ~config:{ Scc.default_config with entry_env }
-               (Context.ssa ctx proc)
+               (Context.ssa_at ctx pid)
            in
            (proc, Scc.substitution_count res))
   in

@@ -69,7 +69,8 @@ let compute (summaries : Summary.t) (pcg : Fsicp_callgraph.Callgraph.t) : t =
   while !changed do
     changed := false;
     Array.iter
-      (fun caller ->
+      (fun pid ->
+        let caller = Fsicp_callgraph.Callgraph.proc_name pcg pid in
         let s = Summary.find summaries caller in
         let caller_al = get caller in
         List.iter

@@ -70,7 +70,8 @@ let compute (summaries : Summary.t) (aliases : Alias.t)
   while !changed do
     changed := false;
     Array.iter
-      (fun name ->
+      (fun pid ->
+        let name = Fsicp_callgraph.Callgraph.proc_name pcg pid in
         let s = Summary.find summaries name in
         let step tbl immediate =
           let acc = ref (VrefSet.union immediate (get tbl name)) in

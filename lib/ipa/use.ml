@@ -14,27 +14,32 @@
     are the only must-definitions), which keeps USE an over-approximation. *)
 
 open Fsicp_cfg
+open Fsicp_prog
 open Summary
+module Callgraph = Fsicp_callgraph.Callgraph
 
-type t = { use : (string, VrefSet.t) Hashtbl.t }
+type t = { db : Prog.t; use : VrefSet.t Prog.Proc.Tbl.t }
 
-let get t name = Option.value (Hashtbl.find_opt t.use name) ~default:VrefSet.empty
+let get t name =
+  match Prog.proc_id t.db name with
+  | Some id -> Prog.Proc.Tbl.get t.use id
+  | None -> VrefSet.empty
 
 let vref_of_var (v : Ir.var) : vref option =
   match v.Ir.vkind with
   | Ir.Formal i -> Some (Vformal i)
-  | Ir.Global -> Some (Vglobal v.Ir.vname)
+  | Ir.Global -> Some (Vglobal (Ir.Var.name v))
   | Ir.Local | Ir.Temp -> None
 
 (** [compute procs modref pcg] computes USE for every reachable procedure.
     [procs] must contain the lowered body of each reachable procedure. *)
-let compute (procs : (string, Ir.proc) Hashtbl.t) (modref : Modref.t)
-    (pcg : Fsicp_callgraph.Callgraph.t) : t =
-  let use = Hashtbl.create 16 in
-  let processed = Hashtbl.create 16 in
+let compute (procs : Ir.proc Prog.Proc.Tbl.t) (modref : Modref.t)
+    (pcg : Callgraph.t) : t =
+  let use = Prog.Proc.Tbl.make (Callgraph.n_procs pcg) VrefSet.empty in
+  let processed = Array.make (Callgraph.n_procs pcg) false in
   Array.iter
-    (fun name ->
-      let p = Hashtbl.find procs name in
+    (fun pid ->
+      let p = Prog.Proc.Tbl.get procs pid in
       (* Per-call-site uses: bind the callee's USE (or REF on back edges)
          through the argument list into caller-side variables. *)
       let call_uses_of_instr (ins : Ir.instr) : Ir.var list =
@@ -42,12 +47,12 @@ let compute (procs : (string, Ir.proc) Hashtbl.t) (modref : Modref.t)
         | Ir.Call { cs_id; callee; args } ->
             let callee_set =
               let edge_is_back =
-                Hashtbl.mem pcg.Fsicp_callgraph.Callgraph.back_edges
-                  (name, cs_id)
+                Callgraph.is_back_edge_at pcg ~caller:pid ~cs_index:cs_id
               in
-              if edge_is_back || not (Hashtbl.mem processed callee) then
+              let callee_id = Callgraph.proc_id_exn pcg callee in
+              if edge_is_back || not processed.((callee_id :> int)) then
                 Modref.gref_of modref callee
-              else get { use } callee
+              else Prog.Proc.Tbl.get use callee_id
             in
             VrefSet.fold
               (fun v acc ->
@@ -98,10 +103,10 @@ let compute (procs : (string, Ir.proc) Hashtbl.t) (modref : Modref.t)
             | None -> acc)
           entry_live VrefSet.empty
       in
-      Hashtbl.replace use name vrefs;
-      Hashtbl.replace processed name ())
-    (Fsicp_callgraph.Callgraph.reverse_order pcg);
-  { use }
+      Prog.Proc.Tbl.set use pid vrefs;
+      processed.((pid :> int)) <- true)
+    (Callgraph.reverse_order pcg);
+  { db = pcg.Callgraph.db; use }
 
 (** Is global [g] in USE(p)? *)
 let global_used t p g = VrefSet.mem (Vglobal g) (get t p)

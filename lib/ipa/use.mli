@@ -4,14 +4,15 @@
     the same one-pass discipline as the flow-sensitive ICP. *)
 
 open Fsicp_cfg
+open Fsicp_prog
 open Summary
 
 type t
 
 (** [compute procs modref pcg]; [procs] maps every reachable procedure to
-    its lowered body. *)
+    its lowered body, densely indexed by the PCG's {!Prog.Proc.id}s. *)
 val compute :
-  (string, Ir.proc) Hashtbl.t -> Modref.t -> Fsicp_callgraph.Callgraph.t -> t
+  Ir.proc Prog.Proc.Tbl.t -> Modref.t -> Fsicp_callgraph.Callgraph.t -> t
 
 val get : t -> string -> VrefSet.t
 val global_used : t -> string -> string -> bool

@@ -97,9 +97,13 @@ let prop_float_censoring_monotone =
    constants in CALLERS — which is exactly why the paper performs the
    substitution during the backward walk, after all interprocedural
    analysis has been taken. *)
-let empty_solution name : Solution.t =
-  Solution.make ~method_name:name ~entries:(Hashtbl.create 1)
-    ~call_records:[] ~scc_runs:0 ~scc_results:(Hashtbl.create 1)
+let empty_solution (ctx : Context.t) name : Solution.t =
+  let db = ctx.Context.pcg.Fsicp_callgraph.Callgraph.db in
+  Solution.make ~method_name:name
+    ~db
+    ~entries:(Fsicp_prog.Prog.tbl db Solution.empty_entry)
+    ~call_records:[] ~scc_runs:0
+    ~scc_results:(Fsicp_prog.Prog.tbl db None)
 
 let prop_insertion_makes_constants_local =
   Test_util.qcheck ~count:30
@@ -117,8 +121,12 @@ let prop_insertion_makes_constants_local =
          add knowledge.  (A global count would not be monotone: writing a
          constant into a by-reference formal enlarges the callee's MOD set
          and can kill constants in CALLERS.) *)
-      let per_before, _ = Transform.substitutions ctx (empty_solution "none") in
-      let per_after, _ = Transform.substitutions ctx' (empty_solution "none") in
+      let per_before, _ =
+        Transform.substitutions ctx (empty_solution ctx "none")
+      in
+      let per_after, _ =
+        Transform.substitutions ctx' (empty_solution ctx' "none")
+      in
       List.for_all
         (fun proc ->
           (* procedures whose MOD view of callees changed can lose uses;

@@ -5,6 +5,9 @@ open Fsicp_callgraph
 
 let build src = Callgraph.build (Test_util.parse src)
 
+let node_names (g : Callgraph.t) : string list =
+  Array.to_list g.Callgraph.nodes |> List.map (Callgraph.proc_name g)
+
 let test_reachability () =
   let g =
     build
@@ -16,7 +19,7 @@ let test_reachability () =
   in
   Alcotest.(check (list string)) "only reachable procs"
     [ "a"; "b"; "main" ]
-    (Array.to_list g.Callgraph.nodes |> List.sort String.compare);
+    (node_names g |> List.sort String.compare);
   Alcotest.(check bool) "dead unreachable" false (Callgraph.is_reachable g "dead")
 
 let test_forward_order_topological () =
@@ -27,7 +30,10 @@ let test_forward_order_topological () =
         proc b() { call c(); }
         proc c() { }|}
   in
-  let order = Array.to_list (Callgraph.forward_order g) in
+  let order =
+    Array.to_list (Callgraph.forward_order g)
+    |> List.map (Callgraph.proc_name g)
+  in
   let pos x =
     let rec go i = function
       | [] -> -1
@@ -42,7 +48,13 @@ let test_forward_order_topological () =
   (* reverse order is the mirror *)
   Alcotest.(check (list string)) "reverse is mirror"
     (List.rev order)
-    (Array.to_list (Callgraph.reverse_order g))
+    (Array.to_list (Callgraph.reverse_order g)
+    |> List.map (Callgraph.proc_name g));
+  (* the id of a procedure IS its forward-order position *)
+  Array.iteri
+    (fun i (pid : Fsicp_prog.Prog.Proc.id) ->
+      Alcotest.(check int) "dense ids" i (pid :> int))
+    (Callgraph.forward_order g)
 
 let test_no_back_edges_in_dag () =
   let g =
@@ -64,8 +76,14 @@ let test_self_recursion () =
   let back = List.filter (Callgraph.is_back_edge g) g.Callgraph.edges in
   Alcotest.(check int) "one back edge" 1 (List.length back);
   let e = List.hd back in
-  Alcotest.(check string) "self edge caller" "f" e.Callgraph.caller;
-  Alcotest.(check string) "self edge callee" "f" e.Callgraph.callee
+  Alcotest.(check string) "self edge caller" "f"
+    (Callgraph.proc_name g e.Callgraph.caller);
+  Alcotest.(check string) "self edge callee" "f"
+    (Callgraph.proc_name g e.Callgraph.callee);
+  Alcotest.(check bool) "edge flag agrees with bitset" true
+    (e.Callgraph.back
+    && Callgraph.is_back_edge_at g ~caller:e.Callgraph.caller
+         ~cs_index:e.Callgraph.cs_index)
 
 let test_mutual_recursion () =
   let g =
@@ -101,9 +119,9 @@ let test_in_out_edges () =
         proc b() { }|}
   in
   Alcotest.(check int) "b has two in-edges" 2
-    (List.length (Callgraph.in_edges g "b"));
+    (Array.length (Callgraph.in_edges g (Callgraph.proc_id_exn g "b")));
   Alcotest.(check int) "main has two out-edges" 2
-    (List.length (Callgraph.out_edges g "main"))
+    (Array.length (Callgraph.out_edges g (Callgraph.proc_id_exn g "main")))
 
 let test_back_edge_ratio_monotone () =
   (* More back-call probability -> (weakly) larger ratio, on average. *)
@@ -128,15 +146,10 @@ let prop_forward_order_respects_forward_edges =
     Test_util.seed_gen
     (fun seed ->
       let g = Callgraph.build (Test_util.program_of_seed seed) in
-      let pos = Hashtbl.create 16 in
-      Array.iteri
-        (fun i n -> Hashtbl.replace pos n i)
-        (Callgraph.forward_order g);
       List.for_all
         (fun (e : Callgraph.edge) ->
           Callgraph.is_back_edge g e
-          || Hashtbl.find pos e.Callgraph.caller
-             < Hashtbl.find pos e.Callgraph.callee)
+          || (e.Callgraph.caller :> int) < (e.Callgraph.callee :> int))
         g.Callgraph.edges)
 
 let prop_sccs_partition =
@@ -147,7 +160,7 @@ let prop_sccs_partition =
       let all = List.concat (Callgraph.sccs g) in
       List.length all = Array.length g.Callgraph.nodes
       && List.sort_uniq String.compare all
-         = List.sort String.compare (Array.to_list g.Callgraph.nodes))
+         = List.sort String.compare (node_names g))
 
 let suite =
   [

@@ -107,7 +107,7 @@ let test_kind_resolution () =
   Ir.iter_instrs
     (fun ~block:_ ~index:_ ins ->
       match ins with
-      | Ir.Assign (v, _) -> kinds := (v.Ir.vname, v.Ir.vkind) :: !kinds
+      | Ir.Assign (v, _) -> kinds := ((Ir.Var.name v), v.Ir.vkind) :: !kinds
       | _ -> ())
     p.Ir.cfg;
   let uses = Ir.occurring_vars p in

@@ -11,7 +11,7 @@ let lower src name =
   Lower.lower_proc p (Ast.find_proc_exn p name)
 
 let names (s : Ir.VarSet.t) =
-  Ir.VarSet.elements s |> List.map (fun (v : Ir.var) -> v.Ir.vname)
+  Ir.VarSet.elements s |> List.map (fun (v : Ir.var) -> (Ir.Var.name v))
   |> List.sort String.compare
 
 let test_straight_line_ue () =

@@ -1,0 +1,91 @@
+(** Golden equivalence suite for the program-database refactor: the interned
+    id-based pipeline must render byte-identical {!Solution.pp} output to
+    the fixtures under [test/golden/], which were generated from the
+    string-keyed implementation.  Any precision or determinism drift in any
+    method on any corpus program shows up as a fixture diff. *)
+
+open Fsicp_lang
+open Fsicp_core
+
+(* dune runs the tests from the build directory mirror; walk up to the
+   source tree root, which contains testdata/ and test/golden/. *)
+let root_dir =
+  let rec find dir =
+    if Sys.file_exists (Filename.concat dir "testdata") then dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then failwith "source root not found" else find parent
+  in
+  find (Sys.getcwd ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let load base =
+  let path = Filename.concat (Filename.concat root_dir "testdata") (base ^ ".mf") in
+  let prog = Parser.program_of_string (read_file path) in
+  Sema.check_exn prog;
+  prog
+
+let corpus = [ "aliasing"; "bank"; "modes"; "newton"; "recursive" ]
+
+(* Method keys match the fixture file names written by tools/golden_gen. *)
+let methods : (string * (Context.t -> Solution.t)) list =
+  [
+    ("fi", Fi_icp.solve);
+    ("fs", fun ctx -> Fs_icp.solve ctx);
+    ("ref", Reference.solve);
+    ("literal", fun ctx -> Jump_functions.solve ctx Jump_functions.Literal);
+    ("intra", fun ctx -> Jump_functions.solve ctx Jump_functions.Intra);
+    ("pass", fun ctx -> Jump_functions.solve ctx Jump_functions.Pass_through);
+    ("poly", fun ctx -> Jump_functions.solve ctx Jump_functions.Polynomial);
+  ]
+
+let test_program base () =
+  let prog = load base in
+  List.iter
+    (fun (mname, solve) ->
+      let expected =
+        read_file
+          (Filename.concat root_dir
+             (Printf.sprintf "test/golden/%s.%s.expected" base mname))
+      in
+      let ctx = Context.create prog in
+      let got = Fmt.str "%a" Solution.pp (solve ctx) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s matches fixture" base mname)
+        expected got)
+    methods
+
+(* The fixtures must also be insensitive to the domain count used for
+   lowering/SSA: render under jobs=4 as well. *)
+let test_program_jobs4 base () =
+  let prog = load base in
+  List.iter
+    (fun (mname, solve) ->
+      let expected =
+        read_file
+          (Filename.concat root_dir
+             (Printf.sprintf "test/golden/%s.%s.expected" base mname))
+      in
+      let ctx = Context.create ~jobs:4 prog in
+      let got = Fmt.str "%a" Solution.pp (solve ctx) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s (jobs=4) matches fixture" base mname)
+        expected got)
+    methods
+
+let suite =
+  List.concat_map
+    (fun base ->
+      [
+        Alcotest.test_case (base ^ " fixtures") `Quick (test_program base);
+        Alcotest.test_case
+          (base ^ " fixtures (jobs=4)")
+          `Quick
+          (test_program_jobs4 base);
+      ])
+    corpus

@@ -181,13 +181,13 @@ let test_call_defs_oracle () =
   let defs =
     Modref.call_defs modref ~callee:"f" ~byref_args:[| Some x |]
   in
-  let names = List.map (fun (v : Fsicp_cfg.Ir.var) -> v.Fsicp_cfg.Ir.vname) defs in
+  let names = List.map (fun (v : Fsicp_cfg.Ir.var) -> (Fsicp_cfg.Ir.Var.name v)) defs in
   Alcotest.(check (list string)) "defines x and g" [ "g"; "x" ]
     (List.sort String.compare names);
   let refs = Modref.call_global_refs modref ~callee:"f" in
   Alcotest.(check (list string)) "references h"
     [ "h" ]
-    (List.map (fun (v : Fsicp_cfg.Ir.var) -> v.Fsicp_cfg.Ir.vname) refs
+    (List.map (fun (v : Fsicp_cfg.Ir.var) -> (Fsicp_cfg.Ir.Var.name v)) refs
     |> List.sort String.compare)
 
 let test_recursive_mod () =
@@ -209,12 +209,10 @@ let test_use_flow_sensitive () =
         proc main() { g = 1; call f(); }
         proc f() { print g; }|}
   in
-  let lowered = Hashtbl.create 4 in
-  Array.iter
-    (fun n ->
-      Hashtbl.replace lowered n
-        (Fsicp_cfg.Lower.lower_proc p (Ast.find_proc_exn p n)))
-    pcg.Callgraph.nodes;
+  let lowered =
+    Fsicp_prog.Prog.tbl_init pcg.Callgraph.db (fun pid ->
+        Fsicp_cfg.Lower.lower_proc p (Callgraph.proc_ast pcg pid))
+  in
   let use = Use.compute lowered modref pcg in
   Alcotest.(check bool) "f uses g" true (Use.global_used use "f" "g");
   (* main defines g before the call: not upward-exposed in main *)

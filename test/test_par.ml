@@ -98,11 +98,17 @@ let globals_equal a b =
     (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && L.equal v1 v2)
     a b
 
-let record_equal (a : Solution.callsite_record) (b : Solution.callsite_record)
-    =
-  String.equal a.Solution.cr_caller b.Solution.cr_caller
+(* The two solutions come from distinct [Context.t]s, hence distinct
+   program databases; compare procedures by name, never by raw id. *)
+let record_equal (sa : Solution.t) (sb : Solution.t)
+    (a : Solution.callsite_record) (b : Solution.callsite_record) =
+  String.equal
+    (Solution.proc_name sa a.Solution.cr_caller)
+    (Solution.proc_name sb b.Solution.cr_caller)
   && a.Solution.cr_cs_index = b.Solution.cr_cs_index
-  && String.equal a.Solution.cr_callee b.Solution.cr_callee
+  && String.equal
+       (Solution.proc_name sa a.Solution.cr_callee)
+       (Solution.proc_name sb b.Solution.cr_callee)
   && a.Solution.cr_executable = b.Solution.cr_executable
   && Array.length a.Solution.cr_args = Array.length b.Solution.cr_args
   && Array.for_all2 L.equal a.Solution.cr_args b.Solution.cr_args
@@ -113,25 +119,44 @@ let entry_equal (a : Solution.proc_entry) (b : Solution.proc_entry) =
   && Array.for_all2 L.equal a.Solution.pe_formals b.Solution.pe_formals
   && globals_equal a.Solution.pe_globals b.Solution.pe_globals
 
-let sorted_keys tbl =
-  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+let sorted_names (t : Solution.t) =
+  Fsicp_prog.Prog.Proc.Tbl.fold
+    (fun pid _ acc -> Solution.proc_name t pid :: acc)
+    t.Solution.entries []
+  |> List.sort compare
 
 (** Structural identity including call-record order — the determinism
     contract is stronger than lattice equality. *)
 let solutions_identical (a : Solution.t) (b : Solution.t) =
   a.Solution.scc_runs = b.Solution.scc_runs
-  && List.equal String.equal
-       (sorted_keys a.Solution.entries)
-       (sorted_keys b.Solution.entries)
-  && Hashtbl.fold
-       (fun name ea acc ->
+  && List.equal String.equal (sorted_names a) (sorted_names b)
+  && Fsicp_prog.Prog.Proc.Tbl.fold
+       (fun pid ea acc ->
          acc
          &&
-         match Hashtbl.find_opt b.Solution.entries name with
+         match Solution.entry_opt b (Solution.proc_name a pid) with
          | Some eb -> entry_equal ea eb
          | None -> false)
        a.Solution.entries true
-  && List.equal record_equal a.Solution.call_records b.Solution.call_records
+  && List.equal (record_equal a b) a.Solution.call_records
+       b.Solution.call_records
+  (* and the dense call-site index resolves every record of [a] in [b]:
+     the [(caller, cs_index)] coordinates must agree across job counts *)
+  && List.for_all
+       (fun (cr : Solution.callsite_record) ->
+         match
+           Fsicp_prog.Prog.proc_id b.Solution.db
+             (Solution.proc_name a cr.Solution.cr_caller)
+         with
+         | None -> false
+         | Some caller -> (
+             match
+               Solution.find_call_record b ~caller
+                 ~cs_index:cr.Solution.cr_cs_index
+             with
+             | Some cr' -> record_equal a b cr cr'
+             | None -> false))
+       a.Solution.call_records
 
 let solve_jobs prog jobs =
   let ctx = Context.create ~jobs prog in

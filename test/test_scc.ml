@@ -272,7 +272,7 @@ let prop_scc_sound_on_prints =
           let entry_env (v : Ir.var) =
             match v.Ir.vkind with
             | Ir.Global -> (
-                match List.assoc_opt v.Ir.vname p.Ast.blockdata with
+                match List.assoc_opt (Ir.Var.name v) p.Ast.blockdata with
                 | Some value -> L.Const value
                 | None -> L.Const (Value.Int 0))
             | _ -> L.Bot

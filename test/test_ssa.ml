@@ -24,7 +24,7 @@ let test_straight_line_versions () =
     s.Ssa.blocks;
   match !print_use with
   | Some n ->
-      Alcotest.(check string) "prints x" "x" n.Ssa.base.Ir.vname;
+      Alcotest.(check string) "prints x" "x" (Ir.Var.name n.Ssa.base);
       Alcotest.(check int) "uses latest version" 2 n.Ssa.ver
   | None -> Alcotest.fail "no print found"
 
@@ -40,7 +40,7 @@ let test_phi_at_join () =
         blk.Ssa.phis)
     s.Ssa.blocks;
   let x_phis =
-    List.filter (fun (_, ph) -> ph.Ssa.p_name.Ssa.base.Ir.vname = "x") !phis
+    List.filter (fun (_, ph) -> (Ir.Var.name ph.Ssa.p_name.Ssa.base) = "x") !phis
   in
   Alcotest.(check int) "exactly one phi for x" 1 (List.length x_phis);
   let _, ph = List.hd x_phis in
@@ -52,7 +52,7 @@ let test_no_phi_when_single_def () =
     (fun (blk : Ssa.block) ->
       Array.iter
         (fun (ph : Ssa.phi) ->
-          if ph.Ssa.p_name.Ssa.base.Ir.vname = "x" then
+          if (Ir.Var.name ph.Ssa.p_name.Ssa.base) = "x" then
             Alcotest.fail "x has a single def; no phi expected")
         blk.Ssa.phis)
     s.Ssa.blocks
@@ -67,7 +67,7 @@ let test_loop_phi () =
     (fun (blk : Ssa.block) ->
       Array.iter
         (fun (ph : Ssa.phi) ->
-          if ph.Ssa.p_name.Ssa.base.Ir.vname = "i" then incr i_phis)
+          if (Ir.Var.name ph.Ssa.p_name.Ssa.base) = "i" then incr i_phis)
         blk.Ssa.phis)
     s.Ssa.blocks;
   Alcotest.(check bool) "loop variable needs a phi" true (!i_phis >= 1)
@@ -89,10 +89,10 @@ let test_call_defines_byref () =
           | Ssa.Call c ->
               Array.iter
                 (fun ((v : Ir.var), (n : Ssa.name)) ->
-                  if v.Ir.vname = "x" then call_def_ver := n.Ssa.ver)
+                  if (Ir.Var.name v) = "x" then call_def_ver := n.Ssa.ver)
                 c.Ssa.c_defs
           | Ssa.Print (Ssa.Oname n) ->
-              if n.Ssa.base.Ir.vname = "x" then print_ver := n.Ssa.ver
+              if (Ir.Var.name n.Ssa.base) = "x" then print_ver := n.Ssa.ver
           | _ -> ())
         blk.Ssa.instrs)
     s.Ssa.blocks;
@@ -114,7 +114,7 @@ let test_alias_kill_emitted () =
       Array.iter
         (function
           | Ssa.Kill ks ->
-              Array.iter (fun ((v : Ir.var), _) -> kills := v.Ir.vname :: !kills) ks
+              Array.iter (fun ((v : Ir.var), _) -> kills := (Ir.Var.name v) :: !kills) ks
           | _ -> ())
         blk.Ssa.instrs)
     s.Ssa.blocks;
@@ -133,7 +133,7 @@ let test_global_uses_recorded () =
   List.iter
     (fun (_, _, (c : Ssa.call)) ->
       Array.iter
-        (fun ((v : Ir.var), _) -> recorded := v.Ir.vname :: !recorded)
+        (fun ((v : Ir.var), _) -> recorded := (Ir.Var.name v) :: !recorded)
         c.Ssa.c_global_uses)
     (Ssa.call_sites s);
   Alcotest.(check bool) "g recorded at call to f" true (List.mem "g" !recorded)
@@ -151,7 +151,7 @@ let test_exit_names_present () =
   let _, names = List.hd s.Ssa.exit_names in
   let find name =
     Array.to_list names
-    |> List.find_opt (fun ((v : Ir.var), _) -> v.Ir.vname = name)
+    |> List.find_opt (fun ((v : Ir.var), _) -> (Ir.Var.name v) = name)
   in
   (match find "a" with
   | Some (_, n) -> Alcotest.(check bool) "a's exit version > 0" true (n.Ssa.ver > 0)
@@ -167,7 +167,7 @@ let test_def_use_chains () =
     (fun (blk : Ssa.block) ->
       Array.iter
         (function
-          | Ssa.Assign (n, _) when n.Ssa.base.Ir.vname = "x" ->
+          | Ssa.Assign (n, _) when (Ir.Var.name n.Ssa.base) = "x" ->
               Alcotest.(check int) "x.1 has two uses (one site each)" 2
                 (List.length s.Ssa.uses.(n.Ssa.id))
           | _ -> ())
@@ -177,13 +177,17 @@ let test_def_use_chains () =
 let validate_program seed =
   let p = Test_util.program_of_seed seed in
   let ctx = Fsicp_core.Context.create p in
+  let pcg = ctx.Fsicp_core.Context.pcg in
   Array.iter
-    (fun name ->
-      let s = Fsicp_core.Context.ssa ctx name in
+    (fun pid ->
+      let s = Fsicp_core.Context.ssa_at ctx pid in
       match Ssa.validate s with
       | Ok () -> ()
-      | Error msg -> Alcotest.failf "%s: %s" name msg)
-    ctx.Fsicp_core.Context.pcg.Fsicp_callgraph.Callgraph.nodes
+      | Error msg ->
+          Alcotest.failf "%s: %s"
+            (Fsicp_callgraph.Callgraph.proc_name pcg pid)
+            msg)
+    pcg.Fsicp_callgraph.Callgraph.nodes
 
 let prop_validate =
   Test_util.qcheck ~count:50 ~name:"SSA invariants on generated programs"
@@ -200,8 +204,8 @@ let prop_defs_total =
       let p = Test_util.program_of_seed seed in
       let ctx = Fsicp_core.Context.create p in
       Array.for_all
-        (fun name ->
-          let s = Fsicp_core.Context.ssa ctx name in
+        (fun pid ->
+          let s = Fsicp_core.Context.ssa_at ctx pid in
           (* entry names are Dentry; everything else Dinstr/Dphi; just check
              array sizes line up *)
           Array.length s.Ssa.defs = s.Ssa.n_names

@@ -105,7 +105,9 @@ let solution_le (a : Solution.t) (b : Solution.t) ~(procs : string list) :
     procs
 
 let reachable_procs (ctx : Context.t) : string list =
-  Array.to_list ctx.Context.pcg.Fsicp_callgraph.Callgraph.nodes
+  let pcg = ctx.Context.pcg in
+  Array.to_list pcg.Fsicp_callgraph.Callgraph.nodes
+  |> List.map (Fsicp_callgraph.Callgraph.proc_name pcg)
 
 (* Common Alcotest testables *)
 let value_testable =

@@ -102,7 +102,8 @@ let test_suite_scales_match_paper () =
         (Array.length pcg.Fsicp_callgraph.Callgraph.nodes);
       let fp =
         Array.fold_left
-          (fun acc name ->
+          (fun acc pid ->
+            let name = Fsicp_callgraph.Callgraph.proc_name pcg pid in
             acc
             + List.length (Ast.find_proc_exn p name).Ast.formals)
           0 pcg.Fsicp_callgraph.Callgraph.nodes

@@ -1,0 +1,63 @@
+(** Regenerate the golden equivalence fixtures under [test/golden/].
+
+    For every MiniFort program in [testdata/] and every constant-propagation
+    method, dump the rendered {!Fsicp_core.Solution.pp} output to
+    [test/golden/<program>.<method>.expected].  The fixtures pin the
+    user-visible analysis results; [test/test_golden.ml] asserts the live
+    pipeline still reproduces them byte for byte.
+
+    Usage: [dune exec tools/golden_gen/golden_gen.exe -- TESTDATA_DIR OUT_DIR] *)
+
+open Fsicp_lang
+open Fsicp_core
+
+let read_program path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let prog = Parser.program_of_string src in
+  (match Sema.check prog with
+  | Ok () -> ()
+  | Error es ->
+      Fmt.epr "%s: semantic errors:@\n%s@." path (Sema.errors_to_string es);
+      exit 2);
+  prog
+
+let methods : (string * (Context.t -> Solution.t)) list =
+  [
+    ("fi", Fi_icp.solve);
+    ("fs", fun ctx -> Fs_icp.solve ctx);
+    ("ref", Reference.solve);
+    ("literal", fun ctx -> Jump_functions.solve ctx Jump_functions.Literal);
+    ("intra", fun ctx -> Jump_functions.solve ctx Jump_functions.Intra);
+    ("pass", fun ctx -> Jump_functions.solve ctx Jump_functions.Pass_through);
+    ("poly", fun ctx -> Jump_functions.solve ctx Jump_functions.Polynomial);
+  ]
+
+let () =
+  let testdata, out =
+    match Sys.argv with
+    | [| _; t; o |] -> (t, o)
+    | _ -> ("testdata", "test/golden")
+  in
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  Sys.readdir testdata |> Array.to_list |> List.sort String.compare
+  |> List.iter (fun file ->
+         if Filename.check_suffix file ".mf" then begin
+           let base = Filename.chop_suffix file ".mf" in
+           let prog = read_program (Filename.concat testdata file) in
+           List.iter
+             (fun (mname, solve) ->
+               let ctx = Context.create prog in
+               let rendered = Fmt.str "%a" Solution.pp (solve ctx) in
+               let path =
+                 Filename.concat out
+                   (Printf.sprintf "%s.%s.expected" base mname)
+               in
+               let oc = open_out_bin path in
+               output_string oc rendered;
+               close_out oc;
+               Fmt.pr "wrote %s (%d bytes)@." path (String.length rendered))
+             methods
+         end)
