@@ -21,8 +21,11 @@ open Fsicp_par
 
 let section title = Printf.printf "\n================ %s ================\n" title
 
-(* Estimates collected for --json: (name, ms per run). *)
-let bechamel_rows : (string * float) list ref = ref []
+(* Estimates collected for --json: name -> (ms, minor words, major words)
+   per run. *)
+type bechamel_row = { r_ms : float; r_minor : float; r_major : float }
+
+let bechamel_rows : (string * bechamel_row) list ref = ref []
 
 (* The largest suite program by procedure count — the program where the
    wavefront has the most parallelism to exploit. *)
@@ -173,7 +176,9 @@ let bechamel () =
     (Par.default_jobs ()) largest.Spec.b_name
     largest.Spec.b_profile.Generator.g_procs;
   let test = Test.make_grouped ~name:"fsicp" ~fmt:"%s/%s" tests in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
@@ -181,20 +186,45 @@ let bechamel () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* One OLS estimate (per-run cost) for each instance: ns, then words. *)
+  let estimates instance =
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Hashtbl.replace tbl name est
+        | _ -> ())
+      (Analyze.all ols instance raw);
+    tbl
+  in
+  let times = estimates Instance.monotonic_clock in
+  let minors = estimates Instance.minor_allocated in
+  let majors = estimates Instance.major_allocated in
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> rows := (name, est /. 1e6) :: !rows
-      | _ -> ())
-    results;
+    (fun name ns ->
+      let words tbl =
+        match Hashtbl.find_opt tbl name with Some w -> w | None -> 0.0
+      in
+      rows :=
+        ( name,
+          { r_ms = ns /. 1e6;
+            r_minor = words minors;
+            r_major = words majors } )
+        :: !rows)
+    times;
   let rows = List.sort compare !rows in
   bechamel_rows := rows;
   Report.print
-    (Report.make ~title:"analysis cost per run (monotonic clock)"
-       ~header:[ "BENCHMARK"; "ms/run" ]
-       (List.map (fun (name, ms) -> [ name; Printf.sprintf "%.3f" ms ]) rows))
+    (Report.make ~title:"analysis cost per run (monotonic clock + GC words)"
+       ~header:[ "BENCHMARK"; "ms/run"; "minor kw/run"; "major kw/run" ]
+       (List.map
+          (fun (name, r) ->
+            [ name;
+              Printf.sprintf "%.3f" r.r_ms;
+              Printf.sprintf "%.1f" (r.r_minor /. 1e3);
+              Printf.sprintf "%.1f" (r.r_major /. 1e3) ])
+          rows))
 
 (* -- machine-readable results (--json FILE) -------------------------------- *)
 
@@ -226,8 +256,11 @@ let write_json path =
   out "  \"bechamel\": [\n";
   elements
     (List.map
-       (fun (name, ms) ->
-         Printf.sprintf "{ \"name\": %S, \"ms_per_run\": %.6f }" name ms)
+       (fun (name, r) ->
+         Printf.sprintf
+           "{ \"name\": %S, \"ms_per_run\": %.6f, \"minor_words_per_run\": \
+            %.1f, \"major_words_per_run\": %.1f }"
+           name r.r_ms r.r_minor r.r_major)
        !bechamel_rows);
   out "  ],\n";
   out "  \"driver\": { \"program\": %S, \"procs\": %d, \"phases\": [\n"
@@ -235,8 +268,12 @@ let write_json path =
   elements
     (List.map
        (fun (t : Driver.timing) ->
-         Printf.sprintf "{ \"phase\": %S, \"ms\": %.6f }" t.Driver.t_phase
-           (1000.0 *. t.Driver.t_seconds))
+         Printf.sprintf
+           "{ \"phase\": %S, \"ms\": %.6f, \"minor_words\": %.1f, \
+            \"major_words\": %.1f }"
+           t.Driver.t_phase
+           (1000.0 *. t.Driver.t_seconds)
+           t.Driver.t_minor_words t.Driver.t_major_words)
        d.Driver.timings);
   out "  ] }\n";
   out "}\n";
@@ -245,19 +282,26 @@ let write_json path =
 
 (* -- perf regression gate (--check BASELINE) ------------------------------- *)
 
-(** Read the ["bechamel"] rows of a previously committed [--json] file.
+(** Read the ["bechamel"] rows of a previously committed [--json] file:
+    [(name, ms, minor words option)] — the allocation field is [None] for
+    baselines recorded before the allocation columns existed.
     Line-oriented on purpose: the writer emits one object per line and the
     toolchain has no JSON parser to lean on. *)
-let read_baseline path : (string * float) list =
+let read_baseline path : (string * float * float option) list =
   let ic = open_in path in
   let rows = ref [] in
   (try
      while true do
        let line = String.trim (input_line ic) in
        try
-         Scanf.sscanf line "{ \"name\": %S, \"ms_per_run\": %f }"
-           (fun name ms -> rows := (name, ms) :: !rows)
-       with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         Scanf.sscanf line
+           "{ \"name\": %S, \"ms_per_run\": %f, \"minor_words_per_run\": %f"
+           (fun name ms minor -> rows := (name, ms, Some minor) :: !rows)
+       with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+         try
+           Scanf.sscanf line "{ \"name\": %S, \"ms_per_run\": %f }"
+             (fun name ms -> rows := (name, ms, None) :: !rows)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
      done
    with End_of_file -> ());
   close_in ic;
@@ -265,21 +309,27 @@ let read_baseline path : (string * float) list =
 
 (** Compare the fresh Bechamel estimates against the committed baseline and
     fail (exit 1) when any flow-sensitive solve is more than [tolerance]
-    slower.  Other rows are reported but not gated: only [Fs_icp.solve] has
-    a stated perf acceptance bar. *)
+    slower, or allocates more than [alloc_tolerance] extra minor words per
+    run (when the baseline recorded allocation at all).  Other rows are
+    reported but not gated: only [Fs_icp.solve] has a stated perf
+    acceptance bar. *)
 let check_against path =
   let tolerance = 1.10 in
+  let alloc_tolerance = 1.25 in
   let baseline = read_baseline path in
   if !bechamel_rows = [] then bechamel ();
   let failures = ref [] in
-  Printf.printf "\nperf gate vs %s (fail: fs-icp > %.0f%%):\n" path
-    ((tolerance -. 1.0) *. 100.0);
+  Printf.printf
+    "\nperf gate vs %s (fail: fs-icp time > %.0f%% or minor alloc > %.0f%%):\n"
+    path
+    ((tolerance -. 1.0) *. 100.0)
+    ((alloc_tolerance -. 1.0) *. 100.0);
   List.iter
-    (fun (name, base_ms) ->
+    (fun (name, base_ms, base_minor) ->
       match List.assoc_opt name !bechamel_rows with
       | None -> Printf.printf "  %-24s baseline only (skipped)\n" name
-      | Some now_ms ->
-          let ratio = now_ms /. base_ms in
+      | Some now ->
+          let ratio = now.r_ms /. base_ms in
           let gated =
             (* substring match: rows are named "fsicp/fs-icp(PROGRAM)" *)
             let sub = "fs-icp" in
@@ -289,18 +339,37 @@ let check_against path =
             in
             at 0
           in
+          let alloc_ratio =
+            match base_minor with
+            | Some w when w > 0.0 -> Some (now.r_minor /. w)
+            | Some _ | None -> None
+          in
           let verdict =
             if gated && ratio > tolerance then begin
               failures := name :: !failures;
-              "REGRESSION"
+              "REGRESSION (time)"
+            end
+            else if
+              gated
+              && match alloc_ratio with
+                 | Some a -> a > alloc_tolerance
+                 | None -> false
+            then begin
+              failures := name :: !failures;
+              "REGRESSION (alloc)"
             end
             else if gated then "ok (gated)"
             else "ok"
           in
-          Printf.printf "  %-24s %8.3f -> %8.3f ms  (%+.1f%%)  %s\n" name
-            base_ms now_ms
+          let alloc_note =
+            match alloc_ratio with
+            | Some a -> Printf.sprintf "  alloc %+.1f%%" ((a -. 1.0) *. 100.0)
+            | None -> ""
+          in
+          Printf.printf "  %-24s %8.3f -> %8.3f ms  (%+.1f%%)%s  %s\n" name
+            base_ms now.r_ms
             ((ratio -. 1.0) *. 100.0)
-            verdict)
+            alloc_note verdict)
     baseline;
   if !failures <> [] then begin
     Printf.printf "perf gate FAILED: %s\n" (String.concat ", " !failures);

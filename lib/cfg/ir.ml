@@ -53,6 +53,13 @@ module Var = struct
     let k = match v.vkind with Formal i -> 4 + i | k -> kind_tag k in
     (Prog.Var.hash v.vid * 31) + k
 
+  (** Collision-free int key within one procedure's variable universe: the
+      interned name id plus the kind tag.  (The [Formal] index is dropped:
+      a name resolves to at most one formal slot per procedure.)  Backs the
+      dense slot tables of {!Fsicp_ssa.Ssa} and the per-call entry-env
+      lookup of {!Fsicp_scc.Scc.env_of_list}. *)
+  let slot_key v = (Prog.Var.to_int v.vid * 4) + kind_tag v.vkind
+
   let pp ppf v =
     match v.vkind with
     | Local -> Fmt.pf ppf "%s" (name v)

@@ -159,10 +159,12 @@ let censor t (v : Lattice.t) : Lattice.t =
   | Lattice.Const (Value.Real _) when not t.floats -> Lattice.Bot
   | Lattice.Top | Lattice.Const _ | Lattice.Bot -> v
 
-(** Block-data initial values, censored: the global constant seeds. *)
-let blockdata_env t : (string * Lattice.t) list =
+(** Block-data initial values, censored: the global constant seeds, keyed
+    by interned variable id (the entry-environment hot paths are id-only;
+    spellings come back via {!Prog.Var.name} at the edges). *)
+let blockdata_env t : (Prog.Var.id * Lattice.t) list =
   List.map
-    (fun (g, v) -> (g, censor t (Lattice.Const v)))
+    (fun (g, v) -> (Prog.Var.intern g, censor t (Lattice.Const v)))
     t.prog.Ast.blockdata
 
 (** Is global [g] textually mentioned in (visible to) procedure [p]?  The

@@ -69,7 +69,7 @@ val reset_ssa_cache : t -> unit
 val censor : t -> Lattice.t -> Lattice.t
 
 (** Block-data initial values, censored — the global constant seeds. *)
-val blockdata_env : t -> (string * Lattice.t) list
+val blockdata_env : t -> (Prog.Var.id * Lattice.t) list
 
 (** Is the global textually mentioned in the procedure?  (The VIS metric.) *)
 val global_visible_in : t -> string -> string -> bool

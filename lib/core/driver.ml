@@ -27,7 +27,12 @@ open Fsicp_ipa
 open Fsicp_callgraph
 open Fsicp_par
 
-type timing = { t_phase : string; t_seconds : float }
+type timing = {
+  t_phase : string;
+  t_seconds : float;
+  t_minor_words : float;  (** words allocated on the executing domain *)
+  t_major_words : float;
+}
 
 type t = {
   ctx : Context.t;
@@ -37,10 +42,18 @@ type t = {
   timings : timing list;
 }
 
+(* Wall-clock plus the executing domain's allocation counters: in OCaml 5
+   [Gc.quick_stat] words are per-domain, so a phase running inside a
+   [Par.both] task reports the allocation of that task's domain. *)
 let time_it f =
+  let s0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    (dt, s1.Gc.minor_words -. s0.Gc.minor_words,
+     s1.Gc.major_words -. s0.Gc.major_words) )
 
 (** Run the complete pipeline on [jobs] domains (default
     {!Fsicp_par.Par.default_jobs}).  The program must be
@@ -84,7 +97,8 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
   let use, t_use = time_it (fun () -> Use.compute lowered modref pcg) in
   let timings =
     List.map
-      (fun (t_phase, t_seconds) -> { t_phase; t_seconds })
+      (fun (t_phase, (t_seconds, t_minor_words, t_major_words)) ->
+        { t_phase; t_seconds; t_minor_words; t_major_words })
       [
         ("2:call-graph", t_pcg);
         ("1:ipa-collect", t_sum);
@@ -109,8 +123,10 @@ let pp ppf t =
   Fmt.pf ppf "pipeline for program with %d reachable procedure(s):@\n"
     (Array.length t.ctx.Context.pcg.Callgraph.nodes);
   List.iter
-    (fun { t_phase; t_seconds } ->
-      Fmt.pf ppf "  %-14s %8.3f ms@\n" t_phase (1000.0 *. t_seconds))
+    (fun { t_phase; t_seconds; t_minor_words; t_major_words } ->
+      Fmt.pf ppf "  %-14s %8.3f ms  %10.1f kw minor  %8.1f kw major@\n"
+        t_phase (1000.0 *. t_seconds) (t_minor_words /. 1e3)
+        (t_major_words /. 1e3))
     t.timings;
   Fmt.pf ppf "  FS ICP performed %d SCC run(s) for %d procedure(s)@\n"
     t.fs.Solution.scc_runs

@@ -4,7 +4,12 @@
 open Fsicp_lang
 open Fsicp_ipa
 
-type timing = { t_phase : string; t_seconds : float }
+type timing = {
+  t_phase : string;
+  t_seconds : float;
+  t_minor_words : float;  (** words allocated on the executing domain *)
+  t_major_words : float;
+}
 
 type t = {
   ctx : Context.t;

@@ -59,10 +59,10 @@ let solve (ctx : Context.t) : Solution.t =
   in
   let program_constants =
     Context.blockdata_env ctx
-    |> List.filter (fun (g, v) ->
-           Lattice.is_const v && not (List.mem g modified))
+    |> List.filter (fun ((g : Prog.Var.id), v) ->
+           Lattice.is_const v && not (List.mem (Prog.Var.name g) modified))
   in
-  let global_const g = List.assoc_opt g program_constants in
+  let global_const (g : Prog.Var.id) = List.assoc_opt g program_constants in
 
   (* -- Formals -------------------------------------------------------- *)
   let n_slots = fp_base.(n) in
@@ -97,7 +97,7 @@ let solve (ctx : Context.t) : Solution.t =
               | Summary.Alit v ->
                   meet target (Context.censor ctx (Lattice.Const v))
               | Summary.Aglobal g -> (
-                  match global_const g with
+                  match global_const (Prog.Var.intern g) with
                   | Some v -> meet target v
                   | None -> meet target Lattice.Bot)
               | Summary.Aformal i -> (
@@ -143,17 +143,13 @@ let solve (ctx : Context.t) : Solution.t =
         (* Program-wide global constants hold at every entry; restrict to
            the globals the procedure may reference. *)
         let pe_globals =
-          Modref.gref_of ctx.Context.modref proc
-          |> Summary.VrefSet.elements
-          |> List.filter_map (fun vr ->
-                 match vr with
-                 | Summary.Vglobal g ->
-                     Some
-                       ( g,
-                         match global_const g with
-                         | Some v -> v
-                         | None -> Lattice.Bot )
-                 | Summary.Vformal _ -> None)
+          Modref.call_global_refs ctx.Context.modref ~callee:proc
+          |> List.map (fun (gv : Fsicp_cfg.Ir.var) ->
+                 ( gv.Fsicp_cfg.Ir.vid,
+                   match global_const gv.Fsicp_cfg.Ir.vid with
+                   | Some v -> v
+                   | None -> Lattice.Bot ))
+          |> List.sort (fun (a, _) (b, _) -> Prog.Var.compare a b)
         in
         { Solution.pe_formals; pe_globals })
   in
@@ -175,7 +171,7 @@ let solve (ctx : Context.t) : Solution.t =
                      | Summary.Alit v ->
                          Context.censor ctx (Lattice.Const v)
                      | Summary.Aglobal g -> (
-                         match global_const g with
+                         match global_const (Prog.Var.intern g) with
                          | Some v -> v
                          | None -> Lattice.Bot)
                      | Summary.Aformal i -> (
@@ -194,9 +190,8 @@ let solve (ctx : Context.t) : Solution.t =
                  Modref.call_global_refs ctx.Context.modref
                    ~callee:c.Summary.cs_callee
                  |> List.map (fun (gv : Fsicp_cfg.Ir.var) ->
-                        let g = (Fsicp_cfg.Ir.Var.name gv) in
-                        ( g,
-                          match global_const g with
+                        ( gv.Fsicp_cfg.Ir.vid,
+                          match global_const gv.Fsicp_cfg.Ir.vid with
                           | Some v -> v
                           | None -> Lattice.Bot ))
                in

@@ -17,6 +17,7 @@
     write. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_ipa
 open Fsicp_scc
 
@@ -285,7 +286,9 @@ let fold_program (ctx : Context.t) (solution : Solution.t) : Ast.program =
                 p.Ast.formals;
               List.iter
                 (fun (g, v) ->
-                  if not (List.mem g p.Ast.formals) then e := Env.add g v !e)
+                  let name = Prog.Var.name g in
+                  if not (List.mem name p.Ast.formals) then
+                    e := Env.add name v !e)
                 entry.Solution.pe_globals;
               !e
             in

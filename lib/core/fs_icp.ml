@@ -82,12 +82,11 @@ let solve ?jobs ?fi
     | None -> if Callgraph.has_cycles pcg then Some (Fi_icp.solve ctx) else None
   in
 
+  (* The globals of [proc]'s REF closure, as interned ids.  GREF of a
+     procedure is exactly what [call_global_refs] reports for a call to it,
+     and Modref precomputes that list per procedure. *)
   let gref_globals proc =
-    Modref.gref_of ctx.Context.modref proc
-    |> Summary.VrefSet.elements
-    |> List.filter_map (function
-         | Summary.Vglobal g -> Some g
-         | Summary.Vformal _ -> None)
+    Modref.call_global_refs ctx.Context.modref ~callee:proc
   in
 
   (* Wavefront shape: procedure [i] depends on the distinct procedures that
@@ -118,6 +117,10 @@ let solve ?jobs ?fi
   if jobs > 1 then Context.build_ssa ~jobs ctx;
 
   let blockdata = Context.blockdata_env ctx in
+  let blockdata_tbl : (Prog.Var.id, Lattice.t) Hashtbl.t =
+    Hashtbl.create (List.length blockdata)
+  in
+  List.iter (fun (g, v) -> Hashtbl.replace blockdata_tbl g v) blockdata;
   let main = ctx.Context.prog.Ast.main in
 
   (* Per-procedure outputs, written only by the domain that processes the
@@ -138,8 +141,9 @@ let solve ?jobs ?fi
     let s = Summary.find ctx.Context.summaries proc in
     let nf = List.length s.Summary.ps_formals in
     let formals = Array.make nf Lattice.Top in
-    let globals = Hashtbl.create 8 in
-    List.iter (fun g -> Hashtbl.replace globals g Lattice.Top)
+    let globals : (Prog.Var.id, Lattice.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (g : Ir.var) -> Hashtbl.replace globals g.Ir.vid Lattice.Top)
       (gref_globals proc);
     let meet_formal j v =
       if j < nf then formals.(j) <- Lattice.meet formals.(j) v
@@ -175,7 +179,7 @@ let solve ?jobs ?fi
       Hashtbl.iter
         (fun g _ ->
           let v =
-            match List.assoc_opt g blockdata with
+            match Hashtbl.find_opt blockdata_tbl g with
             | Some v -> v
             | None -> Lattice.Bot
           in
@@ -198,25 +202,31 @@ let solve ?jobs ?fi
        constants. *)
     let finalize v = match v with Lattice.Top -> Lattice.Bot | v -> v in
     let pe_formals = Array.map finalize formals in
+    (* Finalize in place: [globals] doubles as the id-keyed entry lookup
+       the SCC entry environment reads below. *)
+    Hashtbl.iter
+      (fun g v -> Hashtbl.replace globals g (finalize v))
+      (Hashtbl.copy globals);
     let pe_globals =
-      Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) globals []
-      |> List.sort compare
+      Hashtbl.fold (fun g v acc -> (g, v) :: acc) globals []
+      |> List.sort (fun (a, _) (b, _) -> Prog.Var.compare a b)
     in
     entries_arr.(i) <- { Solution.pe_formals; pe_globals };
     (* One flow-sensitive intraprocedural analysis of [proc]. *)
+    let is_main = String.equal proc main in
     let entry_env (v : Ir.var) =
       match v.Ir.vkind with
       | Ir.Formal i ->
           if i < Array.length pe_formals then pe_formals.(i) else Lattice.Bot
       | Ir.Global -> (
-          match List.assoc_opt (Ir.Var.name v) pe_globals with
+          match Hashtbl.find_opt globals v.Ir.vid with
           | Some value -> value
           | None ->
               (* Not in the REF closure but still versioned (e.g. only in
                  the MOD closure of some callee): unknown at entry unless
                  this is [main] and block data initialises it. *)
-              if String.equal proc main then
-                match List.assoc_opt (Ir.Var.name v) blockdata with
+              if is_main then
+                match Hashtbl.find_opt blockdata_tbl v.Ir.vid with
                 | Some value -> value
                 | None -> Lattice.Bot
               else Lattice.Bot)
@@ -269,7 +279,7 @@ let solve ?jobs ?fi
           let cr_globals =
             Array.to_list c.Ssa.c_global_uses
             |> List.map (fun ((g : Ir.var), n) ->
-                   ( (Ir.Var.name g),
+                   ( g.Ir.vid,
                      if executable then
                        Context.censor ctx res.Scc.values.(n.Ssa.id)
                      else Lattice.Top ))

@@ -146,11 +146,7 @@ let polynomial_values (ssa : Ssa.proc) (intra : Scc.result) : pvalue array =
                 | None -> PBot)
             | None -> PBot))
   in
-  let edge_exec s d =
-    Option.value
-      (Hashtbl.find_opt intra.Scc.edge_executable (s, d))
-      ~default:false
-  in
+  let edge_exec e = Scc.edge_bit intra e in
   let set (n : Ssa.name) v changed =
     if not (pequal values.(n.Ssa.id) v) then begin
       values.(n.Ssa.id) <- v;
@@ -165,13 +161,13 @@ let polynomial_values (ssa : Ssa.proc) (intra : Scc.result) : pvalue array =
         if intra.Scc.block_executable.(b) then begin
           Array.iter
             (fun (ph : Ssa.phi) ->
-              let v =
-                Array.fold_left
-                  (fun acc (pred, n) ->
-                    if edge_exec pred b then pmeet acc values.(n.Ssa.id)
-                    else acc)
-                  PTop ph.Ssa.p_args
-              in
+              let v = ref PTop in
+              Array.iteri
+                (fun k (_, (n : Ssa.name)) ->
+                  if edge_exec ph.Ssa.p_edges.(k) then
+                    v := pmeet !v values.(n.Ssa.id))
+                ph.Ssa.p_args;
+              let v = !v in
               set ph.Ssa.p_name v changed)
             blk.Ssa.phis;
           Array.iter
@@ -399,11 +395,10 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
         in
         (* Globals are not handled by jump-function methods. *)
         let pe_globals =
-          Modref.gref_of ctx.Context.modref (Prog.proc_name db pid)
-          |> Summary.VrefSet.elements
-          |> List.filter_map (function
-               | Summary.Vglobal g -> Some (g, Lattice.Bot)
-               | Summary.Vformal _ -> None)
+          Modref.call_global_refs ctx.Context.modref
+            ~callee:(Prog.proc_name db pid)
+          |> List.map (fun (gv : Ir.var) -> (gv.Ir.vid, Lattice.Bot))
+          |> List.sort (fun (a, _) (b, _) -> Prog.Var.compare a b)
         in
         { Solution.pe_formals; pe_globals })
   in

@@ -18,6 +18,7 @@
 
     Only procedures reachable from main are measured, as in the paper. *)
 
+open Fsicp_prog
 open Fsicp_ipa
 open Fsicp_scc
 
@@ -108,7 +109,7 @@ let candidates (ctx : Context.t) ~(fi : Solution.t) ~(fs : Solution.t)
                   if
                     Context.global_visible_in ctx
                       (Solution.proc_name fs cr.Solution.cr_caller)
-                      g
+                      (Prog.Var.name g)
                   then nv + 1
                   else nv )
               else (n, nv))
@@ -155,7 +156,8 @@ let propagated (ctx : Context.t) ~(fi : Solution.t) ~(fs : Solution.t)
         + List.length
             (List.filter
                (fun (g, v) ->
-                 Lattice.is_const v && Context.global_direct_ref ctx proc g)
+                 Lattice.is_const v
+                 && Context.global_direct_ref ctx proc (Prog.Var.name g))
                e.Solution.pe_globals))
       0 pcg.Fsicp_callgraph.Callgraph.nodes
   in
@@ -209,3 +211,8 @@ let figure1 (ctx : Context.t) : figure1_row list =
         Jump_functions.all_variants
   in
   List.map (fun (m, cs) -> { f1_method = m; f1_constants = cs }) rows
+
+(** Cumulative SCC block visits (process-wide, all domains).  The memo
+    warm-path acceptance check reads this: a re-solve of an unchanged
+    program must not advance it. *)
+let scc_block_visits () = Scc.block_visits ()

@@ -47,3 +47,7 @@ val pct : int -> int -> float
 type figure1_row = { f1_method : string; f1_constants : (string * int) list }
 
 val figure1 : Context.t -> figure1_row list
+
+(** Cumulative SCC block visits (process-wide, all domains); a warm
+    memo-cache re-solve of an unchanged program does not advance it. *)
+val scc_block_visits : unit -> int

@@ -35,16 +35,14 @@ let solve (ctx : Context.t) : Solution.t =
   let db = pcg.Callgraph.db in
   let blockdata = Context.blockdata_env ctx in
   let gref_globals proc =
-    Modref.gref_of ctx.Context.modref proc
-    |> Summary.VrefSet.elements
-    |> List.filter_map (function
-         | Summary.Vglobal g -> Some g
-         | Summary.Vformal _ -> None)
+    Modref.call_global_refs ctx.Context.modref ~callee:proc
+    |> List.map (fun (gv : Ir.var) -> gv.Ir.vid)
   in
   (* Records from the previous / current pass, by (caller id, cs_index):
      (executable, args, globals) in dense per-caller rows. *)
   let records :
-      (bool * Lattice.t array * (string * Lattice.t) list) option array array =
+      (bool * Lattice.t array * (Prog.Var.id * Lattice.t) list) option array
+      array =
     Array.init (Callgraph.n_procs pcg) (fun i ->
         Array.make (Callgraph.n_call_sites pcg pcg.Callgraph.nodes.(i)) None)
   in
@@ -98,7 +96,7 @@ let solve (ctx : Context.t) : Solution.t =
         let pe_formals = Array.map finalize formals in
         let pe_globals =
           Hashtbl.fold (fun g v acc -> (g, finalize v) :: acc) globals []
-          |> List.sort compare
+          |> List.sort (fun (a, _) (b, _) -> Prog.Var.compare a b)
         in
         let old = Prog.Proc.Tbl.get entries_tbl pid in
         let entry = { Solution.pe_formals; pe_globals } in
@@ -108,7 +106,7 @@ let solve (ctx : Context.t) : Solution.t =
                && Array.for_all2 Lattice.equal o.Solution.pe_formals pe_formals
                && List.equal
                     (fun (g, v) (g', v') ->
-                      String.equal g g' && Lattice.equal v v')
+                      Prog.Var.equal g g' && Lattice.equal v v')
                     o.Solution.pe_globals pe_globals -> ()
         | Some _ | None ->
             any_change := true;
@@ -120,11 +118,11 @@ let solve (ctx : Context.t) : Solution.t =
               if i < Array.length pe_formals then pe_formals.(i)
               else Lattice.Bot
           | Ir.Global -> (
-              match List.assoc_opt (Ir.Var.name v) pe_globals with
+              match List.assoc_opt v.Ir.vid pe_globals with
               | Some value -> value
               | None ->
                   if String.equal proc ctx.Context.prog.Ast.main then
-                    match List.assoc_opt (Ir.Var.name v) blockdata with
+                    match List.assoc_opt v.Ir.vid blockdata with
                     | Some value -> value
                     | None -> Lattice.Bot
                   else Lattice.Bot)
@@ -148,7 +146,7 @@ let solve (ctx : Context.t) : Solution.t =
             let gvals =
               Array.to_list c.Ssa.c_global_uses
               |> List.map (fun ((g : Ir.var), n) ->
-                     ( (Ir.Var.name g),
+                     ( g.Ir.vid,
                        if executable then
                          Context.censor ctx res.Scc.values.(n.Ssa.id)
                        else Lattice.Top ))

@@ -25,6 +25,7 @@
     the RETURNS ablation bench turns it on. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_ssa
 open Fsicp_callgraph
@@ -35,7 +36,7 @@ open Fsicp_scc
     global holds when the procedure returns. *)
 type summary = {
   rs_formals : Lattice.t array;
-  rs_globals : (string * Lattice.t) list;
+  rs_globals : (Prog.Var.id * Lattice.t) list;
 }
 
 type t = {
@@ -69,7 +70,7 @@ let call_def_value_from (summaries : (string, summary) Hashtbl.t)
         c.Ssa.c_args;
       (match v.Ir.vkind with
       | Ir.Global -> (
-          match List.assoc_opt (Ir.Var.name v) s.rs_globals with
+          match List.assoc_opt v.Ir.vid s.rs_globals with
           | Some gv -> acc := Lattice.meet !acc gv
           | None -> acc := Lattice.Bot)
       | Ir.Formal _ | Ir.Local | Ir.Temp -> ());
@@ -99,11 +100,11 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
               entry.Solution.pe_formals.(i)
             else Lattice.Bot
         | Ir.Global -> (
-            match List.assoc_opt (Ir.Var.name v) entry.Solution.pe_globals with
+            match List.assoc_opt v.Ir.vid entry.Solution.pe_globals with
             | Some value -> value
             | None ->
                 if String.equal proc ctx.Context.prog.Ast.main then
-                  match List.assoc_opt (Ir.Var.name v) blockdata with
+                  match List.assoc_opt v.Ir.vid blockdata with
                   | Some value -> value
                   | None -> Lattice.Bot
                 else Lattice.Bot)
@@ -142,7 +143,8 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
       let rs_globals =
         List.map
           (fun g ->
-            (g, Context.censor ctx (Scc.exit_value res (Ir.global g))))
+            let gv = Ir.global g in
+            (gv.Ir.vid, Context.censor ctx (Scc.exit_value res gv)))
           ctx.Context.prog.Ast.globals
       in
       Hashtbl.replace summaries proc { rs_formals; rs_globals })

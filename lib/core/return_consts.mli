@@ -10,7 +10,7 @@ open Fsicp_scc
 
 type summary = {
   rs_formals : Lattice.t array;  (** exit value per formal's location *)
-  rs_globals : (string * Lattice.t) list;
+  rs_globals : (Fsicp_prog.Prog.Var.id * Lattice.t) list;
 }
 
 type t = {

@@ -30,15 +30,17 @@ type callsite_record = {
           methods always say [true]; the flow-sensitive method marks sites
           in SCC-dead blocks [false], and such sites propagate nothing *)
   cr_args : Lattice.t array;  (** value of each argument at the site *)
-  cr_globals : (string * Lattice.t) list;
-      (** value at the site of each global in the callee's REF closure *)
+  cr_globals : (Prog.Var.id * Lattice.t) list;
+      (** value at the site of each global in the callee's REF closure,
+          keyed by interned variable id *)
 }
 
 type proc_entry = {
   pe_formals : Lattice.t array;
-  pe_globals : (string * Lattice.t) list;
-      (** entry value of each global the procedure may reference; globals
-          not listed are unknown (bottom) *)
+  pe_globals : (Prog.Var.id * Lattice.t) list;
+      (** entry value of each global the procedure may reference, keyed by
+          interned variable id and sorted by it; globals not listed are
+          unknown (bottom) *)
 }
 
 type t = {
@@ -96,9 +98,9 @@ let formal_value t proc i : Lattice.t =
   let e = entry t proc in
   if i < Array.length e.pe_formals then e.pe_formals.(i) else Lattice.Bot
 
-(** Entry lattice value of global [g] in [proc]. *)
+(** Entry lattice value of global [g] (a source spelling) in [proc]. *)
 let global_value t proc g : Lattice.t =
-  match List.assoc_opt g (entry t proc).pe_globals with
+  match List.assoc_opt (Prog.Var.intern g) (entry t proc).pe_globals with
   | Some v -> v
   | None -> Lattice.Bot
 
@@ -126,7 +128,7 @@ let constant_globals t : (string * string * Fsicp_lang.Value.t) list =
       List.fold_left
         (fun acc (g, v) ->
           match v with
-          | Lattice.Const value -> (proc, g, value) :: acc
+          | Lattice.Const value -> (proc, Prog.Var.name g, value) :: acc
           | Lattice.Top | Lattice.Bot -> acc)
         acc e.pe_globals)
     t.entries []

@@ -21,13 +21,13 @@ type callsite_record = {
       (** false when the method proved the site unreachable; such sites
           propagate nothing *)
   cr_args : Lattice.t array;
-  cr_globals : (string * Lattice.t) list;
+  cr_globals : (Prog.Var.id * Lattice.t) list;
       (** values at the site of the globals in the callee's REF closure *)
 }
 
 type proc_entry = {
   pe_formals : Lattice.t array;
-  pe_globals : (string * Lattice.t) list;
+  pe_globals : (Prog.Var.id * Lattice.t) list;
 }
 
 type t = {

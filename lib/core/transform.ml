@@ -16,6 +16,7 @@
     variables proved constant in live code. *)
 
 open Fsicp_lang
+open Fsicp_prog
 open Fsicp_cfg
 open Fsicp_scc
 
@@ -51,11 +52,12 @@ let insert_entry_constants (ctx : Context.t) (solution : Solution.t) :
             let global_assigns =
               List.filter_map
                 (fun (g, v) ->
+                  let name = Prog.Var.name g in
                   match v with
                   | Lattice.Const value
-                    when List.mem g read
-                         && not (List.mem g p.Ast.formals) ->
-                      Some (Ast.assign g (Ast.Const value))
+                    when List.mem name read
+                         && not (List.mem name p.Ast.formals) ->
+                      Some (Ast.assign name (Ast.Const value))
                   | Lattice.Top | Lattice.Const _ | Lattice.Bot -> None)
                 entry.Solution.pe_globals
             in
@@ -85,13 +87,11 @@ let substitutions (ctx : Context.t) (solution : Solution.t) :
                    entry.Solution.pe_formals.(i)
                  else Lattice.Bot
              | Ir.Global -> (
-                 match
-                   List.assoc_opt (Ir.Var.name v) entry.Solution.pe_globals
-                 with
+                 match List.assoc_opt v.Ir.vid entry.Solution.pe_globals with
                  | Some value -> value
                  | None ->
                      if String.equal proc ctx.Context.prog.Ast.main then
-                       match List.assoc_opt (Ir.Var.name v) blockdata with
+                       match List.assoc_opt v.Ir.vid blockdata with
                        | Some value -> value
                        | None -> Lattice.Bot
                      else Lattice.Bot)

@@ -25,6 +25,18 @@ type t = {
   gmod : (string, VrefSet.t) Hashtbl.t;
   gref : (string, VrefSet.t) Hashtbl.t;
   summaries : Summary.t;
+  (* Per-callee renderings of the GMOD/GREF sets in the exact shapes the
+     SSA construction oracle asks for, precomputed once after the fixpoint
+     (so the tables are read-only by the time multiple domains query them).
+     Without these every call site re-interned and re-sorted the same
+     lists on every SSA build. *)
+  defs_globals : (string, Fsicp_cfg.Ir.var list) Hashtbl.t;
+      (** GMOD globals as caller-side vars, sorted by [Ir.Var.compare] *)
+  defs_formals : (string, int array) Hashtbl.t;
+      (** formal indices in GMOD, ascending *)
+  ref_globals : (string, Fsicp_cfg.Ir.var list) Hashtbl.t;
+      (** GREF globals, in the order {!call_global_refs} historically
+          produced (a [VrefSet.fold] cons) *)
 }
 
 let get tbl name = Option.value (Hashtbl.find_opt tbl name) ~default:VrefSet.empty
@@ -92,7 +104,39 @@ let compute (summaries : Summary.t) (aliases : Alias.t)
         step gref s.ps_iref)
       (Fsicp_callgraph.Callgraph.reverse_order pcg)
   done;
-  { gmod; gref; summaries }
+  let defs_globals = Hashtbl.create 16 in
+  let defs_formals = Hashtbl.create 16 in
+  let ref_globals = Hashtbl.create 16 in
+  Array.iter
+    (fun pid ->
+      let name = Fsicp_callgraph.Callgraph.proc_name pcg pid in
+      let ms = get gmod name in
+      let gs =
+        VrefSet.fold
+          (fun v acc ->
+            match v with
+            | Vglobal g -> Fsicp_cfg.Ir.global g :: acc
+            | Vformal _ -> acc)
+          ms []
+      in
+      Hashtbl.replace defs_globals name
+        (List.sort_uniq Fsicp_cfg.Ir.Var.compare gs);
+      let fs =
+        VrefSet.fold
+          (fun v acc -> match v with Vformal j -> j :: acc | Vglobal _ -> acc)
+          ms []
+      in
+      Hashtbl.replace defs_formals name
+        (Array.of_list (List.sort_uniq Int.compare fs));
+      Hashtbl.replace ref_globals name
+        (VrefSet.fold
+           (fun v acc ->
+             match v with
+             | Vglobal g -> Fsicp_cfg.Ir.global g :: acc
+             | Vformal _ -> acc)
+           (get gref name) []))
+    (Fsicp_callgraph.Callgraph.reverse_order pcg);
+  { gmod; gref; summaries; defs_globals; defs_formals; ref_globals }
 
 (* ------------------------------------------------------------------ *)
 (* Queries used by the constant propagation methods                    *)
@@ -121,32 +165,41 @@ let globals_modified_anywhere t ~main : string list =
 (** Variables a call to [callee] may define, as caller-side IR variables —
     the oracle SSA construction uses at call instructions.  [byrefs] are the
     by-reference actuals in argument order ([None] for value arguments). *)
+(* Merge two [Ir.Var.compare]-sorted duplicate-free lists into one;
+   equivalent to [List.sort_uniq Ir.Var.compare (a @ b)]. *)
+let rec merge_uniq a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+      let c = Fsicp_cfg.Ir.Var.compare x y in
+      if c < 0 then x :: merge_uniq xs b
+      else if c > 0 then y :: merge_uniq a ys
+      else x :: merge_uniq xs ys
+
 let call_defs t ~callee ~(byref_args : Fsicp_cfg.Ir.var option array) :
     Fsicp_cfg.Ir.var list =
-  let ms = get t.gmod callee in
-  let acc = ref [] in
-  VrefSet.iter
-    (fun v ->
-      match v with
-      | Vglobal g -> acc := Fsicp_cfg.Ir.global g :: !acc
-      | Vformal j -> (
-          if j < Array.length byref_args then
-            match byref_args.(j) with
-            | Some v -> acc := v :: !acc
-            | None -> ()))
-    ms;
-  (* Distinct: a global may be both in GMOD directly and via an alias. *)
-  List.sort_uniq Fsicp_cfg.Ir.Var.compare !acc
+  let globals =
+    Option.value (Hashtbl.find_opt t.defs_globals callee) ~default:[]
+  in
+  let byrefs = ref [] in
+  Array.iter
+    (fun j ->
+      if j < Array.length byref_args then
+        match byref_args.(j) with
+        | Some v -> byrefs := v :: !byrefs
+        | None -> ())
+    (Option.value (Hashtbl.find_opt t.defs_formals callee) ~default:[||]);
+  match !byrefs with
+  | [] -> globals
+  | bs ->
+      (* Distinct: a global may be both in GMOD directly and via an alias
+         (or be passed by reference at a GMOD formal position). *)
+      merge_uniq (List.sort_uniq Fsicp_cfg.Ir.Var.compare bs) globals
 
 (** Globals a call to [callee] may reference (transitively); the FS ICP
     records the lattice value of each of these at the call site. *)
 let call_global_refs t ~callee : Fsicp_cfg.Ir.var list =
-  VrefSet.fold
-    (fun v acc ->
-      match v with
-      | Vglobal g -> Fsicp_cfg.Ir.global g :: acc
-      | Vformal _ -> acc)
-    (get t.gref callee) []
+  Option.value (Hashtbl.find_opt t.ref_globals callee) ~default:[]
 
 let pp ppf t =
   let pp_set ppf s =

@@ -41,32 +41,52 @@ let compute (procs : Ir.proc Prog.Proc.Tbl.t) (modref : Modref.t)
     (fun pid ->
       let p = Prog.Proc.Tbl.get procs pid in
       (* Per-call-site uses: bind the callee's USE (or REF on back edges)
-         through the argument list into caller-side variables. *)
-      let call_uses_of_instr (ins : Ir.instr) : Ir.var list =
-        match ins with
-        | Ir.Call { cs_id; callee; args } ->
-            let callee_set =
-              let edge_is_back =
-                Callgraph.is_back_edge_at pcg ~caller:pid ~cs_index:cs_id
-              in
-              let callee_id = Callgraph.proc_id_exn pcg callee in
-              if edge_is_back || not processed.((callee_id :> int)) then
-                Modref.gref_of modref callee
-              else Prog.Proc.Tbl.get use callee_id
-            in
-            VrefSet.fold
-              (fun v acc ->
-                match v with
-                | Vglobal g -> Ir.global g :: acc
-                | Vformal j -> (
-                    if j < Array.length args then
-                      match args.(j).Ir.a_byref with
-                      | Some v -> v :: acc
-                      | None -> acc
-                    else acc))
-              callee_set []
-        | Ir.Assign _ | Ir.Print _ -> []
+         through the argument list into caller-side variables.  The lists
+         are fixed for the duration of this procedure's dataflow solve
+         (every forward-edge callee is already final, back edges read the
+         static REF sets), so compute them once into a flat cache over the
+         instruction ordinal instead of folding the [VrefSet] on every
+         fixpoint iteration of [transfer]. *)
+      let nblocks = Array.length p.Ir.cfg.Ir.blocks in
+      let ibase = Array.make (nblocks + 1) 0 in
+      for b = 0 to nblocks - 1 do
+        ibase.(b + 1) <-
+          ibase.(b) + Array.length p.Ir.cfg.Ir.blocks.(b).Ir.instrs
+      done;
+      let call_uses : Ir.var list array =
+        Array.make (max 1 ibase.(nblocks)) []
       in
+      Array.iteri
+        (fun b (blk : Ir.block) ->
+          Array.iteri
+            (fun i ins ->
+              match ins with
+              | Ir.Call { cs_id; callee; args } ->
+                  let callee_set =
+                    let edge_is_back =
+                      Callgraph.is_back_edge_at pcg ~caller:pid
+                        ~cs_index:cs_id
+                    in
+                    let callee_id = Callgraph.proc_id_exn pcg callee in
+                    if edge_is_back || not processed.((callee_id :> int))
+                    then Modref.gref_of modref callee
+                    else Prog.Proc.Tbl.get use callee_id
+                  in
+                  call_uses.(ibase.(b) + i) <-
+                    VrefSet.fold
+                      (fun v acc ->
+                        match v with
+                        | Vglobal g -> Ir.global g :: acc
+                        | Vformal j -> (
+                            if j < Array.length args then
+                              match args.(j).Ir.a_byref with
+                              | Some v -> v :: acc
+                              | None -> acc
+                            else acc))
+                      callee_set []
+              | Ir.Assign _ | Ir.Print _ -> ())
+            blk.Ir.instrs)
+        p.Ir.cfg.Ir.blocks;
       (* The generic engine takes a per-callee function; we need per-site
          (back-edge distinction), so inline the transfer here. *)
       let transfer b (live_out : Ir.VarSet.t) =
@@ -83,7 +103,9 @@ let compute (procs : Ir.proc Prog.Proc.Tbl.t) (modref : Modref.t)
           List.iter
             (fun u -> live := Ir.VarSet.add u !live)
             (Fsicp_dataflow.Dataflow.instr_uses ins);
-          List.iter (fun u -> live := Ir.VarSet.add u !live) (call_uses_of_instr ins)
+          List.iter
+            (fun u -> live := Ir.VarSet.add u !live)
+            call_uses.(ibase.(b) + i)
         done;
         !live
       in

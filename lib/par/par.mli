@@ -29,6 +29,54 @@ val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [both ~jobs f g] runs the two thunks, concurrently when [jobs > 1]. *)
 val both : jobs:int -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
+(** Per-domain epoch-stamped scratch arena for flat analysis kernels.
+
+    One arena lives in each domain's local storage ({!Domain.DLS}), so a
+    kernel running under {!wavefront} gets private scratch with no locking
+    and near-zero allocation once the arena has grown to the largest
+    procedure it has seen.  The arena hands out two kinds of scratch:
+
+    - {b mark regions} — ranges of an int-stamp array used as bitsets.  A
+      slot is "set" iff its stamp equals the arena's current epoch, so
+      {!reset} clears every region of every size in O(1) by bumping the
+      epoch instead of zeroing memory.
+    - {b int stacks} — two growable LIFO worklists ([stack_a]/[stack_b])
+      whose backing arrays persist across runs.
+
+    Protocol: call [reset], then [reserve_marks] for every region the run
+    needs {e before} marking anything (growth re-zeroes the stamp array but
+    preserves marks already set this epoch), then run the kernel.  Arenas
+    are single-kernel scratch: results that outlive the run must be copied
+    out (or allocated normally). *)
+module Arena : sig
+  type t
+  type stack
+
+  val get : unit -> t
+  (** The calling domain's arena. *)
+
+  val reset : t -> unit
+  (** O(1) wipe: bumps the epoch and releases all mark regions and stacks. *)
+
+  val reserve_marks : t -> int -> int
+  (** [reserve_marks t n] returns the base index of a fresh all-clear region
+      of [n] mark slots; address slot [i] of the region as [base + i]. *)
+
+  val mark : t -> int -> unit
+  val unmark : t -> int -> unit
+  val marked : t -> int -> bool
+
+  val stack_a : t -> stack
+  val stack_b : t -> stack
+  (** Two independent reusable worklists, emptied by {!reset}. *)
+
+  val push : stack -> int -> unit
+  val is_empty : stack -> bool
+
+  val pop : stack -> int
+  (** Undefined on an empty stack; guard with {!is_empty}. *)
+end
+
 (** [wavefront ~jobs ~order ~deps ~dependents process] runs [process i]
     once for every node [i] of a dependency DAG, dispatching a node as soon
     as all of its [deps] have been processed.

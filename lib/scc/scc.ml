@@ -21,11 +21,24 @@
       exactly what the interprocedural methods establish;
     - [call_def_value] gives the post-call value of each variable a call
       may define (always [Bot] unless the return-constants extension
-      supplies a summary). *)
+      supplies a summary).
+
+    The engine is a flat integer kernel: def–use chains are walked through
+    the CSR arrays of {!Ssa.proc}, edge executability is one bit per dense
+    edge id, both worklists are int stacks of dense edge/site ids with
+    on-worklist dedup marks, and all scratch comes from the calling
+    domain's epoch-stamped {!Fsicp_par.Par.Arena} — the steady-state loop
+    allocates nothing.  Both oracle hooks are resolved {e once} per run
+    into dense vectors ([entry] over [entry_names], [cdv] over the flat
+    call-def numbering); since the kernel's output is a pure function of
+    [(proc, entry, cdv)], those two vectors also key a per-procedure memo
+    (the value-contexts idea of Padhye & Khedker): a re-run with equal
+    vectors returns the cached {!result} without visiting a single block. *)
 
 open Fsicp_lang
 open Fsicp_cfg
 open Fsicp_ssa
+module Par = Fsicp_par.Par
 
 type config = {
   entry_env : Ir.var -> Lattice.t;
@@ -42,19 +55,37 @@ let default_config =
   }
 
 (** Entry environment from an association list; unlisted variables are
-    [Bot] (unknown), except temporaries which never carry entry values. *)
+    [Bot] (unknown), except temporaries which never carry entry values.
+    The list is indexed once into an int-keyed table ({!Ir.Var.slot_key}),
+    so each query is an O(1) integer-hash lookup rather than a linear
+    scan.  First binding wins, as with [List.find_opt]. *)
 let env_of_list (l : (Ir.var * Value.t) list) : Ir.var -> Lattice.t =
- fun v ->
-  match List.find_opt (fun (v', _) -> Ir.Var.equal v v') l with
-  | Some (_, value) -> Lattice.Const value
-  | None -> Lattice.Bot
+  let tbl : (int, Lattice.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (v, value) ->
+      let k = Ir.Var.slot_key v in
+      if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k (Lattice.Const value))
+    l;
+  fun v ->
+    match Hashtbl.find_opt tbl (Ir.Var.slot_key v) with
+    | Some x -> x
+    | None -> Lattice.Bot
 
 type result = {
   proc : Ssa.proc;
   values : Lattice.t array;  (** lattice value per SSA name id *)
   block_executable : bool array;
-  edge_executable : (int * int, bool) Hashtbl.t;
+  edge_exec : Bytes.t;  (** bitset over dense edge ids *)
 }
+
+let[@inline] bit_get bytes i =
+  Char.code (Bytes.unsafe_get bytes (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let[@inline] bit_set bytes i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set bytes j
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get bytes j) lor (1 lsl (i land 7))))
 
 let value_of (r : result) (n : Ssa.name) = r.values.(n.Ssa.id)
 
@@ -63,45 +94,102 @@ let operand_value (r : result) (o : Ssa.operand) : Lattice.t =
   | Ssa.Oconst v -> Lattice.Const v
   | Ssa.Oname n -> r.values.(n.Ssa.id)
 
-(** Run SCC on an SSA procedure. *)
-let run ?(config = default_config) (p : Ssa.proc) : result =
-  let values = Array.make (max 1 p.n_names) Lattice.Top in
-  let block_executable = Array.make (Array.length p.blocks) false in
-  let edge_executable : (int * int, bool) Hashtbl.t = Hashtbl.create 16 in
-  let flow_wl : (int * int) Queue.t = Queue.create () in
-  let ssa_wl : Ssa.use_site Queue.t = Queue.create () in
+(** Is dense edge [e] executable? *)
+let edge_bit (r : result) (e : int) : bool = bit_get r.edge_exec e
 
-  let res = { proc = p; values; block_executable; edge_executable } in
+(** Is the (unique) CFG edge [src -> dst] executable? *)
+let edge_executable (r : result) ~src ~dst : bool =
+  let p = r.proc in
+  let hi = p.Ssa.edge_base.(src + 1) in
+  let rec go i =
+    i < hi && ((p.Ssa.edge_dst.(i) = dst && bit_get r.edge_exec i) || go (i + 1))
+  in
+  go p.Ssa.edge_base.(src)
+
+(* Total full block evaluations across all runs in this process; a warm
+   memo hit contributes zero (the acceptance gate for the memo cache). *)
+let block_visit_count = Atomic.make 0
+let block_visits () = Atomic.get block_visit_count
+
+(* -- Oracle resolution ----------------------------------------------- *)
+
+(* The entry vector: one lattice value per [entry_names] position.
+   Version-0 temps are never read before being written, so their entry
+   value is pinned to Bot regardless of the environment. *)
+let resolve_entry config (p : Ssa.proc) : Lattice.t array =
+  Array.map
+    (fun ((v : Ir.var), _) ->
+      match v.Ir.vkind with
+      | Ir.Temp -> Lattice.Bot
+      | Ir.Local | Ir.Formal _ | Ir.Global -> config.entry_env v)
+    p.Ssa.entry_names
+
+(* The call-def vector: one lattice value per (call, def) pair in the flat
+   [c_def_base] numbering.  Resolving unreachable calls too is sound — the
+   oracles are pure lookups and the kernel only reads slots of calls it
+   actually visits. *)
+let resolve_cdv config (p : Ssa.proc) : Lattice.t array =
+  let cdv = Array.make (max 1 p.Ssa.n_call_defs) Lattice.Bot in
+  Array.iter
+    (fun (_, _, (c : Ssa.call)) ->
+      Array.iteri
+        (fun k ((base : Ir.var), _) ->
+          cdv.(c.Ssa.c_def_base + k) <-
+            config.call_def_value ~callee:c.Ssa.c_callee base)
+        c.Ssa.c_defs)
+    p.Ssa.calls;
+  cdv
+
+(* -- The kernel ------------------------------------------------------- *)
+
+let run_kernel (p : Ssa.proc) ~(entry : Lattice.t array)
+    ~(cdv : Lattice.t array) : result =
+  let nblocks = Array.length p.Ssa.blocks in
+  (* The result arrays escape into solutions and the memo, so they are
+     freshly allocated; only kernel-private scratch comes from the arena. *)
+  let values = Array.make (max 1 p.Ssa.n_names) Lattice.Top in
+  let block_executable = Array.make nblocks false in
+  let edge_exec = Bytes.make ((p.Ssa.n_edges + 8) / 8) '\000' in
+  let res = { proc = p; values; block_executable; edge_exec } in
+  let a = Par.Arena.get () in
+  Par.Arena.reset a;
+  let edge_marks = Par.Arena.reserve_marks a p.Ssa.n_edges in
+  let site_marks = Par.Arena.reserve_marks a p.Ssa.n_sites in
+  let flow = Par.Arena.stack_a a in
+  let ssa_wl = Par.Arena.stack_b a in
+  let visits = ref 0 in
 
   let lower (n : Ssa.name) (v : Lattice.t) =
-    let old = values.(n.Ssa.id) in
+    let id = n.Ssa.id in
+    let old = values.(id) in
     let merged = Lattice.meet old v in
     if not (Lattice.equal old merged) then begin
       (* Monotone: values only move down the lattice. *)
-      assert (Lattice.le merged old);
-      values.(n.Ssa.id) <- merged;
-      List.iter (fun site -> Queue.add site ssa_wl) p.uses.(n.Ssa.id)
+      values.(id) <- merged;
+      for k = p.Ssa.use_offsets.(id) to p.Ssa.use_offsets.(id + 1) - 1 do
+        let s = p.Ssa.use_sites.(k) in
+        (* A site queued twice is visited once per drain. *)
+        if not (Par.Arena.marked a (site_marks + s)) then begin
+          Par.Arena.mark a (site_marks + s);
+          Par.Arena.push ssa_wl s
+        end
+      done
     end
   in
 
-  let edge_is_exec (s, d) =
-    Option.value (Hashtbl.find_opt edge_executable (s, d)) ~default:false
-  in
-
   let visit_phi b pi =
-    let ph = p.blocks.(b).Ssa.phis.(pi) in
-    let v =
-      Array.fold_left
-        (fun acc (pred, n) ->
-          if edge_is_exec (pred, b) then Lattice.meet acc values.(n.Ssa.id)
-          else acc)
-        Lattice.Top ph.Ssa.p_args
-    in
-    lower ph.Ssa.p_name v
+    let ph = p.Ssa.blocks.(b).Ssa.phis.(pi) in
+    let v = ref Lattice.Top in
+    Array.iteri
+      (fun k (_, (n : Ssa.name)) ->
+        if bit_get edge_exec ph.Ssa.p_edges.(k) then
+          v := Lattice.meet !v values.(n.Ssa.id))
+      ph.Ssa.p_args;
+    lower ph.Ssa.p_name !v
   in
 
   let visit_instr b i =
-    match p.blocks.(b).Ssa.instrs.(i) with
+    match p.Ssa.blocks.(b).Ssa.instrs.(i) with
     | Ssa.Assign (n, rhs) ->
         let v =
           match rhs with
@@ -115,64 +203,232 @@ let run ?(config = default_config) (p : Ssa.proc) : result =
         (* The location was possibly written through an alias: unknown. *)
         Array.iter (fun (_, n) -> lower n Lattice.Bot) kills
     | Ssa.Call c ->
+        Array.iteri
+          (fun k (_, n) -> lower n cdv.(c.Ssa.c_def_base + k))
+          c.Ssa.c_defs
+    | Ssa.Print _ -> ()
+  in
+
+  let mark_edge e =
+    if (not (bit_get edge_exec e)) && not (Par.Arena.marked a (edge_marks + e))
+    then begin
+      Par.Arena.mark a (edge_marks + e);
+      Par.Arena.push flow e
+    end
+  in
+
+  let visit_term b =
+    match p.Ssa.blocks.(b).Ssa.term with
+    | Ssa.Goto _ -> mark_edge p.Ssa.edge_base.(b)
+    | Ssa.Ret -> ()
+    | Ssa.Cond (c, t, f) -> (
+        let te = p.Ssa.edge_base.(b) in
+        let fe = if t = f then te else te + 1 in
+        match operand_value res c with
+        | Lattice.Top -> () (* not yet known; revisited when it lowers *)
+        | Lattice.Const v -> if Value.truthy v then mark_edge te else mark_edge fe
+        | Lattice.Bot ->
+            mark_edge te;
+            if fe <> te then mark_edge fe)
+  in
+
+  let visit_block b =
+    incr visits;
+    Array.iteri (fun pi _ -> visit_phi b pi) p.Ssa.blocks.(b).Ssa.phis;
+    Array.iteri (fun i _ -> visit_instr b i) p.Ssa.blocks.(b).Ssa.instrs;
+    visit_term b
+  in
+
+  (* Initialise entry names from the pre-resolved entry vector (directly,
+     not via [lower]: Top-initialised cells must be allowed to take any
+     lattice value), then start at the entry block. *)
+  Array.iteri
+    (fun k (_, (n : Ssa.name)) -> values.(n.Ssa.id) <- entry.(k))
+    p.Ssa.entry_names;
+  block_executable.(p.Ssa.entry) <- true;
+  visit_block p.Ssa.entry;
+
+  let continue = ref true in
+  while !continue do
+    if not (Par.Arena.is_empty flow) then begin
+      let e = Par.Arena.pop flow in
+      Par.Arena.unmark a (edge_marks + e);
+      if not (bit_get edge_exec e) then begin
+        bit_set edge_exec e;
+        let d = p.Ssa.edge_dst.(e) in
+        let first_visit = not block_executable.(d) in
+        block_executable.(d) <- true;
+        if first_visit then visit_block d
+        else
+          (* Only the phis can change when an extra in-edge lights up. *)
+          Array.iteri (fun pi _ -> visit_phi d pi) p.Ssa.blocks.(d).Ssa.phis
+      end
+    end
+    else if not (Par.Arena.is_empty ssa_wl) then begin
+      let s = Par.Arena.pop ssa_wl in
+      Par.Arena.unmark a (site_marks + s);
+      let code = p.Ssa.site_code.(s) in
+      let b = (code lsr 2) land 0xffffffff in
+      if block_executable.(b) then begin
+        let idx = code lsr 34 in
+        match code land 3 with
+        | 0 -> visit_phi b idx
+        | 1 -> visit_instr b idx
+        | _ -> visit_term b
+      end
+    end
+    else continue := false
+  done;
+  ignore (Atomic.fetch_and_add block_visit_count !visits);
+  res
+
+(* -- Entry-vector memoization ------------------------------------------ *)
+
+type memo_entry = {
+  m_entry : Lattice.t array;
+  m_cdv : Lattice.t array;
+  m_result : result;
+}
+
+type Ssa.memo += Scc_memo of memo_entry list
+
+(* A handful of contexts per procedure covers every caller in the
+   pipeline (one per method sweep); beyond that, oldest entries fall off. *)
+let memo_capacity = 8
+
+let vec_equal a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (Lattice.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let memo_find (p : Ssa.proc) ~entry ~cdv =
+  match p.Ssa.memo with
+  | Scc_memo entries ->
+      List.find_opt
+        (fun e -> vec_equal e.m_entry entry && vec_equal e.m_cdv cdv)
+        entries
+  | _ -> None
+
+let memo_add (p : Ssa.proc) ~entry ~cdv r =
+  let prev = match p.Ssa.memo with Scc_memo es -> es | _ -> [] in
+  let entries = { m_entry = entry; m_cdv = cdv; m_result = r } :: prev in
+  let entries =
+    if List.length entries > memo_capacity then
+      List.filteri (fun i _ -> i < memo_capacity) entries
+    else entries
+  in
+  (* Single-word store of an immutable list: concurrent writers (two
+     domains analysing the same proc, which the wavefront never schedules)
+     could at worst drop each other's entry, never corrupt one. *)
+  p.Ssa.memo <- Scc_memo entries
+
+(** Run SCC on an SSA procedure.  Equal entry/call-def vectors return the
+    memoized result of the earlier identical run. *)
+let run ?(config = default_config) (p : Ssa.proc) : result =
+  let entry = resolve_entry config p in
+  let cdv = resolve_cdv config p in
+  match memo_find p ~entry ~cdv with
+  | Some e -> e.m_result
+  | None ->
+      let r = run_kernel p ~entry ~cdv in
+      memo_add p ~entry ~cdv r;
+      r
+
+(* -- Reference implementation ------------------------------------------ *)
+
+(** The original list/Hashtbl/Queue formulation, kept as the executable
+    specification of {!run}: same fixpoint, no arena, no dedup, no memo.
+    The kernel is property-tested against it value-for-value and
+    edge-for-edge (the SCC fixpoint is unique, so any drain order must
+    agree). *)
+let run_reference ?(config = default_config) (p : Ssa.proc) : result =
+  let values = Array.make (max 1 p.Ssa.n_names) Lattice.Top in
+  let block_executable = Array.make (Array.length p.Ssa.blocks) false in
+  let edge_exec = Bytes.make ((p.Ssa.n_edges + 8) / 8) '\000' in
+  let flow_wl : int Queue.t = Queue.create () in
+  let ssa_wl : Ssa.use_site Queue.t = Queue.create () in
+  let res = { proc = p; values; block_executable; edge_exec } in
+  let lower (n : Ssa.name) (v : Lattice.t) =
+    let old = values.(n.Ssa.id) in
+    let merged = Lattice.meet old v in
+    if not (Lattice.equal old merged) then begin
+      assert (Lattice.le merged old);
+      values.(n.Ssa.id) <- merged;
+      List.iter (fun site -> Queue.add site ssa_wl) (Ssa.uses_of p n.Ssa.id)
+    end
+  in
+  let visit_phi b pi =
+    let ph = p.Ssa.blocks.(b).Ssa.phis.(pi) in
+    let v = ref Lattice.Top in
+    Array.iteri
+      (fun k (_, (n : Ssa.name)) ->
+        if bit_get edge_exec ph.Ssa.p_edges.(k) then
+          v := Lattice.meet !v values.(n.Ssa.id))
+      ph.Ssa.p_args;
+    lower ph.Ssa.p_name !v
+  in
+  let visit_instr b i =
+    match p.Ssa.blocks.(b).Ssa.instrs.(i) with
+    | Ssa.Assign (n, rhs) ->
+        let v =
+          match rhs with
+          | Ssa.Copy o -> operand_value res o
+          | Ssa.Unop (op, o) -> Lattice.eval_unop op (operand_value res o)
+          | Ssa.Binop (op, a, c) ->
+              Lattice.eval_binop op (operand_value res a) (operand_value res c)
+        in
+        lower n v
+    | Ssa.Kill kills -> Array.iter (fun (_, n) -> lower n Lattice.Bot) kills
+    | Ssa.Call c ->
         Array.iter
           (fun (base, n) ->
             lower n (config.call_def_value ~callee:c.Ssa.c_callee base))
           c.Ssa.c_defs
     | Ssa.Print _ -> ()
   in
-
-  let mark_edge s d =
-    if not (edge_is_exec (s, d)) then Queue.add (s, d) flow_wl
-  in
-
+  let mark_edge e = if not (bit_get edge_exec e) then Queue.add e flow_wl in
   let visit_term b =
-    match p.blocks.(b).Ssa.term with
-    | Ssa.Goto t -> mark_edge b t
+    match p.Ssa.blocks.(b).Ssa.term with
+    | Ssa.Goto _ -> mark_edge p.Ssa.edge_base.(b)
     | Ssa.Ret -> ()
     | Ssa.Cond (c, t, f) -> (
+        let te = p.Ssa.edge_base.(b) in
+        let fe = if t = f then te else te + 1 in
         match operand_value res c with
-        | Lattice.Top -> () (* not yet known; revisited when it lowers *)
-        | Lattice.Const v ->
-            if Value.truthy v then mark_edge b t else mark_edge b f
+        | Lattice.Top -> ()
+        | Lattice.Const v -> if Value.truthy v then mark_edge te else mark_edge fe
         | Lattice.Bot ->
-            mark_edge b t;
-            mark_edge b f)
+            mark_edge te;
+            if fe <> te then mark_edge fe)
   in
-
   let visit_block b =
-    Array.iteri (fun pi _ -> visit_phi b pi) p.blocks.(b).Ssa.phis;
-    Array.iteri (fun i _ -> visit_instr b i) p.blocks.(b).Ssa.instrs;
+    Array.iteri (fun pi _ -> visit_phi b pi) p.Ssa.blocks.(b).Ssa.phis;
+    Array.iteri (fun i _ -> visit_instr b i) p.Ssa.blocks.(b).Ssa.instrs;
     visit_term b
   in
-
-  (* Initialise entry names from the environment, then start at the entry
-     block.  Entry values are seeded directly (not via [lower]) because
-     Top-initialised cells must be allowed to take any lattice value. *)
   Array.iter
     (fun ((v : Ir.var), (n : Ssa.name)) ->
       let init =
         match v.Ir.vkind with
-        | Ir.Temp -> Lattice.Bot (* version-0 temps are never read *)
+        | Ir.Temp -> Lattice.Bot
         | Ir.Local | Ir.Formal _ | Ir.Global -> config.entry_env v
       in
       values.(n.Ssa.id) <- init)
-    p.entry_names;
-
-  (* Pseudo-edge into the entry block. *)
-  Queue.add (-1, p.entry) flow_wl;
-
+    p.Ssa.entry_names;
+  block_executable.(p.Ssa.entry) <- true;
+  visit_block p.Ssa.entry;
   while not (Queue.is_empty flow_wl && Queue.is_empty ssa_wl) do
     while not (Queue.is_empty flow_wl) do
-      let s, d = Queue.take flow_wl in
-      if not (edge_is_exec (s, d)) then begin
-        Hashtbl.replace edge_executable (s, d) true;
+      let e = Queue.take flow_wl in
+      if not (bit_get edge_exec e) then begin
+        bit_set edge_exec e;
+        let d = p.Ssa.edge_dst.(e) in
         let first_visit = not block_executable.(d) in
         block_executable.(d) <- true;
         if first_visit then visit_block d
-        else
-          (* Only the phis can change when an extra in-edge lights up. *)
-          Array.iteri (fun pi _ -> visit_phi d pi) p.blocks.(d).Ssa.phis
+        else Array.iteri (fun pi _ -> visit_phi d pi) p.Ssa.blocks.(d).Ssa.phis
       end
     done;
     while not (Queue.is_empty ssa_wl) do
@@ -202,11 +458,24 @@ let arg_value (r : result) (c : Ssa.call) j : Lattice.t =
   operand_value r c.Ssa.c_args.(j).Ssa.sa_operand
 
 (** Lattice value of global [g] immediately before call [c], if the SSA
-    construction recorded it (i.e. [g] is in the callee's REF closure). *)
+    construction recorded it (i.e. [g] is in the callee's REF closure).
+    Two binary searches: var slot, then the call's compact slot table. *)
 let global_at_call (r : result) (c : Ssa.call) (g : Ir.var) : Lattice.t option =
-  Array.fold_left
-    (fun acc (v, n) -> if Ir.Var.equal v g then Some r.values.(n.Ssa.id) else acc)
-    None c.Ssa.c_global_uses
+  let s = Ssa.slot_of r.proc g in
+  if s < 0 then None
+  else begin
+    let slots = c.Ssa.c_guse_slots in
+    let lo = ref 0 and hi = ref (Array.length slots - 1) in
+    let id = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      let sm = slots.(mid) in
+      if sm = s then begin id := c.Ssa.c_guse_ids.(mid); lo := !hi + 1 end
+      else if sm < s then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !id < 0 then None else Some r.values.(!id)
+  end
 
 (** Count of {e uses} of source-level variables (not compiler temporaries)
     that are proved constant in executable code: the "intraprocedural
@@ -272,19 +541,15 @@ let constant_names (r : result) : (Ssa.name * Value.t) list =
     executable} return blocks, of the reaching SSA version's value.  [Top]
     if no return block is executable (the procedure cannot return — then a
     call to it never completes, so any claim about post-call values is
-    vacuous).  Drives the return-constants extension (paper §3.2). *)
+    vacuous).  Drives the return-constants extension (paper §3.2).  O(1)
+    per return block via the [exit_ids] slot tables. *)
 let exit_value (r : result) (v : Ir.var) : Lattice.t =
-  List.fold_left
-    (fun acc (b, names) ->
+  let p = r.proc in
+  let s = Ssa.slot_of p v in
+  Array.fold_left
+    (fun acc (b, tbl) ->
       if r.block_executable.(b) then
-        let here =
-          Array.fold_left
-            (fun acc' (v', n) ->
-              if Ir.Var.equal v v' then Some r.values.(n.Ssa.id) else acc')
-            None names
-        in
-        match here with
-        | Some value -> Lattice.meet acc value
-        | None -> Lattice.Bot (* not recorded: unknown *)
+        if s >= 0 && tbl.(s) >= 0 then Lattice.meet acc r.values.(tbl.(s))
+        else Lattice.Bot (* not recorded: unknown *)
       else acc)
-    Lattice.Top r.proc.exit_names
+    Lattice.Top p.Ssa.exit_ids

@@ -35,11 +35,36 @@ type result = {
   proc : Ssa.proc;
   values : Lattice.t array;  (** lattice value per SSA name id *)
   block_executable : bool array;
-  edge_executable : (int * int, bool) Hashtbl.t;
+  edge_exec : Bytes.t;  (** bitset over the proc's dense edge ids *)
 }
 
-(** Run the analysis.  Terminates in O(names × height + edges). *)
+(** Run the analysis.  Terminates in O(names × height + edges).
+
+    Flat kernel: CSR def–use walks, int-stack worklists with on-worklist
+    dedup, one bit per dense edge id, scratch from the calling domain's
+    epoch-stamped {!Fsicp_par.Par.Arena} — no allocation in the steady
+    state.  Both {!config} hooks are resolved once per run into dense
+    vectors, which also key a per-procedure memo: re-running with equal
+    entry and call-def vectors returns the cached result without visiting
+    any block (the {!block_visits} counter does not advance). *)
 val run : ?config:config -> Ssa.proc -> result
+
+(** The original list/Hashtbl/Queue formulation, kept as the executable
+    specification: no arena, no dedup, no memo.  The unique SCC fixpoint
+    makes it interchangeable with {!run}; the test-suite asserts this
+    value-for-value and edge-for-edge. *)
+val run_reference : ?config:config -> Ssa.proc -> result
+
+(** Total full block evaluations across every {!run} in this process.
+    Memo hits contribute zero — a warm re-solve of an unchanged program
+    must leave this counter unchanged. *)
+val block_visits : unit -> int
+
+(** Is dense edge [e] of the result's procedure executable? *)
+val edge_bit : result -> int -> bool
+
+(** Is the (unique) CFG edge [src -> dst] executable? *)
+val edge_executable : result -> src:int -> dst:int -> bool
 
 val value_of : result -> Ssa.name -> Lattice.t
 val operand_value : result -> Ssa.operand -> Lattice.t

@@ -55,6 +55,15 @@ type call = {
           interprocedural analysis needs (callee's REF set) *)
   c_defs : (Ir.var * name) array;
       (** fresh versions for the variables this call may modify *)
+  c_guse_slots : int array;
+      (** ascending var slots of the [c_global_uses] entries *)
+  c_guse_ids : int array;
+      (** name ids parallel to [c_guse_slots]: the compact lookup table
+          behind {!val:Fsicp_scc.Scc.global_at_call} *)
+  mutable c_def_base : int;
+      (** index of this call's first def in the procedure's flat call-def
+          numbering (block order); the SCC kernel resolves the oracle value
+          of def [k] into slot [c_def_base + k] of one dense vector *)
 }
 
 type instr =
@@ -70,6 +79,8 @@ type instr =
 type phi = {
   p_name : name;
   p_args : (int * name) array;  (** (predecessor block, incoming name) *)
+  p_edges : int array;
+      (** dense edge id of each incoming CFG edge, parallel to [p_args] *)
 }
 
 type terminator = Goto of int | Cond of operand * int * int | Ret
@@ -93,6 +104,26 @@ type use_site =
   | Uinstr of int * int  (** (block, instruction index) *)
   | Uterm of int  (** block terminator (condition) *)
 
+(* Dense site ids: every phi, instruction and terminator of the procedure
+   gets one int id, numbered per block in order (phis, then instructions,
+   then the terminator).  [site_code] packs the decoded form into one
+   tagged int: bits [1:0] = kind (0 phi, 1 instr, 2 term), bits [33:2] =
+   block, bits [62:34] = index within the block.  The CSR def-use chains
+   and the SCC worklists traffic in site ids only. *)
+let site_tag_phi = 0
+let site_tag_instr = 1
+let site_tag_term = 2
+
+let[@inline] pack_site ~tag ~block ~index =
+  (index lsl 34) lor (block lsl 2) lor tag
+
+(** Extension point for analysis-private per-procedure caches (the SCC
+    engine hangs its entry-vector memo here); lives and dies with the
+    [proc] value. *)
+type memo = ..
+
+type memo += No_memo
+
 type proc = {
   name : string;
   formals : Ir.var array;
@@ -107,8 +138,31 @@ type proc = {
           the procedure finishes (drives the return-constants extension) *)
   n_names : int;
   defs : def_site array;  (** indexed by name id *)
-  uses : use_site list array;  (** indexed by name id *)
+  use_offsets : int array;
+      (** CSR row starts into [use_sites], length [n_names + 1]: the use
+          sites of name [id] are [use_sites.(use_offsets.(id)) ..
+          use_sites.(use_offsets.(id + 1) - 1)] *)
+  use_sites : int array;  (** CSR payload: dense site ids *)
+  n_sites : int;
+  site_code : int array;  (** site id -> packed (tag, block, index) *)
+  n_edges : int;
+  edge_base : int array;
+      (** block -> first out-edge id, length [nblocks + 1]; out edges are
+          numbered consecutively in successor order ([Cond] with equal arms
+          collapses to one edge, mirroring [Ir.successors]) *)
+  edge_dst : int array;  (** edge id -> destination block *)
+  vars : Ir.var array;  (** the variable universe, in slot order *)
+  var_keys : int array;
+      (** [Ir.Var.slot_key] of each slot, ascending — {!slot_of} binary
+          searches this instead of hashing *)
+  entry_ids : int array;  (** var slot -> version-0 name id *)
+  exit_ids : (int * int array) array;
+      (** per [Ret] block: var slot -> reaching name id, or -1 *)
+  calls : (int * int * call) array;
+      (** every call as [(block, instr index, call)], block order *)
+  n_call_defs : int;  (** total [c_defs] across [calls] *)
   n_call_sites : int;
+  mutable memo : memo;
 }
 
 (** Oracle describing interprocedural side effects of calls and of stores
@@ -159,6 +213,42 @@ let conservative_effects ?(formals : Ir.var list = []) (prog : Ast.program) :
 let byref_array (args : Ir.arg array) : Ir.var option array =
   Array.map (fun (a : Ir.arg) -> a.Ir.a_byref) args
 
+(* Domain-local construction scratch: an epoch-stamped sparse map from
+   [Ir.Var.slot_key] to the procedure-local dense slot.  A key is bound
+   iff [stamp.(k) = epoch]; bumping the epoch invalidates every binding in
+   O(1), so consecutive [of_proc] calls on one domain share the arrays
+   without clearing.  [Domain.DLS] keeps the scratch race-free when
+   [Context.build_ssa] constructs procedures on several domains. *)
+module Scratch = struct
+  type t = {
+    mutable epoch : int;
+    mutable stamp : int array;
+    mutable slot : int array;
+  }
+
+  let create () =
+    { epoch = 0; stamp = Array.make 4096 0; slot = Array.make 4096 0 }
+
+  let dls = Domain.DLS.new_key create
+
+  let get () =
+    let t = Domain.DLS.get dls in
+    t.epoch <- t.epoch + 1;
+    t
+
+  let ensure t k =
+    let cap = Array.length t.stamp in
+    if k >= cap then begin
+      let n = max (k + 1) (2 * cap) in
+      let stamp = Array.make n 0 in
+      Array.blit t.stamp 0 stamp 0 cap;
+      t.stamp <- stamp;
+      let slot = Array.make n 0 in
+      Array.blit t.slot 0 slot 0 cap;
+      t.slot <- slot
+    end
+end
+
 (** Build SSA form for a lowered procedure. *)
 let of_proc ?(effects : call_effects option) (prog : Ast.program)
     (p : Ir.proc) : proc =
@@ -175,40 +265,85 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
   let df = Dominance.frontiers cfg dom in
 
   (* -- The variable universe ---------------------------------------- *)
-  (* Occurring vars, plus call-defined vars and recorded globals. *)
-  let universe = ref (Ir.occurring_vars p) in
-  let call_defs_cache : (int * int, Ir.var list) Hashtbl.t = Hashtbl.create 8 in
-  let call_guses_cache : (int * int, Ir.var list) Hashtbl.t = Hashtbl.create 8 in
-  let kill_cache : (int * int, Ir.var list) Hashtbl.t = Hashtbl.create 8 in
-  Ir.iter_instrs
-    (fun ~block ~index ins ->
-      match ins with
-      | Ir.Call { callee; args; _ } ->
-          let ds =
-            effects.defs_of_call ~callee ~byref_args:(byref_array args)
-          in
-          let gs = effects.globals_used_by ~callee in
-          Hashtbl.replace call_defs_cache (block, index) ds;
-          Hashtbl.replace call_guses_cache (block, index) gs;
-          List.iter (fun v -> universe := Ir.VarSet.add v !universe) ds;
-          List.iter (fun v -> universe := Ir.VarSet.add v !universe) gs
-      | Ir.Assign (v, _) ->
-          let ks =
-            List.sort_uniq Ir.Var.compare (effects.assign_aliases v)
-            |> List.filter (fun w -> not (Ir.Var.equal v w))
-          in
-          if ks <> [] then Hashtbl.replace kill_cache (block, index) ks;
-          List.iter (fun w -> universe := Ir.VarSet.add w !universe) ks
-      | Ir.Print _ -> ())
-    cfg;
-  let vars = Array.of_list (Ir.VarSet.elements !universe) in
-  let nvars = Array.length vars in
-  let var_index : int Ir.VarMap.t =
-    Array.to_list vars
-    |> List.mapi (fun i v -> (v, i))
-    |> List.to_seq |> Ir.VarMap.of_seq
+  (* One pass over the IR collects occurring vars, call-defined vars,
+     recorded globals and alias kills — deduplicated through the
+     epoch-stamped {!Scratch} (no hashing, no [VarSet] trees) and sorted
+     once by [slot_key], which induces exactly the order the original
+     [VarSet.elements]-based formulation produced. *)
+  let scratch = Scratch.get () in
+  let epoch = scratch.Scratch.epoch in
+  let acc = ref [] in
+  let nv = ref 0 in
+  let note v =
+    let k = Ir.Var.slot_key v in
+    Scratch.ensure scratch k;
+    if scratch.Scratch.stamp.(k) <> epoch then begin
+      scratch.Scratch.stamp.(k) <- epoch;
+      acc := v :: !acc;
+      incr nv
+    end
   in
-  let vidx v = Ir.VarMap.find v var_index in
+  let note_op = function Ir.Const _ -> () | Ir.Var v -> note v in
+  let note_rhs = function
+    | Ir.Copy o | Ir.Unop (_, o) -> note_op o
+    | Ir.Binop (_, a, b) ->
+        note_op a;
+        note_op b
+  in
+  Array.iter note p.Ir.formals;
+  (* Per-instruction oracle caches, flat over the instruction ordinal. *)
+  let ibase = Array.make (nblocks + 1) 0 in
+  for b = 0 to nblocks - 1 do
+    ibase.(b + 1) <- ibase.(b) + Array.length cfg.Ir.blocks.(b).Ir.instrs
+  done;
+  let n_instrs = ibase.(nblocks) in
+  let iord b i = ibase.(b) + i in
+  let call_ds : Ir.var list array = Array.make (max 1 n_instrs) [] in
+  let call_gs : Ir.var list array = Array.make (max 1 n_instrs) [] in
+  let kill_at : Ir.var list array = Array.make (max 1 n_instrs) [] in
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      Array.iteri
+        (fun i ins ->
+          match ins with
+          | Ir.Call { callee; args; _ } ->
+              Array.iter (fun (a : Ir.arg) -> note_op a.Ir.a_operand) args;
+              let ds =
+                effects.defs_of_call ~callee ~byref_args:(byref_array args)
+              in
+              let gs = effects.globals_used_by ~callee in
+              call_ds.(iord b i) <- ds;
+              call_gs.(iord b i) <- gs;
+              List.iter note ds;
+              List.iter note gs
+          | Ir.Assign (v, rhs) ->
+              note v;
+              note_rhs rhs;
+              let ks =
+                List.sort_uniq Ir.Var.compare (effects.assign_aliases v)
+                |> List.filter (fun w -> not (Ir.Var.equal v w))
+              in
+              if ks <> [] then begin
+                kill_at.(iord b i) <- ks;
+                List.iter note ks
+              end
+          | Ir.Print o -> note_op o)
+        blk.Ir.instrs;
+      match blk.Ir.term with
+      | Ir.Cond (c, _, _) -> note_op c
+      | Ir.Goto _ | Ir.Ret -> ())
+    cfg.Ir.blocks;
+  let vars = Array.of_list !acc in
+  Array.sort
+    (fun a b -> Int.compare (Ir.Var.slot_key a) (Ir.Var.slot_key b))
+    vars;
+  let nvars = !nv in
+  let var_keys = Array.map Ir.Var.slot_key vars in
+  (* Rebind keys to dense slots; [ensure] is done growing, so the arrays
+     can be captured. *)
+  let slot_arr = scratch.Scratch.slot in
+  Array.iteri (fun i k -> slot_arr.(k) <- i) var_keys;
+  let[@inline] vidx v = slot_arr.(Ir.Var.slot_key v) in
 
   (* -- Phi placement (iterated dominance frontier) ------------------- *)
   let def_blocks = Array.make nvars [] in
@@ -219,25 +354,35 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
           def_blocks.(vidx v) <- block :: def_blocks.(vidx v);
           List.iter
             (fun w -> def_blocks.(vidx w) <- block :: def_blocks.(vidx w))
-            (Option.value (Hashtbl.find_opt kill_cache (block, index))
-               ~default:[])
+            kill_at.(iord block index)
       | Ir.Call _ ->
           List.iter
             (fun v -> def_blocks.(vidx v) <- block :: def_blocks.(vidx v))
-            (Hashtbl.find call_defs_cache (block, index))
+            call_ds.(iord block index)
       | Ir.Print _ -> ())
     cfg;
   (* The entry block implicitly defines version 0 of everything. *)
   for i = 0 to nvars - 1 do
     def_blocks.(i) <- cfg.Ir.entry :: def_blocks.(i)
   done;
-  (* phis_at.(b) = list of var indices needing a phi at block b *)
+  (* phis_at.(b) = list of var indices needing a phi at block b.  Per-var
+     membership is tracked with stamp arrays (stamp = v + 1): O(1) reset
+     between variables, no tuple-keyed hashing. *)
   let phis_at = Array.make nblocks [] in
-  let has_phi = Hashtbl.create 64 in
+  let has_phi_stamp = Array.make nblocks 0 in
+  let ever_stamp = Array.make nblocks 0 in
   for v = 0 to nvars - 1 do
-    let work = ref (List.sort_uniq Int.compare def_blocks.(v)) in
-    let ever = Hashtbl.create 8 in
-    List.iter (fun b -> Hashtbl.replace ever b ()) !work;
+    let stamp = v + 1 in
+    (* Seed the worklist with the (deduplicated) def blocks; [ever_stamp]
+       doubles as the dedup set, so no sort is needed. *)
+    let work = ref [] in
+    List.iter
+      (fun b ->
+        if ever_stamp.(b) <> stamp then begin
+          ever_stamp.(b) <- stamp;
+          work := b :: !work
+        end)
+      def_blocks.(v);
     while !work <> [] do
       match !work with
       | [] -> ()
@@ -245,11 +390,11 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
           work := rest;
           List.iter
             (fun y ->
-              if not (Hashtbl.mem has_phi (y, v)) then begin
-                Hashtbl.replace has_phi (y, v) ();
+              if has_phi_stamp.(y) <> stamp then begin
+                has_phi_stamp.(y) <- stamp;
                 phis_at.(y) <- v :: phis_at.(y);
-                if not (Hashtbl.mem ever y) then begin
-                  Hashtbl.replace ever y ();
+                if ever_stamp.(y) <> stamp then begin
+                  ever_stamp.(y) <- stamp;
                   work := y :: !work
                 end
               end)
@@ -285,14 +430,23 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
   let out_terms : terminator array =
     Array.make nblocks Ret
   in
-  (* phi argument accumulation: (block, phi index) -> (pred, name) list *)
-  let phi_args : (int * int, (int * name) list) Hashtbl.t = Hashtbl.create 64 in
   let exit_names_acc : (int * (Ir.var * name) array) list ref = ref [] in
   (* Remember which var each phi at a block is for, in order. *)
   let phi_vars : int array array = Array.make nblocks [||] in
-  Array.iteri
-    (fun b l -> phi_vars.(b) <- Array.of_list l)
-    phis_at;
+  Array.iteri (fun b l -> phi_vars.(b) <- Array.of_list l) phis_at;
+  (* phi argument accumulation: per block, per phi index, a (pred, name)
+     list — direct array slots instead of tuple-keyed hashing *)
+  let phi_args_acc : (int * name) list array array =
+    Array.map (fun a -> Array.make (Array.length a) []) phi_vars
+  in
+  (* The formals and globals whose reaching version each return records. *)
+  let exit_vars =
+    Array.to_list vars
+    |> List.filter (fun (v : Ir.var) ->
+           match v.Ir.vkind with
+           | Ir.Formal _ | Ir.Global -> true
+           | Ir.Local | Ir.Temp -> false)
+  in
 
   let rename_operand (o : Ir.operand) : operand =
     match o with
@@ -317,7 +471,7 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
         (fun v ->
           let n = fresh v in
           push' n;
-          { p_name = n; p_args = [||] })
+          { p_name = n; p_args = [||]; p_edges = [||] })
         phi_vars.(b)
     in
     out_phis.(b) <- phis;
@@ -333,9 +487,9 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
             let n = fresh (vidx v) in
             push' n;
             acc := Assign (n, rhs) :: !acc;
-            (match Hashtbl.find_opt kill_cache (b, i) with
-            | None | Some [] -> ()
-            | Some ks ->
+            (match kill_at.(iord b i) with
+            | [] -> ()
+            | ks ->
                 let kills =
                   List.map
                     (fun w ->
@@ -357,12 +511,20 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
                 args
             in
             let c_global_uses =
-              Hashtbl.find call_guses_cache (b, i)
+              call_gs.(iord b i)
               |> List.map (fun g -> (g, top (vidx g)))
               |> Array.of_list
             in
+            let ng = Array.length c_global_uses in
+            let guse = Array.init ng (fun k ->
+                let g, n = c_global_uses.(k) in
+                (vidx g, n.id))
+            in
+            Array.sort (fun (a, _) (b, _) -> Int.compare a b) guse;
+            let c_guse_slots = Array.map fst guse in
+            let c_guse_ids = Array.map snd guse in
             let c_defs =
-              Hashtbl.find call_defs_cache (b, i)
+              call_ds.(iord b i)
               |> List.map (fun v ->
                      let n = fresh (vidx v) in
                      push' n;
@@ -372,22 +534,15 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
             acc :=
               Call
                 { c_cs_id = cs_id; c_callee = callee; c_args; c_global_uses;
-                  c_defs }
+                  c_defs; c_guse_slots; c_guse_ids; c_def_base = -1 }
               :: !acc)
       blk.Ir.instrs;
     out_instrs.(b) <- Array.of_list (List.rev !acc);
     (* Record reaching versions of formals and globals at returns. *)
     (match blk.Ir.term with
     | Ir.Ret ->
-        let interesting =
-          Array.to_list vars
-          |> List.filter (fun (v : Ir.var) ->
-                 match v.Ir.vkind with
-                 | Ir.Formal _ | Ir.Global -> true
-                 | Ir.Local | Ir.Temp -> false)
-        in
         exit_names_acc :=
-          (b, Array.of_list (List.map (fun v -> (v, top (vidx v))) interesting))
+          (b, Array.of_list (List.map (fun v -> (v, top (vidx v))) exit_vars))
           :: !exit_names_acc
     | Ir.Goto _ | Ir.Cond _ -> ());
     (* Terminator. *)
@@ -401,10 +556,7 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
       (fun s ->
         Array.iteri
           (fun pi v ->
-            let cur = top v in
-            let key = (s, pi) in
-            let l = Option.value (Hashtbl.find_opt phi_args key) ~default:[] in
-            Hashtbl.replace phi_args key ((b, cur) :: l))
+            phi_args_acc.(s).(pi) <- (b, top v) :: phi_args_acc.(s).(pi))
           phi_vars.(s))
       (Ir.successors blk);
     (* Recurse over dominator-tree children. *)
@@ -419,59 +571,179 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
   in
   rename_block cfg.Ir.entry;
 
-  (* Attach accumulated phi arguments. *)
+  (* -- Dense edge ids ------------------------------------------------ *)
+  (* Out edges per block, numbered consecutively in successor order.  A
+     [Cond] with equal arms contributes one edge (as in [Ir.successors]),
+     so every (pred, succ) pair maps to exactly one edge id. *)
+  let edge_base = Array.make (nblocks + 1) 0 in
+  for b = 0 to nblocks - 1 do
+    let out =
+      match out_terms.(b) with
+      | Goto _ -> 1
+      | Cond (_, t, f) -> if t = f then 1 else 2
+      | Ret -> 0
+    in
+    edge_base.(b + 1) <- edge_base.(b) + out
+  done;
+  let n_edges = edge_base.(nblocks) in
+  let edge_dst = Array.make (max 1 n_edges) 0 in
+  for b = 0 to nblocks - 1 do
+    match out_terms.(b) with
+    | Goto t -> edge_dst.(edge_base.(b)) <- t
+    | Cond (_, t, f) ->
+        edge_dst.(edge_base.(b)) <- t;
+        if t <> f then edge_dst.(edge_base.(b) + 1) <- f
+    | Ret -> ()
+  done;
+  (* Edge id of the unique (pred, succ) edge. *)
+  let edge_id ~pred ~succ =
+    match out_terms.(pred) with
+    | Goto _ -> edge_base.(pred)
+    | Cond (_, t, f) ->
+        if t = f || t = succ then edge_base.(pred) else edge_base.(pred) + 1
+    | Ret -> assert false
+  in
+
+  (* Attach accumulated phi arguments (and their edge ids). *)
   let blocks =
     Array.init nblocks (fun b ->
         let phis =
           Array.mapi
             (fun pi (ph : phi) ->
-              let args =
-                Option.value (Hashtbl.find_opt phi_args (b, pi)) ~default:[]
+              let p_args = Array.of_list (List.rev phi_args_acc.(b).(pi)) in
+              let p_edges =
+                Array.map (fun (pred, _) -> edge_id ~pred ~succ:b) p_args
               in
-              { ph with p_args = Array.of_list (List.rev args) })
+              { ph with p_args; p_edges })
             out_phis.(b)
         in
         { phis; instrs = out_instrs.(b); term = out_terms.(b) })
   in
 
-  (* -- Def sites and def-use chains ---------------------------------- *)
+  (* -- Dense site ids ------------------------------------------------ *)
+  let site_base = Array.make (nblocks + 1) 0 in
+  for b = 0 to nblocks - 1 do
+    site_base.(b + 1) <-
+      site_base.(b)
+      + Array.length blocks.(b).phis
+      + Array.length blocks.(b).instrs
+      + 1 (* terminator *)
+  done;
+  let n_sites = site_base.(nblocks) in
+  let site_code = Array.make (max 1 n_sites) 0 in
+  Array.iteri
+    (fun b (blk : block) ->
+      let base = site_base.(b) in
+      let nphis = Array.length blk.phis in
+      let ninstrs = Array.length blk.instrs in
+      for pi = 0 to nphis - 1 do
+        site_code.(base + pi) <- pack_site ~tag:site_tag_phi ~block:b ~index:pi
+      done;
+      for i = 0 to ninstrs - 1 do
+        site_code.(base + nphis + i) <-
+          pack_site ~tag:site_tag_instr ~block:b ~index:i
+      done;
+      site_code.(base + nphis + ninstrs) <-
+        pack_site ~tag:site_tag_term ~block:b ~index:0)
+    blocks;
+  let phi_site b pi = site_base.(b) + pi in
+  let instr_site b i = site_base.(b) + Array.length blocks.(b).phis + i in
+  let term_site b =
+    site_base.(b) + Array.length blocks.(b).phis
+    + Array.length blocks.(b).instrs
+  in
+
+  (* -- Def sites and CSR def-use chains ------------------------------ *)
   let n_names = !next_id in
   let defs = Array.make n_names Dentry in
-  let uses : use_site list array = Array.make n_names [] in
-  let add_use n site = uses.(n.id) <- site :: uses.(n.id) in
-  let use_operand o site =
-    match o with Oconst _ -> () | Oname n -> add_use n site
+  (* Two passes over the same traversal: count uses per name, then fill. *)
+  let use_offsets = Array.make (n_names + 1) 0 in
+  let iter_uses add_use =
+    let use_operand o site =
+      match o with Oconst _ -> () | Oname n -> add_use n site
+    in
+    Array.iteri
+      (fun b (blk : block) ->
+        Array.iteri
+          (fun pi (ph : phi) ->
+            Array.iter (fun (_, n) -> add_use n (phi_site b pi)) ph.p_args)
+          blk.phis;
+        Array.iteri
+          (fun i ins ->
+            let site = instr_site b i in
+            match ins with
+            | Assign (_, rhs) -> (
+                match rhs with
+                | Copy o | Unop (_, o) -> use_operand o site
+                | Binop (_, x, y) ->
+                    use_operand x site;
+                    use_operand y site)
+            | Kill _ -> ()
+            | Call c ->
+                Array.iter
+                  (fun (a : ssa_arg) -> use_operand a.sa_operand site)
+                  c.c_args;
+                Array.iter (fun (_, n) -> add_use n site) c.c_global_uses
+            | Print o -> use_operand o site)
+          blk.instrs;
+        match blk.term with
+        | Cond (c, _, _) -> use_operand c (term_site b)
+        | Goto _ | Ret -> ())
+      blocks
   in
+  iter_uses (fun n _ -> use_offsets.(n.id + 1) <- use_offsets.(n.id + 1) + 1);
+  for i = 0 to n_names - 1 do
+    use_offsets.(i + 1) <- use_offsets.(i + 1) + use_offsets.(i)
+  done;
+  let use_sites = Array.make (max 1 use_offsets.(n_names)) 0 in
+  let fill = Array.sub use_offsets 0 n_names in
+  iter_uses (fun n site ->
+      use_sites.(fill.(n.id)) <- site;
+      fill.(n.id) <- fill.(n.id) + 1);
   Array.iteri
     (fun b (blk : block) ->
       Array.iteri
-        (fun pi (ph : phi) ->
-          defs.(ph.p_name.id) <- Dphi (b, pi);
-          Array.iter (fun (_, n) -> add_use n (Uphi (b, pi))) ph.p_args)
+        (fun pi (ph : phi) -> defs.(ph.p_name.id) <- Dphi (b, pi))
         blk.phis;
       Array.iteri
         (fun i ins ->
           match ins with
-          | Assign (n, rhs) ->
-              defs.(n.id) <- Dinstr (b, i);
-              (match rhs with
-              | Copy o | Unop (_, o) -> use_operand o (Uinstr (b, i))
-              | Binop (_, x, y) ->
-                  use_operand x (Uinstr (b, i));
-                  use_operand y (Uinstr (b, i)))
+          | Assign (n, _) -> defs.(n.id) <- Dinstr (b, i)
           | Kill kills ->
               Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) kills
           | Call c ->
-              Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) c.c_defs;
-              Array.iter
-                (fun (a : ssa_arg) -> use_operand a.sa_operand (Uinstr (b, i)))
-                c.c_args;
-              Array.iter (fun (_, n) -> add_use n (Uinstr (b, i))) c.c_global_uses
-          | Print o -> use_operand o (Uinstr (b, i)))
-        blk.instrs;
-      match blk.term with
-      | Cond (c, _, _) -> use_operand c (Uterm b)
-      | Goto _ | Ret -> ())
+              Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) c.c_defs
+          | Print _ -> ())
+        blk.instrs)
+    blocks;
+
+  (* -- Var slot tables, flat call list ------------------------------- *)
+  let entry_ids = Array.map (fun (_, n) -> n.id) entry_names in
+  let exit_names = List.rev !exit_names_acc in
+  let exit_ids =
+    List.map
+      (fun (b, arr) ->
+        let tbl = Array.make nvars (-1) in
+        Array.iter
+          (fun ((v : Ir.var), (n : name)) -> tbl.(vidx v) <- n.id)
+          arr;
+        (b, tbl))
+      exit_names
+    |> Array.of_list
+  in
+  let calls_acc = ref [] in
+  let n_call_defs = ref 0 in
+  Array.iteri
+    (fun b (blk : block) ->
+      Array.iteri
+        (fun i ins ->
+          match ins with
+          | Call c ->
+              c.c_def_base <- !n_call_defs;
+              n_call_defs := !n_call_defs + Array.length c.c_defs;
+              calls_acc := (b, i, c) :: !calls_acc
+          | Assign _ | Kill _ | Print _ -> ())
+        blk.instrs)
     blocks;
 
   {
@@ -482,34 +754,73 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
     preds;
     dom;
     entry_names;
-    exit_names = List.rev !exit_names_acc;
+    exit_names;
     n_names;
     defs;
-    uses;
+    use_offsets;
+    use_sites;
+    n_sites;
+    site_code;
+    n_edges;
+    edge_base;
+    edge_dst;
+    vars;
+    var_keys;
+    entry_ids;
+    exit_ids;
+    calls = Array.of_list (List.rev !calls_acc);
+    n_call_defs = !n_call_defs;
     n_call_sites = p.Ir.n_call_sites;
+    memo = No_memo;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Queries and validation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(** The variable's dense slot in this procedure's universe, or -1.
+    Binary search over the sorted [var_keys] — alloc- and hash-free. *)
+let slot_of (p : proc) (v : Ir.var) : int =
+  let k = Ir.Var.slot_key v in
+  let keys = p.var_keys in
+  let lo = ref 0 and hi = ref (Array.length keys - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let km = keys.(mid) in
+    if km = k then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if km < k then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
 (** The entry (version-0) name of a variable, if it exists in the proc. *)
 let entry_name (p : proc) (v : Ir.var) : name option =
-  Array.fold_left
-    (fun acc (v', n) -> if Ir.Var.equal v v' then Some n else acc)
-    None p.entry_names
+  let s = slot_of p v in
+  if s < 0 then None else Some (snd p.entry_names.(s))
+
+(** Decode a dense site id back to its structured form. *)
+let decode_site (p : proc) (s : int) : use_site =
+  let code = p.site_code.(s) in
+  let b = (code lsr 2) land 0xffffffff in
+  let idx = code lsr 34 in
+  match code land 3 with
+  | 0 -> Uphi (b, idx)
+  | 1 -> Uinstr (b, idx)
+  | _ -> Uterm b
+
+(** The use sites of name [id], decoded from the CSR row (traversal
+    order).  Convenience for tests and reference implementations; the SCC
+    kernel walks [use_offsets]/[use_sites] directly. *)
+let uses_of (p : proc) (id : int) : use_site list =
+  let lo = p.use_offsets.(id) and hi = p.use_offsets.(id + 1) in
+  List.init (hi - lo) (fun k -> decode_site p p.use_sites.(lo + k))
 
 (** All call instructions, as [(block, instr index, call)] in block order. *)
-let call_sites (p : proc) : (int * int * call) list =
-  let acc = ref [] in
-  Array.iteri
-    (fun b (blk : block) ->
-      Array.iteri
-        (fun i ins ->
-          match ins with Call c -> acc := (b, i, c) :: !acc | _ -> ())
-        blk.instrs)
-    p.blocks;
-  List.rev !acc
+let call_sites (p : proc) : (int * int * call) list = Array.to_list p.calls
 
 (** Structural invariants, raised upon by the test-suite:
     - every name has exactly one definition site;

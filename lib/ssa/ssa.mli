@@ -38,6 +38,11 @@ type call = {
       (** reaching version of each global the callee's REF closure needs *)
   c_defs : (Ir.var * name) array;
       (** fresh versions of the variables the call may modify *)
+  c_guse_slots : int array;
+      (** ascending var slots of the [c_global_uses] entries *)
+  c_guse_ids : int array;  (** name ids parallel to [c_guse_slots] *)
+  mutable c_def_base : int;
+      (** index of this call's first def in the flat call-def numbering *)
 }
 
 type instr =
@@ -47,7 +52,11 @@ type instr =
   | Call of call
   | Print of operand
 
-type phi = { p_name : name; p_args : (int * name) array }
+type phi = {
+  p_name : name;
+  p_args : (int * name) array;
+  p_edges : int array;  (** dense edge id per incoming edge, parallel *)
+}
 
 type terminator = Goto of int | Cond of operand * int * int | Ret
 
@@ -56,6 +65,12 @@ type block = { phis : phi array; instrs : instr array; term : terminator }
 type def_site = Dentry | Dinstr of int * int | Dphi of int * int
 
 type use_site = Uphi of int * int | Uinstr of int * int | Uterm of int
+
+(** Extension point for analysis-private per-procedure caches (e.g. the SCC
+    entry-vector memo); lives and dies with the [proc] value. *)
+type memo = ..
+
+type memo += No_memo
 
 type proc = {
   name : string;
@@ -69,8 +84,28 @@ type proc = {
       (** per return block: reaching versions of formals and globals *)
   n_names : int;
   defs : def_site array;  (** by name id *)
-  uses : use_site list array;  (** by name id *)
+  use_offsets : int array;
+      (** CSR row starts into [use_sites], length [n_names + 1] *)
+  use_sites : int array;  (** CSR payload: dense site ids *)
+  n_sites : int;  (** phis + instructions + terminators, densely numbered *)
+  site_code : int array;  (** site id -> packed (tag, block, index) *)
+  n_edges : int;
+  edge_base : int array;
+      (** block -> first out-edge id, length [nblocks + 1]; edges numbered
+          consecutively in successor order, [Cond] with equal arms collapsed
+          to one edge (mirroring [Ir.successors]) *)
+  edge_dst : int array;  (** edge id -> destination block *)
+  vars : Ir.var array;  (** the variable universe, in slot order *)
+  var_keys : int array;
+      (** [Ir.Var.slot_key] of each slot, ascending — backs {!slot_of} *)
+  entry_ids : int array;  (** var slot -> version-0 name id *)
+  exit_ids : (int * int array) array;
+      (** per [Ret] block: var slot -> reaching name id, or -1 *)
+  calls : (int * int * call) array;
+      (** every call as [(block, instr index, call)], block order *)
+  n_call_defs : int;  (** total [c_defs] across [calls] *)
   n_call_sites : int;
+  mutable memo : memo;
 }
 
 (** Oracle for interprocedural side effects (the precision comes from
@@ -91,7 +126,16 @@ val byref_array : Ir.arg array -> Ir.var option array
 (** Build SSA for a lowered procedure. *)
 val of_proc : ?effects:call_effects -> Ast.program -> Ir.proc -> proc
 
+(** The variable's dense slot in this procedure's universe, or -1. *)
+val slot_of : proc -> Ir.var -> int
+
 val entry_name : proc -> Ir.var -> name option
+
+(** Decode a dense site id back to its structured form. *)
+val decode_site : proc -> int -> use_site
+
+(** The use sites of a name id, decoded from its CSR row. *)
+val uses_of : proc -> int -> use_site list
 
 (** All call instructions as [(block, instr index, call)], block order. *)
 val call_sites : proc -> (int * int * call) list

@@ -172,7 +172,8 @@ let entries_equal (a : Solution.t) (b : Solution.t) procs =
       Array.length ea.Solution.pe_formals = Array.length eb.Solution.pe_formals
       && Array.for_all2 L.equal ea.Solution.pe_formals eb.Solution.pe_formals
       && List.equal
-           (fun (g, v) (g', v') -> String.equal g g' && L.equal v v')
+           (fun (g, v) (g', v') ->
+             Fsicp_prog.Prog.Var.equal g g' && L.equal v v')
            ea.Solution.pe_globals eb.Solution.pe_globals)
     procs
 

@@ -78,6 +78,26 @@ let test_program_jobs4 base () =
         expected got)
     methods
 
+(* A second flow-sensitive solve of the same (unchanged) context must hit
+   the per-procedure entry-vector memo everywhere: byte-identical render
+   and zero additional SCC block visits.  [Context.reset_ssa_cache] would
+   drop the memos along with the SSA forms and make the next solve cold
+   again. *)
+let test_memo_warm ~jobs base () =
+  let prog = load base in
+  let ctx = Context.create ~jobs prog in
+  let cold = Fmt.str "%a" Solution.pp (Fs_icp.solve ctx) in
+  let visits_after_cold = Metrics.scc_block_visits () in
+  let warm = Fmt.str "%a" Solution.pp (Fs_icp.solve ctx) in
+  Alcotest.(check string)
+    (Printf.sprintf "%s warm fs re-solve byte-identical (jobs=%d)" base jobs)
+    cold warm;
+  Alcotest.(check int)
+    (Printf.sprintf "%s warm fs re-solve visits no SCC block (jobs=%d)" base
+       jobs)
+    0
+    (Metrics.scc_block_visits () - visits_after_cold)
+
 let suite =
   List.concat_map
     (fun base ->
@@ -87,5 +107,13 @@ let suite =
           (base ^ " fixtures (jobs=4)")
           `Quick
           (test_program_jobs4 base);
+        Alcotest.test_case
+          (base ^ " memo warm path")
+          `Quick
+          (test_memo_warm ~jobs:1 base);
+        Alcotest.test_case
+          (base ^ " memo warm path (jobs=4)")
+          `Quick
+          (test_memo_warm ~jobs:4 base);
       ])
     corpus

@@ -95,7 +95,7 @@ let test_wavefront_respects_deps () =
 
 let globals_equal a b =
   List.equal
-    (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && L.equal v1 v2)
+    (fun (n1, v1) (n2, v2) -> Fsicp_prog.Prog.Var.equal n1 n2 && L.equal v1 v2)
     a b
 
 (* The two solutions come from distinct [Context.t]s, hence distinct

@@ -299,6 +299,44 @@ let prop_scc_sound_on_prints =
                  generator's main always runs to completion here *))
             claims)
 
+(* -- flat kernel vs reference implementation -------------------------- *)
+
+(* The kernelized [Scc.run] (CSR walks, arena worklists, edge bitset,
+   entry-vector memo) must agree with the retained list/Hashtbl/Queue
+   formulation value-for-value and edge-for-edge; the unique fixpoint
+   makes any discrepancy a bug, not a tie-break. *)
+let prop_kernel_matches_reference =
+  Test_util.qcheck ~count:40
+    ~name:"flat kernel = reference SCC (values, blocks, edges)"
+    Test_util.seed_gen
+    (fun seed ->
+      let prog = Test_util.program_of_seed seed in
+      let ctx = Fsicp_core.Context.create prog in
+      let pcg = ctx.Fsicp_core.Context.pcg in
+      Array.for_all
+        (fun pid ->
+          let ssa = Fsicp_core.Context.ssa_at ctx pid in
+          (* A non-trivial entry environment, so constant branches prune
+             and the edge bitsets actually diverge from all-ones. *)
+          let entry_env (v : Ir.var) =
+            match v.Ir.vkind with
+            | Ir.Formal i -> L.Const (Value.Int (i + 1))
+            | Ir.Global | Ir.Local | Ir.Temp -> L.Bot
+          in
+          let config = { Scc.default_config with Scc.entry_env } in
+          let a = Scc.run ~config ssa in
+          let b = Scc.run_reference ~config ssa in
+          Array.length a.Scc.values = Array.length b.Scc.values
+          && Array.for_all2 L.equal a.Scc.values b.Scc.values
+          && a.Scc.block_executable = b.Scc.block_executable
+          &&
+          let ok = ref true in
+          for e = 0 to ssa.Fsicp_ssa.Ssa.n_edges - 1 do
+            if Scc.edge_bit a e <> Scc.edge_bit b e then ok := false
+          done;
+          !ok)
+        pcg.Fsicp_callgraph.Callgraph.nodes)
+
 let suite =
   [
     prop_meet_comm;
@@ -331,4 +369,5 @@ let suite =
       test_substitution_skips_dead_code;
     Alcotest.test_case "exit values" `Quick test_exit_value;
     prop_scc_sound_on_prints;
+    prop_kernel_matches_reference;
   ]

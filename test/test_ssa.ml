@@ -169,7 +169,7 @@ let test_def_use_chains () =
         (function
           | Ssa.Assign (n, _) when (Ir.Var.name n.Ssa.base) = "x" ->
               Alcotest.(check int) "x.1 has two uses (one site each)" 2
-                (List.length s.Ssa.uses.(n.Ssa.id))
+                (List.length (Ssa.uses_of s n.Ssa.id))
           | _ -> ())
         blk.Ssa.instrs)
     s.Ssa.blocks
@@ -209,7 +209,8 @@ let prop_defs_total =
           (* entry names are Dentry; everything else Dinstr/Dphi; just check
              array sizes line up *)
           Array.length s.Ssa.defs = s.Ssa.n_names
-          && Array.length s.Ssa.uses = s.Ssa.n_names)
+          && Array.length s.Ssa.use_offsets = s.Ssa.n_names + 1
+          && Array.length s.Ssa.use_sites >= s.Ssa.use_offsets.(s.Ssa.n_names))
         ctx.Fsicp_core.Context.pcg.Fsicp_callgraph.Callgraph.nodes)
 
 let suite =

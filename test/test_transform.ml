@@ -190,7 +190,9 @@ let test_return_constants_found () =
         s.Return_consts.rs_formals.(0);
       Alcotest.check lat "g returns 7" (L.Const (Value.Int 7))
         (Option.value
-           (List.assoc_opt "g" s.Return_consts.rs_globals)
+           (List.assoc_opt
+              (Fsicp_prog.Prog.Var.intern "g")
+              s.Return_consts.rs_globals)
            ~default:L.Top)
   | None -> Alcotest.fail "no summary for init"
 

@@ -60,7 +60,11 @@ let check_solution_sound (prog : Ast.program) (sol : Solution.t) :
             ev.Fsicp_interp.Interp.ev_formals;
           List.iter
             (fun (gname, actual) ->
-              match List.assoc_opt gname entry.Solution.pe_globals with
+              match
+                List.assoc_opt
+                  (Fsicp_prog.Prog.Var.intern gname)
+                  entry.Solution.pe_globals
+              with
               | Some (Fsicp_scc.Lattice.Const claimed)
                 when not (Value.equal claimed actual) ->
                   violations :=
