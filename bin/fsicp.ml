@@ -10,6 +10,7 @@
     fsicp fold FILE [--method M]                     folded/optimised output
     fsicp tables [--table N] [--quick]               paper tables 1..5 etc.
     fsicp generate --seed N [--procs P] [--back B]   synthetic program
+    fsicp fuzz [--seeds N] [--start S] [--no-shrink] differential oracle
     v} *)
 
 open Cmdliner
@@ -302,6 +303,76 @@ let generate_cmd =
       $ Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P")
       $ Arg.(value & opt float 0.0 & info [ "back" ] ~docv:"B"))
 
+(* -- fuzz ---------------------------------------------------------------- *)
+
+let fuzz seeds start fuel jobs out no_shrink =
+  let module O = Fsicp_oracle.Oracle in
+  let module S = Fsicp_oracle.Shrink in
+  let jobs = resolve_jobs jobs in
+  let last = start + seeds - 1 in
+  let failures = ref 0 in
+  for seed = start to last do
+    if (seed - start) mod 50 = 0 then
+      Fmt.epr "fuzz: seed %d of %d..%d (%d failures so far)@." seed start last
+        !failures;
+    match O.check_seed ~fuel ~jobs seed with
+    | Ok () -> ()
+    | Error failure ->
+        incr failures;
+        Fmt.epr "fuzz: seed %d FAILED — %a@." seed O.pp_failure failure;
+        let prog = O.program_of_seed seed in
+        let prog, failure =
+          if no_shrink then (prog, failure)
+          else begin
+            (* Shrink against the *same* check so the reproducer does not
+               drift onto an unrelated bug mid-reduction. *)
+            let still_fails p =
+              match O.check_program ~fuel ~jobs p with
+              | Error f -> String.equal f.O.f_check failure.O.f_check
+              | Ok () -> false
+            in
+            let small = S.shrink ~still_fails prog in
+            Fmt.epr "fuzz: shrunk seed %d from %d to %d statements@." seed
+              (S.stmt_count prog) (S.stmt_count small);
+            match O.check_program ~fuel ~jobs small with
+            | Error f -> (small, f)
+            | Ok () -> (prog, failure)
+          end
+        in
+        let path =
+          O.write_reproducer ~dir:out
+            ~name:(Printf.sprintf "seed-%d" seed)
+            ~failure ~seed prog
+        in
+        Fmt.epr "fuzz: reproducer written to %s@." path
+  done;
+  if !failures = 0 then Fmt.pr "fuzz: %d seeds OK@." seeds
+  else begin
+    Fmt.pr "fuzz: %d of %d seeds failed@." !failures seeds;
+    exit 1
+  end
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "generate programs and run the differential soundness oracle on \
+          each; on failure, shrink to a minimal reproducer")
+    Term.(
+      const fuzz
+      $ Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N"
+               ~doc:"number of seeds to check")
+      $ Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"first seed")
+      $ Arg.(value
+             & opt int Fsicp_oracle.Oracle.default_fuel
+             & info [ "fuel" ] ~docv:"F" ~doc:"interpreter step budget")
+      $ jobs_arg
+      $ Arg.(value
+             & opt string "testdata/regressions"
+             & info [ "out" ] ~docv:"DIR" ~doc:"reproducer output directory")
+      $ Arg.(value & flag & info [ "no-shrink" ]
+               ~doc:"write the unshrunk failing program"))
+
 (* ------------------------------------------------------------------------ *)
 
 let () =
@@ -311,5 +382,5 @@ let () =
        (Cmd.group (Cmd.info "fsicp" ~doc)
           [
             analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
-            inline_cmd; clone_cmd; tables_cmd; generate_cmd;
+            inline_cmd; clone_cmd; tables_cmd; generate_cmd; fuzz_cmd;
           ]))

@@ -30,6 +30,10 @@ type entry_event = {
 type result = {
   prints : Value.t list;  (** values printed, in order *)
   entries : entry_event list;  (** procedure-entry trace, in order *)
+  exits : entry_event list;
+      (** procedure-exit trace (same shape: formal and global values at the
+          instant the callee returns), in completion order — the ground
+          truth for the return-constants summaries *)
   steps : int;  (** statements executed *)
 }
 
@@ -41,6 +45,7 @@ type state = {
   trace : bool;
   mutable prints_rev : Value.t list;
   mutable entries_rev : entry_event list;
+  mutable exits_rev : entry_event list;
 }
 
 exception Return_exc
@@ -95,7 +100,11 @@ and exec_stmt st frame (s : Ast.stmt) =
       else exec_block st frame e
   | Ast.While (c, body) ->
       while Value.truthy (eval st frame c) do
+        (* Each condition re-evaluation costs fuel: a loop whose body
+           consumes none (e.g. emptied by constant folding) must still run
+           out of fuel rather than spin forever. *)
         if st.fuel <= 0 then raise Out_of_fuel;
+        st.fuel <- st.fuel - 1;
         exec_block st frame body
       done
   | Ast.Call (q, args) -> call_proc st frame q args
@@ -118,17 +127,20 @@ and call_proc st (caller : frame) q args =
       Hashtbl.replace cells formal cell)
     callee.formals args;
   let frame = { cells; fformals = callee.formals } in
-  if st.trace then begin
-    let ev_formals =
-      List.map (fun f -> (f, !(Hashtbl.find cells f))) callee.formals
-    in
-    let ev_globals =
-      List.map (fun g -> (g, !(Hashtbl.find st.genv g))) st.prog.globals
-    in
-    st.entries_rev <-
-      { ev_proc = q; ev_formals; ev_globals } :: st.entries_rev
-  end;
-  try exec_block st frame callee.body with Return_exc -> ()
+  let snapshot () =
+    {
+      ev_proc = q;
+      ev_formals =
+        List.map (fun f -> (f, !(Hashtbl.find cells f))) callee.formals;
+      ev_globals =
+        List.map (fun g -> (g, !(Hashtbl.find st.genv g))) st.prog.globals;
+    }
+  in
+  if st.trace then st.entries_rev <- snapshot () :: st.entries_rev;
+  (try exec_block st frame callee.body with Return_exc -> ());
+  (* Record the exit snapshot only for calls that complete: an abort
+     (runtime error, fuel, stack overflow) constrains no exit summary. *)
+  if st.trace then st.exits_rev <- snapshot () :: st.exits_rev
 
 (** [run ?fuel ?trace prog] executes [prog] from its entry procedure.
 
@@ -141,30 +153,41 @@ let run ?(fuel = 200_000) ?(trace = true) (prog : Ast.program) : result =
   List.iter (fun g -> Hashtbl.replace genv g (ref (Value.Int 0))) prog.globals;
   List.iter (fun (g, v) -> Hashtbl.replace genv g (ref v)) prog.blockdata;
   let st =
-    { prog; genv; fuel; nsteps = 0; trace; prints_rev = []; entries_rev = [] }
+    {
+      prog;
+      genv;
+      fuel;
+      nsteps = 0;
+      trace;
+      prints_rev = [];
+      entries_rev = [];
+      exits_rev = [];
+    }
   in
   let main = Ast.find_proc_exn prog prog.main in
   let frame = { cells = Hashtbl.create 8; fformals = [] } in
-  if st.trace then
-    st.entries_rev <-
-      {
-        ev_proc = prog.main;
-        ev_formals = [];
-        ev_globals =
-          List.map (fun g -> (g, !(Hashtbl.find genv g))) prog.globals;
-      }
-      :: st.entries_rev;
+  let main_snapshot () =
+    {
+      ev_proc = prog.main;
+      ev_formals = [];
+      ev_globals = List.map (fun g -> (g, !(Hashtbl.find genv g))) prog.globals;
+    }
+  in
+  if st.trace then st.entries_rev <- main_snapshot () :: st.entries_rev;
   (try exec_block st frame main.body with Return_exc -> ());
+  if st.trace then st.exits_rev <- main_snapshot () :: st.exits_rev;
   {
     prints = List.rev st.prints_rev;
     entries = List.rev st.entries_rev;
+    exits = List.rev st.exits_rev;
     steps = st.nsteps;
   }
 
-(** [run_opt] is [run] but maps both runtime errors and fuel exhaustion to
+(** [run_opt] is [run] but maps runtime errors, fuel exhaustion and OCaml
+    stack overflow (deep guarded recursion in generated programs) to
     [None]; convenient in property tests where generated programs may
-    divide by zero or diverge. *)
+    divide by zero, diverge, or recurse past the host stack. *)
 let run_opt ?fuel ?trace prog =
   match run ?fuel ?trace prog with
   | r -> Some r
-  | exception (Runtime_error _ | Out_of_fuel) -> None
+  | exception (Runtime_error _ | Out_of_fuel | Stack_overflow) -> None

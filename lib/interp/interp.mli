@@ -22,15 +22,22 @@ type entry_event = {
 type result = {
   prints : Value.t list;  (** values printed, in order *)
   entries : entry_event list;  (** procedure-entry trace, in order *)
+  exits : entry_event list;
+      (** procedure-exit trace (formal and global values at the instant a
+          call completes), in completion order — the ground truth for the
+          return-constants summaries *)
   steps : int;  (** statements executed *)
 }
 
-(** Execute from the entry procedure.
+(** Execute from the entry procedure.  Fuel is charged per statement and
+    per [while]-condition re-evaluation, so loops with empty bodies still
+    terminate with {!Out_of_fuel}.
     @param fuel statement budget (default 200_000)
     @param trace record {!entry_event}s (default [true])
     @raise Runtime_error on arithmetic errors
     @raise Out_of_fuel when the budget runs out *)
 val run : ?fuel:int -> ?trace:bool -> Ast.program -> result
 
-(** [run] with runtime errors and fuel exhaustion mapped to [None]. *)
+(** [run] with runtime errors, fuel exhaustion and [Stack_overflow] (deep
+    guarded recursion) mapped to [None]. *)
 val run_opt : ?fuel:int -> ?trace:bool -> Ast.program -> result option

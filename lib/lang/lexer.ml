@@ -185,7 +185,15 @@ let next lx : token * Ast.pos =
       go ();
       let text = String.sub lx.src start (lx.off - start) in
       let tok =
-        match keyword_of_string text with Some kw -> kw | None -> IDENT text
+        match keyword_of_string text with
+        | Some kw -> kw
+        | None -> (
+            (* Reserved real literals, so that {!Value.pp}'s explicit
+               nan/inf forms read back as the floats they denote. *)
+            match text with
+            | "nan" -> REAL Float.nan
+            | "inf" -> REAL Float.infinity
+            | _ -> IDENT text)
       in
       (tok, p)
   | Some c ->

@@ -39,15 +39,30 @@ let of_bool b = Int (if b then 1 else 0)
 
 let to_float = function Int n -> float_of_int n | Real r -> r
 
+(** Shortest decimal representation that parses back to exactly [r]
+    (always carrying a decimal point or exponent so the lexer reads it as a
+    real), with explicit [nan] / [inf] / [-inf] spellings the lexer also
+    accepts.  Round-trip exactness keeps reparsing a pretty-printed program
+    from changing float semantics — the golden and observational-equivalence
+    oracles depend on it. *)
+let real_to_string r =
+  if Float.is_nan r then "nan"
+  else if r = Float.infinity then "inf"
+  else if r = Float.neg_infinity then "-inf"
+  else
+    let shortest =
+      let s15 = Printf.sprintf "%.15g" r in
+      if float_of_string s15 = r then s15
+      else
+        let s16 = Printf.sprintf "%.16g" r in
+        if float_of_string s16 = r then s16 else Printf.sprintf "%.17g" r
+    in
+    if String.exists (fun c -> c = '.' || c = 'e') shortest then shortest
+    else shortest ^ ".0"
+
 let pp ppf = function
   | Int n -> Fmt.int ppf n
-  | Real r ->
-      (* Print reals so that the lexer can read them back: always keep a
-         decimal point or exponent. *)
-      let s = Printf.sprintf "%.12g" r in
-      if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s
-      then Fmt.string ppf s
-      else Fmt.pf ppf "%s.0" s
+  | Real r -> Fmt.string ppf (real_to_string r)
 
 let to_string v = Fmt.str "%a" pp v
 

@@ -27,8 +27,13 @@ val equal_numeric : t -> t -> bool
 
 val compare_numeric : t -> t -> int
 
-(** Prints in a form the lexer reads back ([Real] always keeps a decimal
-    point or exponent). *)
+(** Shortest decimal form that parses back to exactly the same float
+    (always keeping a decimal point or exponent), with explicit [nan] /
+    [inf] / [-inf] spellings. *)
+val real_to_string : float -> string
+
+(** Prints in a form the lexer reads back bit-exactly: [Real] uses
+    {!real_to_string}. *)
 val pp : t Fmt.t
 
 val to_string : t -> string

@@ -1,0 +1,377 @@
+(** Differential soundness oracle — see the interface for the contract.
+
+    Implementation notes: every check is expressed against the reference
+    interpreter ({!Fsicp_interp.Interp}) or against another method's
+    solution, never against the implementation under test, so a bug in any
+    one layer (lattice, SCC kernel, wavefront scheduler, transform) shows
+    up as a cross-check violation.  All checks return the {e first} witness
+    only; the shrinker re-runs the whole oracle per candidate, so one
+    witness is all it needs. *)
+
+open Fsicp_lang
+open Fsicp_core
+module I = Fsicp_interp.Interp
+module L = Fsicp_scc.Lattice
+module Prog = Fsicp_prog.Prog
+
+type failure = { f_check : string; f_detail : string }
+
+let pp_failure ppf f = Fmt.pf ppf "%s: %s" f.f_check f.f_detail
+let default_fuel = 500_000
+let fail_check f_check fmt = Fmt.kstr (fun f_detail -> { f_check; f_detail }) fmt
+
+let reachable_procs (ctx : Context.t) : string list =
+  let pcg = ctx.Context.pcg in
+  Array.to_list pcg.Fsicp_callgraph.Callgraph.nodes
+  |> List.map (Fsicp_callgraph.Callgraph.proc_name pcg)
+
+(* ------------------------------------------------------------------ *)
+(* The precision partial order                                         *)
+(* ------------------------------------------------------------------ *)
+
+let formal_at (e : Solution.proc_entry) i =
+  if i < Array.length e.Solution.pe_formals then e.Solution.pe_formals.(i)
+  else L.Bot
+
+(* Globals absent from an entry are unknown: ⊥ (see Solution.global_value). *)
+let global_at (e : Solution.proc_entry) g =
+  match List.assoc_opt g e.Solution.pe_globals with
+  | Some v -> v
+  | None -> L.Bot
+
+let entry_le_witness proc (ea : Solution.proc_entry)
+    (eb : Solution.proc_entry) : string option =
+  let n_formals =
+    max
+      (Array.length ea.Solution.pe_formals)
+      (Array.length eb.Solution.pe_formals)
+  in
+  let formal_violation =
+    List.find_opt
+      (fun i -> not (L.le (formal_at ea i) (formal_at eb i)))
+      (List.init n_formals (fun i -> i))
+  in
+  match formal_violation with
+  | Some i ->
+      Some
+        (Printf.sprintf "%s: formal #%d: %s ⋢ %s" proc i
+           (L.to_string (formal_at ea i))
+           (L.to_string (formal_at eb i)))
+  | None ->
+      let keys =
+        List.map fst ea.Solution.pe_globals
+        @ List.map fst eb.Solution.pe_globals
+        |> List.sort_uniq Prog.Var.compare
+      in
+      List.find_opt (fun g -> not (L.le (global_at ea g) (global_at eb g))) keys
+      |> Option.map (fun g ->
+             Printf.sprintf "%s: global %s: %s ⋢ %s" proc (Prog.Var.name g)
+               (L.to_string (global_at ea g))
+               (L.to_string (global_at eb g)))
+
+let solution_le_witness (a : Solution.t) (b : Solution.t)
+    ~(procs : string list) : string option =
+  List.find_map
+    (fun proc ->
+      entry_le_witness proc (Solution.entry a proc) (Solution.entry b proc))
+    procs
+
+let solution_le a b ~procs = Option.is_none (solution_le_witness a b ~procs)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter-backed soundness                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Check one traced event (entry or exit) against claimed formal/global
+   values: a [Const] claim must equal the observed value exactly. *)
+let event_violation ~what (ev : I.entry_event) ~(formal_claim : int -> L.t)
+    ~(global_claim : Prog.Var.id -> L.t) : string option =
+  let formal =
+    List.find_mapi
+      (fun i (fname, actual) ->
+        match formal_claim i with
+        | L.Const claimed when not (Value.equal claimed actual) ->
+            Some
+              (Printf.sprintf "%s: formal %s claimed %s at %s but observed %s"
+                 ev.I.ev_proc fname (Value.to_string claimed) what
+                 (Value.to_string actual))
+        | L.Const _ | L.Top | L.Bot -> None)
+      ev.I.ev_formals
+  in
+  match formal with
+  | Some _ as v -> v
+  | None ->
+      List.find_map
+        (fun (gname, actual) ->
+          match global_claim (Prog.Var.intern gname) with
+          | L.Const claimed when not (Value.equal claimed actual) ->
+              Some
+                (Printf.sprintf
+                   "%s: global %s claimed %s at %s but observed %s"
+                   ev.I.ev_proc gname (Value.to_string claimed) what
+                   (Value.to_string actual))
+          | L.Const _ | L.Top | L.Bot -> None)
+        ev.I.ev_globals
+
+let check_solution_sound ?(fuel = default_fuel) (prog : Ast.program)
+    (sol : Solution.t) : (unit, string) result =
+  match I.run_opt ~fuel prog with
+  | None -> Ok () (* diverging or erroring programs constrain nothing *)
+  | Some r -> (
+      List.find_map
+        (fun (ev : I.entry_event) ->
+          let entry = Solution.entry sol ev.I.ev_proc in
+          event_violation ~what:"entry" ev
+            ~formal_claim:(formal_at entry)
+            ~global_claim:(fun g ->
+              match List.assoc_opt g entry.Solution.pe_globals with
+              | Some v -> v
+              | None -> L.Bot))
+        r.I.entries
+      |> function
+      | Some v -> Error v
+      | None -> Ok ())
+
+let check_returns_sound ?(fuel = default_fuel) (prog : Ast.program)
+    (rc : Return_consts.t) : (unit, string) result =
+  match I.run_opt ~fuel prog with
+  | None -> Ok ()
+  | Some r -> (
+      List.find_map
+        (fun (ev : I.entry_event) ->
+          match Return_consts.summary_of rc ev.I.ev_proc with
+          | None -> None
+          | Some s ->
+              event_violation ~what:"exit" ev
+                ~formal_claim:(fun i ->
+                  if i < Array.length s.Return_consts.rs_formals then
+                    s.Return_consts.rs_formals.(i)
+                  else L.Bot)
+                ~global_claim:(fun g ->
+                  match List.assoc_opt g s.Return_consts.rs_globals with
+                  | Some v -> v
+                  | None -> L.Bot))
+        r.I.exits
+      |> function
+      | Some v -> Error v
+      | None -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* The full per-program oracle                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prints_of ~fuel prog = Option.map (fun r -> r.I.prints) (I.run_opt ~fuel prog)
+
+let describe_prints = function
+  | None -> "<diverges or errors>"
+  | Some vs ->
+      Printf.sprintf "[%s]" (String.concat "; " (List.map Value.to_string vs))
+
+(* Observational equivalence of a transformed program against the source's
+   prints.  [strict] demands divergence agree too (entry-constant
+   insertion, inlining, cloning are step-for-step faithful); folding may
+   legitimately terminate where the fuel-bounded source did not. *)
+let equiv_violation ~fuel ~what ~reference prog' : string option =
+  match Sema.check prog' with
+  | Error es ->
+      Some
+        (Printf.sprintf "%s output is not Sema-clean: %s" what
+           (Sema.errors_to_string es))
+  | Ok () -> (
+      let out' = prints_of ~fuel prog' in
+      match (reference, out') with
+      | Some a, Some b when List.equal Value.equal a b -> None
+      | None, None -> None
+      | None, Some _ when String.equal what "fold" ->
+          (* The source ran out of fuel; the folded program doing less work
+             and terminating is legitimate. *)
+          None
+      | _ ->
+          Some
+            (Printf.sprintf "%s changed behaviour: source prints %s, %s prints %s"
+               what (describe_prints reference) what (describe_prints out')))
+
+(* Solutions compared entry-for-entry; used by the jobs-determinism check,
+   where any difference — value, global set, formal count — is a bug. *)
+let entry_equal_witness proc (ea : Solution.proc_entry)
+    (eb : Solution.proc_entry) : string option =
+  if
+    Array.length ea.Solution.pe_formals <> Array.length eb.Solution.pe_formals
+  then Some (Printf.sprintf "%s: formal counts differ" proc)
+  else
+    match
+      List.find_opt
+        (fun i ->
+          not (L.equal ea.Solution.pe_formals.(i) eb.Solution.pe_formals.(i)))
+        (List.init (Array.length ea.Solution.pe_formals) (fun i -> i))
+    with
+    | Some i ->
+        Some
+          (Printf.sprintf "%s: formal #%d: %s vs %s" proc i
+             (L.to_string ea.Solution.pe_formals.(i))
+             (L.to_string eb.Solution.pe_formals.(i)))
+    | None ->
+        let keys =
+          List.map fst ea.Solution.pe_globals
+          @ List.map fst eb.Solution.pe_globals
+          |> List.sort_uniq Prog.Var.compare
+        in
+        List.find_opt
+          (fun g -> not (L.equal (global_at ea g) (global_at eb g)))
+          keys
+        |> Option.map (fun g ->
+               Printf.sprintf "%s: global %s: %s vs %s" proc (Prog.Var.name g)
+                 (L.to_string (global_at ea g))
+                 (L.to_string (global_at eb g)))
+
+let check_program ?(fuel = default_fuel) ?jobs (prog : Ast.program) :
+    (unit, failure) result =
+  let jobs =
+    match jobs with
+    | Some j -> max 2 j
+    | None -> max 2 (Fsicp_par.Par.default_jobs ())
+  in
+  let ctx = Context.create ~jobs:1 prog in
+  let procs = reachable_procs ctx in
+  let fi = Fi_icp.solve ctx in
+  let fs = Fs_icp.solve ~jobs:1 ~fi ctx in
+  let reference = Reference.solve ctx in
+  let jf v = Jump_functions.solve ctx v in
+  let literal = jf Jump_functions.Literal in
+  let intra = jf Jump_functions.Intra in
+  let pass = jf Jump_functions.Pass_through in
+  let poly = jf Jump_functions.Polynomial in
+  let methods =
+    [
+      ("literal", literal);
+      ("intra", intra);
+      ("pass", pass);
+      ("poly", poly);
+      ("fi", fi);
+      ("fs", fs);
+      ("ref", reference);
+    ]
+  in
+  let ( let* ) r f = match r with Some failure -> Error failure | None -> f () in
+  (* (a) interpreter soundness of every method's entry constants *)
+  let* () =
+    List.find_map
+      (fun (name, sol) ->
+        match check_solution_sound ~fuel prog sol with
+        | Ok () -> None
+        | Error detail -> Some (fail_check ("sound:" ^ name) "%s" detail))
+      methods
+  in
+  (* (a') soundness of the return-constants exit summaries, and of the FS
+     re-solve that consumes them *)
+  let rc = Return_consts.compute ctx ~fs in
+  let* () =
+    match check_returns_sound ~fuel prog rc with
+    | Ok () -> None
+    | Error detail -> Some (fail_check "sound:returns" "%s" detail)
+  in
+  let fs_rc =
+    Fs_icp.solve ~jobs:1
+      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor ctx))
+      ctx
+  in
+  let* () =
+    match check_solution_sound ~fuel prog fs_rc with
+    | Ok () -> None
+    | Error detail -> Some (fail_check "sound:fs+returns" "%s" detail)
+  in
+  (* (b) the paper's method hierarchy, formals and globals.  The two
+     comparisons *into* FS hold only on acyclic PCGs: with recursion the
+     jump-function methods' optimistic fixpoint can legitimately beat FS's
+     pessimistic FI-plug-in at back edges (the repo's property tests make
+     the same restriction). *)
+  let acyclic = not (Fsicp_callgraph.Callgraph.has_cycles ctx.Context.pcg) in
+  let hierarchy =
+    [
+      ("literal⊑intra", literal, intra);
+      ("intra⊑pass", intra, pass);
+      ("pass⊑poly", pass, poly);
+      ("fs⊑ref", fs, reference);
+    ]
+    @ if acyclic then [ ("poly⊑fs", poly, fs); ("fi⊑fs", fi, fs) ] else []
+  in
+  let* () =
+    List.find_map
+      (fun (name, a, b) ->
+        solution_le_witness a b ~procs
+        |> Option.map (fun w -> fail_check ("hierarchy:" ^ name) "%s" w))
+      hierarchy
+  in
+  (* (c) observational equivalence of the transformations *)
+  let reference_prints = prints_of ~fuel prog in
+  let transforms =
+    [
+      ("insert", fun () -> Transform.insert_entry_constants ctx fs);
+      ("fold", fun () -> Fold.fold_program ctx fs);
+      ("inline", fun () -> fst (Inline.inline_program ctx ()));
+      ("clone", fun () -> fst (Clone.clone_by_constants ctx ~fs ()));
+    ]
+  in
+  let* () =
+    List.find_map
+      (fun (what, transform) ->
+        equiv_violation ~fuel ~what ~reference:reference_prints (transform ())
+        |> Option.map (fun w -> fail_check ("equiv:" ^ what) "%s" w))
+      transforms
+  in
+  (* (d) jobs-determinism: an independent context and solve on N domains
+     must reproduce the sequential solution bit-for-bit *)
+  let ctx_par = Context.create ~jobs prog in
+  let fs_par = Fs_icp.solve ~jobs ctx_par in
+  let* () =
+    List.find_map
+      (fun proc ->
+        entry_equal_witness proc (Solution.entry fs proc)
+          (Solution.entry fs_par proc)
+        |> Option.map (fun w ->
+               fail_check "determinism:jobs" "jobs=1 vs jobs=%d: %s" jobs w))
+      procs
+  in
+  let* () =
+    if fs.Solution.scc_runs <> fs_par.Solution.scc_runs then
+      Some
+        (fail_check "determinism:jobs" "scc_runs: %d (jobs=1) vs %d (jobs=%d)"
+           fs.Solution.scc_runs fs_par.Solution.scc_runs jobs)
+    else None
+  in
+  Ok ()
+
+let program_of_seed seed =
+  Fsicp_workloads.Generator.generate
+    (Fsicp_workloads.Generator.small_profile seed)
+
+let check_seed ?fuel ?jobs seed = check_program ?fuel ?jobs (program_of_seed seed)
+
+(* ------------------------------------------------------------------ *)
+(* Reproducer corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_reproducer ~dir ~name ~failure ?seed prog =
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".mf") in
+  let oc = open_out_bin path in
+  let comment fmt =
+    Fmt.kstr
+      (fun s ->
+        String.split_on_char '\n' s
+        |> List.iter (fun line -> Printf.fprintf oc "// %s\n" line))
+      fmt
+  in
+  comment "fsicp fuzz reproducer — replayed by `dune runtest` (test_oracle).";
+  (match seed with Some s -> comment "seed: %d" s | None -> ());
+  comment "check: %s" failure.f_check;
+  comment "detail: %s" failure.f_detail;
+  output_string oc (Pretty.program_to_string prog);
+  close_out oc;
+  path

@@ -1,0 +1,93 @@
+(** Differential soundness oracle: every cross-method invariant the paper's
+    precision hierarchy rests on, machine-checked per program.
+
+    For one program the oracle checks
+
+    - {b soundness}: every entry constant (formals {e and} globals) each of
+      the six methods claims — the four jump-function baselines, FI-ICP and
+      FS-ICP — plus the iterative reference, equals the value the reference
+      interpreter observes at every dynamic procedure entry; and every exit
+      constant the return-constants extension claims holds at every dynamic
+      procedure exit;
+    - {b hierarchy}: the paper's Figure-1/Table-5 partial order
+      (literal ⊑ intra ⊑ pass-through ⊑ polynomial ⊑ FS, FI ⊑ FS, FS ⊑
+      iterative reference), on formals {e and} globals — the two
+      comparisons into FS only when the PCG is acyclic, since with
+      recursion the jump-function methods' optimistic fixpoint can
+      legitimately beat FS's pessimistic FI-based back-edge treatment;
+    - {b observational equivalence}: the [Transform]/[Fold]/[Inline]/
+      [Clone] outputs print the same values as the source program;
+    - {b determinism}: [Fs_icp.solve] produces the identical solution under
+      [jobs = 1] and [jobs = N].
+
+    The oracle is the shared definition used by the test suites and by the
+    [fsicp fuzz] harness; on a failure, {!Fsicp_oracle.Shrink} reduces the
+    program to a minimal reproducer. *)
+
+open Fsicp_lang
+open Fsicp_core
+
+(** One oracle violation: which check tripped, and a human-readable
+    description of the first witness. *)
+type failure = {
+  f_check : string;  (** e.g. ["sound:poly"], ["hierarchy:fi⊑fs"] *)
+  f_detail : string;
+}
+
+val pp_failure : failure Fmt.t
+
+(** Interpreter budget used by every check (default [500_000]). *)
+val default_fuel : int
+
+(** [solution_le a b ~procs] — the paper's precision partial order on whole
+    solutions: every formal {e and} every global entry value of [a] is ⊑
+    the corresponding value of [b] (globals missing from an entry are ⊥).
+    The single shared definition of the method-hierarchy order. *)
+val solution_le : Solution.t -> Solution.t -> procs:string list -> bool
+
+(** Like {!solution_le} but returns a description of the first violating
+    (procedure, slot) instead of a bool. *)
+val solution_le_witness :
+  Solution.t -> Solution.t -> procs:string list -> string option
+
+(** Names of the reachable procedures of a context, PCG order. *)
+val reachable_procs : Context.t -> string list
+
+(** [check_solution_sound prog sol] executes [prog] (if it terminates
+    within fuel and without runtime errors) and verifies that every formal
+    and global the solution claims constant at a procedure entry has
+    exactly that value at {e every} dynamic entry of the procedure. *)
+val check_solution_sound :
+  ?fuel:int -> Ast.program -> Solution.t -> (unit, string) result
+
+(** [check_returns_sound prog rc] verifies the return-constants exit
+    summaries against the interpreter's procedure-exit trace: every formal
+    or global claimed constant at exit has exactly that value at {e every}
+    dynamic exit of the procedure. *)
+val check_returns_sound :
+  ?fuel:int -> Ast.program -> Return_consts.t -> (unit, string) result
+
+(** Run every oracle check on one {!Sema.check}-clean program.  [jobs] is
+    the parallel arm of the determinism check (default
+    {!Fsicp_par.Par.default_jobs}, at least 2). *)
+val check_program :
+  ?fuel:int -> ?jobs:int -> Ast.program -> (unit, failure) result
+
+(** The generated program the fuzz harness checks for a seed
+    ({!Fsicp_workloads.Generator.small_profile}). *)
+val program_of_seed : int -> Ast.program
+
+(** {!check_program} on {!program_of_seed}. *)
+val check_seed : ?fuel:int -> ?jobs:int -> int -> (unit, failure) result
+
+(** [write_reproducer ~dir ~name ~failure ?seed prog] pretty-prints [prog]
+    into [dir/name.mf] with a comment header recording the failed check
+    (creating [dir] if needed) and returns the path.  The file is valid
+    MiniFort: the corpus-replay test re-parses and re-checks it. *)
+val write_reproducer :
+  dir:string ->
+  name:string ->
+  failure:failure ->
+  ?seed:int ->
+  Ast.program ->
+  string

@@ -1,0 +1,346 @@
+open Fsicp_lang
+
+(* ------------------------------------------------------------------ *)
+(* Pre-order statement numbering                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt_size s =
+  match s.Ast.sdesc with
+  | Ast.If (_, t, e) -> 1 + block_size t + block_size e
+  | Ast.While (_, b) -> 1 + block_size b
+  | Ast.Assign _ | Ast.Call _ | Ast.Return | Ast.Print _ -> 1
+
+and block_size b = List.fold_left (fun n s -> n + stmt_size s) 0 b
+
+let stmt_count (p : Ast.program) =
+  List.fold_left (fun n pr -> n + block_size pr.Ast.body) 0 p.Ast.procs
+
+(* Rewrite statements by pre-order index.  [f idx stmt] decides the fate
+   of the statement numbered [idx]: keep it (recursing into children),
+   drop its whole subtree, or splice a replacement block in verbatim.
+   The counter always advances by the subtree size, so indices computed
+   against the input program stay meaningful for the whole rewrite. *)
+let rewrite_stmts f (prog : Ast.program) =
+  let counter = ref 0 in
+  let rec go_block b = List.concat_map go_stmt b
+  and go_stmt s =
+    let idx = !counter in
+    let size = stmt_size s in
+    match f idx s with
+    | `Drop ->
+        counter := idx + size;
+        []
+    | `Replace ss ->
+        counter := idx + size;
+        ss
+    | `Keep ->
+        incr counter;
+        let sdesc =
+          match s.Ast.sdesc with
+          | Ast.If (c, t, e) ->
+              let t = go_block t in
+              let e = go_block e in
+              Ast.If (c, t, e)
+          | Ast.While (c, b) -> Ast.While (c, go_block b)
+          | (Ast.Assign _ | Ast.Call _ | Ast.Return | Ast.Print _) as d -> d
+        in
+        [ { s with Ast.sdesc } ]
+  in
+  {
+    prog with
+    Ast.procs =
+      List.map (fun p -> { p with Ast.body = go_block p.Ast.body }) prog.Ast.procs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pre-order expression numbering                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_size = function
+  | Ast.Const _ | Ast.Var _ -> 1
+  | Ast.Unary (_, e) -> 1 + expr_size e
+  | Ast.Binary (_, l, r) -> 1 + expr_size l + expr_size r
+
+(* Rewrite expressions by pre-order index over every expression position
+   in the program (right-hand sides, conditions, arguments, print
+   operands) and their subexpressions.  [f idx e = Some e'] replaces the
+   subexpression wholesale (no recursion into [e']). *)
+let rewrite_exprs f (prog : Ast.program) =
+  let counter = ref 0 in
+  let rec go_expr e =
+    let idx = !counter in
+    match f idx e with
+    | Some e' ->
+        counter := idx + expr_size e;
+        e'
+    | None -> (
+        incr counter;
+        match e with
+        | Ast.Const _ | Ast.Var _ -> e
+        | Ast.Unary (op, e1) -> Ast.Unary (op, go_expr e1)
+        | Ast.Binary (op, l, r) ->
+            let l = go_expr l in
+            let r = go_expr r in
+            Ast.Binary (op, l, r))
+  in
+  let rec go_block b = List.map go_stmt b
+  and go_stmt s =
+    let sdesc =
+      match s.Ast.sdesc with
+      | Ast.Assign (x, e) -> Ast.Assign (x, go_expr e)
+      | Ast.If (c, t, e) ->
+          let c = go_expr c in
+          let t = go_block t in
+          let e = go_block e in
+          Ast.If (c, t, e)
+      | Ast.While (c, b) ->
+          let c = go_expr c in
+          Ast.While (c, go_block b)
+      | Ast.Call (p, args) -> Ast.Call (p, List.map go_expr args)
+      | Ast.Print e -> Ast.Print (go_expr e)
+      | Ast.Return -> Ast.Return
+    in
+    { s with Ast.sdesc }
+  in
+  {
+    prog with
+    Ast.procs =
+      List.map (fun p -> { p with Ast.body = go_block p.Ast.body }) prog.Ast.procs;
+  }
+
+let expr_count (prog : Ast.program) =
+  let n = ref 0 in
+  List.iter
+    (fun p -> Ast.iter_exprs (fun e -> n := !n + expr_size e) p.Ast.body)
+    prog.Ast.procs;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* The shrink loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type budget = { mutable checks_left : int; still_fails : Ast.program -> bool }
+
+(* A candidate counts against the budget only when it reaches the
+   (expensive) failure predicate; Sema rejections are free. *)
+let accept bgt cand =
+  bgt.checks_left > 0
+  &&
+  match Sema.check cand with
+  | Error _ -> false
+  | Ok () ->
+      bgt.checks_left <- bgt.checks_left - 1;
+      bgt.still_fails cand
+
+(* Chunked ddmin over the statement sequence: try dropping aligned chunks
+   of [chunk] statements, halving the chunk size when no drop at the
+   current granularity succeeds. *)
+let ddmin_stmts bgt prog =
+  let prog = ref prog and improved = ref false in
+  let chunk = ref (max 1 (stmt_count !prog / 2)) in
+  while !chunk >= 1 && bgt.checks_left > 0 do
+    let n = stmt_count !prog in
+    let lo = ref 0 and dropped_any = ref false in
+    while !lo < n && bgt.checks_left > 0 do
+      let hi = !lo + !chunk in
+      let cand =
+        rewrite_stmts
+          (fun idx _ -> if idx >= !lo && idx < hi then `Drop else `Keep)
+          !prog
+      in
+      if stmt_count cand < stmt_count !prog && accept bgt cand then begin
+        prog := cand;
+        dropped_any := true;
+        improved := true
+        (* indices shifted; same [lo] now names the next chunk *)
+      end
+      else lo := hi
+    done;
+    if not !dropped_any then
+      if !chunk = 1 then chunk := 0 else chunk := !chunk / 2
+  done;
+  (!prog, !improved)
+
+(* Replace an [if] by one of its branches, a [while] by its body. *)
+let flatten_compounds bgt prog =
+  let prog = ref prog and improved = ref false in
+  let continue_ = ref true in
+  while !continue_ && bgt.checks_left > 0 do
+    continue_ := false;
+    let n = stmt_count !prog in
+    let idx = ref 0 in
+    while !idx < n && bgt.checks_left > 0 do
+      let replacements = ref [] in
+      let target = !idx in
+      ignore
+        (rewrite_stmts
+           (fun i s ->
+             if i = target then
+               (match s.Ast.sdesc with
+               | Ast.If (_, t, e) -> replacements := [ t; e ]
+               | Ast.While (_, b) -> replacements := [ b ]
+               | Ast.Assign _ | Ast.Call _ | Ast.Return | Ast.Print _ -> ());
+             `Keep)
+           !prog);
+      let applied =
+        List.exists
+          (fun block ->
+            let cand =
+              rewrite_stmts
+                (fun i _ -> if i = target then `Replace block else `Keep)
+                !prog
+            in
+            stmt_count cand < stmt_count !prog
+            && accept bgt cand
+            &&
+            (prog := cand;
+             improved := true;
+             continue_ := true;
+             true))
+          !replacements
+      in
+      if not applied then incr idx
+    done
+  done;
+  (!prog, !improved)
+
+let drop_procs bgt prog =
+  let prog = ref prog and improved = ref false in
+  let continue_ = ref true in
+  while !continue_ && bgt.checks_left > 0 do
+    continue_ := false;
+    List.iter
+      (fun (p : Ast.proc) ->
+        if (not (String.equal p.Ast.pname !prog.Ast.main)) && not !continue_
+        then
+          let cand =
+            {
+              !prog with
+              Ast.procs =
+                List.filter
+                  (fun q -> not (String.equal q.Ast.pname p.Ast.pname))
+                  !prog.Ast.procs;
+            }
+          in
+          if accept bgt cand then begin
+            prog := cand;
+            improved := true;
+            continue_ := true
+          end)
+      !prog.Ast.procs
+  done;
+  (!prog, !improved)
+
+(* Undeclaring a global turns its uses into procedure-locals (initialised
+   to 0); the candidate is only kept if the failure survives that change
+   of meaning, so this is safe. *)
+let drop_globals bgt prog =
+  let prog = ref prog and improved = ref false in
+  let continue_ = ref true in
+  while !continue_ && bgt.checks_left > 0 do
+    continue_ := false;
+    (* First try removing block-data initialisers alone. *)
+    List.iter
+      (fun (g, _) ->
+        if not !continue_ then
+          let cand =
+            {
+              !prog with
+              Ast.blockdata =
+                List.filter
+                  (fun (g', _) -> not (String.equal g g'))
+                  !prog.Ast.blockdata;
+            }
+          in
+          if accept bgt cand then begin
+            prog := cand;
+            improved := true;
+            continue_ := true
+          end)
+      !prog.Ast.blockdata;
+    List.iter
+      (fun g ->
+        if not !continue_ then
+          let cand =
+            {
+              !prog with
+              Ast.globals =
+                List.filter (fun g' -> not (String.equal g g')) !prog.Ast.globals;
+              Ast.blockdata =
+                List.filter
+                  (fun (g', _) -> not (String.equal g g'))
+                  !prog.Ast.blockdata;
+            }
+          in
+          if accept bgt cand then begin
+            prog := cand;
+            improved := true;
+            continue_ := true
+          end)
+      !prog.Ast.globals
+  done;
+  (!prog, !improved)
+
+(* Candidate replacements for a subexpression, ordered simplest-first.
+   The relation is well-founded: operand extraction shrinks the tree and
+   the constant chain bottoms out at [0]. *)
+let expr_candidates = function
+  | Ast.Binary (_, l, r) -> [ l; r; Ast.Const (Value.Int 0); Ast.Const (Value.Int 1) ]
+  | Ast.Unary (_, e) -> [ e; Ast.Const (Value.Int 0) ]
+  | Ast.Var _ -> [ Ast.Const (Value.Int 0); Ast.Const (Value.Int 1) ]
+  | Ast.Const (Value.Int 0) -> []
+  | Ast.Const (Value.Int 1) -> [ Ast.Const (Value.Int 0) ]
+  | Ast.Const _ -> [ Ast.Const (Value.Int 0); Ast.Const (Value.Int 1) ]
+
+let simplify_exprs bgt prog =
+  let prog = ref prog and improved = ref false in
+  let idx = ref 0 in
+  while !idx < expr_count !prog && bgt.checks_left > 0 do
+    let target = !idx in
+    let subject = ref None in
+    ignore
+      (rewrite_exprs
+         (fun i e ->
+           if i = target then subject := Some e;
+           None)
+         !prog);
+    let applied =
+      match !subject with
+      | None -> false
+      | Some e ->
+          List.exists
+            (fun repl ->
+              (not (Ast.equal_expr repl e))
+              &&
+              let cand =
+                rewrite_exprs
+                  (fun i _ -> if i = target then Some repl else None)
+                  !prog
+              in
+              accept bgt cand
+              &&
+              (prog := cand;
+               improved := true;
+               true))
+            (expr_candidates e)
+    in
+    (* On success re-examine the same index: the replacement may itself
+       simplify further. *)
+    if not applied then incr idx
+  done;
+  (!prog, !improved)
+
+let shrink ?(max_checks = 5000) ~still_fails prog =
+  let bgt = { checks_left = max_checks; still_fails } in
+  let prog = ref prog in
+  let continue_ = ref true in
+  while !continue_ && bgt.checks_left > 0 do
+    continue_ := false;
+    List.iter
+      (fun pass ->
+        let p', improved = pass bgt !prog in
+        prog := p';
+        if improved then continue_ := true)
+      [ ddmin_stmts; flatten_compounds; drop_procs; drop_globals; simplify_exprs ]
+  done;
+  !prog

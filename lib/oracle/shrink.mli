@@ -1,0 +1,31 @@
+(** Delta-debugging shrinker for oracle counterexamples.
+
+    Given a failing program and a [still_fails] predicate (typically "the
+    same oracle check still trips"), {!shrink} greedily reduces the program
+    while keeping it {!Fsicp_lang.Sema.check}-clean and still-failing:
+
+    - chunked ddmin over the pre-order statement sequence (dropping a
+      statement drops its whole subtree);
+    - flattening compound statements into one of their branches;
+    - dropping whole procedures (once their call sites are gone);
+    - dropping globals and block-data initialisers;
+    - simplifying expressions (operand extraction, collapse to [0]/[1]).
+
+    Passes run to a fixpoint, bounded by [max_checks] candidate
+    evaluations.  The result is 1-minimal with respect to the passes that
+    ran within budget, not globally minimal. *)
+
+open Fsicp_lang
+
+(** Number of statements in the program, counting nested ones. *)
+val stmt_count : Ast.program -> int
+
+(** [shrink ~still_fails prog] — [prog] must satisfy [still_fails].
+    Candidates failing {!Sema.check} are discarded without consulting
+    [still_fails].  [max_checks] bounds total candidate evaluations
+    (default [5000]). *)
+val shrink :
+  ?max_checks:int ->
+  still_fails:(Ast.program -> bool) ->
+  Ast.program ->
+  Ast.program

@@ -20,6 +20,7 @@ let () =
       ("transform", Test_transform.suite);
       ("inline", Test_inline.suite);
       ("corpus", Test_corpus.suite);
+      ("oracle", Test_oracle.suite);
       ("golden", Test_golden.suite);
       ("driver", Test_driver.suite);
       ("edge-cases", Test_edge.suite);

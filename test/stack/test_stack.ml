@@ -1,0 +1,19 @@
+(** Regression: deep guarded recursion must surface as [None] from
+    {!Fsicp_interp.Interp.run_opt} — a [Stack_overflow] escaping it would
+    crash the fuzz harness and every analysis client.
+
+    The dune rule runs this binary under [OCAMLRUNPARAM=l=65536] so the
+    fiber stack hits its limit in milliseconds; with the default (gigantic)
+    OCaml 5 limit the same overflow would cost seconds and gigabytes. *)
+
+let () =
+  let prog =
+    Fsicp_lang.Parser.program_of_string
+      {|proc main() { call r(0); }
+        proc r(d) { d = d + 1; if (d < 100000000) { call r(d); } }|}
+  in
+  match Fsicp_interp.Interp.run_opt ~fuel:max_int prog with
+  | None -> print_endline "stack overflow mapped to None: OK"
+  | Some _ ->
+      prerr_endline "expected None (stack overflow), got a completed run";
+      exit 1

@@ -123,6 +123,22 @@ let test_nested_scopes_order () =
     {|proc main() { x = 1; call f(); print x; }
       proc f() { x = 2; print x; }|}
 
+(* Regression: a [while] whose body consumes no fuel (e.g. emptied by
+   constant folding) must still exhaust fuel — each condition
+   re-evaluation is charged — instead of spinning forever. *)
+let test_empty_while_body_exhausts_fuel () =
+  Alcotest.(check bool)
+    "empty-body loop runs out of fuel" true
+    (I.run_opt ~fuel:1000 (Test_util.parse "proc main() { while (1) { } }")
+    = None);
+  Alcotest.(check bool)
+    "nested empty loop under a call too" true
+    (I.run_opt ~fuel:1000
+       (Test_util.parse
+          {|proc main() { call f(0); }
+            proc f(u) { while (u < 1) { } }|})
+    = None)
+
 let prop_terminating_or_flagged =
   Test_util.qcheck ~count:40 ~name:"generated programs run or are flagged"
     Test_util.seed_gen
@@ -162,6 +178,8 @@ let suite =
     Alcotest.test_case "return from loop" `Quick test_return_from_loop;
     Alcotest.test_case "recursion" `Quick test_recursion;
     Alcotest.test_case "fuel exhaustion" `Quick test_fuel;
+    Alcotest.test_case "empty while body exhausts fuel" `Quick
+      test_empty_while_body_exhausts_fuel;
     Alcotest.test_case "division by zero" `Quick test_runtime_error;
     Alcotest.test_case "entry-event trace" `Quick test_entry_trace;
     Alcotest.test_case "locals are per-procedure" `Quick

@@ -27,91 +27,24 @@ let qcheck ?(count = 50) ~name gen prop =
 (* The soundness oracle                                                *)
 (* ------------------------------------------------------------------ *)
 
-(** [check_solution_sound prog sol] executes [prog] (if it terminates
-    within fuel and without runtime errors) and verifies that every formal
-    and global the solution claims constant at a procedure entry has
-    exactly that value at {e every} dynamic entry of the procedure.
-    Returns [Ok ()] or a description of the first violation. *)
+(* The single shared definitions live in {!Fsicp_oracle.Oracle}; the test
+   suites re-export them under their historical names. *)
+
 let check_solution_sound (prog : Ast.program) (sol : Solution.t) :
     (unit, string) result =
-  match Fsicp_interp.Interp.run_opt ~fuel:500_000 prog with
-  | None -> Ok () (* diverging or erroring programs constrain nothing *)
-  | Some r ->
-      let violations = ref [] in
-      List.iter
-        (fun (ev : Fsicp_interp.Interp.entry_event) ->
-          let entry = Solution.entry sol ev.Fsicp_interp.Interp.ev_proc in
-          List.iteri
-            (fun i (fname, actual) ->
-              match
-                if i < Array.length entry.Solution.pe_formals then
-                  entry.Solution.pe_formals.(i)
-                else Fsicp_scc.Lattice.Bot
-              with
-              | Fsicp_scc.Lattice.Const claimed
-                when not (Value.equal claimed actual) ->
-                  violations :=
-                    Printf.sprintf
-                      "%s: formal %s claimed %s but observed %s"
-                      ev.Fsicp_interp.Interp.ev_proc fname
-                      (Value.to_string claimed) (Value.to_string actual)
-                    :: !violations
-              | _ -> ())
-            ev.Fsicp_interp.Interp.ev_formals;
-          List.iter
-            (fun (gname, actual) ->
-              match
-                List.assoc_opt
-                  (Fsicp_prog.Prog.Var.intern gname)
-                  entry.Solution.pe_globals
-              with
-              | Some (Fsicp_scc.Lattice.Const claimed)
-                when not (Value.equal claimed actual) ->
-                  violations :=
-                    Printf.sprintf
-                      "%s: global %s claimed %s but observed %s"
-                      ev.Fsicp_interp.Interp.ev_proc gname
-                      (Value.to_string claimed) (Value.to_string actual)
-                    :: !violations
-              | _ -> ())
-            ev.Fsicp_interp.Interp.ev_globals)
-        r.Fsicp_interp.Interp.entries;
-      (match !violations with
-      | [] -> Ok ()
-      | v :: _ -> Error v)
+  Fsicp_oracle.Oracle.check_solution_sound prog sol
 
 let assert_sound name prog sol =
   match check_solution_sound prog sol with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "%s: unsound: %s" name msg
 
-(** Partial order on solutions: [le a b] iff [a]'s formal entry values are
-    all ⊑ [b]'s (b at least as precise as... note: in this lattice smaller
-    means less precise — [Const ⊒ Bot]).  Used for the method-hierarchy
-    properties. *)
-let solution_le (a : Solution.t) (b : Solution.t) ~(procs : string list) :
-    bool =
-  List.for_all
-    (fun proc ->
-      let ea = Solution.entry a proc and eb = Solution.entry b proc in
-      let n =
-        max (Array.length ea.Solution.pe_formals)
-          (Array.length eb.Solution.pe_formals)
-      in
-      let get (e : Solution.proc_entry) i =
-        if i < Array.length e.Solution.pe_formals then
-          e.Solution.pe_formals.(i)
-        else Fsicp_scc.Lattice.Bot
-      in
-      List.for_all
-        (fun i -> Fsicp_scc.Lattice.le (get ea i) (get eb i))
-        (List.init n (fun i -> i)))
-    procs
+(** Partial order on solutions, formals {e and} globals (in this lattice
+    smaller means less precise — [Const ⊒ Bot]).  Used for the
+    method-hierarchy properties. *)
+let solution_le = Fsicp_oracle.Oracle.solution_le
 
-let reachable_procs (ctx : Context.t) : string list =
-  let pcg = ctx.Context.pcg in
-  Array.to_list pcg.Fsicp_callgraph.Callgraph.nodes
-  |> List.map (Fsicp_callgraph.Callgraph.proc_name pcg)
+let reachable_procs = Fsicp_oracle.Oracle.reachable_procs
 
 (* Common Alcotest testables *)
 let value_testable =

@@ -119,6 +119,39 @@ let prop_comparison_bool =
       | Some (Value.Int (0 | 1)) -> true
       | _ -> false)
 
+(* Real printing must be round-trippable through the lexer bit-for-bit:
+   shortest decimal representation plus explicit nan/inf spellings. *)
+let real_roundtrips r =
+  match Parser.expr_of_string (Value.to_string (Value.Real r)) with
+  | Ast.Const (Value.Real r') ->
+      if Float.is_nan r then Float.is_nan r'
+      else Int64.equal (Int64.bits_of_float r) (Int64.bits_of_float r')
+  | _ -> false
+
+let test_real_roundtrip_corners () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (Value.real_to_string r))
+        true (real_roundtrips r))
+    [
+      0.0; -0.0; 0.1; 1.0 /. 3.0; 0.5; 1e300; 1e-300; Float.min_float;
+      Float.max_float; Float.epsilon; 4e-324 (* smallest subnormal *);
+      Float.nan; Float.infinity; Float.neg_infinity; 1.000000000000001;
+      9007199254740993.0;
+    ]
+
+let prop_real_roundtrip =
+  Test_util.qcheck ~count:1000 ~name:"real print/lex roundtrip is bit-exact"
+    QCheck2.Gen.(
+      oneof
+        [
+          float;
+          (* arbitrary bit patterns reach subnormals and huge exponents *)
+          map Int64.float_of_bits int64;
+        ])
+    real_roundtrips
+
 let prop_add_commutes =
   Test_util.qcheck ~count:500 ~name:"+ and * commute"
     QCheck2.Gen.(pair gen_value gen_value)
@@ -140,6 +173,9 @@ let suite =
       test_structural_equality;
     Alcotest.test_case "literal print/parse roundtrip" `Quick
       test_printing_roundtrip;
+    Alcotest.test_case "real roundtrip corner cases" `Quick
+      test_real_roundtrip_corners;
+    prop_real_roundtrip;
     prop_eval_total_or_divzero;
     prop_comparison_bool;
     prop_add_commutes;
