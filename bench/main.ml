@@ -10,6 +10,8 @@
     FSICP_JOBS=4 dune exec bench/main.exe -- bechamel --json BENCH_results.json
                                         # machine-readable estimates + phase
                                         # timings for the perf trajectory
+    dune exec bench/main.exe -- time --trace bench-trace.json
+                                        # wall-clock Chrome trace of the run
     v}
 
     Worker-domain count comes from [FSICP_JOBS] (default: all cores). *)
@@ -18,6 +20,7 @@ open Fsicp_core
 open Fsicp_workloads
 open Fsicp_report
 open Fsicp_par
+module Trace = Fsicp_trace.Trace
 
 let section title = Printf.printf "\n================ %s ================\n" title
 
@@ -159,6 +162,20 @@ let bechamel () =
             fun () ->
               Context.reset_ssa_cache ctx;
               ignore (Fs_icp.solve ctx)));
+      (* Same workload with span recording on — the overhead gate in
+         [check_against] compares this row against fs-icp(largest).  The
+         per-sample reset is O(1), so the row measures steady-state
+         recording rather than event accumulation. *)
+      Test.make ~name:"fs-icp(largest,traced)"
+        (Staged.stage
+           (let ctx = Context.create largest_prog in
+            fun () ->
+              let was = Trace.enabled () in
+              Trace.reset ();
+              Trace.set_enabled true;
+              Context.reset_ssa_cache ctx;
+              ignore (Fs_icp.solve ctx);
+              Trace.set_enabled was));
       Test.make ~name:"poly-jf(NASA7)"
         (Staged.stage
            (let ctx = Context.create nasa in
@@ -307,12 +324,64 @@ let read_baseline path : (string * float * float option) list =
   close_in ic;
   List.rev !rows
 
+(** Tracing-enabled overhead on the acceptance benchmark, measured as the
+    median ratio over interleaved (untraced, traced) solve pairs.  The two
+    runs of a pair are back-to-back, so slow drift in machine load cancels
+    out, and the median discards contention bursts — separate Bechamel
+    rows measured seconds apart are far too noisy for a 3% bound.  The
+    solve is pinned to [jobs:1]: every span and counter site still fires
+    (per-procedure solves, SSA builds, kernel tallies), but domain-spawn
+    latency — which swings wildly under load and has nothing to do with
+    recording cost — stays out of the ratio. *)
+let trace_overhead_ratio () =
+  let ctx = Context.create ~jobs:1 (Spec.program (largest_bench ())) in
+  let solve () =
+    Context.reset_ssa_cache ctx;
+    ignore (Fs_icp.solve ~jobs:1 ctx)
+  in
+  let time () =
+    let t0 = Unix.gettimeofday () in
+    solve ();
+    Unix.gettimeofday () -. t0
+  in
+  solve ();
+  (* warm the code paths and caches *)
+  let pairs = 20 in
+  let base_times = ref [] and traced_times = ref [] in
+  let measure_base () = base_times := time () :: !base_times in
+  let measure_traced () =
+    Trace.reset ();
+    Trace.set_enabled true;
+    traced_times := time () :: !traced_times;
+    Trace.set_enabled false
+  in
+  for i = 1 to pairs do
+    (* alternate the in-pair order so neither side systematically pays
+       cache- or GC-state effects left by the other *)
+    if i land 1 = 0 then begin
+      measure_base ();
+      measure_traced ()
+    end
+    else begin
+      measure_traced ();
+      measure_base ()
+    end
+  done;
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  median !traced_times /. median !base_times
+
+let contains name sub =
+  let n = String.length name and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub name i m = sub || at (i + 1)) in
+  at 0
+
 (** Compare the fresh Bechamel estimates against the committed baseline and
     fail (exit 1) when any flow-sensitive solve is more than [tolerance]
     slower, or allocates more than [alloc_tolerance] extra minor words per
     run (when the baseline recorded allocation at all).  Other rows are
     reported but not gated: only [Fs_icp.solve] has a stated perf
-    acceptance bar. *)
+    acceptance bar.  The traced row is informative only here — it gets its
+    own interleaved ≤3% gate below instead of the cross-run time bound. *)
 let check_against path =
   let tolerance = 1.10 in
   let alloc_tolerance = 1.25 in
@@ -330,15 +399,8 @@ let check_against path =
       | None -> Printf.printf "  %-24s baseline only (skipped)\n" name
       | Some now ->
           let ratio = now.r_ms /. base_ms in
-          let gated =
-            (* substring match: rows are named "fsicp/fs-icp(PROGRAM)" *)
-            let sub = "fs-icp" in
-            let n = String.length name and m = String.length sub in
-            let rec at i =
-              i + m <= n && (String.sub name i m = sub || at (i + 1))
-            in
-            at 0
-          in
+          (* substring match: rows are named "fsicp/fs-icp(PROGRAM)" *)
+          let gated = contains name "fs-icp" && not (contains name "traced") in
           let alloc_ratio =
             match base_minor with
             | Some w when w > 0.0 -> Some (now.r_minor /. w)
@@ -371,6 +433,20 @@ let check_against path =
             ((ratio -. 1.0) *. 100.0)
             alloc_note verdict)
     baseline;
+  (* Tracing overhead gate: fully-enabled recording may cost at most
+     [trace_tolerance] over the disabled fast path on the acceptance
+     benchmark — an A/B bound on this machine, measured interleaved; the
+     disabled path's own cost is covered by the fs-icp(largest) row
+     above. *)
+  let trace_tolerance = 1.03 in
+  let ratio = trace_overhead_ratio () in
+  Printf.printf
+    "  tracing overhead on fs-icp(largest): %+.1f%% (interleaved median, \
+     gate %.0f%%)\n"
+    ((ratio -. 1.0) *. 100.0)
+    ((trace_tolerance -. 1.0) *. 100.0);
+  if ratio > trace_tolerance then
+    failures := "tracing-overhead(fs-icp(largest))" :: !failures;
   if !failures <> [] then begin
     Printf.printf "perf gate FAILED: %s\n" (String.concat ", " !failures);
     exit 1
@@ -413,23 +489,40 @@ let () =
           other;
         exit 2
   in
-  (* Strip [--json FILE] / [--check BASELINE] anywhere in the argument
-     list, then dispatch the remaining experiment names.  With no names:
-     everything, unless --check is given alone (the CI gate runs only the
-     Bechamel estimates it needs). *)
-  let rec split json check acc = function
-    | "--json" :: file :: rest -> split (Some file) check acc rest
-    | "--check" :: file :: rest -> split json (Some file) acc rest
-    | ("--json" | "--check") :: [] ->
-        Printf.eprintf "--json/--check require a file argument\n";
+  (* Strip [--json FILE] / [--check BASELINE] / [--trace FILE] anywhere in
+     the argument list, then dispatch the remaining experiment names.  With
+     no names: everything, unless --check is given alone (the CI gate runs
+     only the Bechamel estimates it needs). *)
+  let rec split json check trace acc = function
+    | "--json" :: file :: rest -> split (Some file) check trace acc rest
+    | "--check" :: file :: rest -> split json (Some file) trace acc rest
+    | "--trace" :: file :: rest -> split json check (Some file) acc rest
+    | ("--json" | "--check" | "--trace") :: [] ->
+        Printf.eprintf "--json/--check/--trace require a file argument\n";
         exit 2
-    | a :: rest -> split json check (a :: acc) rest
-    | [] -> (json, check, List.rev acc)
+    | a :: rest -> split json check trace (a :: acc) rest
+    | [] -> (json, check, trace, List.rev acc)
   in
-  let json, check, cmds = split None None [] (List.tl (Array.to_list Sys.argv)) in
+  let json, check, trace, cmds =
+    split None None None [] (List.tl (Array.to_list Sys.argv))
+  in
+  (* --trace records the experiments themselves (wall mode).  Note the
+     bechamel experiment resets the recorder inside its traced row, so the
+     flag is most useful with the table/figure/time experiments. *)
+  Option.iter
+    (fun _ ->
+      Trace.reset ();
+      Trace.set_enabled true)
+    trace;
   (match (cmds, check) with
   | [], Some _ -> bechamel ()
   | [], None -> all ()
   | l, _ -> List.iter dispatch l);
+  Option.iter
+    (fun path ->
+      Trace.set_enabled false;
+      Trace.write_chrome_json ~mode:Trace.Wall path;
+      Printf.printf "\nwrote trace %s\n" path)
+    trace;
   Option.iter write_json json;
   Option.iter check_against check

@@ -11,6 +11,7 @@
     fsicp tables [--table N] [--quick]               paper tables 1..5 etc.
     fsicp generate --seed N [--procs P] [--back B]   synthetic program
     fsicp fuzz [--seeds N] [--start S] [--no-shrink] differential oracle
+    fsicp trace FILE [--trace-out F] [--wall]        Chrome trace_event JSON
     v} *)
 
 open Cmdliner
@@ -303,9 +304,62 @@ let generate_cmd =
       $ Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P")
       $ Arg.(value & opt float 0.0 & info [ "back" ] ~docv:"B"))
 
+(* -- trace --------------------------------------------------------------- *)
+
+module Trace = Fsicp_trace.Trace
+
+let trace_pipeline file jobs out wall =
+  let jobs = resolve_jobs jobs in
+  let prog = read_program file in
+  Trace.reset ();
+  Trace.set_enabled true;
+  let d = Driver.run ~jobs prog in
+  Trace.set_enabled false;
+  Trace.write_chrome_json ~mode:(if wall then Trace.Wall else Trace.Logical) out;
+  (* Counters to stdout (the deterministic surface); the timing summary to
+     stderr, where wall-clock noise belongs. *)
+  print_string (Trace.counters_table ~all:wall ());
+  Fmt.epr "%a" Driver.pp d;
+  Fmt.epr "trace: %s written to %s (open in Perfetto / chrome://tracing)@."
+    (if wall then "wall-clock profile" else "canonical trace")
+    out
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "run the Figure-2 pipeline with structured tracing and write \
+          Chrome trace_event JSON plus a counters table; the default \
+          canonical trace is byte-deterministic at a fixed --jobs")
+    Term.(
+      const trace_pipeline $ file_arg $ jobs_arg
+      $ Arg.(value & opt string "trace.json"
+             & info [ "trace-out"; "o" ] ~docv:"FILE"
+                 ~doc:"output path for the trace JSON")
+      $ Arg.(value & flag & info [ "wall" ]
+               ~doc:
+                 "emit real timestamps on per-domain tracks (a profile, \
+                  not deterministic) instead of the canonical logical \
+                  trace"))
+
 (* -- fuzz ---------------------------------------------------------------- *)
 
-let fuzz seeds start fuel jobs out no_shrink =
+let fuzz seeds start fuel jobs out no_shrink trace_out =
+  Option.iter
+    (fun _ ->
+      Trace.reset ();
+      Trace.set_enabled true)
+    trace_out;
+  (* Per-seed check spans and outcome counters; wall mode, since a fuzzing
+     campaign is a profile of real work, not a canonical artifact. *)
+  let flush_trace () =
+    Option.iter
+      (fun path ->
+        Trace.set_enabled false;
+        Trace.write_chrome_json ~mode:Trace.Wall path;
+        Fmt.epr "fuzz: trace written to %s@." path)
+      trace_out
+  in
   let module O = Fsicp_oracle.Oracle in
   let module S = Fsicp_oracle.Shrink in
   let jobs = resolve_jobs jobs in
@@ -346,6 +400,7 @@ let fuzz seeds start fuel jobs out no_shrink =
         in
         Fmt.epr "fuzz: reproducer written to %s@." path
   done;
+  flush_trace ();
   if !failures = 0 then Fmt.pr "fuzz: %d seeds OK@." seeds
   else begin
     Fmt.pr "fuzz: %d of %d seeds failed@." !failures seeds;
@@ -371,7 +426,11 @@ let fuzz_cmd =
              & opt string "testdata/regressions"
              & info [ "out" ] ~docv:"DIR" ~doc:"reproducer output directory")
       $ Arg.(value & flag & info [ "no-shrink" ]
-               ~doc:"write the unshrunk failing program"))
+               ~doc:"write the unshrunk failing program")
+      $ Arg.(value & opt (some string) None
+             & info [ "trace" ] ~docv:"FILE"
+                 ~doc:"record per-seed oracle spans and counters; write \
+                       wall-clock Chrome trace JSON to $(docv)"))
 
 (* ------------------------------------------------------------------------ *)
 
@@ -383,4 +442,5 @@ let () =
           [
             analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
             inline_cmd; clone_cmd; tables_cmd; generate_cmd; fuzz_cmd;
+            trace_cmd;
           ]))

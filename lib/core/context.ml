@@ -23,6 +23,16 @@ open Fsicp_callgraph
 open Fsicp_scc
 open Fsicp_par
 
+module Trace = Fsicp_trace.Trace
+
+(* Lowering and SSA construction volume.  [ssa.built] is jobs-invariant
+   (every reachable procedure is built exactly once, eagerly or lazily);
+   [ssa.cache_hits] depends on whether {!build_ssa} pre-filled the cache,
+   i.e. on [jobs], but is deterministic at a fixed count. *)
+let c_lower_procs = Trace.counter "lower.procs"
+let c_ssa_built = Trace.counter "ssa.built"
+let c_ssa_hits = Trace.counter "ssa.cache_hits"
+
 type t = {
   prog : Ast.program;
   pcg : Callgraph.t;
@@ -40,8 +50,9 @@ type t = {
     result array. *)
 let lower_all ~jobs prog (pcg : Callgraph.t) : Ir.proc Prog.Proc.Tbl.t =
   let n = Callgraph.n_procs pcg in
+  Trace.add c_lower_procs n;
   let procs =
-    Par.parallel_init ~jobs n (fun i ->
+    Par.parallel_init ~label:"lower:proc" ~jobs n (fun i ->
         Lower.lower_proc prog (Callgraph.proc_ast pcg pcg.Callgraph.nodes.(i)))
   in
   Prog.tbl_init pcg.Callgraph.db (fun pid -> procs.((pid :> int)))
@@ -110,8 +121,11 @@ let effects_for t (proc_name : string) : Ssa.call_effects =
     to distinct array slots never interfere. *)
 let ssa_at t (pid : Prog.Proc.id) : Ssa.proc =
   match Prog.Proc.Tbl.get t.ssa_cache pid with
-  | Some p -> p
+  | Some p ->
+      Trace.incr c_ssa_hits;
+      p
   | None ->
+      Trace.incr c_ssa_built;
       let name = Callgraph.proc_name t.pcg pid in
       let p =
         Ssa.of_proc ~effects:(effects_for t name) t.prog (lowered_at t pid)
@@ -137,8 +151,9 @@ let build_ssa ?jobs t : unit =
          (fun pid -> Prog.Proc.Tbl.get t.ssa_cache pid = None)
          (Array.to_list t.pcg.Callgraph.nodes))
   in
+  Trace.add c_ssa_built (Array.length missing);
   let built =
-    Par.parallel_init ~jobs (Array.length missing) (fun i ->
+    Par.parallel_init ~label:"ssa:build" ~jobs (Array.length missing) (fun i ->
         let pid = missing.(i) in
         let name = Callgraph.proc_name t.pcg pid in
         Ssa.of_proc ~effects:(effects_for t name) t.prog (lowered_at t pid))

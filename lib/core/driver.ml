@@ -26,6 +26,7 @@ open Fsicp_lang
 open Fsicp_ipa
 open Fsicp_callgraph
 open Fsicp_par
+module Trace = Fsicp_trace.Trace
 
 type timing = {
   t_phase : string;
@@ -61,19 +62,31 @@ let time_it f =
     [jobs]. *)
 let run ?(floats = true) ?jobs (prog : Ast.program) : t =
   let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
+  (* One Figure-2 span per phase, named exactly like the timing rows.  The
+     epoch advances only here on the orchestrating domain, between phases —
+     a sequential point even when the phase bodies themselves fan out. *)
+  let phase name f () =
+    time_it (fun () -> Trace.span name f)
+  in
+  Trace.next_epoch ();
   (* Steps 1–2 are independent given the program: collect the IPA inputs
      while the PCG is being built. *)
   let (pcg, t_pcg), (summaries, t_sum) =
     Par.both ~jobs
-      (fun () -> time_it (fun () -> Callgraph.build prog))
-      (fun () -> time_it (fun () -> Summary.collect prog))
+      (phase "2:call-graph" (fun () -> Callgraph.build prog))
+      (phase "1:ipa-collect" (fun () -> Summary.collect prog))
   in
-  let aliases, t_alias = time_it (fun () -> Alias.compute summaries pcg) in
+  Trace.next_epoch ();
+  let aliases, t_alias =
+    phase "3:aliasing" (fun () -> Alias.compute summaries pcg) ()
+  in
+  Trace.next_epoch ();
   let modref, t_modref =
-    time_it (fun () -> Modref.compute summaries aliases pcg)
+    phase "4:mod-ref" (fun () -> Modref.compute summaries aliases pcg) ()
   in
+  Trace.next_epoch ();
   let lowered, t_lower =
-    time_it (fun () -> Context.lower_all ~jobs prog pcg)
+    phase "lowering" (fun () -> Context.lower_all ~jobs prog pcg) ()
   in
   let ctx =
     {
@@ -90,11 +103,14 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
   (* Step 5: interprocedural constant propagation.  The FS timing includes
      SSA construction and the one-per-procedure SCC runs, mirroring the
      paper's "analysis phase" accounting; the FI method needs neither. *)
-  let fi, t_fi = time_it (fun () -> Fi_icp.solve ctx) in
-  let fs, t_fs = time_it (fun () -> Fs_icp.solve ~jobs ~fi ctx) in
+  Trace.next_epoch ();
+  let fi, t_fi = phase "5a:fi-icp" (fun () -> Fi_icp.solve ctx) () in
+  Trace.next_epoch ();
+  let fs, t_fs = phase "5b:fs-icp" (fun () -> Fs_icp.solve ~jobs ~fi ctx) () in
   (* Step 6: reverse topological traversal — USE computation here; the
      transformation itself is on demand ({!Transform}, {!Fold}). *)
-  let use, t_use = time_it (fun () -> Use.compute lowered modref pcg) in
+  Trace.next_epoch ();
+  let use, t_use = phase "6:use" (fun () -> Use.compute lowered modref pcg) () in
   let timings =
     List.map
       (fun (t_phase, (t_seconds, t_minor_words, t_major_words)) ->

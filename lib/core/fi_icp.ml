@@ -32,7 +32,14 @@ open Fsicp_scc
 
 let method_name = "flow-insensitive"
 
-let solve (ctx : Context.t) : Solution.t =
+module Trace = Fsicp_trace.Trace
+
+(* Both counters are deterministic: the forward traversal order and the
+   FIFO drain depend only on the program. *)
+let c_pops = Trace.counter "fi.worklist_pops"
+let c_lowerings = Trace.counter "fi.lowerings"
+
+let solve_body (ctx : Context.t) : Solution.t =
   let pcg = ctx.Context.pcg in
   let db = pcg.Callgraph.db in
   let n = Callgraph.n_procs pcg in
@@ -70,12 +77,15 @@ let solve (ctx : Context.t) : Solution.t =
   let fp_bind : int list array = Array.make n_slots [] in
   let value k = values.(k) in
   let worklist : int Queue.t = Queue.create () in
+  let pops = ref 0 in
+  let lowerings = ref 0 in
   (* [meet k v] implements the paper's meet procedure: lowering a formal
      that was not already ⊥ down to ⊥ schedules everything bound to it. *)
   let meet k v =
     let orig = value k in
     let merged = Lattice.meet orig v in
     if not (Lattice.equal orig merged) then begin
+      incr lowerings;
       values.(k) <- merged;
       if merged = Lattice.Bot && orig <> Lattice.Bot then
         List.iter (fun k' -> Queue.add k' worklist) fp_bind.(k)
@@ -120,11 +130,15 @@ let solve (ctx : Context.t) : Solution.t =
      and have since been lowered). *)
   while not (Queue.is_empty worklist) do
     let k = Queue.take worklist in
+    incr pops;
     if value k <> Lattice.Bot then begin
+      incr lowerings;
       values.(k) <- Lattice.Bot;
       List.iter (fun k' -> Queue.add k' worklist) fp_bind.(k)
     end
   done;
+  Trace.add c_pops !pops;
+  Trace.add c_lowerings !lowerings;
 
   (* -- Assemble the solution ------------------------------------------ *)
   let entries =
@@ -207,3 +221,7 @@ let solve (ctx : Context.t) : Solution.t =
   in
   Solution.make ~method_name ~db ~entries ~call_records ~scc_runs:0
     ~scc_results:(Prog.tbl db None)
+
+let solve (ctx : Context.t) : Solution.t =
+  Trace.next_epoch ();
+  Trace.span "fi:solve" (fun () -> solve_body ctx)

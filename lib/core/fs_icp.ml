@@ -51,6 +51,8 @@ open Fsicp_par
 
 let method_name = "flow-sensitive"
 
+module Trace = Fsicp_trace.Trace
+
 (** [solve ?jobs ?fi ?call_def_value ctx] computes the flow-sensitive
     solution.
 
@@ -66,7 +68,7 @@ let method_name = "flow-sensitive"
     [call_def_value] refines the post-call value of call-defined variables;
     the return-constants extension ({!Return_consts}) passes the summaries
     of its reverse traversal here. *)
-let solve ?jobs ?fi
+let solve_body ?jobs ?fi
     ?(call_def_value :
        (caller:string -> Ssa.call -> Ir.var -> Lattice.t) option)
     (ctx : Context.t) : Solution.t =
@@ -138,6 +140,13 @@ let solve ?jobs ?fi
   let process i =
     let pid = nodes.(i) in
     let proc = Callgraph.proc_name pcg pid in
+    (* Detached: the wavefront assigns the procedure to whichever domain is
+       free, so the span must not inherit that domain's stack in the
+       canonical trace.  The procedure name keys the canonical order. *)
+    Trace.span ~detach:true
+      ~args:(fun () -> [ ("proc", proc) ])
+      "fs:proc"
+    @@ fun () ->
     let s = Summary.find ctx.Context.summaries proc in
     let nf = List.length s.Summary.ps_formals in
     let formals = Array.make nf Lattice.Top in
@@ -312,3 +321,10 @@ let solve ?jobs ?fi
   let scc_results = Prog.tbl_init db (fun pid -> results_arr.((pid :> int))) in
   let call_records = List.concat (Array.to_list records_arr) in
   Solution.make ~method_name ~db ~entries ~call_records ~scc_runs:n ~scc_results
+
+let solve ?jobs ?fi
+    ?(call_def_value :
+       (caller:string -> Ssa.call -> Ir.var -> Lattice.t) option)
+    (ctx : Context.t) : Solution.t =
+  Trace.next_epoch ();
+  Trace.span "fs:solve" (fun () -> solve_body ?jobs ?fi ?call_def_value ctx)

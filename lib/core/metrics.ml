@@ -212,7 +212,8 @@ let figure1 (ctx : Context.t) : figure1_row list =
   in
   List.map (fun (m, cs) -> { f1_method = m; f1_constants = cs }) rows
 
-(** Cumulative SCC block visits (process-wide, all domains).  The memo
+(** Cumulative SCC block visits (process-wide, all domains), read from the
+    ["scc.block_visits"] counter of {!Fsicp_trace.Trace}.  The memo
     warm-path acceptance check reads this: a re-solve of an unchanged
     program must not advance it. *)
-let scc_block_visits () = Scc.block_visits ()
+let scc_block_visits () = Fsicp_trace.Trace.counter_total "scc.block_visits"

@@ -16,6 +16,13 @@
       (possibly diverging) programs safe. *)
 
 open Fsicp_lang
+module Trace = Fsicp_trace.Trace
+
+(* Work done by the reference interpreter: statements executed and fuel
+   consumed (the two differ — condition re-evaluations charge fuel without
+   counting as statements).  Deterministic per program. *)
+let c_steps = Trace.counter "interp.steps"
+let c_fuel = Trace.counter "interp.fuel"
 
 exception Runtime_error of string
 exception Out_of_fuel
@@ -149,6 +156,7 @@ and call_proc st (caller : frame) q args =
     @raise Runtime_error on division/modulus by zero
     @raise Out_of_fuel when the fuel budget is exhausted *)
 let run ?(fuel = 200_000) ?(trace = true) (prog : Ast.program) : result =
+  Trace.span "interp:run" @@ fun () ->
   let genv = Hashtbl.create 16 in
   List.iter (fun g -> Hashtbl.replace genv g (ref (Value.Int 0))) prog.globals;
   List.iter (fun (g, v) -> Hashtbl.replace genv g (ref v)) prog.blockdata;
@@ -164,6 +172,13 @@ let run ?(fuel = 200_000) ?(trace = true) (prog : Ast.program) : result =
       exits_rev = [];
     }
   in
+  (* Counters flush on every exit path: fuel exhaustion and runtime errors
+     still account for the work done up to the failure. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.add c_steps st.nsteps;
+      Trace.add c_fuel (fuel - st.fuel))
+  @@ fun () ->
   let main = Ast.find_proc_exn prog prog.main in
   let frame = { cells = Hashtbl.create 8; fformals = [] } in
   let main_snapshot () =

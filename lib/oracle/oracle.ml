@@ -13,6 +13,12 @@ open Fsicp_core
 module I = Fsicp_interp.Interp
 module L = Fsicp_scc.Lattice
 module Prog = Fsicp_prog.Prog
+module Trace = Fsicp_trace.Trace
+
+(* Fuzzing-campaign outcome tallies; the split (not the total) depends on
+   which seeds are run, so both are deterministic per seed set. *)
+let c_checks_ok = Trace.counter "oracle.checks_ok"
+let c_checks_failed = Trace.counter "oracle.checks_failed"
 
 type failure = { f_check : string; f_detail : string }
 
@@ -224,7 +230,7 @@ let entry_equal_witness proc (ea : Solution.proc_entry)
                  (L.to_string (global_at ea g))
                  (L.to_string (global_at eb g)))
 
-let check_program ?(fuel = default_fuel) ?jobs (prog : Ast.program) :
+let check_program_body ?(fuel = default_fuel) ?jobs (prog : Ast.program) :
     (unit, failure) result =
   let jobs =
     match jobs with
@@ -341,11 +347,23 @@ let check_program ?(fuel = default_fuel) ?jobs (prog : Ast.program) :
   in
   Ok ()
 
+let check_program ?fuel ?jobs (prog : Ast.program) : (unit, failure) result =
+  Trace.span "oracle:program" @@ fun () ->
+  let r = check_program_body ?fuel ?jobs prog in
+  (match r with
+  | Ok () -> Trace.incr c_checks_ok
+  | Error _ -> Trace.incr c_checks_failed);
+  r
+
 let program_of_seed seed =
   Fsicp_workloads.Generator.generate
     (Fsicp_workloads.Generator.small_profile seed)
 
-let check_seed ?fuel ?jobs seed = check_program ?fuel ?jobs (program_of_seed seed)
+let check_seed ?fuel ?jobs seed =
+  Trace.span
+    ~args:(fun () -> [ ("seed", string_of_int seed) ])
+    "oracle:seed"
+    (fun () -> check_program ?fuel ?jobs (program_of_seed seed))
 
 (* ------------------------------------------------------------------ *)
 (* Reproducer corpus                                                   *)

@@ -8,6 +8,17 @@
     completion — never inside [process] — so the hot path (the per-node
     analysis itself) runs lock-free. *)
 
+module Trace = Fsicp_trace.Trace
+
+(* [par.tasks] counts every work item handed to a combinator, sequential
+   fast paths included, so its total is invariant in [jobs].  Pool spawns
+   and idle waits are scheduling artefacts: pools are deterministic at a
+   fixed [jobs] but vary across counts, and idle waits are inherently
+   racy, hence [~stable:false]. *)
+let c_tasks = Trace.counter "par.tasks"
+let c_pools = Trace.counter ~stable:false "par.pools"
+let c_idle = Trace.counter ~stable:false "par.idle_waits"
+
 let default_jobs () =
   match Sys.getenv_opt "FSICP_JOBS" with
   | Some s -> (
@@ -19,14 +30,27 @@ let default_jobs () =
 (* Run [worker] on [k-1] fresh domains and the current one, join, and
    re-raise the first exception any worker recorded. *)
 let run_pool k (err : exn option Atomic.t) worker =
-  let doms = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  Array.iter Domain.join doms;
+  Trace.incr c_pools;
+  Trace.span ~timing:true "par:pool" (fun () ->
+      let doms = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join doms);
   match Atomic.get err with Some e -> raise e | None -> ()
 
 let record_error err e = ignore (Atomic.compare_and_set err None (Some e))
 
-let parallel_init ~jobs n f =
+let parallel_init ?label ~jobs n f =
+  let f =
+    match label with
+    | None -> f
+    | Some name ->
+        fun i ->
+          Trace.span ~detach:true
+            ~args:(fun () -> [ ("idx", string_of_int i) ])
+            name
+            (fun () -> f i)
+  in
+  Trace.add c_tasks n;
   if n = 0 then [||]
   else if jobs <= 1 || n = 1 then Array.init n f
   else begin
@@ -50,21 +74,26 @@ let parallel_init ~jobs n f =
 
 let parallel_iter ~jobs n f =
   if n > 0 then
-    if jobs <= 1 || n = 1 then
+    if jobs <= 1 || n = 1 then begin
+      Trace.add c_tasks n;
       for i = 0 to n - 1 do
         f i
       done
+    end
     else ignore (parallel_init ~jobs n f)
 
 let map_list ~jobs f l =
   match l with
   | [] -> []
-  | [ x ] -> [ f x ]
+  | [ x ] ->
+      Trace.add c_tasks 1;
+      [ f x ]
   | _ ->
       let a = Array.of_list l in
       Array.to_list (parallel_init ~jobs (Array.length a) (fun i -> f a.(i)))
 
 let both ~jobs f g =
+  Trace.add c_tasks 2;
   if jobs <= 1 then
     let a = f () in
     let b = g () in
@@ -150,6 +179,7 @@ end
 
 let wavefront ~jobs ~order ~deps ~dependents process =
   let n = Array.length order in
+  Trace.add c_tasks n;
   if n = 0 then ()
   else if jobs <= 1 || n = 1 then Array.iter process order
   else begin
@@ -165,9 +195,16 @@ let wavefront ~jobs ~order ~deps ~dependents process =
       let continue = ref true in
       while !continue do
         Mutex.lock mutex;
-        while Queue.is_empty ready && !remaining > 0 && Atomic.get err = None do
-          Condition.wait nonempty mutex
-        done;
+        if Queue.is_empty ready && !remaining > 0 && Atomic.get err = None then
+          (* Timing-only span: it shows where the wavefront stalls in a
+             wall-clock trace, and is dropped from the canonical one. *)
+          Trace.span ~timing:true "par:idle" (fun () ->
+              while
+                Queue.is_empty ready && !remaining > 0 && Atomic.get err = None
+              do
+                Trace.incr c_idle;
+                Condition.wait nonempty mutex
+              done);
         if !remaining = 0 || Atomic.get err <> None then begin
           Mutex.unlock mutex;
           continue := false

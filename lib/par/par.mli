@@ -16,8 +16,10 @@ val default_jobs : unit -> int
 (** [parallel_init ~jobs n f] is [Array.init n f] computed by up to [jobs]
     domains.  [f] must be safe to call concurrently on distinct indices.
     The first exception raised by any [f i] is re-raised after all workers
-    stop. *)
-val parallel_init : jobs:int -> int -> (int -> 'a) -> 'a array
+    stop.  [label] wraps each [f i] in a detached {!Fsicp_trace.Trace}
+    span named [label] carrying the index, on the sequential fast path
+    too. *)
+val parallel_init : ?label:string -> jobs:int -> int -> (int -> 'a) -> 'a array
 
 (** [parallel_iter ~jobs n f] is [for i = 0 to n-1 do f i done] with the
     same contract as {!parallel_init}. *)

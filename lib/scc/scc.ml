@@ -39,6 +39,19 @@ open Fsicp_lang
 open Fsicp_cfg
 open Fsicp_ssa
 module Par = Fsicp_par.Par
+module Trace = Fsicp_trace.Trace
+
+(* Kernel work counters, all jobs-invariant: the SCC fixpoint is unique
+   and each procedure is solved from a fully-resolved entry vector, so the
+   number of block/site visits and edge activations does not depend on
+   scheduling.  [scc.block_visits] is the memo acceptance gate: a warm
+   re-solve of an unchanged program must not advance it.  The hot loops
+   tally into locals and flush once per kernel run. *)
+let c_block_visits = Trace.counter "scc.block_visits"
+let c_site_visits = Trace.counter "scc.site_visits"
+let c_edge_marks = Trace.counter "scc.edge_marks"
+let c_runs = Trace.counter "scc.runs"
+let c_memo_hits = Trace.counter "scc.memo_hits"
 
 type config = {
   entry_env : Ir.var -> Lattice.t;
@@ -106,11 +119,6 @@ let edge_executable (r : result) ~src ~dst : bool =
   in
   go p.Ssa.edge_base.(src)
 
-(* Total full block evaluations across all runs in this process; a warm
-   memo hit contributes zero (the acceptance gate for the memo cache). *)
-let block_visit_count = Atomic.make 0
-let block_visits () = Atomic.get block_visit_count
-
 (* -- Oracle resolution ----------------------------------------------- *)
 
 (* The entry vector: one lattice value per [entry_names] position.
@@ -158,6 +166,8 @@ let run_kernel (p : Ssa.proc) ~(entry : Lattice.t array)
   let flow = Par.Arena.stack_a a in
   let ssa_wl = Par.Arena.stack_b a in
   let visits = ref 0 in
+  let site_visits = ref 0 in
+  let edge_marks_n = ref 0 in
 
   let lower (n : Ssa.name) (v : Lattice.t) =
     let id = n.Ssa.id in
@@ -212,6 +222,7 @@ let run_kernel (p : Ssa.proc) ~(entry : Lattice.t array)
   let mark_edge e =
     if (not (bit_get edge_exec e)) && not (Par.Arena.marked a (edge_marks + e))
     then begin
+      incr edge_marks_n;
       Par.Arena.mark a (edge_marks + e);
       Par.Arena.push flow e
     end
@@ -266,6 +277,7 @@ let run_kernel (p : Ssa.proc) ~(entry : Lattice.t array)
     end
     else if not (Par.Arena.is_empty ssa_wl) then begin
       let s = Par.Arena.pop ssa_wl in
+      incr site_visits;
       Par.Arena.unmark a (site_marks + s);
       let code = p.Ssa.site_code.(s) in
       let b = (code lsr 2) land 0xffffffff in
@@ -279,7 +291,9 @@ let run_kernel (p : Ssa.proc) ~(entry : Lattice.t array)
     end
     else continue := false
   done;
-  ignore (Atomic.fetch_and_add block_visit_count !visits);
+  Trace.add c_block_visits !visits;
+  Trace.add c_site_visits !site_visits;
+  Trace.add c_edge_marks !edge_marks_n;
   res
 
 (* -- Entry-vector memoization ------------------------------------------ *)
@@ -327,14 +341,21 @@ let memo_add (p : Ssa.proc) ~entry ~cdv r =
 (** Run SCC on an SSA procedure.  Equal entry/call-def vectors return the
     memoized result of the earlier identical run. *)
 let run ?(config = default_config) (p : Ssa.proc) : result =
-  let entry = resolve_entry config p in
-  let cdv = resolve_cdv config p in
-  match memo_find p ~entry ~cdv with
-  | Some e -> e.m_result
-  | None ->
-      let r = run_kernel p ~entry ~cdv in
-      memo_add p ~entry ~cdv r;
-      r
+  Trace.span
+    ~args:(fun () -> [ ("proc", p.Ssa.name) ])
+    "scc:solve"
+    (fun () ->
+      Trace.incr c_runs;
+      let entry = resolve_entry config p in
+      let cdv = resolve_cdv config p in
+      match memo_find p ~entry ~cdv with
+      | Some e ->
+          Trace.incr c_memo_hits;
+          e.m_result
+      | None ->
+          let r = run_kernel p ~entry ~cdv in
+          memo_add p ~entry ~cdv r;
+          r)
 
 (* -- Reference implementation ------------------------------------------ *)
 

@@ -46,7 +46,13 @@ type result = {
     state.  Both {!config} hooks are resolved once per run into dense
     vectors, which also key a per-procedure memo: re-running with equal
     entry and call-def vectors returns the cached result without visiting
-    any block (the {!block_visits} counter does not advance). *)
+    any block (the ["scc.block_visits"] counter does not advance).
+
+    Work accounting goes to {!Fsicp_trace.Trace}: a ["scc:solve"] span per
+    run (carrying the procedure name) and the monotonic counters
+    ["scc.runs"], ["scc.memo_hits"], ["scc.block_visits"],
+    ["scc.site_visits"] (SSA worklist pops) and ["scc.edge_marks"] (flow
+    worklist activations) — all deterministic for a given program. *)
 val run : ?config:config -> Ssa.proc -> result
 
 (** The original list/Hashtbl/Queue formulation, kept as the executable
@@ -54,11 +60,6 @@ val run : ?config:config -> Ssa.proc -> result
     makes it interchangeable with {!run}; the test-suite asserts this
     value-for-value and edge-for-edge. *)
 val run_reference : ?config:config -> Ssa.proc -> result
-
-(** Total full block evaluations across every {!run} in this process.
-    Memo hits contribute zero — a warm re-solve of an unchanged program
-    must leave this counter unchanged. *)
-val block_visits : unit -> int
 
 (** Is dense edge [e] of the result's procedure executable? *)
 val edge_bit : result -> int -> bool

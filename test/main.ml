@@ -28,4 +28,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("par", Test_par.suite);
       ("figure1", Test_figure1.suite);
+      ("trace", Test_trace.suite);
     ]

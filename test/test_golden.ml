@@ -6,6 +6,7 @@
 
 open Fsicp_lang
 open Fsicp_core
+module Trace = Fsicp_trace.Trace
 
 (* dune runs the tests from the build directory mirror; walk up to the
    source tree root, which contains testdata/ and test/golden/. *)
@@ -98,11 +99,34 @@ let test_memo_warm ~jobs base () =
     0
     (Metrics.scc_block_visits () - visits_after_cold)
 
+(* The logical-mode pipeline trace is part of the pinned surface too: a
+   jobs=1 Driver.run must reproduce the trace fixture byte for byte —
+   event order, epochs, span args and counter values included. *)
+let test_trace_fixture base () =
+  let prog = load base in
+  let expected =
+    read_file
+      (Filename.concat root_dir
+         (Printf.sprintf "test/golden/%s.trace.expected" base))
+  in
+  Trace.reset ();
+  Trace.set_enabled true;
+  ignore (Driver.run ~jobs:1 prog);
+  Trace.set_enabled false;
+  let got = Trace.to_chrome_json ~mode:Trace.Logical () in
+  Alcotest.(check string)
+    (Printf.sprintf "%s logical trace matches fixture" base)
+    expected got
+
 let suite =
   List.concat_map
     (fun base ->
       [
         Alcotest.test_case (base ^ " fixtures") `Quick (test_program base);
+        Alcotest.test_case
+          (base ^ " trace fixture")
+          `Quick
+          (test_trace_fixture base);
         Alcotest.test_case
           (base ^ " fixtures (jobs=4)")
           `Quick

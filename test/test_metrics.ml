@@ -143,6 +143,28 @@ let test_substitutions_row () =
     (row.Metrics.sb_poly >= row.Metrics.sb_fi
     && row.Metrics.sb_poly <= row.Metrics.sb_fs)
 
+let test_pct_edge_cases () =
+  Alcotest.(check (float 0.0)) "zero denominator" 0.0 (Metrics.pct 5 0);
+  Alcotest.(check (float 0.0)) "zero of zero" 0.0 (Metrics.pct 0 0);
+  Alcotest.(check (float 0.0)) "zero numerator" 0.0 (Metrics.pct 0 7);
+  Alcotest.(check (float 1e-9)) "half" 50.0 (Metrics.pct 1 2);
+  Alcotest.(check (float 1e-9)) "all" 100.0 (Metrics.pct 3 3);
+  Alcotest.(check (float 1e-9)) "over 100 allowed" 200.0 (Metrics.pct 4 2)
+
+(* The warm-path metric reads the scc.block_visits trace counter; the two
+   views must agree, and a flow-sensitive solve on a fresh context must
+   advance it (monotonically between resets). *)
+let test_scc_block_visits_counter () =
+  let before = Metrics.scc_block_visits () in
+  let _, _, _ = setup {|proc main() { x = 1; print x; }|} in
+  let after = Metrics.scc_block_visits () in
+  Alcotest.(check bool)
+    (Printf.sprintf "solve advances scc.block_visits (%d -> %d)" before after)
+    true (after > before);
+  Alcotest.(check int) "agrees with the trace counter"
+    (Fsicp_trace.Trace.counter_total "scc.block_visits")
+    (Metrics.scc_block_visits ())
+
 let prop_fs_args_at_least_fi =
   Test_util.qcheck ~count:40 ~name:"FS candidate args >= FI's (acyclic)"
     Test_util.seed_gen
@@ -187,6 +209,9 @@ let suite =
     Alcotest.test_case "counted once per procedure" `Quick
       test_counted_once_per_proc;
     Alcotest.test_case "substitutions row" `Quick test_substitutions_row;
+    Alcotest.test_case "pct edge cases" `Quick test_pct_edge_cases;
+    Alcotest.test_case "scc.block_visits counter" `Quick
+      test_scc_block_visits_counter;
     prop_fs_args_at_least_fi;
     prop_imm_le_args;
   ]

@@ -2,14 +2,18 @@
 
     For every MiniFort program in [testdata/] and every constant-propagation
     method, dump the rendered {!Fsicp_core.Solution.pp} output to
-    [test/golden/<program>.<method>.expected].  The fixtures pin the
-    user-visible analysis results; [test/test_golden.ml] asserts the live
-    pipeline still reproduces them byte for byte.
+    [test/golden/<program>.<method>.expected].  Additionally dump the
+    logical-mode Chrome trace of a jobs=1 {!Fsicp_core.Driver.run} to
+    [test/golden/<program>.trace.expected], pinning the byte-deterministic
+    trace format.  The fixtures pin the user-visible analysis results;
+    [test/test_golden.ml] asserts the live pipeline still reproduces them
+    byte for byte.
 
     Usage: [dune exec tools/golden_gen/golden_gen.exe -- TESTDATA_DIR OUT_DIR] *)
 
 open Fsicp_lang
 open Fsicp_core
+module Trace = Fsicp_trace.Trace
 
 let read_program path =
   let ic = open_in_bin path in
@@ -59,5 +63,20 @@ let () =
                output_string oc rendered;
                close_out oc;
                Fmt.pr "wrote %s (%d bytes)@." path (String.length rendered))
-             methods
+             methods;
+           (* Logical-mode trace of the full pipeline at jobs=1: the event
+              order, epochs, args and counter values are all deterministic,
+              so the whole JSON document is a byte-stable fixture. *)
+           Trace.reset ();
+           Trace.set_enabled true;
+           ignore (Driver.run ~jobs:1 prog);
+           Trace.set_enabled false;
+           let rendered = Trace.to_chrome_json ~mode:Trace.Logical () in
+           let path =
+             Filename.concat out (Printf.sprintf "%s.trace.expected" base)
+           in
+           let oc = open_out_bin path in
+           output_string oc rendered;
+           close_out oc;
+           Fmt.pr "wrote %s (%d bytes)@." path (String.length rendered)
          end)
