@@ -67,7 +67,7 @@ let () =
   (* Phase 3: a refined forward pass with the summaries as call effects. *)
   let fs' =
     Fs_icp.solve
-      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor ctx))
+      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor_w ctx))
       ctx
   in
   Fmt.pr "@.";

@@ -33,6 +33,14 @@ let c_lower_procs = Trace.counter "lower.procs"
 let c_ssa_built = Trace.counter "ssa.built"
 let c_ssa_hits = Trace.counter "ssa.cache_hits"
 
+(** Raw reference-parameter alias lists of every formal or global a
+    procedure directly assigns, as parallel arrays sorted by
+    [Ir.Var.slot_key].  The lists depend only on the IPA results, so they
+    are computed once per context and shared by every SSA (re)build; the
+    arrays are immutable after {!create}, which keeps concurrent builds on
+    several domains race-free. *)
+type alias_kills = { ak_keys : int array; ak_lists : Ir.var list array }
+
 type t = {
   prog : Ast.program;
   pcg : Callgraph.t;
@@ -41,6 +49,7 @@ type t = {
   modref : Modref.t;
   floats : bool;
   lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
+  alias_kills : alias_kills Prog.Proc.Tbl.t;
   ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
 }
 
@@ -57,6 +66,73 @@ let lower_all ~jobs prog (pcg : Callgraph.t) : Ir.proc Prog.Proc.Tbl.t =
   in
   Prog.tbl_init pcg.Callgraph.db (fun pid -> procs.((pid :> int)))
 
+(** The alias list a store to [v] in [proc_name] must kill (raw: unsorted,
+    may include [v] itself; SSA construction normalizes). *)
+let raw_assign_aliases (aliases : Alias.t)
+    (summary : Summary.proc_summary) (proc_name : string) (v : Ir.var) :
+    Ir.var list =
+  let formal_var i =
+    match List.nth_opt summary.Summary.ps_formals i with
+    | Some name -> Some (Ir.formal name i)
+    | None -> None
+  in
+  match v.Ir.vkind with
+  | Ir.Local | Ir.Temp -> []
+  | Ir.Formal i ->
+      let ff =
+        Alias.formals_aliasing_formal aliases proc_name i
+        |> List.filter_map formal_var
+      in
+      let fg =
+        Alias.globals_aliasing_formal aliases proc_name i
+        |> List.map Ir.global
+      in
+      ff @ fg
+  | Ir.Global ->
+      let g = Ir.Var.name v in
+      List.mapi (fun i name -> (i, name)) summary.Summary.ps_formals
+      |> List.filter_map (fun (i, name) ->
+             if Alias.formal_global_may_alias aliases proc_name i g then
+               Some (Ir.formal name i)
+             else None)
+
+(** Alias-kill table of one procedure: one entry per distinct directly
+    assigned formal or global. *)
+let alias_kills_of_proc aliases summaries (p : Ir.proc) : alias_kills =
+  let summary = Summary.find summaries p.Ir.name in
+  let seen : (int, Ir.var list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (blk : Ir.block) ->
+      Array.iter
+        (function
+          | Ir.Assign (v, _) -> (
+              match v.Ir.vkind with
+              | Ir.Local | Ir.Temp -> ()
+              | Ir.Formal _ | Ir.Global ->
+                  let k = Ir.Var.slot_key v in
+                  if not (Hashtbl.mem seen k) then
+                    Hashtbl.add seen k
+                      (raw_assign_aliases aliases summary p.Ir.name v))
+          | Ir.Call _ | Ir.Print _ -> ())
+        blk.Ir.instrs)
+    p.Ir.cfg.Ir.blocks;
+  let n = Hashtbl.length seen in
+  let keys = Array.make n 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      keys.(!i) <- k;
+      incr i)
+    seen;
+  Array.sort Int.compare keys;
+  { ak_keys = keys; ak_lists = Array.map (fun k -> Hashtbl.find seen k) keys }
+
+(** Alias-kill tables for every reachable procedure. *)
+let compute_alias_kills aliases summaries (pcg : Callgraph.t)
+    (lowered : Ir.proc Prog.Proc.Tbl.t) : alias_kills Prog.Proc.Tbl.t =
+  Prog.tbl_init pcg.Callgraph.db (fun pid ->
+      alias_kills_of_proc aliases summaries (Prog.Proc.Tbl.get lowered pid))
+
 (** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
     domains used for per-procedure lowering (default
     {!Fsicp_par.Par.default_jobs}); the result is identical for every
@@ -68,8 +144,9 @@ let create ?(floats = true) ?jobs (prog : Ast.program) : t =
   let aliases = Alias.compute summaries pcg in
   let modref = Modref.compute summaries aliases pcg in
   let lowered = lower_all ~jobs prog pcg in
+  let alias_kills = compute_alias_kills aliases summaries pcg lowered in
   { prog; pcg; summaries; aliases; modref; floats;
-    lowered; ssa_cache = Prog.tbl pcg.Callgraph.db None }
+    lowered; alias_kills; ssa_cache = Prog.tbl pcg.Callgraph.db None }
 
 let lowered_at t (pid : Prog.Proc.id) : Ir.proc =
   Prog.Proc.Tbl.get t.lowered pid
@@ -82,9 +159,9 @@ let lowered_proc t name : Ir.proc =
 (** Per-procedure SSA side-effect oracle, backed by the IPA results. *)
 let effects_for t (proc_name : string) : Ssa.call_effects =
   let summary = Summary.find t.summaries proc_name in
-  let formal_var i =
-    match List.nth_opt summary.Summary.ps_formals i with
-    | Some name -> Some (Ir.formal name i)
+  let kills =
+    match Callgraph.proc_id t.pcg proc_name with
+    | Some pid -> Some (Prog.Proc.Tbl.get t.alias_kills pid)
     | None -> None
   in
   {
@@ -97,23 +174,27 @@ let effects_for t (proc_name : string) : Ssa.call_effects =
       (fun v ->
         match v.Ir.vkind with
         | Ir.Local | Ir.Temp -> []
-        | Ir.Formal i ->
-            let ff =
-              Alias.formals_aliasing_formal t.aliases proc_name i
-              |> List.filter_map formal_var
-            in
-            let fg =
-              Alias.globals_aliasing_formal t.aliases proc_name i
-              |> List.map Ir.global
-            in
-            ff @ fg
-        | Ir.Global ->
-            let g = (Ir.Var.name v) in
-            List.mapi (fun i name -> (i, name)) summary.Summary.ps_formals
-            |> List.filter_map (fun (i, name) ->
-                   if Alias.formal_global_may_alias t.aliases proc_name i g
-                   then Some (Ir.formal name i)
-                   else None));
+        | Ir.Formal _ | Ir.Global -> (
+            match kills with
+            | None -> raw_assign_aliases t.aliases summary proc_name v
+            | Some ak ->
+                (* Binary search the precomputed per-proc table; a miss
+                   means the variable is never directly assigned here, so
+                   nothing needs killing. *)
+                let key = Ir.Var.slot_key v in
+                let lo = ref 0 and hi = ref (Array.length ak.ak_keys - 1) in
+                let found = ref [] in
+                while !lo <= !hi do
+                  let mid = (!lo + !hi) / 2 in
+                  let k = ak.ak_keys.(mid) in
+                  if k = key then begin
+                    found := ak.ak_lists.(mid);
+                    lo := !hi + 1
+                  end
+                  else if k < key then lo := mid + 1
+                  else hi := mid - 1
+                done;
+                !found));
   }
 
 (** SSA form of a reachable procedure (cached).  Concurrent misses on the
@@ -167,12 +248,27 @@ let reset_ssa_cache t : unit =
     (fun pid -> Prog.Proc.Tbl.set t.ssa_cache pid None)
     t.pcg.Callgraph.nodes
 
+(** Drop the SCC entry-vector memo of every cached SSA form while keeping
+    the SSA itself: a subsequent solve re-runs every kernel propagation
+    (benchmarks use this to measure the solver core on warm SSA). *)
+let reset_scc_memos t : unit =
+  Array.iter
+    (fun pid ->
+      match Prog.Proc.Tbl.get t.ssa_cache pid with
+      | Some p -> p.Ssa.memo <- Ssa.No_memo
+      | None -> ())
+    t.pcg.Callgraph.nodes
+
 (** Demote real-valued constants to bottom when float propagation is off.
     Applied at every interprocedural boundary. *)
 let censor t (v : Lattice.t) : Lattice.t =
   match v with
   | Lattice.Const (Value.Real _) when not t.floats -> Lattice.Bot
   | Lattice.Top | Lattice.Const _ | Lattice.Bot -> v
+
+(** Packed variant of {!censor}, allocation-free. *)
+let censor_w t (w : int) : int =
+  if Lattice.P.is_real_const w && not t.floats then Lattice.P.bot else w
 
 (** Block-data initial values, censored: the global constant seeds, keyed
     by interned variable id (the entry-environment hot paths are id-only;

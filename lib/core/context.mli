@@ -22,6 +22,12 @@ open Fsicp_ssa
 open Fsicp_callgraph
 open Fsicp_scc
 
+(** Raw alias lists of every formal or global a procedure directly
+    assigns, as parallel arrays sorted by [Ir.Var.slot_key]; computed once
+    per context and immutable afterwards, so SSA rebuilds on any number of
+    domains share them without synchronisation. *)
+type alias_kills = { ak_keys : int array; ak_lists : Ir.var list array }
+
 type t = {
   prog : Ast.program;
   pcg : Callgraph.t;
@@ -30,6 +36,7 @@ type t = {
   modref : Modref.t;
   floats : bool;
   lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
+  alias_kills : alias_kills Prog.Proc.Tbl.t;
   ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
 }
 
@@ -42,6 +49,12 @@ val create : ?floats:bool -> ?jobs:int -> Ast.program -> t
 (** Lower every reachable procedure on [jobs] domains; the building block
     {!create} and {!Driver.run} share. *)
 val lower_all : jobs:int -> Ast.program -> Callgraph.t -> Ir.proc Prog.Proc.Tbl.t
+
+(** Alias-kill tables for every reachable procedure (the [alias_kills]
+    field); shared by {!create} and {!Driver.run}. *)
+val compute_alias_kills :
+  Alias.t -> Summary.t -> Callgraph.t -> Ir.proc Prog.Proc.Tbl.t ->
+  alias_kills Prog.Proc.Tbl.t
 
 val lowered_at : t -> Prog.Proc.id -> Ir.proc
 val lowered_proc : t -> string -> Ir.proc
@@ -65,8 +78,16 @@ val build_ssa : ?jobs:int -> t -> unit
     construction). *)
 val reset_ssa_cache : t -> unit
 
+(** Drop the SCC entry-vector memo of every cached SSA form, keeping the
+    SSA: the next solve re-runs every kernel propagation (benchmarks use
+    this to measure the solver core on warm SSA). *)
+val reset_scc_memos : t -> unit
+
 (** Demote real-valued constants to ⊥ when float propagation is off. *)
 val censor : t -> Lattice.t -> Lattice.t
+
+(** {!censor} on a packed lattice word ({!Fsicp_scc.Lattice.P}). *)
+val censor_w : t -> int -> int
 
 (** Block-data initial values, censored — the global constant seeds. *)
 val blockdata_env : t -> (Prog.Var.id * Lattice.t) list

@@ -97,6 +97,7 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
       modref;
       floats;
       lowered;
+      alias_kills = Context.compute_alias_kills aliases summaries pcg lowered;
       ssa_cache = Fsicp_prog.Prog.tbl pcg.Callgraph.db None;
     }
   in

@@ -33,6 +33,7 @@ open Fsicp_scc
 let method_name = "flow-insensitive"
 
 module Trace = Fsicp_trace.Trace
+module P = Lattice.P
 
 (* Both counters are deterministic: the forward traversal order and the
    FIFO drain depend only on the program. *)
@@ -73,21 +74,23 @@ let solve_body (ctx : Context.t) : Solution.t =
 
   (* -- Formals -------------------------------------------------------- *)
   let n_slots = fp_base.(n) in
-  let values = Array.make n_slots Lattice.Top in
+  (* Packed lattice words ({!Lattice.P}): every meet below is integer
+     arithmetic on an unboxed slot. *)
+  let values = Array.make n_slots P.top in
   let fp_bind : int list array = Array.make n_slots [] in
   let value k = values.(k) in
   let worklist : int Queue.t = Queue.create () in
   let pops = ref 0 in
   let lowerings = ref 0 in
-  (* [meet k v] implements the paper's meet procedure: lowering a formal
+  (* [meet k w] implements the paper's meet procedure: lowering a formal
      that was not already ⊥ down to ⊥ schedules everything bound to it. *)
-  let meet k v =
+  let meet k w =
     let orig = value k in
-    let merged = Lattice.meet orig v in
-    if not (Lattice.equal orig merged) then begin
+    let merged = P.meet orig w in
+    if merged <> orig then begin
       incr lowerings;
       values.(k) <- merged;
-      if merged = Lattice.Bot && orig <> Lattice.Bot then
+      if merged = P.bot && orig <> P.bot then
         List.iter (fun k' -> Queue.add k' worklist) fp_bind.(k)
     end
   in
@@ -105,23 +108,23 @@ let solve_body (ctx : Context.t) : Solution.t =
               let target = slot callee_id j in
               match arg with
               | Summary.Alit v ->
-                  meet target (Context.censor ctx (Lattice.Const v))
+                  meet target (Context.censor_w ctx (P.of_value v))
               | Summary.Aglobal g -> (
                   match global_const (Prog.Var.intern g) with
-                  | Some v -> meet target v
-                  | None -> meet target Lattice.Bot)
-              | Summary.Aformal i -> (
-                  match value (slot caller_id i) with
-                  | Lattice.Const _ as v
-                    when not
-                           (Modref.formal_modified ctx.Context.modref caller i)
-                    ->
-                      let k = slot caller_id i in
-                      fp_bind.(k) <- target :: fp_bind.(k);
-                      meet target v
-                  | Lattice.Top | Lattice.Const _ | Lattice.Bot ->
-                      meet target Lattice.Bot)
-              | Summary.Alocal _ | Summary.Aexpr -> meet target Lattice.Bot)
+                  | Some v -> meet target (P.of_t v)
+                  | None -> meet target P.bot)
+              | Summary.Aformal i ->
+                  let k = slot caller_id i in
+                  let w = value k in
+                  if
+                    P.is_const w
+                    && not (Modref.formal_modified ctx.Context.modref caller i)
+                  then begin
+                    fp_bind.(k) <- target :: fp_bind.(k);
+                    meet target w
+                  end
+                  else meet target P.bot
+              | Summary.Alocal _ | Summary.Aexpr -> meet target P.bot)
             c.Summary.cs_args)
         s.Summary.ps_calls)
     (Callgraph.forward_order pcg);
@@ -131,9 +134,9 @@ let solve_body (ctx : Context.t) : Solution.t =
   while not (Queue.is_empty worklist) do
     let k = Queue.take worklist in
     incr pops;
-    if value k <> Lattice.Bot then begin
+    if value k <> P.bot then begin
       incr lowerings;
-      values.(k) <- Lattice.Bot;
+      values.(k) <- P.bot;
       List.iter (fun k' -> Queue.add k' worklist) fp_bind.(k)
     end
   done;
@@ -147,12 +150,12 @@ let solve_body (ctx : Context.t) : Solution.t =
         let nf = n_formals.((pid :> int)) in
         let pe_formals =
           Array.init nf (fun i ->
-              match value (slot pid i) with
-              | Lattice.Top ->
-                  (* A formal nothing was ever propagated to (its procedure
-                     has no processed call sites) is not a constant. *)
-                  Lattice.Bot
-              | v -> v)
+              let w = value (slot pid i) in
+              if w = P.top then
+                (* A formal nothing was ever propagated to (its procedure
+                   has no processed call sites) is not a constant. *)
+                Lattice.Bot
+              else P.to_t w)
         in
         (* Program-wide global constants hold at every entry; restrict to
            the globals the procedure may reference. *)
@@ -188,15 +191,15 @@ let solve_body (ctx : Context.t) : Solution.t =
                          match global_const (Prog.Var.intern g) with
                          | Some v -> v
                          | None -> Lattice.Bot)
-                     | Summary.Aformal i -> (
-                         match value (slot caller_id i) with
-                         | Lattice.Const _ as v
-                           when not
-                                  (Modref.formal_modified ctx.Context.modref
-                                     caller i) ->
-                             v
-                         | Lattice.Top | Lattice.Const _ | Lattice.Bot ->
-                             Lattice.Bot)
+                     | Summary.Aformal i ->
+                         let w = value (slot caller_id i) in
+                         if
+                           P.is_const w
+                           && not
+                                (Modref.formal_modified ctx.Context.modref
+                                   caller i)
+                         then P.to_t w
+                         else Lattice.Bot
                      | Summary.Alocal _ | Summary.Aexpr -> Lattice.Bot)
                    c.Summary.cs_args
                in

@@ -52,6 +52,7 @@ open Fsicp_par
 let method_name = "flow-sensitive"
 
 module Trace = Fsicp_trace.Trace
+module P = Lattice.P
 
 (** [solve ?jobs ?fi ?call_def_value ctx] computes the flow-sensitive
     solution.
@@ -70,7 +71,7 @@ module Trace = Fsicp_trace.Trace
     of its reverse traversal here. *)
 let solve_body ?jobs ?fi
     ?(call_def_value :
-       (caller:string -> Ssa.call -> Ir.var -> Lattice.t) option)
+       (caller:string -> Ssa.call -> Ir.var -> int) option)
     (ctx : Context.t) : Solution.t =
   let pcg = ctx.Context.pcg in
   let nodes = pcg.Callgraph.nodes in
@@ -118,11 +119,16 @@ let solve_body ?jobs ?fi
      read-only cache hit from any domain. *)
   if jobs > 1 then Context.build_ssa ~jobs ctx;
 
+  (* Block-data seeds, pre-encoded to packed words and keyed by raw int id:
+     the entry-environment lookups below never box. *)
   let blockdata = Context.blockdata_env ctx in
-  let blockdata_tbl : (Prog.Var.id, Lattice.t) Hashtbl.t =
+  let blockdata_tbl : (int, int) Hashtbl.t =
     Hashtbl.create (List.length blockdata)
   in
-  List.iter (fun (g, v) -> Hashtbl.replace blockdata_tbl g v) blockdata;
+  List.iter
+    (fun (g, v) ->
+      Hashtbl.replace blockdata_tbl (Prog.Var.to_int g) (P.of_t v))
+    blockdata;
   let main = ctx.Context.prog.Ast.main in
 
   (* Per-procedure outputs, written only by the domain that processes the
@@ -149,22 +155,41 @@ let solve_body ?jobs ?fi
     @@ fun () ->
     let s = Summary.find ctx.Context.summaries proc in
     let nf = List.length s.Summary.ps_formals in
-    let formals = Array.make nf Lattice.Top in
-    let globals : (Prog.Var.id, Lattice.t) Hashtbl.t = Hashtbl.create 8 in
-    List.iter
-      (fun (g : Ir.var) -> Hashtbl.replace globals g.Ir.vid Lattice.Top)
-      (gref_globals proc);
-    let meet_formal j v =
-      if j < nf then formals.(j) <- Lattice.meet formals.(j) v
+    let formals = Array.make nf P.top in
+    (* The REF-closure globals as a sorted id array with a parallel packed
+       value array: the entry meets and the SCC entry environment binary-
+       search it instead of hashing, and a meet is one int store. *)
+    let gids =
+      Array.of_list (List.map (fun (g : Ir.var) -> g.Ir.vid) (gref_globals proc))
     in
-    let meet_global g v =
-      match Hashtbl.find_opt globals g with
-      | Some cur -> Hashtbl.replace globals g (Lattice.meet cur v)
-      | None -> () (* not in the REF closure: its entry value is never used *)
+    Array.sort Prog.Var.compare gids;
+    let gvals = Array.make (Array.length gids) P.top in
+    let gfind (g : int) =
+      let lo = ref 0 and hi = ref (Array.length gids - 1) in
+      let found = ref (-1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        let gm = Prog.Var.to_int gids.(mid) in
+        if gm = g then begin
+          found := mid;
+          lo := !hi + 1
+        end
+        else if gm < g then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    in
+    let meet_formal j w = if j < nf then formals.(j) <- P.meet formals.(j) w in
+    let meet_global (g : int) w =
+      let k = gfind g in
+      (* missing: not in the REF closure — its entry value is never used *)
+      if k >= 0 then gvals.(k) <- P.meet gvals.(k) w
     in
     let contribute (cr : Solution.callsite_record) =
-      Array.iteri meet_formal cr.Solution.cr_args;
-      List.iter (fun (g, v) -> meet_global g v) cr.Solution.cr_globals
+      Array.iteri (fun j v -> meet_formal j (P.of_t v)) cr.Solution.cr_args;
+      List.iter
+        (fun (g, v) -> meet_global (Prog.Var.to_int g) (P.of_t v))
+        cr.Solution.cr_globals
     in
     (* Back edges contribute the flow-insensitive per-call-site statuses. *)
     (match fi with
@@ -185,15 +210,14 @@ let solve_body ?jobs ?fi
        this replacement is main's whole global story bar the FI seed, which
        it deliberately overrides — as the sequential traversal always did.) *)
     if String.equal proc main then
-      Hashtbl.iter
-        (fun g _ ->
-          let v =
-            match Hashtbl.find_opt blockdata_tbl g with
-            | Some v -> v
-            | None -> Lattice.Bot
-          in
-          Hashtbl.replace globals g v)
-        (Hashtbl.copy globals);
+      for k = 0 to Array.length gids - 1 do
+        gvals.(k) <-
+          (match
+             Hashtbl.find_opt blockdata_tbl (Prog.Var.to_int gids.(k))
+           with
+          | Some w -> w
+          | None -> P.bot)
+      done;
     (* Forward edges: every forward caller has been processed (the
        scheduler guarantees it), so pull its recorded executable call-site
        values, in canonical in-edge order. *)
@@ -208,38 +232,44 @@ let solve_body ?jobs ?fi
       in_edges.(i);
     (* Top after all contributions = no executable call reaches the
        procedure; treat as unknown rather than claiming dead-code
-       constants. *)
-    let finalize v = match v with Lattice.Top -> Lattice.Bot | v -> v in
-    let pe_formals = Array.map finalize formals in
-    (* Finalize in place: [globals] doubles as the id-keyed entry lookup
-       the SCC entry environment reads below. *)
-    Hashtbl.iter
-      (fun g v -> Hashtbl.replace globals g (finalize v))
-      (Hashtbl.copy globals);
+       constants.  Finalize in place: [formals]/[gvals] double as the
+       entry lookup the SCC entry environment reads below. *)
+    for j = 0 to nf - 1 do
+      if formals.(j) = P.top then formals.(j) <- P.bot
+    done;
+    for k = 0 to Array.length gvals - 1 do
+      if gvals.(k) = P.top then gvals.(k) <- P.bot
+    done;
+    (* Decode to the boxed entry only at the Solution boundary; [gids] is
+       sorted, so [pe_globals] comes out in canonical id order. *)
+    let pe_formals = Array.map P.to_t formals in
     let pe_globals =
-      Hashtbl.fold (fun g v acc -> (g, v) :: acc) globals []
-      |> List.sort (fun (a, _) (b, _) -> Prog.Var.compare a b)
+      let acc = ref [] in
+      for k = Array.length gids - 1 downto 0 do
+        acc := (gids.(k), P.to_t gvals.(k)) :: !acc
+      done;
+      !acc
     in
     entries_arr.(i) <- { Solution.pe_formals; pe_globals };
     (* One flow-sensitive intraprocedural analysis of [proc]. *)
     let is_main = String.equal proc main in
-    let entry_env (v : Ir.var) =
+    let entry_env (v : Ir.var) : int =
       match v.Ir.vkind with
-      | Ir.Formal i ->
-          if i < Array.length pe_formals then pe_formals.(i) else Lattice.Bot
+      | Ir.Formal i -> if i < nf then formals.(i) else P.bot
       | Ir.Global -> (
-          match Hashtbl.find_opt globals v.Ir.vid with
-          | Some value -> value
-          | None ->
-              (* Not in the REF closure but still versioned (e.g. only in
-                 the MOD closure of some callee): unknown at entry unless
-                 this is [main] and block data initialises it. *)
-              if is_main then
-                match Hashtbl.find_opt blockdata_tbl v.Ir.vid with
-                | Some value -> value
-                | None -> Lattice.Bot
-              else Lattice.Bot)
-      | Ir.Local | Ir.Temp -> Lattice.Bot
+          let k = gfind (Prog.Var.to_int v.Ir.vid) in
+          if k >= 0 then gvals.(k)
+          else if
+            (* Not in the REF closure but still versioned (e.g. only in
+               the MOD closure of some callee): unknown at entry unless
+               this is [main] and block data initialises it. *)
+            is_main
+          then
+            match Hashtbl.find_opt blockdata_tbl (Prog.Var.to_int v.Ir.vid) with
+            | Some w -> w
+            | None -> P.bot
+          else P.bot)
+      | Ir.Local | Ir.Temp -> P.bot
     in
     let ssa = Context.ssa_at ctx pid in
     let call_sites = Ssa.call_sites ssa in
@@ -264,11 +294,10 @@ let solve_body ?jobs ?fi
             (List.rev call_sites);
           fun ~callee v ->
             List.fold_left
-              (fun acc (c : Ssa.call) ->
-                Lattice.meet acc (f ~caller:proc c v))
-              Lattice.Top
+              (fun acc (c : Ssa.call) -> P.meet acc (f ~caller:proc c v))
+              P.top
               (Option.value (Hashtbl.find_opt by_callee callee) ~default:[])
-            |> fun r -> if r = Lattice.Top then Lattice.Bot else r
+            |> fun r -> if r = P.top then P.bot else r
     in
     let config = { Scc.entry_env; call_def_value = cdv } in
     let res = Scc.run ~config ssa in
@@ -281,16 +310,18 @@ let solve_body ?jobs ?fi
           let cr_args =
             Array.mapi
               (fun j _ ->
-                if executable then Context.censor ctx (Scc.arg_value res c j)
+                if executable then
+                  P.to_t (Context.censor_w ctx (Scc.arg_value_w res c j))
                 else Lattice.Top)
               c.Ssa.c_args
           in
           let cr_globals =
             Array.to_list c.Ssa.c_global_uses
-            |> List.map (fun ((g : Ir.var), n) ->
+            |> List.map (fun ((g : Ir.var), (n : Ssa.name)) ->
                    ( g.Ir.vid,
                      if executable then
-                       Context.censor ctx res.Scc.values.(n.Ssa.id)
+                       P.to_t
+                         (Context.censor_w ctx res.Scc.values.(n.Ssa.id))
                      else Lattice.Top ))
           in
           let cr =
@@ -324,7 +355,7 @@ let solve_body ?jobs ?fi
 
 let solve ?jobs ?fi
     ?(call_def_value :
-       (caller:string -> Ssa.call -> Ir.var -> Lattice.t) option)
+       (caller:string -> Ssa.call -> Ir.var -> int) option)
     (ctx : Context.t) : Solution.t =
   Trace.next_epoch ();
   Trace.span "fs:solve" (fun () -> solve_body ?jobs ?fi ?call_def_value ctx)

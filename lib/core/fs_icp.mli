@@ -21,11 +21,12 @@ val method_name : string
     [fi] overrides the flow-insensitive solution used for back edges
     (computed on demand only when the PCG has cycles, as in the paper);
     [call_def_value] refines post-call values of call-defined variables —
-    the hook the return-constants extension uses. *)
+    the hook the return-constants extension uses; it answers in packed
+    lattice words ({!Fsicp_scc.Lattice.P}). *)
 val solve :
   ?jobs:int ->
   ?fi:Solution.t ->
   ?call_def_value:
-    (caller:string -> Fsicp_ssa.Ssa.call -> Fsicp_cfg.Ir.var -> Fsicp_scc.Lattice.t) ->
+    (caller:string -> Fsicp_ssa.Ssa.call -> Fsicp_cfg.Ir.var -> int) ->
   Context.t ->
   Solution.t

@@ -302,38 +302,35 @@ let build_jump_functions (ctx : Context.t) (variant : variant) :
 (* Interprocedural propagation over the jump functions                 *)
 (* ------------------------------------------------------------------ *)
 
-let eval_jf (ctx : Context.t) (jf : jf) (caller_formals : Lattice.t array) :
-    Lattice.t =
-  let v =
+module P = Lattice.P
+
+(* Caller formals are packed lattice words; the fixpoint below meets packed
+   words in flat int arrays, so evaluation answers packed too. *)
+let eval_jf (ctx : Context.t) (jf : jf) (caller_formals : int array) : int =
+  let w =
     match jf with
-    | Jconst v -> Lattice.Const v
-    | Jbot -> Lattice.Bot
+    | Jconst v -> P.of_value v
+    | Jbot -> P.bot
     | Jformal i ->
-        if i < Array.length caller_formals then caller_formals.(i)
-        else Lattice.Bot
+        if i < Array.length caller_formals then caller_formals.(i) else P.bot
     | Jpoly p ->
         let used = Poly.formals_used p in
         if
           List.exists
             (fun i ->
-              i >= Array.length caller_formals
-              || caller_formals.(i) = Lattice.Bot)
+              i >= Array.length caller_formals || caller_formals.(i) = P.bot)
             used
-        then Lattice.Bot
-        else if
-          List.exists (fun i -> caller_formals.(i) = Lattice.Top) used
-        then Lattice.Top
+        then P.bot
+        else if List.exists (fun i -> caller_formals.(i) = P.top) used then
+          P.top
         else
-          let env i =
-            match caller_formals.(i) with
-            | Lattice.Const v -> Some v
-            | Lattice.Top | Lattice.Bot -> None
-          in
+          (* Every used formal is a constant after the two guards above. *)
+          let env i = Some (P.const_value caller_formals.(i)) in
           (match Poly.eval p env with
-          | Some v -> Lattice.Const v
-          | None -> Lattice.Bot)
+          | Some v -> P.of_value v
+          | None -> P.bot)
   in
-  Context.censor ctx v
+  Context.censor_w ctx w
 
 (** Solve the given jump-function variant; returns a {!Solution} with
     formal constants only (no globals — see the module comment). *)
@@ -341,12 +338,12 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
   let pcg = ctx.Context.pcg in
   let db = pcg.Callgraph.db in
   let sites, scc_runs = build_jump_functions ctx variant in
-  let formal_values : Lattice.t array Prog.Proc.Tbl.t =
+  let formal_values : int array Prog.Proc.Tbl.t =
     Prog.tbl_init db (fun pid ->
         let s =
           Summary.find ctx.Context.summaries (Prog.proc_name db pid)
         in
-        Array.make (List.length s.Summary.ps_formals) Lattice.Top)
+        Array.make (List.length s.Summary.ps_formals) P.top)
   in
   let sites_of : site_jfs list array =
     Array.make (Callgraph.n_procs pcg) []
@@ -373,9 +370,9 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
           Array.iteri
             (fun j jf ->
               if j < Array.length callee_formals then begin
-                let v = eval_jf ctx jf caller_formals in
-                let merged = Lattice.meet callee_formals.(j) v in
-                if not (Lattice.equal merged callee_formals.(j)) then begin
+                let w = eval_jf ctx jf caller_formals in
+                let merged = P.meet callee_formals.(j) w in
+                if merged <> callee_formals.(j) then begin
                   callee_formals.(j) <- merged;
                   changed := true
                 end
@@ -390,8 +387,7 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
     Prog.tbl_init db (fun pid ->
         let pe_formals =
           Prog.Proc.Tbl.get formal_values pid
-          |> Array.map (fun v ->
-                 match v with Lattice.Top -> Lattice.Bot | v -> v)
+          |> Array.map (fun w -> if w = P.top then Lattice.Bot else P.to_t w)
         in
         (* Globals are not handled by jump-function methods. *)
         let pe_globals =
@@ -408,8 +404,7 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
       (fun sj ->
         let caller_formals =
           (Prog.Proc.Tbl.get formal_values sj.sj_caller
-          |> Array.map (fun v ->
-                 match v with Lattice.Top -> Lattice.Bot | v -> v))
+          |> Array.map (fun w -> if w = P.top then P.bot else w))
         in
         {
           Solution.cr_caller = sj.sj_caller;
@@ -417,7 +412,9 @@ let solve (ctx : Context.t) (variant : variant) : Solution.t =
           cr_callee = sj.sj_callee;
           cr_executable = sj.sj_live;
           cr_args =
-            Array.map (fun jf -> eval_jf ctx jf caller_formals) sj.sj_jfs;
+            Array.map
+              (fun jf -> P.to_t (eval_jf ctx jf caller_formals))
+              sj.sj_jfs;
           cr_globals = [];
         })
       sites

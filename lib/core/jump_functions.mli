@@ -37,8 +37,9 @@ type site_jfs = {
     intraprocedural analyses used to build them. *)
 val build_jump_functions : Context.t -> variant -> site_jfs list * int
 
-(** Evaluate a jump function under the caller's current formal values. *)
-val eval_jf : Context.t -> jf -> Fsicp_scc.Lattice.t array -> Fsicp_scc.Lattice.t
+(** Evaluate a jump function under the caller's current formal values,
+    given and answered as packed lattice words ({!Fsicp_scc.Lattice.P}). *)
+val eval_jf : Context.t -> jf -> int array -> int
 
 (** Build and propagate to a fixpoint (cycles converge by monotone
     iteration, unlike the historical implementations). *)

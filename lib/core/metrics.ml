@@ -217,3 +217,9 @@ let figure1 (ctx : Context.t) : figure1_row list =
     warm-path acceptance check reads this: a re-solve of an unchanged
     program must not advance it. *)
 let scc_block_visits () = Fsicp_trace.Trace.counter_total "scc.block_visits"
+
+(** Cumulative entry-vector memo evictions (capacity overflows), from the
+    ["scc.memo_evictions"] counter.  The warm-path check also reads this:
+    a memo working set that fits capacity must never evict. *)
+let scc_memo_evictions () =
+  Fsicp_trace.Trace.counter_total "scc.memo_evictions"

@@ -51,3 +51,8 @@ val figure1 : Context.t -> figure1_row list
 (** Cumulative SCC block visits (process-wide, all domains); a warm
     memo-cache re-solve of an unchanged program does not advance it. *)
 val scc_block_visits : unit -> int
+
+(** Cumulative SCC entry-vector memo evictions (process-wide); stays at
+    zero whenever every procedure's distinct entry vectors fit the memo
+    capacity. *)
+val scc_memo_evictions : unit -> int

@@ -111,8 +111,13 @@ let solve (ctx : Context.t) : Solution.t =
         | Some _ | None ->
             any_change := true;
             Prog.Proc.Tbl.set entries_tbl pid (Some entry));
-        (* Run SCC with this environment and record call-site values. *)
+        (* Run SCC with this environment and record call-site values.  The
+           oracle answers in packed words; this pass is the executable
+           specification, so it just encodes its boxed entries at the
+           boundary. *)
         let entry_env (v : Ir.var) =
+          Lattice.P.of_t
+          @@
           match v.Ir.vkind with
           | Ir.Formal i ->
               if i < Array.length pe_formals then pe_formals.(i)
@@ -145,10 +150,11 @@ let solve (ctx : Context.t) : Solution.t =
             in
             let gvals =
               Array.to_list c.Ssa.c_global_uses
-              |> List.map (fun ((g : Ir.var), n) ->
+              |> List.map (fun ((g : Ir.var), (n : Ssa.name)) ->
                      ( g.Ir.vid,
                        if executable then
-                         Context.censor ctx res.Scc.values.(n.Ssa.id)
+                         Context.censor ctx
+                           (Lattice.P.to_t res.Scc.values.(n.Ssa.id))
                        else Lattice.Top ))
             in
             records.((pid :> int)).(c.Ssa.c_cs_id) <-

@@ -49,37 +49,40 @@ type t = {
 
 let summary_of t proc = Hashtbl.find_opt t.summaries proc
 
-(** The post-call value of caller-side variable [v] for call [c], given the
-    callee's exit summary: meet over every channel through which the callee
-    may have written [v]'s location (each by-reference argument position
-    binding [v], and [v] itself when it is a global). *)
+module P = Lattice.P
+
+(** The post-call value (a packed lattice word) of caller-side variable [v]
+    for call [c], given the callee's exit summary: meet over every channel
+    through which the callee may have written [v]'s location (each
+    by-reference argument position binding [v], and [v] itself when it is a
+    global).  The summaries stay boxed — they are a user-facing artifact
+    the differential oracle inspects — and are encoded here, at the Scc
+    config boundary. *)
 let call_def_value_from (summaries : (string, summary) Hashtbl.t)
-    ~(censor : Lattice.t -> Lattice.t) (c : Ssa.call) (v : Ir.var) : Lattice.t
-    =
+    ~(censor : int -> int) (c : Ssa.call) (v : Ir.var) : int =
   match Hashtbl.find_opt summaries c.Ssa.c_callee with
-  | None -> Lattice.Bot (* back edge or unknown callee *)
+  | None -> P.bot (* back edge or unknown callee *)
   | Some s ->
-      let acc = ref Lattice.Top in
+      let acc = ref P.top in
       Array.iteri
         (fun j (a : Ssa.ssa_arg) ->
           match a.Ssa.sa_byref with
           | Some w when Ir.Var.equal w v ->
               if j < Array.length s.rs_formals then
-                acc := Lattice.meet !acc s.rs_formals.(j)
+                acc := P.meet !acc (P.of_t s.rs_formals.(j))
           | Some _ | None -> ())
         c.Ssa.c_args;
       (match v.Ir.vkind with
       | Ir.Global -> (
           match List.assoc_opt v.Ir.vid s.rs_globals with
-          | Some gv -> acc := Lattice.meet !acc gv
-          | None -> acc := Lattice.Bot)
+          | Some gv -> acc := P.meet !acc (P.of_t gv)
+          | None -> acc := P.bot)
       | Ir.Formal _ | Ir.Local | Ir.Temp -> ());
-      (match !acc with
-      | Lattice.Top ->
-          (* No channel found: the MOD oracle said the call may define [v]
-             but the summary does not cover it — stay conservative. *)
-          Lattice.Bot
-      | r -> censor r)
+      if !acc = P.top then
+        (* No channel found: the MOD oracle said the call may define [v]
+           but the summary does not cover it — stay conservative. *)
+        P.bot
+      else censor !acc
 
 (** Run the reverse traversal on top of a forward flow-sensitive solution.
     One additional SCC per procedure. *)
@@ -93,22 +96,23 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
     (fun pid ->
       let proc = Callgraph.proc_name pcg pid in
       let entry = Solution.entry_at fs pid in
-      let entry_env (v : Ir.var) =
-        match v.Ir.vkind with
-        | Ir.Formal i ->
-            if i < Array.length entry.Solution.pe_formals then
-              entry.Solution.pe_formals.(i)
-            else Lattice.Bot
-        | Ir.Global -> (
-            match List.assoc_opt v.Ir.vid entry.Solution.pe_globals with
-            | Some value -> value
-            | None ->
-                if String.equal proc ctx.Context.prog.Ast.main then
-                  match List.assoc_opt v.Ir.vid blockdata with
-                  | Some value -> value
-                  | None -> Lattice.Bot
-                else Lattice.Bot)
-        | Ir.Local | Ir.Temp -> Lattice.Bot
+      let entry_env (v : Ir.var) : int =
+        P.of_t
+          (match v.Ir.vkind with
+          | Ir.Formal i ->
+              if i < Array.length entry.Solution.pe_formals then
+                entry.Solution.pe_formals.(i)
+              else Lattice.Bot
+          | Ir.Global -> (
+              match List.assoc_opt v.Ir.vid entry.Solution.pe_globals with
+              | Some value -> value
+              | None ->
+                  if String.equal proc ctx.Context.prog.Ast.main then
+                    match List.assoc_opt v.Ir.vid blockdata with
+                    | Some value -> value
+                    | None -> Lattice.Bot
+                  else Lattice.Bot)
+          | Ir.Local | Ir.Temp -> Lattice.Bot)
       in
       let ssa = Context.ssa_at ctx pid in
       let cdv ~callee v =
@@ -116,14 +120,12 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
         List.fold_left
           (fun acc (_, _, (c : Ssa.call)) ->
             if String.equal c.Ssa.c_callee callee then
-              Lattice.meet acc
-                (call_def_value_from summaries
-                   ~censor:(Context.censor ctx) c v)
+              P.meet acc
+                (call_def_value_from summaries ~censor:(Context.censor_w ctx)
+                   c v)
             else acc)
-          Lattice.Top (Ssa.call_sites ssa)
-        |> function
-        | Lattice.Top -> Lattice.Bot
-        | r -> r
+          P.top (Ssa.call_sites ssa)
+        |> fun r -> if r = P.top then P.bot else r
       in
       let res =
         Scc.run ~config:{ Scc.entry_env; call_def_value = cdv } ssa
@@ -153,6 +155,6 @@ let compute (ctx : Context.t) ~(fs : Solution.t) : t =
 
 (** Exit summaries mapped onto a [Fs_icp.solve ~call_def_value] oracle, for
     running a refined forward pass on top of the reverse traversal. *)
-let as_oracle (t : t) ~(censor : Lattice.t -> Lattice.t) :
-    caller:string -> Ssa.call -> Ir.var -> Lattice.t =
+let as_oracle (t : t) ~(censor : int -> int) :
+    caller:string -> Ssa.call -> Ir.var -> int =
  fun ~caller:_ c v -> call_def_value_from t.summaries ~censor c v

@@ -24,23 +24,25 @@ val summary_of : t -> string -> summary option
 
 (** Post-call value of a caller-side variable for one call, given the
     callee's summary: the meet over every channel (by-reference argument
-    positions binding it, and the global itself). *)
+    positions binding it, and the global itself).  Answers in packed
+    lattice words ({!Lattice.P}); [censor] is the packed
+    {!Context.censor_w}. *)
 val call_def_value_from :
   (string, summary) Hashtbl.t ->
-  censor:(Lattice.t -> Lattice.t) ->
+  censor:(int -> int) ->
   Ssa.call ->
   Ir.var ->
-  Lattice.t
+  int
 
 (** Run the reverse traversal on top of a forward FS solution; exactly one
     additional SCC per procedure. *)
 val compute : Context.t -> fs:Solution.t -> t
 
-(** The summaries as a [Fs_icp.solve ~call_def_value] oracle. *)
+(** The summaries as a [Fs_icp.solve ~call_def_value] oracle (packed). *)
 val as_oracle :
   t ->
-  censor:(Lattice.t -> Lattice.t) ->
+  censor:(int -> int) ->
   caller:string ->
   Ssa.call ->
   Ir.var ->
-  Lattice.t
+  int

@@ -81,6 +81,8 @@ let substitutions (ctx : Context.t) (solution : Solution.t) :
            let proc = Fsicp_callgraph.Callgraph.proc_name pcg pid in
            let entry = Solution.entry_at solution pid in
            let entry_env (v : Ir.var) =
+             Lattice.P.of_t
+             @@
              match v.Ir.vkind with
              | Ir.Formal i ->
                  if i < Array.length entry.Solution.pe_formals then

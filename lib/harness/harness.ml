@@ -383,7 +383,7 @@ let returns_table () : Report.t =
         let fs2 =
           Fs_icp.solve ~jobs:1
             ~call_def_value:
-              (Return_consts.as_oracle rc ~censor:(Context.censor ctx))
+              (Return_consts.as_oracle rc ~censor:(Context.censor_w ctx))
             ctx
         in
         let _, subs_base = Transform.substitutions ctx fs in

@@ -278,7 +278,7 @@ let check_program_body ?(fuel = default_fuel) ?jobs (prog : Ast.program) :
   in
   let fs_rc =
     Fs_icp.solve ~jobs:1
-      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor ctx))
+      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor_w ctx))
       ctx
   in
   let* () =

@@ -83,6 +83,65 @@ module Var = struct
   let pp ppf i = Fmt.string ppf (name i)
 end
 
+module Valpool = struct
+  (* Same publication discipline as [Var]: mutex-guarded key table, reverse
+     array published through an [Atomic.t] so [get] is lock-free.
+
+     Keys canonicalise the [Value.equal] equivalence classes that have more
+     than one machine representation: every nan collapses to one slot, and
+     [-0.0]/[0.0] collapse to one slot ([Float.equal] identifies both
+     pairs).  The first value interned for a class is the one stored, so a
+     pooled index round-trips to a [Value.equal]-equivalent value and equal
+     indices mean [Value.equal] values. *)
+  type key = KInt of int | KReal of int64
+
+  let key_of (v : Fsicp_lang.Value.t) =
+    match v with
+    | Int n -> KInt n
+    | Real r ->
+        if Float.is_nan r then KReal 0x7ff8000000000001L
+        else if r = 0.0 then KReal 0L
+        else KReal (Int64.bits_of_float r)
+
+  let lock = Mutex.create ()
+  let ids : (key, int) Hashtbl.t = Hashtbl.create 256
+
+  let values : Fsicp_lang.Value.t array Atomic.t =
+    Atomic.make (Array.make 256 (Fsicp_lang.Value.Int 0))
+
+  let next = ref 0
+
+  let intern (v : Fsicp_lang.Value.t) =
+    let k = key_of v in
+    Mutex.lock lock;
+    let id =
+      match Hashtbl.find_opt ids k with
+      | Some i -> i
+      | None ->
+          let i = !next in
+          incr next;
+          let arr = Atomic.get values in
+          let arr =
+            if i < Array.length arr then arr
+            else begin
+              let bigger =
+                Array.make (2 * Array.length arr) (Fsicp_lang.Value.Int 0)
+              in
+              Array.blit arr 0 bigger 0 (Array.length arr);
+              bigger
+            end
+          in
+          arr.(i) <- v;
+          Atomic.set values arr;
+          Hashtbl.add ids k i;
+          i
+    in
+    Mutex.unlock lock;
+    id
+
+  let get (i : int) = (Atomic.get values).(i)
+end
+
 module Bits = struct
   type t = { words : Bytes.t; n : int }
 

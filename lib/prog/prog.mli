@@ -68,6 +68,22 @@ module Var : sig
   val pp : id Fmt.t
 end
 
+(** A process-global interned side table for constant values that do not fit
+    in a packed lattice word (reals and very large integers — see
+    [Fsicp_scc.Lattice.P]).  Interning canonicalises the [Value.equal]
+    equivalence classes with multiple machine representations (all nans map
+    to one slot, [-0.0] and [0.0] to one slot), so equal pool indices hold
+    [Value.equal] values and a packed-word integer comparison is a correct
+    lattice-element equality. *)
+module Valpool : sig
+  val intern : Fsicp_lang.Value.t -> int
+  (** Thread-safe; idempotent per [Value.equal]-class. *)
+
+  val get : int -> Fsicp_lang.Value.t
+  (** Total on every index returned by {!intern}; lock-free.  Returns the
+      first value interned for the index's equivalence class. *)
+end
+
 (** Flat bitsets over a dense [0 .. n-1] universe (e.g. the call sites of a
     program, numbered caller-major). *)
 module Bits : sig

@@ -14,6 +14,7 @@
     paper Figure 4. *)
 
 open Fsicp_lang
+module Prog = Fsicp_prog.Prog
 
 type t = Top | Const of Value.t | Bot
 
@@ -69,3 +70,116 @@ let eval_binop op (a : t) (b : t) : t =
   | Top, _ | _, Top -> Top
   | Const x, Const y -> (
       match Value.eval_binop op x y with Some r -> Const r | None -> Bot)
+
+(* -- Packed representation ------------------------------------------ *)
+
+module P = struct
+  (* A lattice element in one immediate [int]:
+
+     {v
+       word 0                  Top
+       word 1                  Bot
+       (n   lsl 3) lor 2       Const (Int n)    when n fits in 60 bits
+       (idx lsl 3) lor 3       Const v          v interned at Valpool idx
+     v}
+
+     Tags 2/3 both set bit 1, so [is_const] is one mask test; Top and Bot
+     keep it clear.  Inline payloads are sign-extending ([asr]), pool
+     indices non-negative ([lsr]).  Because [of_int] always prefers the
+     inline form and {!Prog.Valpool} canonicalises value classes, two words
+     are [equal] iff plain [=] — the kernel compares and memo-keys lattice
+     elements without allocation. *)
+
+  let top = 0
+  let bot = 1
+  let is_const w = w land 2 <> 0
+  let fits_inline n = n asr 59 = 0 || n asr 59 = -1
+
+  let of_int n =
+    if fits_inline n then (n lsl 3) lor 2
+    else (Prog.Valpool.intern (Value.Int n) lsl 3) lor 3
+
+  let of_value (v : Value.t) =
+    match v with
+    | Int n when fits_inline n -> (n lsl 3) lor 2
+    | _ -> (Prog.Valpool.intern v lsl 3) lor 3
+
+  let const_value w : Value.t =
+    if w land 7 = 2 then Value.Int (w asr 3)
+    else if w land 7 = 3 then Prog.Valpool.get (w lsr 3)
+    else invalid_arg "Lattice.P.const_value: not a constant"
+
+  let of_t = function Top -> 0 | Bot -> 1 | Const v -> of_value v
+
+  let to_t w =
+    if w = 0 then Top else if w = 1 then Bot else Const (const_value w)
+
+  let equal : int -> int -> bool = Int.equal
+
+  let meet a b =
+    if a = 0 then b
+    else if b = 0 then a
+    else if a = b then a
+    else bot
+
+  let le a b = a = 1 || b = 0 || a = b
+  let height w = if w = 0 then 2 else if w = 1 then 0 else 1
+
+  (* Real constants never encode inline (tag 2 is integer-only), so the
+     real/int distinction needs at most one pool read. *)
+  let is_real_const w = w land 7 = 3 && Value.is_real (Prog.Valpool.get (w lsr 3))
+
+  (* An impossible word, usable as an out-of-band sentinel: inline payloads
+     lose their top three bits to the tag, so no encoding reaches
+     [min_int]. *)
+  let absent = min_int
+
+  (** Truthiness of a constant word (the [Cond] branch test). *)
+  let truthy w =
+    if w land 7 = 2 then w asr 3 <> 0
+    else Value.truthy (Prog.Valpool.get (w lsr 3))
+
+  (* Abstract evaluation, mirroring the boxed [eval_unop]/[eval_binop]
+     exactly.  Inline-int operands fold with native [int] arithmetic —
+     identical to what [Value.eval_binop] computes, because both decode to
+     the same native ints — and only the rare real/big-int constants take
+     the boxing detour through [Value]. *)
+
+  let eval_unop op w =
+    if not (is_const w) then w
+    else if w land 7 = 2 then
+      let n = w asr 3 in
+      match op with
+      | Ops.Neg -> of_int (-n)
+      | Ops.Not -> if n = 0 then of_int 1 else of_int 0
+    else
+      match Value.eval_unop op (const_value w) with
+      | Some r -> of_value r
+      | None -> bot
+
+  let of_bool b = if b then (1 lsl 3) lor 2 else 2
+
+  let eval_binop op a b =
+    if a = 1 || b = 1 then bot
+    else if a = 0 || b = 0 then top
+    else if a land 7 = 2 && b land 7 = 2 then
+      let x = a asr 3 and y = b asr 3 in
+      match op with
+      | Ops.Add -> of_int (x + y)
+      | Ops.Sub -> of_int (x - y)
+      | Ops.Mul -> of_int (x * y)
+      | Ops.Div -> if y = 0 then bot else of_int (x / y)
+      | Ops.Mod -> if y = 0 then bot else of_int (x mod y)
+      | Ops.Eq -> of_bool (x = y)
+      | Ops.Ne -> of_bool (x <> y)
+      | Ops.Lt -> of_bool (x < y)
+      | Ops.Le -> of_bool (x <= y)
+      | Ops.Gt -> of_bool (x > y)
+      | Ops.Ge -> of_bool (x >= y)
+      | Ops.And -> of_bool (x <> 0 && y <> 0)
+      | Ops.Or -> of_bool (x <> 0 || y <> 0)
+    else
+      match Value.eval_binop op (const_value a) (const_value b) with
+      | Some r -> of_value r
+      | None -> bot
+end

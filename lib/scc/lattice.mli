@@ -33,3 +33,45 @@ val to_string : t -> string
 val eval_unop : Fsicp_lang.Ops.unop -> t -> t
 
 val eval_binop : Fsicp_lang.Ops.binop -> t -> t -> t
+
+(** Packed lattice words: one immediate [int] per element, for the
+    allocation-free solver hot path.  [0] is [Top], [1] is [Bot]; constants
+    carry a 3-bit tag — small integers inline (tag 2, 60-bit signed
+    payload), everything else (reals, huge integers) as an index into the
+    process-global {!Prog.Valpool} side table (tag 3).  The encoding is
+    canonical: [equal] on words is plain integer [=] and agrees with
+    {!equal} on the boxed elements they decode to.  All operations mirror
+    the boxed ones bit-for-bit; convert with {!P.of_t}/{!P.to_t} only at
+    the [Solution.t]/print boundary. *)
+module P : sig
+  val top : int
+  val bot : int
+  val is_const : int -> bool
+
+  val of_int : int -> int
+  (** Packed [Const (Int n)], inline when [n] fits in 60 bits. *)
+
+  val of_value : Fsicp_lang.Value.t -> int
+  val of_t : t -> int
+  val to_t : int -> t
+
+  val const_value : int -> Fsicp_lang.Value.t
+  (** Decode a constant word.  Raises [Invalid_argument] on [top]/[bot]. *)
+
+  val equal : int -> int -> bool
+  val meet : int -> int -> int
+  val le : int -> int -> bool
+  val height : int -> int
+
+  val is_real_const : int -> bool
+  (** Is the word a [Const (Real _)]?  (False on [top]/[bot].) *)
+
+  val absent : int
+  (** Not a lattice word: an out-of-band sentinel no encoding produces. *)
+
+  val truthy : int -> bool
+  (** Truthiness of a constant word; meaningless on [top]/[bot]. *)
+
+  val eval_unop : Fsicp_lang.Ops.unop -> int -> int
+  val eval_binop : Fsicp_lang.Ops.binop -> int -> int -> int
+end

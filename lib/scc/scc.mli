@@ -7,58 +7,66 @@
     conditions mark only one successor executable, discarding unreachable
     code during propagation.
 
-    The interprocedural methods plug in through {!config}: the entry
-    environment supplies lattice values for each variable's version-0
-    (procedure-entry) name, and the call oracle supplies post-call values
-    of call-defined variables. *)
+    The hot path works on {e packed} lattice words ({!Lattice.P}): one
+    immediate [int] per element, boxed {!Lattice.t} only at the
+    [Solution.t]/print boundary.  The interprocedural methods plug in
+    through {!config}: the entry environment supplies packed values for
+    each variable's version-0 (procedure-entry) name, and the call oracle
+    supplies post-call values of call-defined variables. *)
 
 open Fsicp_cfg
 open Fsicp_ssa
 
 type config = {
-  entry_env : Ir.var -> Lattice.t;
-      (** value of each variable at procedure entry; must be [Bot] or a
-          constant for soundness ([Top] would claim dead code everywhere) *)
-  call_def_value : callee:string -> Ir.var -> Lattice.t;
-      (** value of a variable a call may define, after the call returns
-          ([Bot] unless a return-constants summary knows better) *)
+  entry_env : Ir.var -> int;
+      (** packed value of each variable at procedure entry; must be
+          [Lattice.P.bot] or a constant word for soundness (top would
+          claim dead code everywhere) *)
+  call_def_value : callee:string -> Ir.var -> int;
+      (** packed value of a variable a call may define, after the call
+          returns ([Lattice.P.bot] unless a return-constants summary knows
+          better) *)
 }
 
 (** Everything unknown: entry values ⊥, call effects ⊥. *)
 val default_config : config
 
 (** Entry environment from an association list; unlisted variables are
-    unknown. *)
-val env_of_list : (Ir.var * Fsicp_lang.Value.t) list -> Ir.var -> Lattice.t
+    unknown.  Values are pre-encoded, so each query is allocation-free. *)
+val env_of_list : (Ir.var * Fsicp_lang.Value.t) list -> Ir.var -> int
 
 type result = {
   proc : Ssa.proc;
-  values : Lattice.t array;  (** lattice value per SSA name id *)
+  values : int array;  (** packed lattice word per SSA name id *)
   block_executable : bool array;
   edge_exec : Bytes.t;  (** bitset over the proc's dense edge ids *)
 }
 
 (** Run the analysis.  Terminates in O(names × height + edges).
 
-    Flat kernel: CSR def–use walks, int-stack worklists with on-worklist
-    dedup, one bit per dense edge id, scratch from the calling domain's
-    epoch-stamped {!Fsicp_par.Par.Arena} — no allocation in the steady
-    state.  Both {!config} hooks are resolved once per run into dense
-    vectors, which also key a per-procedure memo: re-running with equal
-    entry and call-def vectors returns the cached result without visiting
-    any block (the ["scc.block_visits"] counter does not advance).
+    Flat kernel over packed words: CSR def–use walks, int-stack worklists
+    with on-worklist dedup, one bit per dense edge id, scratch from the
+    calling domain's epoch-stamped {!Fsicp_par.Par.Arena}, closure-free
+    transfer evaluation — no allocation in the steady state.  Both
+    {!config} hooks are resolved once per run into dense packed vectors
+    held in per-domain scratch, which also key a per-procedure memo:
+    re-running with equal entry and call-def vectors returns the cached
+    result without visiting any block (the ["scc.block_visits"] counter
+    does not advance) and without copying the vectors.
 
     Work accounting goes to {!Fsicp_trace.Trace}: a ["scc:solve"] span per
     run (carrying the procedure name) and the monotonic counters
-    ["scc.runs"], ["scc.memo_hits"], ["scc.block_visits"],
-    ["scc.site_visits"] (SSA worklist pops) and ["scc.edge_marks"] (flow
-    worklist activations) — all deterministic for a given program. *)
+    ["scc.runs"], ["scc.memo_hits"], ["scc.memo_evictions"],
+    ["scc.block_visits"], ["scc.site_visits"] (SSA worklist pops) and
+    ["scc.edge_marks"] (flow worklist activations) — all deterministic for
+    a given program. *)
 val run : ?config:config -> Ssa.proc -> result
 
-(** The original list/Hashtbl/Queue formulation, kept as the executable
-    specification: no arena, no dedup, no memo.  The unique SCC fixpoint
-    makes it interchangeable with {!run}; the test-suite asserts this
-    value-for-value and edge-for-edge. *)
+(** The original list/Hashtbl/Queue formulation over the boxed lattice,
+    kept as the executable specification: no arena, no dedup, no memo, no
+    packed arithmetic (packed only at the hooks and the final encode).
+    The unique SCC fixpoint makes it interchangeable with {!run}; the
+    test-suite asserts this value-for-value and edge-for-edge. *)
 val run_reference : ?config:config -> Ssa.proc -> result
 
 (** Is dense edge [e] of the result's procedure executable? *)
@@ -70,6 +78,11 @@ val edge_executable : result -> src:int -> dst:int -> bool
 val value_of : result -> Ssa.name -> Lattice.t
 val operand_value : result -> Ssa.operand -> Lattice.t
 
+(** Packed variants of the value accessors, for allocation-free callers. *)
+val value_w : result -> Ssa.name -> int
+
+val operand_w : result -> Ssa.operand -> int
+
 (** Call sites whose block the analysis proved executable — the only ones
     whose arguments the flow-sensitive ICP propagates. *)
 val executable_call_sites : result -> (int * int * Ssa.call) list
@@ -77,9 +90,14 @@ val executable_call_sites : result -> (int * int * Ssa.call) list
 (** Lattice value of the [j]-th argument of call [c]. *)
 val arg_value : result -> Ssa.call -> int -> Lattice.t
 
+val arg_value_w : result -> Ssa.call -> int -> int
+
 (** Value of global [g] immediately before call [c], if recorded (i.e. [g]
     is in the callee's REF closure). *)
 val global_at_call : result -> Ssa.call -> Ir.var -> Lattice.t option
+
+(** Packed variant: {!Lattice.P.absent} when not recorded. *)
+val global_at_call_w : result -> Ssa.call -> Ir.var -> int
 
 (** The Grove–Torczon / Metzger–Stroud metric: textual uses of source-level
     variables proved constant in executable code (Table 5). *)
@@ -92,3 +110,5 @@ val constant_names : result -> (Ssa.name * Fsicp_lang.Value.t) list
     return blocks of the reaching version's value; [Top] when the procedure
     cannot return.  Drives the return-constants extension. *)
 val exit_value : result -> Ir.var -> Lattice.t
+
+val exit_value_w : result -> Ir.var -> int

@@ -91,12 +91,6 @@ type block = {
   term : terminator;
 }
 
-(** Where a name is defined; used by def–use chains and the SCC worklist. *)
-type def_site =
-  | Dentry  (** version 0, defined at procedure entry *)
-  | Dinstr of int * int  (** (block, instruction index) — assign or call *)
-  | Dphi of int * int  (** (block, phi index) *)
-
 (** A use site; pushing these onto the SCC's SSA worklist re-evaluates the
     corresponding phi/instruction/terminator. *)
 type use_site =
@@ -137,7 +131,9 @@ type proc = {
           and global reaching the return — the values a call observes after
           the procedure finishes (drives the return-constants extension) *)
   n_names : int;
-  defs : def_site array;  (** indexed by name id *)
+  defs : int array;
+      (** name id -> packed (tag, block, index) def site as in [site_code]
+          (phi or instr tag), or -1 for a version-0 entry definition *)
   use_offsets : int array;
       (** CSR row starts into [use_sites], length [n_names + 1]: the use
           sites of name [id] are [use_sites.(use_offsets.(id)) ..
@@ -301,6 +297,10 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
   let call_ds : Ir.var list array = Array.make (max 1 n_instrs) [] in
   let call_gs : Ir.var list array = Array.make (max 1 n_instrs) [] in
   let kill_at : Ir.var list array = Array.make (max 1 n_instrs) [] in
+  (* The alias-kill list of a variable is build-invariant; memoising it per
+     assigned variable keeps the oracle's list surgery (closure over the
+     alias pairs, sort, self-filter) off the per-assignment path. *)
+  let kill_memo : (int, Ir.var list) Hashtbl.t = Hashtbl.create 16 in
   Array.iteri
     (fun b (blk : Ir.block) ->
       Array.iteri
@@ -316,17 +316,32 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
               call_gs.(iord b i) <- gs;
               List.iter note ds;
               List.iter note gs
-          | Ir.Assign (v, rhs) ->
+          | Ir.Assign (v, rhs) -> (
               note v;
               note_rhs rhs;
-              let ks =
-                List.sort_uniq Ir.Var.compare (effects.assign_aliases v)
-                |> List.filter (fun w -> not (Ir.Var.equal v w))
-              in
-              if ks <> [] then begin
-                kill_at.(iord b i) <- ks;
-                List.iter note ks
-              end
+              (* Only formals and globals can carry reference-parameter
+                 aliases (both oracles answer [] for locals and temps), so
+                 the oracle and the memo are skipped on the common case. *)
+              match v.Ir.vkind with
+              | Ir.Local | Ir.Temp -> ()
+              | Ir.Formal _ | Ir.Global ->
+                  let key = Ir.Var.slot_key v in
+                  let ks =
+                    match Hashtbl.find_opt kill_memo key with
+                    | Some ks -> ks
+                    | None ->
+                        let ks =
+                          List.sort_uniq Ir.Var.compare
+                            (effects.assign_aliases v)
+                          |> List.filter (fun w -> not (Ir.Var.equal v w))
+                        in
+                        Hashtbl.add kill_memo key ks;
+                        ks
+                  in
+                  if ks <> [] then begin
+                    kill_at.(iord b i) <- ks;
+                    List.iter note ks
+                  end)
           | Ir.Print o -> note_op o)
         blk.Ir.instrs;
       match blk.Ir.term with
@@ -345,67 +360,175 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
   Array.iteri (fun i k -> slot_arr.(k) <- i) var_keys;
   let[@inline] vidx v = slot_arr.(Ir.Var.slot_key v) in
 
-  (* -- Phi placement (iterated dominance frontier) ------------------- *)
-  let def_blocks = Array.make nvars [] in
-  Ir.iter_instrs
-    (fun ~block ~index ins ->
-      match ins with
-      | Ir.Assign (v, _) ->
-          def_blocks.(vidx v) <- block :: def_blocks.(vidx v);
-          List.iter
-            (fun w -> def_blocks.(vidx w) <- block :: def_blocks.(vidx w))
-            kill_at.(iord block index)
-      | Ir.Call _ ->
-          List.iter
-            (fun v -> def_blocks.(vidx v) <- block :: def_blocks.(vidx v))
-            call_ds.(iord block index)
-      | Ir.Print _ -> ())
-    cfg;
-  (* The entry block implicitly defines version 0 of everything. *)
-  for i = 0 to nvars - 1 do
-    def_blocks.(i) <- cfg.Ir.entry :: def_blocks.(i)
+  (* -- Dense edge ids ------------------------------------------------ *)
+  (* Out edges per block, numbered consecutively in successor order.  A
+     [Cond] with equal arms contributes one edge (as in [Ir.successors]),
+     so every (pred, succ) pair maps to exactly one edge id.  Derived from
+     the IR terminators up front so the renaming pass can fill successor
+     phi arguments positionally. *)
+  let edge_base = Array.make (nblocks + 1) 0 in
+  for b = 0 to nblocks - 1 do
+    let out =
+      match cfg.Ir.blocks.(b).Ir.term with
+      | Ir.Goto _ -> 1
+      | Ir.Cond (_, t, f) -> if t = f then 1 else 2
+      | Ir.Ret -> 0
+    in
+    edge_base.(b + 1) <- edge_base.(b) + out
   done;
-  (* phis_at.(b) = list of var indices needing a phi at block b.  Per-var
-     membership is tracked with stamp arrays (stamp = v + 1): O(1) reset
-     between variables, no tuple-keyed hashing. *)
-  let phis_at = Array.make nblocks [] in
+  let n_edges = edge_base.(nblocks) in
+  let edge_dst = Array.make (max 1 n_edges) 0 in
+  for b = 0 to nblocks - 1 do
+    match cfg.Ir.blocks.(b).Ir.term with
+    | Ir.Goto t -> edge_dst.(edge_base.(b)) <- t
+    | Ir.Cond (_, t, f) ->
+        edge_dst.(edge_base.(b)) <- t;
+        if t <> f then edge_dst.(edge_base.(b) + 1) <- f
+    | Ir.Ret -> ()
+  done;
+  (* Edge id of the unique (pred, succ) edge. *)
+  let edge_id ~pred ~succ =
+    match cfg.Ir.blocks.(pred).Ir.term with
+    | Ir.Goto _ -> edge_base.(pred)
+    | Ir.Cond (_, t, f) ->
+        if t = f || t = succ then edge_base.(pred) else edge_base.(pred) + 1
+    | Ir.Ret -> assert false
+  in
+  (* Per block, the incoming edge ids in predecessor-list order (this is
+     exactly the [p_edges] vector of every phi of the block, shared), and
+     the inverse: each edge's position in its destination's list. *)
+  let pred_pos = Array.make (max 1 n_edges) 0 in
+  let pred_edge =
+    Array.init nblocks (fun s ->
+        let arr = Array.make (List.length preds.(s)) 0 in
+        List.iteri
+          (fun k b ->
+            let e = edge_id ~pred:b ~succ:s in
+            arr.(k) <- e;
+            pred_pos.(e) <- k)
+          preds.(s);
+        arr)
+  in
+
+  (* -- Phi placement (iterated dominance frontier) ------------------- *)
+  (* Def-site blocks per variable as a CSR (entry block plus every assign,
+     kill and call def); the iterated-DF worklist is an int stack and the
+     resulting (block, var) placements accumulate into one int buffer that
+     a counting sort turns into the per-block phi lists — no cons cell is
+     allocated anywhere in the phase. *)
+  let dcnt = Array.make (nvars + 1) 0 in
+  let bump v = dcnt.(vidx v + 1) <- dcnt.(vidx v + 1) + 1 in
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      Array.iteri
+        (fun i ins ->
+          match ins with
+          | Ir.Assign (v, _) ->
+              bump v;
+              List.iter bump kill_at.(iord b i)
+          | Ir.Call _ -> List.iter bump call_ds.(iord b i)
+          | Ir.Print _ -> ())
+        blk.Ir.instrs)
+    cfg.Ir.blocks;
+  for i = 0 to nvars - 1 do
+    dcnt.(i + 1) <- dcnt.(i + 1) + dcnt.(i)
+  done;
+  let dpay = Array.make (max 1 dcnt.(nvars)) 0 in
+  let dfill = Array.make (max 1 nvars) 0 in
+  Array.blit dcnt 0 dfill 0 nvars;
+  let put v b =
+    let s = vidx v in
+    dpay.(dfill.(s)) <- b;
+    dfill.(s) <- dfill.(s) + 1
+  in
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      Array.iteri
+        (fun i ins ->
+          match ins with
+          | Ir.Assign (v, _) ->
+              put v b;
+              List.iter (fun w -> put w b) kill_at.(iord b i)
+          | Ir.Call _ -> List.iter (fun w -> put w b) call_ds.(iord b i)
+          | Ir.Print _ -> ())
+        blk.Ir.instrs)
+    cfg.Ir.blocks;
+  (* Placement loop.  [phi_pairs] records each placement as b * nvars + v;
+     placements for one block arrive in ascending-v order (outer loop), so
+     the counting sort below reproduces the historical per-block order. *)
   let has_phi_stamp = Array.make nblocks 0 in
   let ever_stamp = Array.make nblocks 0 in
+  let work = Array.make (max 1 nblocks) 0 in
+  let phi_cnt = Array.make (nblocks + 1) 0 in
+  let phi_pairs = ref (Array.make 64 0) in
+  let n_pairs = ref 0 in
+  let push_pair code =
+    let cap = Array.length !phi_pairs in
+    if !n_pairs = cap then begin
+      let np = Array.make (2 * cap) 0 in
+      Array.blit !phi_pairs 0 np 0 cap;
+      phi_pairs := np
+    end;
+    !phi_pairs.(!n_pairs) <- code;
+    incr n_pairs
+  in
+  (* The worker closures are hoisted out of the per-variable loop (the
+     iteration state lives in refs) so the loop itself allocates nothing. *)
+  let stamp = ref 0 in
+  let sp = ref 0 in
+  let seed b =
+    if ever_stamp.(b) <> !stamp then begin
+      ever_stamp.(b) <- !stamp;
+      work.(!sp) <- b;
+      incr sp
+    end
+  in
+  let cur_v = ref 0 in
+  let visit y =
+    if has_phi_stamp.(y) <> !stamp then begin
+      has_phi_stamp.(y) <- !stamp;
+      phi_cnt.(y + 1) <- phi_cnt.(y + 1) + 1;
+      push_pair ((y * max 1 nvars) + !cur_v);
+      if ever_stamp.(y) <> !stamp then begin
+        ever_stamp.(y) <- !stamp;
+        work.(!sp) <- y;
+        incr sp
+      end
+    end
+  in
   for v = 0 to nvars - 1 do
-    let stamp = v + 1 in
-    (* Seed the worklist with the (deduplicated) def blocks; [ever_stamp]
-       doubles as the dedup set, so no sort is needed. *)
-    let work = ref [] in
-    List.iter
-      (fun b ->
-        if ever_stamp.(b) <> stamp then begin
-          ever_stamp.(b) <- stamp;
-          work := b :: !work
-        end)
-      def_blocks.(v);
-    while !work <> [] do
-      match !work with
-      | [] -> ()
-      | b :: rest ->
-          work := rest;
-          List.iter
-            (fun y ->
-              if has_phi_stamp.(y) <> stamp then begin
-                has_phi_stamp.(y) <- stamp;
-                phis_at.(y) <- v :: phis_at.(y);
-                if ever_stamp.(y) <> stamp then begin
-                  ever_stamp.(y) <- stamp;
-                  work := y :: !work
-                end
-              end)
-            df.(b)
+    stamp := v + 1;
+    cur_v := v;
+    sp := 0;
+    seed cfg.Ir.entry;
+    for k = dcnt.(v) to dcnt.(v + 1) - 1 do
+      seed dpay.(k)
+    done;
+    while !sp > 0 do
+      decr sp;
+      let b = work.(!sp) in
+      List.iter visit df.(b)
     done
   done;
-  Array.iteri (fun b l -> phis_at.(b) <- List.rev l) phis_at;
+  for b = 0 to nblocks - 1 do
+    phi_cnt.(b + 1) <- phi_cnt.(b + 1) + phi_cnt.(b)
+  done;
+  (* phi_vars.(b) = var slots needing a phi at b, ascending. *)
+  let phi_vars =
+    Array.init nblocks (fun b ->
+        Array.make (phi_cnt.(b + 1) - phi_cnt.(b)) 0)
+  in
+  let pfill = Array.make (max 1 nblocks) 0 in
+  for k = 0 to !n_pairs - 1 do
+    let code = !phi_pairs.(k) in
+    let b = code / max 1 nvars and v = code mod max 1 nvars in
+    phi_vars.(b).(pfill.(b)) <- v;
+    pfill.(b) <- pfill.(b) + 1
+  done;
 
   (* -- Renaming ------------------------------------------------------ *)
   let next_id = ref 0 in
-  let next_ver = Array.make nvars 0 in
+  let next_ver = Array.make (max 1 nvars) 0 in
   let fresh base_idx =
     let v = vars.(base_idx) in
     let n = { base = v; ver = next_ver.(base_idx); id = !next_id } in
@@ -413,93 +536,141 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
     incr next_id;
     n
   in
-  let stacks : name list array = Array.make nvars [] in
-  let push n = stacks.(vidx n.base) <- n :: stacks.(vidx n.base) in
-  let top base_idx =
-    match stacks.(base_idx) with
-    | n :: _ -> n
-    | [] -> assert false (* entry def dominates everything *)
+  (* Reaching definition per var slot, with an undo log replacing the
+     per-var cons stacks: entering a block records (slot, previous name)
+     pairs in two parallel growable arrays; leaving restores them. *)
+  let cur =
+    if nvars = 0 then [||]
+    else Array.make nvars { base = vars.(0); ver = -1; id = -1 }
   in
-  (* Entry definitions: version 0 of every var. *)
+  let undo_slot = ref (Array.make 64 0) in
+  let undo_prev = ref ([||] : name array) in
+  let undo_len = ref 0 in
+  let push_undo slot prev =
+    let cap = Array.length !undo_slot in
+    if Array.length !undo_prev < cap then begin
+      let np = Array.make cap prev in
+      Array.blit !undo_prev 0 np 0 !undo_len;
+      undo_prev := np
+    end;
+    if !undo_len = cap then begin
+      let ns = Array.make (2 * cap) 0 in
+      Array.blit !undo_slot 0 ns 0 cap;
+      undo_slot := ns;
+      let np = Array.make (2 * cap) prev in
+      Array.blit !undo_prev 0 np 0 cap;
+      undo_prev := np
+    end;
+    !undo_slot.(!undo_len) <- slot;
+    !undo_prev.(!undo_len) <- prev;
+    incr undo_len
+  in
+  let define base_idx n =
+    push_undo base_idx cur.(base_idx);
+    cur.(base_idx) <- n
+  in
+  (* Entry definitions: version 0 of every var (never popped). *)
   let entry_names = Array.map (fun v -> (v, fresh (vidx v))) vars in
-  Array.iter (fun (_, n) -> push n) entry_names;
+  Array.iter (fun (_, n) -> cur.(vidx n.base) <- n) entry_names;
 
   (* Output blocks under construction. *)
   let out_phis : phi array array = Array.make nblocks [||] in
   let out_instrs : instr array array = Array.make nblocks [||] in
-  let out_terms : terminator array =
-    Array.make nblocks Ret
-  in
+  let out_terms : terminator array = Array.make nblocks Ret in
   let exit_names_acc : (int * (Ir.var * name) array) list ref = ref [] in
-  (* Remember which var each phi at a block is for, in order. *)
-  let phi_vars : int array array = Array.make nblocks [||] in
-  Array.iteri (fun b l -> phi_vars.(b) <- Array.of_list l) phis_at;
-  (* phi argument accumulation: per block, per phi index, a (pred, name)
-     list — direct array slots instead of tuple-keyed hashing *)
-  let phi_args_acc : (int * name) list array array =
-    Array.map (fun a -> Array.make (Array.length a) []) phi_vars
+  (* Preallocated positional phi-argument stores: slot k of a store is the
+     incoming value from the block's k-th predecessor, written when that
+     predecessor is renamed (which may happen before the block itself). *)
+  let args_store : (int * name) array array array =
+    if nvars = 0 then Array.make nblocks [||]
+    else begin
+      let dummy_arg = (-1, { base = vars.(0); ver = -1; id = -1 }) in
+      Array.init nblocks (fun s ->
+          let np = Array.length pred_edge.(s) in
+          Array.init (Array.length phi_vars.(s)) (fun _ ->
+              Array.make np dummy_arg))
+    end
   in
-  (* The formals and globals whose reaching version each return records. *)
-  let exit_vars =
-    Array.to_list vars
-    |> List.filter (fun (v : Ir.var) ->
-           match v.Ir.vkind with
-           | Ir.Formal _ | Ir.Global -> true
-           | Ir.Local | Ir.Temp -> false)
-  in
+  (* The formals and globals whose reaching version each return records,
+     as ascending var slots. *)
+  let n_evars = ref 0 in
+  Array.iter
+    (fun (v : Ir.var) ->
+      match v.Ir.vkind with
+      | Ir.Formal _ | Ir.Global -> incr n_evars
+      | Ir.Local | Ir.Temp -> ())
+    vars;
+  let evars = Array.make !n_evars 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun s (v : Ir.var) ->
+      match v.Ir.vkind with
+      | Ir.Formal _ | Ir.Global ->
+          evars.(!k) <- s;
+          incr k
+      | Ir.Local | Ir.Temp -> ())
+    vars;
 
   let rename_operand (o : Ir.operand) : operand =
     match o with
     | Ir.Const v -> Oconst v
-    | Ir.Var v -> Oname (top (vidx v))
+    | Ir.Var v -> Oname cur.(vidx v)
   in
   let rename_rhs = function
     | Ir.Copy o -> Copy (rename_operand o)
     | Ir.Unop (op, o) -> Unop (op, rename_operand o)
     | Ir.Binop (op, a, b) -> Binop (op, rename_operand a, rename_operand b)
   in
+  let dummy_instr = Print (Oconst (Value.Int 0)) in
 
   let rec rename_block b =
-    let pushed = ref [] in
-    let push' n =
-      push n;
-      pushed := vidx n.base :: !pushed
-    in
+    let depth0 = !undo_len in
     (* Phis define first. *)
     let phis =
       Array.map
         (fun v ->
           let n = fresh v in
-          push' n;
+          define v n;
           { p_name = n; p_args = [||]; p_edges = [||] })
         phi_vars.(b)
     in
     out_phis.(b) <- phis;
-    (* Instructions.  One IR instruction can yield two SSA instructions
-       (an assignment followed by its alias [Kill]). *)
+    (* Instructions, into an exactly-sized array.  One IR instruction can
+       yield two SSA instructions (an assignment then its alias [Kill]). *)
     let blk = cfg.Ir.blocks.(b) in
-    let acc = ref [] in
+    let ninstrs = Array.length blk.Ir.instrs in
+    let extra = ref 0 in
+    for i = 0 to ninstrs - 1 do
+      if kill_at.(iord b i) <> [] then incr extra
+    done;
+    let out = Array.make (ninstrs + !extra) dummy_instr in
+    let ko = ref 0 in
+    let emit ins =
+      out.(!ko) <- ins;
+      incr ko
+    in
     Array.iteri
       (fun i ins ->
         match ins with
         | Ir.Assign (v, rhs) ->
             let rhs = rename_rhs rhs in
             let n = fresh (vidx v) in
-            push' n;
-            acc := Assign (n, rhs) :: !acc;
+            define (vidx v) n;
+            emit (Assign (n, rhs));
             (match kill_at.(iord b i) with
             | [] -> ()
             | ks ->
                 let kills =
-                  List.map
-                    (fun w ->
-                      let kn = fresh (vidx w) in
-                      push' kn;
-                      (w, kn))
-                    ks
+                  Array.of_list
+                    (List.map
+                       (fun w ->
+                         let kn = fresh (vidx w) in
+                         define (vidx w) kn;
+                         (w, kn))
+                       ks)
                 in
-                acc := Kill (Array.of_list kills) :: !acc)
-        | Ir.Print o -> acc := Print (rename_operand o) :: !acc
+                emit (Kill kills))
+        | Ir.Print o -> emit (Print (rename_operand o))
         | Ir.Call { cs_id; callee; args } ->
             let c_args =
               Array.map
@@ -510,39 +681,74 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
                   })
                 args
             in
+            let gs = call_gs.(iord b i) in
+            let ng = List.length gs in
             let c_global_uses =
-              call_gs.(iord b i)
-              |> List.map (fun g -> (g, top (vidx g)))
-              |> Array.of_list
+              if ng = 0 then [||]
+              else begin
+                let g0 = List.hd gs in
+                let arr = Array.make ng (g0, cur.(vidx g0)) in
+                let r = ref gs in
+                for j = 0 to ng - 1 do
+                  (match !r with
+                  | g :: tl ->
+                      arr.(j) <- (g, cur.(vidx g));
+                      r := tl
+                  | [] -> assert false)
+                done;
+                arr
+              end
             in
-            let ng = Array.length c_global_uses in
-            let guse = Array.init ng (fun k ->
-                let g, n = c_global_uses.(k) in
-                (vidx g, n.id))
-            in
-            Array.sort (fun (a, _) (b, _) -> Int.compare a b) guse;
-            let c_guse_slots = Array.map fst guse in
-            let c_guse_ids = Array.map snd guse in
+            let c_guse_slots = Array.make ng 0 in
+            let c_guse_ids = Array.make ng 0 in
+            for j = 0 to ng - 1 do
+              let g, n = c_global_uses.(j) in
+              c_guse_slots.(j) <- vidx g;
+              c_guse_ids.(j) <- n.id
+            done;
+            (* Parallel insertion sort by slot (ng is small). *)
+            for j = 1 to ng - 1 do
+              let s = c_guse_slots.(j) and id = c_guse_ids.(j) in
+              let m = ref (j - 1) in
+              while !m >= 0 && c_guse_slots.(!m) > s do
+                c_guse_slots.(!m + 1) <- c_guse_slots.(!m);
+                c_guse_ids.(!m + 1) <- c_guse_ids.(!m);
+                decr m
+              done;
+              c_guse_slots.(!m + 1) <- s;
+              c_guse_ids.(!m + 1) <- id
+            done;
+            let ds = call_ds.(iord b i) in
+            let nd = List.length ds in
             let c_defs =
-              call_ds.(iord b i)
-              |> List.map (fun v ->
-                     let n = fresh (vidx v) in
-                     push' n;
-                     (v, n))
-              |> Array.of_list
+              if nd = 0 then [||]
+              else begin
+                let arr = Array.make nd (List.hd ds, cur.(0)) in
+                let r = ref ds in
+                for j = 0 to nd - 1 do
+                  (match !r with
+                  | v :: tl ->
+                      let n = fresh (vidx v) in
+                      define (vidx v) n;
+                      arr.(j) <- (v, n);
+                      r := tl
+                  | [] -> assert false)
+                done;
+                arr
+              end
             in
-            acc :=
-              Call
-                { c_cs_id = cs_id; c_callee = callee; c_args; c_global_uses;
-                  c_defs; c_guse_slots; c_guse_ids; c_def_base = -1 }
-              :: !acc)
+            emit
+              (Call
+                 { c_cs_id = cs_id; c_callee = callee; c_args; c_global_uses;
+                   c_defs; c_guse_slots; c_guse_ids; c_def_base = -1 }))
       blk.Ir.instrs;
-    out_instrs.(b) <- Array.of_list (List.rev !acc);
+    assert (!ko = Array.length out);
+    out_instrs.(b) <- out;
     (* Record reaching versions of formals and globals at returns. *)
     (match blk.Ir.term with
     | Ir.Ret ->
         exit_names_acc :=
-          (b, Array.of_list (List.map (fun v -> (v, top (vidx v))) exit_vars))
+          (b, Array.map (fun s -> (vars.(s), cur.(s))) evars)
           :: !exit_names_acc
     | Ir.Goto _ | Ir.Cond _ -> ());
     (* Terminator. *)
@@ -551,70 +757,55 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
       | Ir.Goto t -> Goto t
       | Ir.Cond (c, t, f) -> Cond (rename_operand c, t, f)
       | Ir.Ret -> Ret);
-    (* Fill phi arguments of successors. *)
-    List.iter
-      (fun s ->
-        Array.iteri
-          (fun pi v ->
-            phi_args_acc.(s).(pi) <- (b, top v) :: phi_args_acc.(s).(pi))
-          phi_vars.(s))
-      (Ir.successors blk);
+    (* Fill phi arguments of successors, positionally. *)
+    for e = edge_base.(b) to edge_base.(b + 1) - 1 do
+      let s = edge_dst.(e) in
+      let pos = pred_pos.(e) in
+      let pv = phi_vars.(s) in
+      let store = args_store.(s) in
+      for pi = 0 to Array.length pv - 1 do
+        store.(pi).(pos) <- (b, cur.(pv.(pi)))
+      done
+    done;
     (* Recurse over dominator-tree children. *)
     List.iter rename_block dom.Dominance.children.(b);
-    (* Pop. *)
-    List.iter
-      (fun vi ->
-        match stacks.(vi) with
-        | _ :: tl -> stacks.(vi) <- tl
-        | [] -> assert false)
-      !pushed
+    (* Restore the reaching definitions of the enclosing block. *)
+    while !undo_len > depth0 do
+      decr undo_len;
+      cur.(!undo_slot.(!undo_len)) <- !undo_prev.(!undo_len)
+    done
   in
   rename_block cfg.Ir.entry;
 
-  (* -- Dense edge ids ------------------------------------------------ *)
-  (* Out edges per block, numbered consecutively in successor order.  A
-     [Cond] with equal arms contributes one edge (as in [Ir.successors]),
-     so every (pred, succ) pair maps to exactly one edge id. *)
-  let edge_base = Array.make (nblocks + 1) 0 in
-  for b = 0 to nblocks - 1 do
-    let out =
-      match out_terms.(b) with
-      | Goto _ -> 1
-      | Cond (_, t, f) -> if t = f then 1 else 2
-      | Ret -> 0
-    in
-    edge_base.(b + 1) <- edge_base.(b) + out
-  done;
-  let n_edges = edge_base.(nblocks) in
-  let edge_dst = Array.make (max 1 n_edges) 0 in
-  for b = 0 to nblocks - 1 do
-    match out_terms.(b) with
-    | Goto t -> edge_dst.(edge_base.(b)) <- t
-    | Cond (_, t, f) ->
-        edge_dst.(edge_base.(b)) <- t;
-        if t <> f then edge_dst.(edge_base.(b) + 1) <- f
-    | Ret -> ()
-  done;
-  (* Edge id of the unique (pred, succ) edge. *)
-  let edge_id ~pred ~succ =
-    match out_terms.(pred) with
-    | Goto _ -> edge_base.(pred)
-    | Cond (_, t, f) ->
-        if t = f || t = succ then edge_base.(pred) else edge_base.(pred) + 1
-    | Ret -> assert false
-  in
-
-  (* Attach accumulated phi arguments (and their edge ids). *)
+  (* Attach the positional argument stores (every phi of a block shares
+     the block's predecessor-ordered edge vector).  A store slot left at
+     its dummy (an unrenamed, unreachable predecessor) is dropped. *)
   let blocks =
     Array.init nblocks (fun b ->
         let phis =
           Array.mapi
             (fun pi (ph : phi) ->
-              let p_args = Array.of_list (List.rev phi_args_acc.(b).(pi)) in
-              let p_edges =
-                Array.map (fun (pred, _) -> edge_id ~pred ~succ:b) p_args
-              in
-              { ph with p_args; p_edges })
+              let p_args = args_store.(b).(pi) in
+              let live = ref 0 in
+              Array.iter
+                (fun ((_, n) : int * name) -> if n.id >= 0 then incr live)
+                p_args;
+              if !live = Array.length p_args then
+                { ph with p_args; p_edges = pred_edge.(b) }
+              else begin
+                let pa = Array.make !live p_args.(0) in
+                let pe = Array.make !live 0 in
+                let j = ref 0 in
+                Array.iteri
+                  (fun k ((_, n) as a : int * name) ->
+                    if n.id >= 0 then begin
+                      pa.(!j) <- a;
+                      pe.(!j) <- pred_edge.(b).(k);
+                      incr j
+                    end)
+                  p_args;
+                { ph with p_args = pa; p_edges = pe }
+              end)
             out_phis.(b)
         in
         { phis; instrs = out_instrs.(b); term = out_terms.(b) })
@@ -631,21 +822,20 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
   done;
   let n_sites = site_base.(nblocks) in
   let site_code = Array.make (max 1 n_sites) 0 in
-  Array.iteri
-    (fun b (blk : block) ->
-      let base = site_base.(b) in
-      let nphis = Array.length blk.phis in
-      let ninstrs = Array.length blk.instrs in
-      for pi = 0 to nphis - 1 do
-        site_code.(base + pi) <- pack_site ~tag:site_tag_phi ~block:b ~index:pi
-      done;
-      for i = 0 to ninstrs - 1 do
-        site_code.(base + nphis + i) <-
-          pack_site ~tag:site_tag_instr ~block:b ~index:i
-      done;
-      site_code.(base + nphis + ninstrs) <-
-        pack_site ~tag:site_tag_term ~block:b ~index:0)
-    blocks;
+  for b = 0 to nblocks - 1 do
+    let base = site_base.(b) in
+    let nphis = Array.length blocks.(b).phis in
+    let ninstrs = Array.length blocks.(b).instrs in
+    for pi = 0 to nphis - 1 do
+      site_code.(base + pi) <- pack_site ~tag:site_tag_phi ~block:b ~index:pi
+    done;
+    for i = 0 to ninstrs - 1 do
+      site_code.(base + nphis + i) <-
+        pack_site ~tag:site_tag_instr ~block:b ~index:i
+    done;
+    site_code.(base + nphis + ninstrs) <-
+      pack_site ~tag:site_tag_term ~block:b ~index:0
+  done;
   let phi_site b pi = site_base.(b) + pi in
   let instr_site b i = site_base.(b) + Array.length blocks.(b).phis + i in
   let term_site b =
@@ -655,67 +845,89 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
 
   (* -- Def sites and CSR def-use chains ------------------------------ *)
   let n_names = !next_id in
-  let defs = Array.make n_names Dentry in
-  (* Two passes over the same traversal: count uses per name, then fill. *)
+  (* Same packing as [site_code]; -1 is the entry definition. *)
+  let defs = Array.make n_names (-1) in
+  (* Two passes over one closure-free traversal: count uses per name, then
+     fill.  The second pass advances the offsets in place; shifting them
+     back afterwards avoids a scratch cursor array. *)
   let use_offsets = Array.make (n_names + 1) 0 in
-  let iter_uses add_use =
-    let use_operand o site =
-      match o with Oconst _ -> () | Oname n -> add_use n site
-    in
-    Array.iteri
-      (fun b (blk : block) ->
-        Array.iteri
-          (fun pi (ph : phi) ->
-            Array.iter (fun (_, n) -> add_use n (phi_site b pi)) ph.p_args)
-          blk.phis;
-        Array.iteri
-          (fun i ins ->
-            let site = instr_site b i in
-            match ins with
-            | Assign (_, rhs) -> (
-                match rhs with
-                | Copy o | Unop (_, o) -> use_operand o site
-                | Binop (_, x, y) ->
-                    use_operand x site;
-                    use_operand y site)
-            | Kill _ -> ()
-            | Call c ->
-                Array.iter
-                  (fun (a : ssa_arg) -> use_operand a.sa_operand site)
-                  c.c_args;
-                Array.iter (fun (_, n) -> add_use n site) c.c_global_uses
-            | Print o -> use_operand o site)
-          blk.instrs;
-        match blk.term with
-        | Cond (c, _, _) -> use_operand c (term_site b)
-        | Goto _ | Ret -> ())
-      blocks
+  let iter_uses f =
+    for b = 0 to nblocks - 1 do
+      let blk = blocks.(b) in
+      for pi = 0 to Array.length blk.phis - 1 do
+        let pa = blk.phis.(pi).p_args in
+        for j = 0 to Array.length pa - 1 do
+          let _, n = pa.(j) in
+          f n (phi_site b pi)
+        done
+      done;
+      for i = 0 to Array.length blk.instrs - 1 do
+        let site = instr_site b i in
+        (* Operand matches are inlined (not a local [use_operand] helper)
+           so the loop allocates no closures. *)
+        match blk.instrs.(i) with
+        | Assign (_, rhs) -> (
+            match rhs with
+            | Copy (Oname n) | Unop (_, Oname n) -> f n site
+            | Copy (Oconst _) | Unop (_, Oconst _) -> ()
+            | Binop (_, x, y) ->
+                (match x with Oname n -> f n site | Oconst _ -> ());
+                (match y with Oname n -> f n site | Oconst _ -> ()))
+        | Kill _ -> ()
+        | Call c ->
+            for j = 0 to Array.length c.c_args - 1 do
+              (match c.c_args.(j).sa_operand with
+              | Oname n -> f n site
+              | Oconst _ -> ())
+            done;
+            for j = 0 to Array.length c.c_global_uses - 1 do
+              let _, n = c.c_global_uses.(j) in
+              f n site
+            done
+        | Print (Oname n) -> f n site
+        | Print (Oconst _) -> ()
+      done;
+      match blk.term with
+      | Cond (c, _, _) -> (
+          match c with Oname n -> f n (term_site b) | Oconst _ -> ())
+      | Goto _ | Ret -> ()
+    done
   in
   iter_uses (fun n _ -> use_offsets.(n.id + 1) <- use_offsets.(n.id + 1) + 1);
   for i = 0 to n_names - 1 do
     use_offsets.(i + 1) <- use_offsets.(i + 1) + use_offsets.(i)
   done;
   let use_sites = Array.make (max 1 use_offsets.(n_names)) 0 in
-  let fill = Array.sub use_offsets 0 n_names in
   iter_uses (fun n site ->
-      use_sites.(fill.(n.id)) <- site;
-      fill.(n.id) <- fill.(n.id) + 1);
-  Array.iteri
-    (fun b (blk : block) ->
-      Array.iteri
-        (fun pi (ph : phi) -> defs.(ph.p_name.id) <- Dphi (b, pi))
-        blk.phis;
-      Array.iteri
-        (fun i ins ->
-          match ins with
-          | Assign (n, _) -> defs.(n.id) <- Dinstr (b, i)
-          | Kill kills ->
-              Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) kills
-          | Call c ->
-              Array.iter (fun (_, n) -> defs.(n.id) <- Dinstr (b, i)) c.c_defs
-          | Print _ -> ())
-        blk.instrs)
-    blocks;
+      use_sites.(use_offsets.(n.id)) <- site;
+      use_offsets.(n.id) <- use_offsets.(n.id) + 1);
+  for i = n_names downto 1 do
+    use_offsets.(i) <- use_offsets.(i - 1)
+  done;
+  use_offsets.(0) <- 0;
+  for b = 0 to nblocks - 1 do
+    let blk = blocks.(b) in
+    for pi = 0 to Array.length blk.phis - 1 do
+      defs.(blk.phis.(pi).p_name.id) <-
+        pack_site ~tag:site_tag_phi ~block:b ~index:pi
+    done;
+    for i = 0 to Array.length blk.instrs - 1 do
+      let d = pack_site ~tag:site_tag_instr ~block:b ~index:i in
+      match blk.instrs.(i) with
+      | Assign (n, _) -> defs.(n.id) <- d
+      | Kill kills ->
+          for j = 0 to Array.length kills - 1 do
+            let _, n = kills.(j) in
+            defs.(n.id) <- d
+          done
+      | Call c ->
+          for j = 0 to Array.length c.c_defs - 1 do
+            let _, n = c.c_defs.(j) in
+            defs.(n.id) <- d
+          done
+      | Print _ -> ()
+    done
+  done;
 
   (* -- Var slot tables, flat call list ------------------------------- *)
   let entry_ids = Array.map (fun (_, n) -> n.id) entry_names in
@@ -732,20 +944,24 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
     |> Array.of_list
   in
   let calls_acc = ref [] in
+  let n_calls = ref 0 in
   let n_call_defs = ref 0 in
-  Array.iteri
-    (fun b (blk : block) ->
-      Array.iteri
-        (fun i ins ->
-          match ins with
-          | Call c ->
-              c.c_def_base <- !n_call_defs;
-              n_call_defs := !n_call_defs + Array.length c.c_defs;
-              calls_acc := (b, i, c) :: !calls_acc
-          | Assign _ | Kill _ | Print _ -> ())
-        blk.instrs)
-    blocks;
-
+  for b = nblocks - 1 downto 0 do
+    let blk = blocks.(b) in
+    for i = Array.length blk.instrs - 1 downto 0 do
+      match blk.instrs.(i) with
+      | Call c ->
+          incr n_calls;
+          calls_acc := (b, i, c) :: !calls_acc
+      | Assign _ | Kill _ | Print _ -> ()
+    done
+  done;
+  let calls = Array.of_list !calls_acc in
+  Array.iter
+    (fun (_, _, c) ->
+      c.c_def_base <- !n_call_defs;
+      n_call_defs := !n_call_defs + Array.length c.c_defs)
+    calls;
   {
     name = p.Ir.name;
     formals = p.Ir.formals;
@@ -768,7 +984,7 @@ let of_proc ?(effects : call_effects option) (prog : Ast.program)
     var_keys;
     entry_ids;
     exit_ids;
-    calls = Array.of_list (List.rev !calls_acc);
+    calls;
     n_call_defs = !n_call_defs;
     n_call_sites = p.Ir.n_call_sites;
     memo = No_memo;

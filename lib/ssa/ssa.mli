@@ -62,8 +62,6 @@ type terminator = Goto of int | Cond of operand * int * int | Ret
 
 type block = { phis : phi array; instrs : instr array; term : terminator }
 
-type def_site = Dentry | Dinstr of int * int | Dphi of int * int
-
 type use_site = Uphi of int * int | Uinstr of int * int | Uterm of int
 
 (** Extension point for analysis-private per-procedure caches (e.g. the SCC
@@ -83,7 +81,9 @@ type proc = {
   exit_names : (int * (Ir.var * name) array) list;
       (** per return block: reaching versions of formals and globals *)
   n_names : int;
-  defs : def_site array;  (** by name id *)
+  defs : int array;
+      (** name id -> packed (tag, block, index) def site as in [site_code],
+          or -1 for a version-0 entry definition *)
   use_offsets : int array;
       (** CSR row starts into [use_sites], length [n_names + 1] *)
   use_sites : int array;  (** CSR payload: dense site ids *)

@@ -89,6 +89,7 @@ let test_memo_warm ~jobs base () =
   let ctx = Context.create ~jobs prog in
   let cold = Fmt.str "%a" Solution.pp (Fs_icp.solve ctx) in
   let visits_after_cold = Metrics.scc_block_visits () in
+  let evictions_after_cold = Metrics.scc_memo_evictions () in
   let warm = Fmt.str "%a" Solution.pp (Fs_icp.solve ctx) in
   Alcotest.(check string)
     (Printf.sprintf "%s warm fs re-solve byte-identical (jobs=%d)" base jobs)
@@ -97,7 +98,15 @@ let test_memo_warm ~jobs base () =
     (Printf.sprintf "%s warm fs re-solve visits no SCC block (jobs=%d)" base
        jobs)
     0
-    (Metrics.scc_block_visits () - visits_after_cold)
+    (Metrics.scc_block_visits () - visits_after_cold);
+  (* The warm re-solve replays the cold solve's entry vectors, so the memo
+     working set cannot outgrow capacity: an eviction here means the memo
+     is thrashing instead of caching. *)
+  Alcotest.(check int)
+    (Printf.sprintf "%s warm fs re-solve evicts no memo entry (jobs=%d)" base
+       jobs)
+    0
+    (Metrics.scc_memo_evictions () - evictions_after_cold)
 
 (* The logical-mode pipeline trace is part of the pinned surface too: a
    jobs=1 Driver.run must reproduce the trace fixture byte for byte —

@@ -270,12 +270,13 @@ let prop_scc_sound_on_prints =
           let ctx = Fsicp_core.Context.create p in
           let ssa = Fsicp_core.Context.ssa ctx p.Ast.main in
           let entry_env (v : Ir.var) =
-            match v.Ir.vkind with
-            | Ir.Global -> (
-                match List.assoc_opt (Ir.Var.name v) p.Ast.blockdata with
-                | Some value -> L.Const value
-                | None -> L.Const (Value.Int 0))
-            | _ -> L.Bot
+            L.P.of_t
+              (match v.Ir.vkind with
+              | Ir.Global -> (
+                  match List.assoc_opt (Ir.Var.name v) p.Ast.blockdata with
+                  | Some value -> L.Const value
+                  | None -> L.Const (Value.Int 0))
+              | _ -> L.Bot)
           in
           let res = Scc.run ~config:{ Scc.default_config with entry_env } ssa in
           (* prints executed in main, in order, must match any constant
@@ -299,43 +300,119 @@ let prop_scc_sound_on_prints =
                  generator's main always runs to completion here *))
             claims)
 
+(* -- packed word encoding --------------------------------------------- *)
+
+(* Values across the whole [Value.t] range, biased toward the packed
+   representation's edges: ints straddling the 60-bit inline boundary, and
+   reals from raw int64 bit patterns (covering nan payloads, ±0.0,
+   infinities, subnormals). *)
+let value_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map
+        (fun n -> Value.Int n)
+        (oneofl
+           [
+             min_int; max_int; 0; 1; -1;
+             (1 lsl 59) - 1; 1 lsl 59; -(1 lsl 59); -(1 lsl 59) - 1;
+             (1 lsl 58) + 17; -((1 lsl 58) + 17);
+           ]);
+      map (fun n -> Value.Int n) int;
+      map (fun b -> Value.Real (Int64.float_of_bits b)) int64;
+      oneofl
+        [
+          Value.Real Float.nan; Value.Real Float.infinity;
+          Value.Real Float.neg_infinity; Value.Real 0.0; Value.Real (-0.0);
+          Value.Real Float.min_float; Value.Real Float.max_float;
+          Value.Real Float.epsilon;
+        ];
+      map (fun f -> Value.Real f) float;
+    ]
+
+(* [P.to_t (P.of_t t)] must be [Lattice.equal] to [t] for every element —
+   including nan (every nan payload collapses to one interned slot) and
+   -0.0/0.0 (one slot; [Value.equal] identifies the pair). *)
+let prop_packed_roundtrip =
+  Test_util.qcheck ~count:300
+    ~name:"packed encode/decode round-trips the full Value.t range"
+    value_gen
+    (fun v ->
+      let roundtrips t = L.equal (L.P.to_t (L.P.of_t t)) t in
+      roundtrips (L.Const v)
+      && roundtrips L.Top && roundtrips L.Bot
+      && L.P.is_const (L.P.of_t (L.Const v))
+      && (not (L.P.is_const L.P.top))
+      && not (L.P.is_const L.P.bot))
+
+(* The kernel compares and memo-keys packed words with plain [=]; that is
+   sound only if the encoding is canonical ([of_t] is injective up to
+   [Lattice.equal]) and [P.meet] mirrors the boxed meet. *)
+let prop_packed_canonical_and_meet =
+  Test_util.qcheck ~count:300
+    ~name:"packed = iff Lattice.equal; packed meet = boxed meet"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (x, y) ->
+      let elems v = [ L.Top; L.Bot; L.Const v ] in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let wa = L.P.of_t a and wb = L.P.of_t b in
+              (wa = wb) = L.equal a b
+              && L.equal (L.P.to_t (L.P.meet wa wb)) (L.meet a b))
+            (elems y))
+        (elems x))
+
 (* -- flat kernel vs reference implementation -------------------------- *)
 
-(* The kernelized [Scc.run] (CSR walks, arena worklists, edge bitset,
-   entry-vector memo) must agree with the retained list/Hashtbl/Queue
-   formulation value-for-value and edge-for-edge; the unique fixpoint
-   makes any discrepancy a bug, not a tie-break. *)
+(* The kernelized [Scc.run] (packed words, CSR walks, arena worklists,
+   edge bitset, entry-vector memo) must agree with the retained
+   list/Hashtbl/Queue formulation value-for-value and edge-for-edge; the
+   unique fixpoint makes any discrepancy a bug, not a tie-break.  Run at
+   jobs ∈ {1,4}: the parallel SSA pre-build must feed the kernel bitwise
+   identical procedures. *)
+let kernel_matches_reference ~jobs seed =
+  let prog = Test_util.program_of_seed seed in
+  let ctx = Fsicp_core.Context.create ~jobs prog in
+  Fsicp_core.Context.build_ssa ~jobs ctx;
+  let pcg = ctx.Fsicp_core.Context.pcg in
+  Array.for_all
+    (fun pid ->
+      let ssa = Fsicp_core.Context.ssa_at ctx pid in
+      (* A non-trivial entry environment, so constant branches prune
+         and the edge bitsets actually diverge from all-ones. *)
+      let entry_env (v : Ir.var) =
+        L.P.of_t
+          (match v.Ir.vkind with
+          | Ir.Formal i -> L.Const (Value.Int (i + 1))
+          | Ir.Global | Ir.Local | Ir.Temp -> L.Bot)
+      in
+      let config = { Scc.default_config with Scc.entry_env } in
+      let a = Scc.run ~config ssa in
+      let b = Scc.run_reference ~config ssa in
+      (* Packed words are canonical: int equality is lattice equality. *)
+      a.Scc.values = b.Scc.values
+      && a.Scc.block_executable = b.Scc.block_executable
+      &&
+      let ok = ref true in
+      for e = 0 to ssa.Fsicp_ssa.Ssa.n_edges - 1 do
+        if Scc.edge_bit a e <> Scc.edge_bit b e then ok := false
+      done;
+      !ok)
+    pcg.Fsicp_callgraph.Callgraph.nodes
+
 let prop_kernel_matches_reference =
   Test_util.qcheck ~count:40
-    ~name:"flat kernel = reference SCC (values, blocks, edges)"
+    ~name:"flat kernel = reference SCC (values, blocks, edges; jobs=1)"
     Test_util.seed_gen
-    (fun seed ->
-      let prog = Test_util.program_of_seed seed in
-      let ctx = Fsicp_core.Context.create prog in
-      let pcg = ctx.Fsicp_core.Context.pcg in
-      Array.for_all
-        (fun pid ->
-          let ssa = Fsicp_core.Context.ssa_at ctx pid in
-          (* A non-trivial entry environment, so constant branches prune
-             and the edge bitsets actually diverge from all-ones. *)
-          let entry_env (v : Ir.var) =
-            match v.Ir.vkind with
-            | Ir.Formal i -> L.Const (Value.Int (i + 1))
-            | Ir.Global | Ir.Local | Ir.Temp -> L.Bot
-          in
-          let config = { Scc.default_config with Scc.entry_env } in
-          let a = Scc.run ~config ssa in
-          let b = Scc.run_reference ~config ssa in
-          Array.length a.Scc.values = Array.length b.Scc.values
-          && Array.for_all2 L.equal a.Scc.values b.Scc.values
-          && a.Scc.block_executable = b.Scc.block_executable
-          &&
-          let ok = ref true in
-          for e = 0 to ssa.Fsicp_ssa.Ssa.n_edges - 1 do
-            if Scc.edge_bit a e <> Scc.edge_bit b e then ok := false
-          done;
-          !ok)
-        pcg.Fsicp_callgraph.Callgraph.nodes)
+    (kernel_matches_reference ~jobs:1)
+
+let prop_kernel_matches_reference_par =
+  Test_util.qcheck ~count:20
+    ~name:"flat kernel = reference SCC (values, blocks, edges; jobs=4)"
+    Test_util.seed_gen
+    (kernel_matches_reference ~jobs:4)
 
 let suite =
   [
@@ -369,5 +446,8 @@ let suite =
       test_substitution_skips_dead_code;
     Alcotest.test_case "exit values" `Quick test_exit_value;
     prop_scc_sound_on_prints;
+    prop_packed_roundtrip;
+    prop_packed_canonical_and_meet;
     prop_kernel_matches_reference;
+    prop_kernel_matches_reference_par;
   ]

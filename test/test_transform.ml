@@ -208,7 +208,7 @@ let test_return_constants_improve_caller () =
   let rc = Return_consts.compute ctx ~fs in
   let fs2 =
     Fs_icp.solve
-      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor ctx))
+      ~call_def_value:(Return_consts.as_oracle rc ~censor:(Context.censor_w ctx))
       ctx
   in
   Alcotest.check lat "with returns" (L.Const (Value.Int 42))
@@ -239,7 +239,7 @@ let prop_returns_sound =
       let fs2 =
         Fs_icp.solve
           ~call_def_value:
-            (Return_consts.as_oracle rc ~censor:(Context.censor ctx))
+            (Return_consts.as_oracle rc ~censor:(Context.censor_w ctx))
           ctx
       in
       match Test_util.check_solution_sound prog fs2 with
