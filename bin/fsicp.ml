@@ -11,7 +11,10 @@
     fsicp tables [--table N] [--quick]               paper tables 1..5 etc.
     fsicp generate --seed N [--procs P] [--back B]   synthetic program
     fsicp fuzz [--seeds N] [--start S] [--no-shrink] differential oracle
+    fsicp fuzz --edits K [--seeds N]                 edit-sequence oracle
     fsicp trace FILE [--trace-out F] [--wall]        Chrome trace_event JSON
+    fsicp serve --socket PATH [--program FILE]       analysis daemon
+    fsicp client --socket PATH [REQUEST...]          send daemon requests
     v} *)
 
 open Cmdliner
@@ -78,14 +81,30 @@ let no_floats_arg =
   Arg.(value & flag & info [ "no-floats" ]
          ~doc:"disable interprocedural propagation of floating-point constants")
 
+(* Strict job counts: --jobs and FSICP_JOBS share Par.parse_jobs, so zero,
+   negatives and garbage are loud errors rather than silent clamps. *)
+let jobs_conv =
+  let parse s =
+    match Fsicp_par.Par.parse_jobs s with
+    | Ok j -> Ok j
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Fmt.int)
+
 let jobs_arg =
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+  Arg.(value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~docv:"N"
          ~doc:"worker domains for parallel phases (default: FSICP_JOBS, \
                else all cores); results are identical for every N")
 
 let resolve_jobs = function
-  | Some j -> max 1 j
-  | None -> Fsicp_par.Par.default_jobs ()
+  | Some j -> j
+  | None -> (
+      (* Par.default_jobs raises on a malformed FSICP_JOBS value; turn that
+         into a clean CLI error rather than an uncaught-exception report. *)
+      try Fsicp_par.Par.default_jobs ()
+      with Invalid_argument msg ->
+        Fmt.epr "fsicp: %s@." msg;
+        exit 2)
 
 (* -- analyze --------------------------------------------------------- *)
 
@@ -344,7 +363,7 @@ let trace_cmd =
 
 (* -- fuzz ---------------------------------------------------------------- *)
 
-let fuzz seeds start fuel jobs out no_shrink trace_out =
+let fuzz seeds start fuel jobs out no_shrink trace_out edits =
   Option.iter
     (fun _ ->
       Trace.reset ();
@@ -369,6 +388,17 @@ let fuzz seeds start fuel jobs out no_shrink trace_out =
     if (seed - start) mod 50 = 0 then
       Fmt.epr "fuzz: seed %d of %d..%d (%d failures so far)@." seed start last
         !failures;
+    if edits > 0 then begin
+      (* Edit-sequence mode: drive the incremental engines instead of the
+         one-shot differential checks.  Sequences are not shrinkable — the
+         failing state is the path, not the program — so just report. *)
+      match O.check_edit_sequence ~jobs ~edits seed with
+      | Ok () -> ()
+      | Error failure ->
+          incr failures;
+          Fmt.epr "fuzz: edit seed %d FAILED — %a@." seed O.pp_failure failure
+    end
+    else
     match O.check_seed ~fuel ~jobs seed with
     | Ok () -> ()
     | Error failure ->
@@ -430,17 +460,169 @@ let fuzz_cmd =
       $ Arg.(value & opt (some string) None
              & info [ "trace" ] ~docv:"FILE"
                  ~doc:"record per-seed oracle spans and counters; write \
-                       wall-clock Chrome trace JSON to $(docv)"))
+                       wall-clock Chrome trace JSON to $(docv)")
+      $ Arg.(value & opt int 0
+             & info [ "edits" ] ~docv:"K"
+                 ~doc:"when positive, run the edit-sequence oracle instead: \
+                       per seed, apply $(docv) random procedure edits to \
+                       live incremental engines at jobs 1 and N and check \
+                       every solution is byte-identical to a from-scratch \
+                       solve"))
+
+(* -- serve / client ------------------------------------------------------ *)
+
+let version = "0.7.0"
+
+let socket_arg =
+  Arg.(required
+       & opt (some string) None
+       & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve socket jobs program =
+  (* Resolve eagerly so a malformed FSICP_JOBS kills the daemon at startup,
+     not a later request. *)
+  let jobs = resolve_jobs jobs in
+  let preload = Option.map read_program program in
+  match
+    Fsicp_serve.Serve.run ~jobs ?preload
+      ~on_ready:(fun () -> Fmt.epr "fsicp serve: listening on %s@." socket)
+      ~version ~socket ()
+  with
+  | () -> ()
+  | exception Failure msg ->
+      Fmt.epr "fsicp serve: %s@." msg;
+      exit 1
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Fmt.epr "fsicp serve: %s: %s(%s)@." (Unix.error_message e) fn arg;
+      exit 1
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the analysis daemon: accept length-prefixed JSON request \
+          frames on a Unix-domain socket against one long-lived \
+          incremental engine (load / query-entry / query-call-site / \
+          edit-proc / solve / stats / digest / shutdown)")
+    Term.(
+      const serve $ socket_arg $ jobs_arg
+      $ Arg.(value & opt (some file) None
+             & info [ "program"; "p" ] ~docv:"FILE"
+                 ~doc:"MiniFort source to load and analyse before \
+                       accepting connections"))
+
+let client socket batch extract reqs =
+  let module Serve = Fsicp_serve.Serve in
+  let module Json = Fsicp_serve.Json in
+  let raw =
+    match reqs with
+    | _ :: _ -> reqs
+    | [] ->
+        (* No positional requests: read one JSON document per stdin line. *)
+        let rec loop acc =
+          match input_line stdin with
+          | line ->
+              loop (if String.trim line = "" then acc else line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop []
+  in
+  let docs =
+    List.map
+      (fun s ->
+        match Json.of_string s with
+        | Ok d -> d
+        | Error m ->
+            Fmt.epr "fsicp client: invalid request JSON: %s@." m;
+            exit 2)
+      raw
+  in
+  if docs = [] then begin
+    Fmt.epr "fsicp client: no requests (pass JSON arguments or stdin lines)@.";
+    exit 2
+  end;
+  let fd =
+    match Serve.connect ~socket with
+    | fd -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        Fmt.epr "fsicp client: cannot connect to %s: %s@." socket
+          (Unix.error_message e);
+        exit 1
+  in
+  let failed = ref false in
+  let print_response r =
+    (match Json.member "ok" r with
+    | Some (Json.Bool false) -> failed := true
+    | _ -> ());
+    match extract with
+    | None -> print_endline (Json.to_string r)
+    | Some field -> (
+        match Json.member field r with
+        | Some (Json.Str s) ->
+            (* Raw string fields (digests, dumps) print verbatim so shell
+               pipelines can diff them without a JSON decoder. *)
+            print_string s;
+            if s = "" || s.[String.length s - 1] <> '\n' then print_newline ()
+        | Some v -> print_endline (Json.to_string v)
+        | None ->
+            failed := true;
+            Fmt.epr "fsicp client: response has no field %S@." field)
+  in
+  (Fun.protect
+     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+   match
+     if batch then
+       match Serve.roundtrip fd (Json.Arr docs) with
+       | Json.Arr rs -> List.iter print_response rs
+       | r -> print_response r
+     else List.iter (fun d -> print_response (Serve.roundtrip fd d)) docs
+   with
+   | () -> ()
+   | exception Failure msg ->
+       Fmt.epr "fsicp client: %s@." msg;
+       exit 1);
+  if !failed then exit 1
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "send JSON requests (positional arguments, or one per stdin line) \
+          to a running fsicp serve daemon and print each response; exits \
+          nonzero if any response reports ok:false")
+    Term.(
+      const client $ socket_arg
+      $ Arg.(value & flag
+             & info [ "batch" ]
+                 ~doc:"send all requests as one batch frame (a JSON array) \
+                       instead of one frame each")
+      $ Arg.(value & opt (some string) None
+             & info [ "extract" ] ~docv:"FIELD"
+                 ~doc:"print only $(docv) from each response; string \
+                       fields print raw (handy for digest/dump diffing)")
+      $ Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"))
 
 (* ------------------------------------------------------------------------ *)
 
 let () =
   let doc = "flow-sensitive interprocedural constant propagation (PLDI 1995)" in
+  let subcommands =
+    [
+      analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
+      inline_cmd; clone_cmd; tables_cmd; generate_cmd; fuzz_cmd;
+      trace_cmd; serve_cmd; client_cmd;
+    ]
+  in
+  (* Bare [fsicp]: one usage line naming every subcommand, then exit 2. *)
+  let default =
+    Term.(
+      const (fun () ->
+          Fmt.pr "usage: fsicp {%s} [ARGS...]  (fsicp CMD --help for details)@."
+            (String.concat "|"
+               (List.map (fun c -> Cmd.name c) subcommands));
+          Stdlib.exit 2)
+      $ const ())
+  in
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "fsicp" ~doc)
-          [
-            analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
-            inline_cmd; clone_cmd; tables_cmd; generate_cmd; fuzz_cmd;
-            trace_cmd;
-          ]))
+    (Cmd.eval (Cmd.group ~default (Cmd.info "fsicp" ~version ~doc) subcommands))

@@ -38,7 +38,7 @@ type edge = {
 }
 
 type t = {
-  prog : Ast.program;
+  mutable prog : Ast.program;  (** see {!set_prog} *)
   db : Prog.t;
   nodes : Prog.Proc.id array;
   edges : edge list;
@@ -160,6 +160,65 @@ let out_edges t (caller : Prog.Proc.id) = t.out_adj.((caller :> int))
 let n_call_sites t (p : Prog.Proc.id) = Array.length t.out_adj.((p :> int))
 let edge_at t ~caller ~cs_index = (out_edges t caller).(cs_index)
 let has_cycles t = Prog.Bits.count t.back_bits > 0
+
+(** Downstream wavefront cone: the forward-edge closure of [seeds] —
+    every procedure whose flow-sensitive entry environment can be reached
+    by a chain of {e forward} call edges from a seed, seeds included.
+    Back edges are excluded: their contribution to an entry meet comes
+    from the flow-insensitive seed solution, not from the caller's
+    flow-sensitive call records, so an edit's effects never propagate
+    along them (the incremental re-solve accounts for them separately, by
+    diffing the flow-insensitive call records).
+
+    Runs on the dense out-adjacency with a flat mark array; the result is
+    in ascending id order, which is the reverse-postorder forward
+    traversal order — exactly the sub-wavefront the incremental re-solve
+    drives. *)
+let cone t ~(seeds : Prog.Proc.id list) : Prog.Proc.id array =
+  let n = n_procs t in
+  let marked = Array.make n false in
+  let stack = ref [] in
+  List.iter
+    (fun (pid : Prog.Proc.id) ->
+      let i = (pid :> int) in
+      if not marked.(i) then begin
+        marked.(i) <- true;
+        stack := i :: !stack
+      end)
+    seeds;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: tl ->
+        stack := tl;
+        Array.iter
+          (fun e ->
+            if not e.back then begin
+              let k = (e.callee :> int) in
+              if not marked.(k) then begin
+                marked.(k) <- true;
+                stack := k :: !stack
+              end
+            end)
+          t.out_adj.(i)
+  done;
+  let count = ref 0 in
+  Array.iter (fun m -> if m then incr count) marked;
+  let out = Array.make !count t.nodes.(0) in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if marked.(i) then begin
+      out.(!j) <- t.nodes.(i);
+      incr j
+    end
+  done;
+  out
+
+(** Swap in a new AST after a procedure-body edit, for {!proc_ast} and
+    lowering.  In contract only when the PCG shape is unchanged: same
+    reachable procedures, same callee sequence per procedure (the
+    incremental engine checks this before calling). *)
+let set_prog t (prog : Ast.program) = t.prog <- prog
 
 (** Back-edge ratio |back| / |edges| — the paper's measure of how much
     flow-insensitive information the combined FS solution uses (§3.2).

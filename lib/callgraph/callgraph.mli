@@ -19,7 +19,9 @@ type edge = {
 }
 
 type t = {
-  prog : Ast.program;
+  mutable prog : Ast.program;
+      (** the analysed AST; replaced only by {!set_prog} after a
+          shape-preserving procedure edit *)
   db : Prog.t;  (** name <-> id bijection for the reachable procedures *)
   nodes : Prog.Proc.id array;
       (** reachable procedures in reverse postorder from main;
@@ -72,6 +74,18 @@ val n_call_sites : t -> Prog.Proc.id -> int
 val edge_at : t -> caller:Prog.Proc.id -> cs_index:int -> edge
 
 val has_cycles : t -> bool
+
+(** Downstream wavefront cone: forward-edge closure of [seeds] (seeds
+    included), ascending id — i.e. forward-traversal — order.  Back edges
+    do not extend the cone: their entry-meet contribution comes from the
+    flow-insensitive solution, which the incremental re-solve diffs
+    separately.  Runs on the dense adjacency. *)
+val cone : t -> seeds:Prog.Proc.id list -> Prog.Proc.id array
+
+(** Swap in an edited AST.  In contract only when the PCG shape is
+    unchanged (same reachable procedures, same callee sequence per
+    procedure); the incremental engine verifies this before calling. *)
+val set_prog : t -> Ast.program -> unit
 
 (** |back edges| / |edges| — the paper's measure of how flow-insensitive
     the combined FS solution is (§3.2): 0 means pure flow-sensitive. *)

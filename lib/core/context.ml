@@ -42,15 +42,20 @@ let c_ssa_hits = Trace.counter "ssa.cache_hits"
 type alias_kills = { ak_keys : int array; ak_lists : Ir.var list array }
 
 type t = {
-  prog : Ast.program;
+  mutable prog : Ast.program;
   pcg : Callgraph.t;
-  summaries : Summary.t;
+  mutable summaries : Summary.t;
   aliases : Alias.t;
   modref : Modref.t;
   floats : bool;
   lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
   alias_kills : alias_kills Prog.Proc.Tbl.t;
   ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
+  epochs : int Prog.Proc.Tbl.t;
+      (** validity epoch of each procedure's derived artifacts (lowered
+          IR, alias kills, SSA, SCC memo); see {!invalidate_proc} *)
+  mutable edit_epoch : int;
+      (** the current epoch: 0 at {!create}, bumped per invalidation *)
 }
 
 (** Lower every reachable procedure on [jobs] domains.  Each lowering is
@@ -146,7 +151,8 @@ let create ?(floats = true) ?jobs (prog : Ast.program) : t =
   let lowered = lower_all ~jobs prog pcg in
   let alias_kills = compute_alias_kills aliases summaries pcg lowered in
   { prog; pcg; summaries; aliases; modref; floats;
-    lowered; alias_kills; ssa_cache = Prog.tbl pcg.Callgraph.db None }
+    lowered; alias_kills; ssa_cache = Prog.tbl pcg.Callgraph.db None;
+    epochs = Prog.tbl pcg.Callgraph.db 0; edit_epoch = 0 }
 
 let lowered_at t (pid : Prog.Proc.id) : Ir.proc =
   Prog.Proc.Tbl.get t.lowered pid
@@ -255,9 +261,40 @@ let reset_scc_memos t : unit =
   Array.iter
     (fun pid ->
       match Prog.Proc.Tbl.get t.ssa_cache pid with
-      | Some p -> p.Ssa.memo <- Ssa.No_memo
+      | Some p -> Scc.invalidate_memo p
       | None -> ())
     t.pcg.Callgraph.nodes
+
+(** Swap in an edited program.  In contract only for shape-preserving
+    edits (same reachable procedures, same callee sequences, same summary
+    shapes) — the incremental engine checks this and rebuilds the whole
+    context otherwise. *)
+let set_program t (prog : Ast.program) : unit =
+  t.prog <- prog;
+  Callgraph.set_prog t.pcg prog
+
+let set_summaries t (s : Summary.t) : unit = t.summaries <- s
+
+(** Invalidate one procedure's derived artifacts after a body edit: bump
+    the global edit epoch, re-lower the procedure from [t.prog], recompute
+    its alias-kill table, drop its cached SSA (the SCC entry-vector memo
+    lives inside the SSA value and dies with it), and stamp the
+    procedure's epoch.  Every other procedure's artifacts stay valid —
+    their epochs are untouched. *)
+let invalidate_proc t (pid : Prog.Proc.id) : unit =
+  t.edit_epoch <- t.edit_epoch + 1;
+  let ir = Lower.lower_proc t.prog (Callgraph.proc_ast t.pcg pid) in
+  Prog.Proc.Tbl.set t.lowered pid ir;
+  Prog.Proc.Tbl.set t.alias_kills pid
+    (alias_kills_of_proc t.aliases t.summaries ir);
+  (match Prog.Proc.Tbl.get t.ssa_cache pid with
+  | Some p -> Scc.invalidate_memo p
+  | None -> ());
+  Prog.Proc.Tbl.set t.ssa_cache pid None;
+  Prog.Proc.Tbl.set t.epochs pid t.edit_epoch
+
+let epoch_of t (pid : Prog.Proc.id) : int = Prog.Proc.Tbl.get t.epochs pid
+let current_epoch t : int = t.edit_epoch
 
 (** Demote real-valued constants to bottom when float propagation is off.
     Applied at every interprocedural boundary. *)

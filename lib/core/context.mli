@@ -29,15 +29,20 @@ open Fsicp_scc
 type alias_kills = { ak_keys : int array; ak_lists : Ir.var list array }
 
 type t = {
-  prog : Ast.program;
+  mutable prog : Ast.program;  (** replaced only via {!set_program} *)
   pcg : Callgraph.t;
-  summaries : Summary.t;
+  mutable summaries : Summary.t;  (** replaced only via {!set_summaries} *)
   aliases : Alias.t;
   modref : Modref.t;
   floats : bool;
   lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
   alias_kills : alias_kills Prog.Proc.Tbl.t;
   ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
+  epochs : int Prog.Proc.Tbl.t;
+      (** validity epoch of each procedure's derived artifacts; see
+          {!invalidate_proc} *)
+  mutable edit_epoch : int;
+      (** the current epoch: 0 at {!create}, bumped per invalidation *)
 }
 
 (** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
@@ -82,6 +87,32 @@ val reset_ssa_cache : t -> unit
     SSA: the next solve re-runs every kernel propagation (benchmarks use
     this to measure the solver core on warm SSA). *)
 val reset_scc_memos : t -> unit
+
+(** Swap in an edited program (and update the PCG's AST pointer).  In
+    contract only for shape-preserving edits: same reachable procedures,
+    same callee sequence per procedure, same summary shapes.  The
+    incremental engine ({!Engine}) verifies this before calling and
+    rebuilds the whole context otherwise. *)
+val set_program : t -> Ast.program -> unit
+
+(** Swap in refreshed IPA summaries (literal payloads may differ; shapes
+    must match — see {!set_program}). *)
+val set_summaries : t -> Summary.t -> unit
+
+(** Invalidate one procedure's derived artifacts after a body edit: bump
+    the context's edit epoch, re-lower the procedure from the current
+    program, recompute its alias-kill table, drop its cached SSA (taking
+    the SCC entry-vector memo with it), and stamp the procedure's epoch.
+    Artifacts of every other procedure remain valid. *)
+val invalidate_proc : t -> Prog.Proc.id -> unit
+
+(** Epoch stamped on the procedure's artifacts by the last
+    {!invalidate_proc} (0 = pristine since {!create}). *)
+val epoch_of : t -> Prog.Proc.id -> int
+
+(** The context's current edit epoch (0 at {!create}; bumped once per
+    {!invalidate_proc}). *)
+val current_epoch : t -> int
 
 (** Demote real-valued constants to ⊥ when float propagation is off. *)
 val censor : t -> Lattice.t -> Lattice.t

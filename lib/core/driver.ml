@@ -99,6 +99,8 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
       lowered;
       alias_kills = Context.compute_alias_kills aliases summaries pcg lowered;
       ssa_cache = Fsicp_prog.Prog.tbl pcg.Callgraph.db None;
+      epochs = Fsicp_prog.Prog.tbl pcg.Callgraph.db 0;
+      edit_epoch = 0;
     }
   in
   (* Step 5: interprocedural constant propagation.  The FS timing includes

@@ -30,3 +30,24 @@ val solve :
     (caller:string -> Fsicp_ssa.Ssa.call -> Fsicp_cfg.Ir.var -> int) ->
   Context.t ->
   Solution.t
+
+(** [resolve ?jobs ~fi ~prev ~dirty ctx] — incremental re-solve after a
+    shape-preserving procedure edit ({!Engine} is the intended caller).
+
+    [dirty] is the forward-edge cone ({!Fsicp_callgraph.Callgraph.cone}) of
+    the edited procedures plus every callee of a back edge whose
+    flow-insensitive record changed; [fi] is the fresh flow-insensitive
+    solution; [prev] the previous flow-sensitive one.  Only the cone is
+    re-driven through the wavefront (unchanged entry vectors inside it hit
+    the SCC memo); procedures outside it reuse their previous entry, call
+    records and SCC result verbatim.  The returned solution is identical to
+    a from-scratch {!solve} of the edited program, at any [jobs]; the saved
+    work is visible in the ["fs.resolve.dirty"] / ["fs.resolve.reused"] /
+    ["scc.memo_hits"] trace counters. *)
+val resolve :
+  ?jobs:int ->
+  fi:Solution.t ->
+  prev:Solution.t ->
+  dirty:Fsicp_prog.Prog.Proc.id array ->
+  Context.t ->
+  Solution.t

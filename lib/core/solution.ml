@@ -138,6 +138,76 @@ let find_call_record t ~caller ~cs_index =
   let row = Prog.Proc.Tbl.get t.call_index caller in
   if cs_index < Array.length row then row.(cs_index) else None
 
+(** Canonical full print — every field down to the per-procedure SCC
+    results — keyed by {e names}, never by the ids a particular context
+    minted, so digests of independent solves of the same program are
+    comparable.  Two solutions are byte-identical iff their digests are
+    equal: the incremental engine's correctness oracle and the serve
+    daemon's [digest] request are both this function. *)
+let digest (s : t) : string =
+  let b = Buffer.create 4096 in
+  let db = s.db in
+  Buffer.add_string b
+    (Printf.sprintf "method %s scc_runs %d\n" s.method_name s.scc_runs);
+  Array.iter
+    (fun pid ->
+      let e = entry_at s pid in
+      Buffer.add_string b (Printf.sprintf "entry %s:" (Prog.proc_name db pid));
+      Array.iter
+        (fun v ->
+          Buffer.add_string b (Printf.sprintf " %s" (Lattice.to_string v)))
+        e.pe_formals;
+      List.iter
+        (fun (g, v) ->
+          Buffer.add_string b
+            (Printf.sprintf " %s=%s" (Prog.Var.name g) (Lattice.to_string v)))
+        e.pe_globals;
+      Buffer.add_char b '\n')
+    (Prog.procs db);
+  List.iter
+    (fun cr ->
+      Buffer.add_string b
+        (Printf.sprintf "call %s#%d->%s exec=%b:"
+           (Prog.proc_name db cr.cr_caller)
+           cr.cr_cs_index
+           (Prog.proc_name db cr.cr_callee)
+           cr.cr_executable);
+      Array.iter
+        (fun v ->
+          Buffer.add_string b (Printf.sprintf " %s" (Lattice.to_string v)))
+        cr.cr_args;
+      List.iter
+        (fun (g, v) ->
+          Buffer.add_string b
+            (Printf.sprintf " %s=%s" (Prog.Var.name g) (Lattice.to_string v)))
+        cr.cr_globals;
+      Buffer.add_char b '\n')
+    s.call_records;
+  Array.iter
+    (fun pid ->
+      match Prog.Proc.Tbl.get s.scc_results pid with
+      | None -> ()
+      | Some (r : Scc.result) ->
+          Buffer.add_string b
+            (Printf.sprintf "scc %s values:" (Prog.proc_name db pid));
+          Array.iter
+            (fun w ->
+              Buffer.add_string b
+                (Printf.sprintf " %s" (Lattice.to_string (Lattice.P.to_t w))))
+            r.Scc.values;
+          Buffer.add_string b " blocks:";
+          Array.iter
+            (fun x -> Buffer.add_char b (if x then '1' else '0'))
+            r.Scc.block_executable;
+          Buffer.add_string b " edges:";
+          Bytes.iter
+            (fun c ->
+              Buffer.add_string b (Printf.sprintf "%02x" (Char.code c)))
+            r.Scc.edge_exec;
+          Buffer.add_char b '\n')
+    (Prog.procs db);
+  Buffer.contents b
+
 let pp ppf t =
   Fmt.pf ppf "method %s (%d SCC runs):@\n" t.method_name t.scc_runs;
   List.iter

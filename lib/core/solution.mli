@@ -80,4 +80,11 @@ val constant_globals : t -> (string * string * Fsicp_lang.Value.t) list
 val find_call_record :
   t -> caller:Prog.Proc.id -> cs_index:int -> callsite_record option
 
+(** Canonical full print — entries, call records, per-procedure SCC
+    results, [scc_runs] — keyed by names, never by context-minted ids, so
+    digests of independent solves of the same program are comparable.
+    Byte-equality of digests is the definition of "identical solutions"
+    used by the incremental-engine oracle and the serve daemon. *)
+val digest : t -> string
+
 val pp : t Fmt.t

@@ -366,6 +366,166 @@ let check_seed ?fuel ?jobs seed =
     (fun () -> check_program ?fuel ?jobs (program_of_seed seed))
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-analysis: edit sequences                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Edit-sequence campaign tallies, mirroring the per-program counters. *)
+let c_edit_checks_ok = Trace.counter "oracle.edit_checks_ok"
+let c_edit_checks_failed = Trace.counter "oracle.edit_checks_failed"
+
+(* The canonical name-keyed print (shared with the serve daemon): two
+   solutions are byte-identical iff their digests are equal. *)
+let solution_digest = Solution.digest
+
+(* Statement/expression rebuilding for the edit mutators. *)
+let rec map_stmts fe body =
+  List.map
+    (fun (s : Ast.stmt) ->
+      let sdesc =
+        match s.Ast.sdesc with
+        | Ast.Assign (x, e) -> Ast.Assign (x, fe e)
+        | Ast.If (c, t, f) -> Ast.If (fe c, map_stmts fe t, map_stmts fe f)
+        | Ast.While (c, bd) -> Ast.While (fe c, map_stmts fe bd)
+        | Ast.Call (p, args) -> Ast.Call (p, List.map fe args)
+        | Ast.Return -> Ast.Return
+        | Ast.Print e -> Ast.Print (fe e)
+      in
+      { s with Ast.sdesc })
+    body
+
+let rec map_expr f (e : Ast.expr) =
+  match e with
+  | Ast.Const v -> f v
+  | Ast.Var _ -> e
+  | Ast.Unary (o, e) -> Ast.Unary (o, map_expr f e)
+  | Ast.Binary (o, a, b) -> Ast.Binary (o, map_expr f a, map_expr f b)
+
+(* Replace the [k]-th literal of the body (in map traversal order) using
+   [mk]; identity when the body has fewer than [k+1] literals. *)
+let replace_literal ~k ~mk body =
+  let i = ref 0 in
+  map_stmts
+    (map_expr (fun v ->
+         let j = !i in
+         incr i;
+         Ast.Const (if j = k then mk v else v)))
+    body
+
+let count_literals body =
+  let i = ref 0 in
+  ignore
+    (map_stmts
+       (map_expr (fun v ->
+            incr i;
+            Ast.Const v))
+       body);
+  !i
+
+(** One random procedure edit.  The distribution leans on shape-preserving
+    mutations — literal tweaks (including call-argument literals, whose
+    summaries change only in their [Alit] payload), appended local
+    assignments and prints, and the occasional no-op — but also appends a
+    brand-new call site ~1 time in 8, which changes the program shape and
+    forces the engine's full-rebuild route.  Every produced program is
+    [Sema]-clean by construction. *)
+let random_edit (rng : Random.State.t) (prog : Ast.program) : Ast.proc =
+  let procs = Array.of_list prog.Ast.procs in
+  let p = procs.(Random.State.int rng (Array.length procs)) in
+  let lit () = Value.Int (Random.State.int rng 199 - 99) in
+  let append s = { p with Ast.body = p.Ast.body @ [ s ] } in
+  let stmt sdesc = { Ast.sdesc; spos = Ast.no_pos } in
+  let roll = Random.State.int rng 16 in
+  if roll < 8 then begin
+    (* Tweak one literal in place (falling back to an appended print when
+       the body has none). *)
+    let n = count_literals p.Ast.body in
+    if n = 0 then append (stmt (Ast.Print (Ast.Const (lit ()))))
+    else
+      let k = Random.State.int rng n in
+      { p with Ast.body = replace_literal ~k ~mk:(fun _ -> lit ()) p.Ast.body }
+  end
+  else if roll < 10 then append (stmt (Ast.Print (Ast.Const (lit ()))))
+  else if roll < 12 then
+    append (stmt (Ast.Assign ("zz_edit_tmp", Ast.Const (lit ()))))
+  else if roll < 14 then p (* no-op: re-submit the current body verbatim *)
+  else begin
+    (* Shape-changing: append a call to a random procedure, literal
+       arguments (by-value temporaries, so Sema stays clean). *)
+    let q = procs.(Random.State.int rng (Array.length procs)) in
+    let args = List.map (fun _ -> Ast.Const (lit ())) q.Ast.formals in
+    append (stmt (Ast.Call (q.Ast.pname, args)))
+  end
+
+let describe_outcome = function
+  | Engine.Incremental { dirty; total } ->
+      Printf.sprintf "incremental dirty=%d/%d" dirty total
+  | Engine.Rebuilt reason -> Printf.sprintf "rebuilt (%s)" reason
+
+(** Drive the same random edit sequence through two live engines
+    ([jobs = 1] and [jobs = N]) and, after {e every} edit, demand both
+    engines' solutions be byte-identical — via {!solution_digest} — to a
+    from-scratch solve of the current program.  This is the incremental
+    engine's whole correctness contract in one check. *)
+let check_edit_sequence_body ?jobs ?(edits = 5) seed : (unit, failure) result =
+  let jobs =
+    match jobs with
+    | Some j -> max 2 j
+    | None -> max 2 (Fsicp_par.Par.default_jobs ())
+  in
+  let prog = program_of_seed seed in
+  let rng = Random.State.make [| 0x5eed17; seed |] in
+  let e1 = Engine.create ~jobs:1 prog in
+  let en = Engine.create ~jobs prog in
+  let rec go i =
+    if i > edits then Ok ()
+    else begin
+      let p = random_edit rng (Engine.context e1).Context.prog in
+      let o1 = Engine.edit_proc ~jobs:1 e1 p in
+      let on = Engine.edit_proc ~jobs en p in
+      let cur = (Engine.context e1).Context.prog in
+      let ctx = Context.create ~jobs:1 cur in
+      let fi = Fi_icp.solve ctx in
+      let fs = Fs_icp.solve ~jobs:1 ~fi ctx in
+      let d_ref = solution_digest fs in
+      let d1 = solution_digest (Engine.solution e1) in
+      let dn = solution_digest (Engine.solution en) in
+      if
+        not
+          (String.equal (describe_outcome o1) (describe_outcome on))
+      then
+        Error
+          (fail_check "incremental:outcome"
+             "edit %d of %d (proc %s): jobs=1 chose %s, jobs=%d chose %s" i
+             edits p.Ast.pname (describe_outcome o1) jobs
+             (describe_outcome on))
+      else if not (String.equal d1 d_ref) then
+        Error
+          (fail_check "incremental:jobs1"
+             "edit %d of %d (proc %s, %s): solution diverged from from-scratch"
+             i edits p.Ast.pname (describe_outcome o1))
+      else if not (String.equal dn d_ref) then
+        Error
+          (fail_check "incremental:jobsN"
+             "edit %d of %d (proc %s, %s): jobs=%d solution diverged from \
+              from-scratch"
+             i edits p.Ast.pname (describe_outcome on) jobs)
+      else go (i + 1)
+    end
+  in
+  go 1
+
+let check_edit_sequence ?jobs ?edits seed : (unit, failure) result =
+  Trace.span
+    ~args:(fun () -> [ ("seed", string_of_int seed) ])
+    "oracle:edit-seq"
+  @@ fun () ->
+  let r = check_edit_sequence_body ?jobs ?edits seed in
+  (match r with
+  | Ok () -> Trace.incr c_edit_checks_ok
+  | Error _ -> Trace.incr c_edit_checks_failed);
+  r
+
+(* ------------------------------------------------------------------ *)
 (* Reproducer corpus                                                   *)
 (* ------------------------------------------------------------------ *)
 

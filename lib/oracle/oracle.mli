@@ -80,6 +80,28 @@ val program_of_seed : int -> Ast.program
 (** {!check_program} on {!program_of_seed}. *)
 val check_seed : ?fuel:int -> ?jobs:int -> int -> (unit, failure) result
 
+(** Canonical full print of a solution — entries, call records, SCC
+    results, [scc_runs] — keyed by names, never by context-minted ids, so
+    digests of independent solves of the same program are comparable.
+    Byte-equality of digests is the oracle's definition of "identical
+    solutions". *)
+val solution_digest : Solution.t -> string
+
+(** One random procedure edit of [prog]: mostly shape-preserving literal
+    tweaks / appended statements / no-ops, with an occasional appended
+    call site that changes the program shape.  The result always yields a
+    [Sema]-clean program when substituted into [prog]. *)
+val random_edit : Random.State.t -> Ast.program -> Ast.proc
+
+(** [check_edit_sequence ?jobs ?edits seed] drives the same random edit
+    sequence (default 5 edits) through two live incremental engines
+    ([jobs = 1] and [jobs = N, N ≥ 2]) and, after every edit, checks both
+    engines' solutions are byte-identical ({!solution_digest}) to a
+    from-scratch solve of the current program, and that both engines chose
+    the same incremental-vs-rebuild route. *)
+val check_edit_sequence :
+  ?jobs:int -> ?edits:int -> int -> (unit, failure) result
+
 (** [write_reproducer ~dir ~name ~failure ?seed prog] pretty-prints [prog]
     into [dir/name.mf] with a comment header recording the failed check
     (creating [dir] if needed) and returns the path.  The file is valid

@@ -19,12 +19,23 @@ let c_tasks = Trace.counter "par.tasks"
 let c_pools = Trace.counter ~stable:false "par.pools"
 let c_idle = Trace.counter ~stable:false "par.idle_waits"
 
+(* Strict job-count parsing, shared by the FSICP_JOBS environment variable
+   and the CLI's --jobs flag.  A malformed count is an error, never a
+   silent fallback: a benchmark or CI run that typos FSICP_JOBS=fuor must
+   not quietly measure all-cores behaviour. *)
+let parse_jobs (s : string) : (int, string) result =
+  match int_of_string_opt (String.trim s) with
+  | Some j when j >= 1 -> Ok j
+  | Some j -> Error (Printf.sprintf "jobs must be a positive integer, got %d" j)
+  | None ->
+      Error (Printf.sprintf "jobs must be a positive integer, got %S" s)
+
 let default_jobs () =
   match Sys.getenv_opt "FSICP_JOBS" with
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some j when j >= 1 -> j
-      | Some _ | None -> Domain.recommended_domain_count ())
+      match parse_jobs s with
+      | Ok j -> j
+      | Error msg -> invalid_arg (Printf.sprintf "FSICP_JOBS: %s" msg))
   | None -> Domain.recommended_domain_count ()
 
 (* Run [worker] on [k-1] fresh domains and the current one, join, and

@@ -8,9 +8,16 @@
     result-producing combinators are deterministic by construction: results
     land in slots keyed by input index, never by completion order. *)
 
+(** Strict job-count parsing (shared by [FSICP_JOBS] and the CLI's
+    [--jobs]): the trimmed string must be an integer ≥ 1.  Anything else —
+    zero, negatives, garbage — is an [Error] with a message naming the
+    offending value; there is deliberately no silent fallback. *)
+val parse_jobs : string -> (int, string) result
+
 (** Number of workers to use by default: the [FSICP_JOBS] environment
-    variable when set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+    variable when set, otherwise [Domain.recommended_domain_count ()].
+    @raise Invalid_argument when [FSICP_JOBS] is set but not a positive
+    integer (see {!parse_jobs}) *)
 val default_jobs : unit -> int
 
 (** [parallel_init ~jobs n f] is [Array.init n f] computed by up to [jobs]

@@ -427,6 +427,17 @@ let memo_add (p : Ssa.proc) ~entry ~cdv r =
      could at worst drop each other's entry, never corrupt one. *)
   p.Ssa.memo <- Scc_memo entries
 
+(** Drop every memoized entry-vector context of one procedure.  The next
+    {!run} on it re-propagates from scratch whatever its entry environment
+    is; the incremental engine calls this when a procedure's SSA is about
+    to be rebuilt, and benchmarks use it (via [Context.reset_scc_memos])
+    to measure the warm solver core. *)
+let invalidate_memo (p : Ssa.proc) = p.Ssa.memo <- Ssa.No_memo
+
+(** Number of memoized entry-vector contexts a procedure currently holds. *)
+let memo_size (p : Ssa.proc) =
+  match p.Ssa.memo with Scc_memo entries -> List.length entries | _ -> 0
+
 (** Run SCC on an SSA procedure.  Equal entry/call-def vectors return the
     memoized result of the earlier identical run. *)
 let run ?(config = default_config) (p : Ssa.proc) : result =

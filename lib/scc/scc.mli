@@ -62,6 +62,16 @@ type result = {
     a given program. *)
 val run : ?config:config -> Ssa.proc -> result
 
+(** Drop every memoized entry-vector context of one procedure: the next
+    {!run} re-propagates from scratch.  The per-procedure arm of
+    [Context.reset_scc_memos], and the invalidation hook of the
+    incremental engine (an edited procedure's memo dies with its SSA). *)
+val invalidate_memo : Ssa.proc -> unit
+
+(** Number of memoized entry-vector contexts the procedure holds (0 after
+    {!invalidate_memo}; at most the internal capacity, currently 8). *)
+val memo_size : Ssa.proc -> int
+
 (** The original list/Hashtbl/Queue formulation over the boxed lattice,
     kept as the executable specification: no arena, no dedup, no memo, no
     packed arithmetic (packed only at the hooks and the final encode).

@@ -1,0 +1,31 @@
+(** Minimal JSON values for the serve wire protocol — hand-written because
+    the toolchain ships no JSON library.  The printer emits no
+    insignificant whitespace; the parser accepts any RFC-8259 document of
+    these shapes ([\uXXXX] escapes decoded to UTF-8, surrogate pairs
+    included).  Integral numbers that fit [int] parse as [Int]; all other
+    numbers as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Parse one complete document; trailing non-whitespace is an error. *)
+val of_string : string -> (t, string) result
+
+(** Object member lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val to_str : t -> string option
+val to_int : t -> int option
+
+(** [str_member k v] = [member k v] when it is a string. *)
+val str_member : string -> t -> string option
+
+val int_member : string -> t -> int option

@@ -1,0 +1,102 @@
+(** The [fsicp serve] daemon loop: a Unix-domain stream socket accepting
+    length-prefixed JSON frames ({!Protocol}), dispatched against one
+    long-lived incremental {!Fsicp_core.Engine}.
+
+    Connections are served one at a time (the engine is single-session
+    state; queued clients block in [accept]).  Within a connection, frames
+    are answered in order until EOF or a [shutdown] request; EOF just ends
+    the connection, [shutdown] ends the daemon.  Tracing is enabled for
+    the daemon's lifetime so the [stats] request can report the memo and
+    incremental-re-solve counters. *)
+
+module Trace = Fsicp_trace.Trace
+
+let c_connections = Trace.counter ~stable:false "serve.connections"
+let c_requests = Trace.counter ~stable:false "serve.requests"
+
+(** Serve one established connection until EOF or shutdown. *)
+let serve_connection (st : Protocol.state) (fd : Unix.file_descr) : unit =
+  Trace.incr c_connections;
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> ()
+    | Some payload ->
+        Trace.incr c_requests;
+        let response =
+          match Json.of_string payload with
+          | Error m ->
+              Json.Obj
+                [
+                  ("ok", Json.Bool false);
+                  ("error", Json.Str (Printf.sprintf "invalid JSON: %s" m));
+                ]
+          | Ok doc -> Protocol.handle st doc
+        in
+        Protocol.write_frame fd (Json.to_string response);
+        if not st.Protocol.stop then loop ()
+  in
+  match loop () with
+  | () -> ()
+  | exception (End_of_file | Protocol.Frame_error _) ->
+      (* A client that vanished mid-frame or sent garbage framing only
+         forfeits its own connection. *)
+      ()
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+(** Bind [socket] (removing a stale file first), then accept-and-serve
+    until a [shutdown] request.  [on_ready] runs once the socket is
+    listening — the hook tests and scripts use to know when to connect.
+    [preload] analyses a program before the first connection, as if a
+    [load] request had been served.  The socket file is removed on exit. *)
+let run ?jobs ?preload ?(on_ready = fun () -> ()) ~version ~socket () : unit =
+  let st = Protocol.make_state ?jobs ~version () in
+  Trace.set_enabled true;
+  Option.iter
+    (fun prog ->
+      st.Protocol.engine <- Some (Fsicp_core.Engine.create ?jobs prog))
+    preload;
+  (match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+  | _ -> failwith (Printf.sprintf "refusing to replace non-socket %s" socket)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 8;
+  on_ready ();
+  while not st.Protocol.stop do
+    let fd, _ = Unix.accept srv in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> serve_connection st fd)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Connect to a daemon at [socket].  The caller closes the descriptor. *)
+let connect ~socket : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  fd
+
+(** One round trip: send a request document, read the response document.
+    @raise Failure when the daemon closes without answering or answers
+    with invalid JSON. *)
+let roundtrip (fd : Unix.file_descr) (req : Json.t) : Json.t =
+  Protocol.write_frame fd (Json.to_string req);
+  match Protocol.read_frame fd with
+  | None -> failwith "daemon closed the connection without answering"
+  | Some payload -> (
+      match Json.of_string payload with
+      | Ok doc -> doc
+      | Error m -> failwith (Printf.sprintf "invalid JSON from daemon: %s" m))

@@ -1,0 +1,33 @@
+(** The [fsicp serve] daemon loop (Unix-domain socket, length-prefixed
+    JSON frames — {!Protocol}) and the matching client helpers.
+
+    Connections are served one at a time against a single long-lived
+    incremental {!Fsicp_core.Engine}; EOF ends a connection, a [shutdown]
+    request ends the daemon.  Tracing is enabled for the daemon's lifetime
+    so [stats] can report memo and incremental-re-solve counters. *)
+
+(** Serve one established connection until EOF or shutdown (exposed for
+    in-process tests). *)
+val serve_connection : Protocol.state -> Unix.file_descr -> unit
+
+(** Bind the socket (replacing a stale socket file; refusing to replace a
+    non-socket), accept and serve until a [shutdown] request, then remove
+    the socket file.  [on_ready] runs once listening — use it to know when
+    it is safe to connect.  [preload] analyses a program before the first
+    connection, as if a [load] request had been served.  [jobs] is the
+    per-solve domain budget. *)
+val run :
+  ?jobs:int ->
+  ?preload:Fsicp_lang.Ast.program ->
+  ?on_ready:(unit -> unit) ->
+  version:string ->
+  socket:string ->
+  unit ->
+  unit
+
+(** Connect to a daemon; the caller closes the descriptor. *)
+val connect : socket:string -> Unix.file_descr
+
+(** One round trip: send one request document, read one response document.
+    @raise Failure on a closed connection or invalid response JSON *)
+val roundtrip : Unix.file_descr -> Json.t -> Json.t

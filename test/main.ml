@@ -29,4 +29,6 @@ let () =
       ("par", Test_par.suite);
       ("figure1", Test_figure1.suite);
       ("trace", Test_trace.suite);
+      ("engine", Test_engine.suite);
+      ("serve", Test_serve.suite);
     ]

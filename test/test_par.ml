@@ -9,6 +9,64 @@ open Fsicp_workloads
 open Fsicp_par
 module L = Fsicp_scc.Lattice
 
+(* -- job-count parsing ---------------------------------------------------- *)
+
+(* One case per class of bad input: parse_jobs must reject each with a
+   message naming the offending value, never fall back silently. *)
+let test_parse_jobs_accepts () =
+  List.iter
+    (fun (s, j) ->
+      match Par.parse_jobs s with
+      | Ok got -> Alcotest.(check int) (Printf.sprintf "parse %S" s) j got
+      | Error m -> Alcotest.failf "parse_jobs %S rejected: %s" s m)
+    [ ("1", 1); ("4", 4); ("  8  ", 8); ("128", 128) ]
+
+let check_rejected s =
+  match Par.parse_jobs s with
+  | Ok j -> Alcotest.failf "parse_jobs %S wrongly accepted as %d" s j
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error for %S names the value (got %S)" s m)
+        true
+        (let mentions needle =
+           let ln = String.length needle and lm = String.length m in
+           let rec at i = i + ln <= lm && (String.sub m i ln = needle || at (i + 1)) in
+           ln > 0 && at 0
+         in
+         mentions (String.trim s) || (String.trim s = "" && mentions "\"\""))
+
+let test_parse_jobs_rejects_zero () = check_rejected "0"
+let test_parse_jobs_rejects_negative () = check_rejected "-3"
+let test_parse_jobs_rejects_garbage () = check_rejected "fuor"
+let test_parse_jobs_rejects_empty () = check_rejected ""
+let test_parse_jobs_rejects_float () = check_rejected "2.5"
+let test_parse_jobs_rejects_trailing () = check_rejected "4x"
+
+let with_env var value f =
+  let old = Sys.getenv_opt var in
+  (* putenv cannot unset: when the variable was absent, restore a value
+     behaviourally identical to unset rather than the poisonous "". *)
+  let restore =
+    match old with
+    | Some v -> v
+    | None -> string_of_int (Domain.recommended_domain_count ())
+  in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var restore) f
+
+(* default_jobs must honour a good FSICP_JOBS and raise on a bad one —
+   a typo'd env var must never quietly measure all-cores behaviour. *)
+let test_default_jobs_env () =
+  with_env "FSICP_JOBS" "3" (fun () ->
+      Alcotest.(check int) "FSICP_JOBS=3 honoured" 3 (Par.default_jobs ()));
+  List.iter
+    (fun bad ->
+      with_env "FSICP_JOBS" bad (fun () ->
+          match Par.default_jobs () with
+          | j -> Alcotest.failf "FSICP_JOBS=%S wrongly accepted as %d" bad j
+          | exception Invalid_argument _ -> ()))
+    [ "0"; "-1"; "fuor"; "2.5" ]
+
 (* -- primitives ----------------------------------------------------------- *)
 
 let test_parallel_init () =
@@ -207,6 +265,22 @@ let prop_cyclic_jobs_equivalent =
 
 let suite =
   [
+    Alcotest.test_case "parse_jobs accepts positive ints" `Quick
+      test_parse_jobs_accepts;
+    Alcotest.test_case "parse_jobs rejects zero" `Quick
+      test_parse_jobs_rejects_zero;
+    Alcotest.test_case "parse_jobs rejects negative" `Quick
+      test_parse_jobs_rejects_negative;
+    Alcotest.test_case "parse_jobs rejects garbage" `Quick
+      test_parse_jobs_rejects_garbage;
+    Alcotest.test_case "parse_jobs rejects empty" `Quick
+      test_parse_jobs_rejects_empty;
+    Alcotest.test_case "parse_jobs rejects float" `Quick
+      test_parse_jobs_rejects_float;
+    Alcotest.test_case "parse_jobs rejects trailing junk" `Quick
+      test_parse_jobs_rejects_trailing;
+    Alcotest.test_case "default_jobs: FSICP_JOBS strict" `Quick
+      test_default_jobs_env;
     Alcotest.test_case "parallel_init = Array.init" `Quick test_parallel_init;
     Alcotest.test_case "map_list = List.map" `Quick test_map_list;
     Alcotest.test_case "both returns both results" `Quick test_both;
