@@ -26,7 +26,14 @@ let section title = Printf.printf "\n================ %s ================\n" tit
 
 (* Estimates collected for --json: name -> (ms, minor words, major words)
    per run. *)
-type bechamel_row = { r_ms : float; r_minor : float; r_major : float }
+type bechamel_row = {
+  r_ms : float;
+  r_minor : float;
+  r_major : float;
+  r_top_heap : int option;
+      (* peak heap words of one setup + run in a fresh child; [None] when
+         the forked measurement failed *)
+}
 
 let bechamel_rows : (string * bechamel_row) list ref = ref []
 
@@ -138,7 +145,229 @@ let returns () =
   section "RETURN-CONSTANTS EXTENSION (paper §3.2, off in the tables)";
   Report.print (Fsicp_harness.Harness.returns_table ())
 
+(* -- scaling table (synthetic corpora, streaming vs eager) ----------------- *)
+
+type scale_row = {
+  s_family : string;
+  s_procs : int;
+  s_jobs : int;
+  s_mode : string;  (* "streaming" | "eager" *)
+  s_ms : float;  (* min over FSICP_SCALE_REPS solves *)
+  s_minor : float;  (* minor words of the first solve *)
+  s_major : float;
+  s_top_heap : int;  (* peak heap words above the pre-solve baseline *)
+}
+
+let scale_rows : scale_row list ref = ref []
+
+let scale_sizes () =
+  match Sys.getenv_opt "FSICP_SCALE_PROCS" with
+  | None -> [ 1000; 2000; 4000; 8000 ]
+  | Some s ->
+      let sizes =
+        String.split_on_char ',' s
+        |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+      in
+      if sizes = [] then failwith "FSICP_SCALE_PROCS: no sizes" else sizes
+
+let scale_reps () =
+  match Sys.getenv_opt "FSICP_SCALE_REPS" with
+  | None -> 3
+  | Some s -> max 1 (int_of_string s)
+
+(** One scale measurement, in a forked child process.  The fork serves the
+    peak-heap column: [top_heap_words] is process-monotonic, so consecutive
+    in-process runs would hide every footprint smaller than the largest
+    seen so far — a child starts from the parent's (compacted) baseline and
+    its delta is its own.  The corpus AST is built once in the parent and
+    reaches the child by copy-on-write; the child reports over a pipe.
+    Timing is the min over [reps] solves: the wall clock on a loaded
+    single-core host swings far too much for means to order 2x size steps
+    reliably. *)
+let scale_measure ~reps ~jobs ~mode prog : (float * float * float * int, string) result =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let line =
+        try
+          let solve () =
+            let ctx =
+              match mode with
+              | `Streaming -> Context.create_streaming prog
+              | `Eager -> Context.create ~jobs prog
+            in
+            ignore (Fs_icp.solve ~jobs ctx)
+          in
+          let base_top = (Gc.quick_stat ()).Gc.top_heap_words in
+          let q0 = Gc.quick_stat () in
+          let t0 = Unix.gettimeofday () in
+          solve ();
+          let best = ref (1000.0 *. (Unix.gettimeofday () -. t0)) in
+          let q1 = Gc.quick_stat () in
+          for _ = 2 to reps do
+            let t0 = Unix.gettimeofday () in
+            solve ();
+            let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+            if ms < !best then best := ms
+          done;
+          Printf.sprintf "ok %f %f %f %d\n" !best
+            (q1.Gc.minor_words -. q0.Gc.minor_words)
+            (q1.Gc.major_words -. q0.Gc.major_words)
+            ((Gc.quick_stat ()).Gc.top_heap_words - base_top)
+        with e -> Printf.sprintf "err %s\n" (Printexc.to_string e)
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      output_string oc line;
+      flush oc;
+      (* _exit: the child must not flush the parent's duplicated stdout
+         buffers or run at_exit hooks. *)
+      Unix._exit 0
+  | pid -> (
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let line = try input_line ic with End_of_file -> "err child died" in
+      close_in ic;
+      let _, status = Unix.waitpid [] pid in
+      match status with
+      | Unix.WEXITED 0 -> (
+          try
+            Scanf.sscanf line "ok %f %f %f %d" (fun ms minor major top ->
+                Ok (ms, minor, major, top))
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            Error
+              (if String.length line > 4 then String.sub line 4 (String.length line - 4)
+               else line))
+      | Unix.WEXITED c -> Error (Printf.sprintf "child exit %d" c)
+      | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+          Error (Printf.sprintf "child signal %d" s))
+
+(** OLS slope of ln(ms) against ln(procs) — the fitted growth exponent of
+    one (mode, jobs) series.  [None] with fewer than two points. *)
+let fit_exponent (rows : scale_row list) : float option =
+  let pts =
+    List.map (fun r -> (log (float_of_int r.s_procs), log r.s_ms)) rows
+  in
+  match pts with
+  | [] | [ _ ] -> None
+  | _ ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+      let denom = (n *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-9 then None
+      else Some (((n *. sxy) -. (sx *. sy)) /. denom)
+
+(** The (mode, jobs) series of the scale table, in recording order. *)
+let scale_series () =
+  let jobs = Par.default_jobs () in
+  let base = [ ("streaming", 1); ("eager", 1) ] in
+  if jobs > 1 then
+    [ ("streaming", 1); ("streaming", jobs); ("eager", 1); ("eager", jobs) ]
+  else base
+
+let scale () =
+  section "SCALING (synthetic mixed corpus; ms = min over reps)";
+  let reps = scale_reps () and sizes = scale_sizes () in
+  let rows = ref [] in
+  List.iter
+    (fun procs ->
+      let prog =
+        Scale.generate
+          { Scale.sp_family = Scale.Mixed; sp_procs = procs; sp_seed = 1 }
+      in
+      (* Shrink the parent's heap so each child's peak-heap delta is
+         dominated by its own solve, not by corpus-generation garbage. *)
+      Gc.compact ();
+      List.iter
+        (fun (mode_name, jobs) ->
+          let mode =
+            if mode_name = "streaming" then `Streaming else `Eager
+          in
+          match scale_measure ~reps ~jobs ~mode prog with
+          | Ok (ms, minor, major, top) ->
+              rows :=
+                {
+                  s_family = "mixed";
+                  s_procs = procs;
+                  s_jobs = jobs;
+                  s_mode = mode_name;
+                  s_ms = ms;
+                  s_minor = minor;
+                  s_major = major;
+                  s_top_heap = top;
+                }
+                :: !rows
+          | Error msg ->
+              Printf.printf "  scale %s/%d jobs=%d FAILED: %s\n" mode_name
+                procs jobs msg)
+        (scale_series ()))
+    sizes;
+  let rows = List.rev !rows in
+  scale_rows := rows;
+  Report.print
+    (Report.make ~title:"fs-icp solve at scale (mixed family, seed 1)"
+       ~header:
+         [ "PROCS"; "MODE"; "JOBS"; "ms(min)"; "minor Mw"; "major Mw";
+           "peak heap Mw" ]
+       (List.map
+          (fun r ->
+            [ string_of_int r.s_procs;
+              r.s_mode;
+              string_of_int r.s_jobs;
+              Printf.sprintf "%.1f" r.s_ms;
+              Printf.sprintf "%.2f" (r.s_minor /. 1e6);
+              Printf.sprintf "%.2f" (r.s_major /. 1e6);
+              Printf.sprintf "%.2f" (float_of_int r.s_top_heap /. 1e6) ])
+          rows));
+  List.iter
+    (fun (mode, jobs) ->
+      let series =
+        List.filter (fun r -> r.s_mode = mode && r.s_jobs = jobs) rows
+      in
+      match fit_exponent series with
+      | Some e ->
+          Printf.printf "  growth exponent %s jobs=%d: %.3f\n" mode jobs e
+      | None -> ())
+    (scale_series ())
+
 (* -- Bechamel micro-benchmarks -------------------------------------------- *)
+
+(** Peak heap words of one row — setup plus a single run — in a forked
+    child.  [top_heap_words] is process-monotonic, so measuring in this
+    process would hide every row's footprint under the largest seen so
+    far; a fresh child starts from the parent's baseline and the delta is
+    the row's own working set.  Must run before the Bechamel samples (and
+    before the row setups) inflate the parent's heap, since the child
+    inherits it. *)
+let row_top_heap (setup : unit -> unit -> unit) : int option =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let line =
+        try
+          let base = (Gc.quick_stat ()).Gc.top_heap_words in
+          let f = setup () in
+          f ();
+          Printf.sprintf "ok %d\n"
+            ((Gc.quick_stat ()).Gc.top_heap_words - base)
+        with _ -> "err\n"
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      output_string oc line;
+      flush oc;
+      Unix._exit 0
+  | pid -> (
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let line = try input_line ic with End_of_file -> "err" in
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      try Scanf.sscanf line "ok %d" (fun d -> Some d)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
 
 let bechamel () =
   section "BECHAMEL MICRO-BENCHMARKS";
@@ -150,68 +379,71 @@ let bechamel () =
   let wave = Spec.program (bench "039.WAVE5") in
   let largest = largest_bench () in
   let largest_prog = Spec.program largest in
-  let tests =
+  (* Each row is (name, setup) with [setup () ()] doing one full run: the
+     staged Bechamel closure is [setup ()], and the same setups feed the
+     forked peak-heap column. *)
+  let raw_tests : (string * (unit -> unit -> unit)) list =
     [
-      Test.make ~name:"context(NASA7)"
-        (Staged.stage (fun () -> ignore (Context.create nasa)));
-      Test.make ~name:"fi-icp(NASA7)"
-        (Staged.stage
-           (let ctx = Context.create nasa in
-            fun () -> ignore (Fi_icp.solve ctx)));
-      Test.make ~name:"fs-icp(NASA7)"
-        (Staged.stage
-           (let ctx = Context.create nasa in
-            fun () ->
-              Context.reset_ssa_cache ctx;
-              ignore (Fs_icp.solve ctx)));
-      Test.make ~name:"fi-icp(WAVE5)"
-        (Staged.stage
-           (let ctx = Context.create wave in
-            fun () -> ignore (Fi_icp.solve ctx)));
-      Test.make ~name:"fs-icp(WAVE5)"
-        (Staged.stage
-           (let ctx = Context.create wave in
-            fun () ->
-              Context.reset_ssa_cache ctx;
-              ignore (Fs_icp.solve ctx)));
+      ( "context(NASA7)",
+        fun () () -> ignore (Context.create nasa) );
+      ( "fi-icp(NASA7)",
+        fun () ->
+          let ctx = Context.create nasa in
+          fun () -> ignore (Fi_icp.solve ctx) );
+      ( "fs-icp(NASA7)",
+        fun () ->
+          let ctx = Context.create nasa in
+          fun () ->
+            Context.reset_ssa_cache ctx;
+            ignore (Fs_icp.solve ctx) );
+      ( "fi-icp(WAVE5)",
+        fun () ->
+          let ctx = Context.create wave in
+          fun () -> ignore (Fi_icp.solve ctx) );
+      ( "fs-icp(WAVE5)",
+        fun () ->
+          let ctx = Context.create wave in
+          fun () ->
+            Context.reset_ssa_cache ctx;
+            ignore (Fs_icp.solve ctx) );
       (* The acceptance benchmark: the solver core on the largest suite
          program.  SSA stays warm (construction is the separate
          ssa-build(largest) row); dropping the SCC memos per sample forces
          every kernel propagation to re-run, so the row measures the packed
          lattice/arena hot path rather than memo lookups. *)
-      Test.make ~name:"fs-icp(largest)"
-        (Staged.stage
-           (let ctx = Context.create largest_prog in
-            Context.build_ssa ctx;
-            fun () ->
-              Context.reset_scc_memos ctx;
-              ignore (Fs_icp.solve ctx)));
+      ( "fs-icp(largest)",
+        fun () ->
+          let ctx = Context.create largest_prog in
+          Context.build_ssa ctx;
+          fun () ->
+            Context.reset_scc_memos ctx;
+            ignore (Fs_icp.solve ctx) );
       (* SSA construction cost of the same program, kept visible in its own
          row now that fs-icp(largest) runs warm.  Single-domain build:
          Bechamel's GC instances only observe the calling domain, so a
          parallel build would hide most of the allocation. *)
-      Test.make ~name:"ssa-build(largest)"
-        (Staged.stage
-           (let ctx = Context.create largest_prog in
-            fun () ->
-              Context.reset_ssa_cache ctx;
-              Context.build_ssa ~jobs:1 ctx));
+      ( "ssa-build(largest)",
+        fun () ->
+          let ctx = Context.create largest_prog in
+          fun () ->
+            Context.reset_ssa_cache ctx;
+            Context.build_ssa ~jobs:1 ctx );
       (* Same workload as fs-icp(largest) with span recording on — the
          overhead gate in [check_against] compares this row against
          fs-icp(largest).  The per-sample reset is O(1), so the row
          measures steady-state recording rather than event
          accumulation. *)
-      Test.make ~name:"fs-icp(largest,traced)"
-        (Staged.stage
-           (let ctx = Context.create largest_prog in
-            Context.build_ssa ctx;
-            fun () ->
-              let was = Trace.enabled () in
-              Trace.reset ();
-              Trace.set_enabled true;
-              Context.reset_scc_memos ctx;
-              ignore (Fs_icp.solve ctx);
-              Trace.set_enabled was));
+      ( "fs-icp(largest,traced)",
+        fun () ->
+          let ctx = Context.create largest_prog in
+          Context.build_ssa ctx;
+          fun () ->
+            let was = Trace.enabled () in
+            Trace.reset ();
+            Trace.set_enabled true;
+            Context.reset_scc_memos ctx;
+            ignore (Fs_icp.solve ctx);
+            Trace.set_enabled was );
       (* Incremental re-analysis: one shape-preserving single-procedure
          edit against a live Engine.  The edited procedure is the one with
          the median downstream cone (picked by [median_cone_proc]), so the
@@ -220,23 +452,33 @@ let bechamel () =
          re-drives the cone — the engine deliberately does not shortcut
          no-op edits — so every sample does the full incremental path:
          invalidate, FI re-solve, cone re-drive with SCC memo hits. *)
-      Test.make ~name:"incremental-resolve(largest)"
-        (Staged.stage
-           (let engine = Engine.create largest_prog in
-            let target = median_cone_proc largest_prog in
-            fun () -> ignore (Engine.edit_proc engine target)));
-      Test.make ~name:"poly-jf(NASA7)"
-        (Staged.stage
-           (let ctx = Context.create nasa in
-            fun () ->
-              ignore (Jump_functions.solve ctx Jump_functions.Polynomial)));
-      Test.make ~name:"iterative(NASA7)"
-        (Staged.stage
-           (let ctx = Context.create nasa in
-            fun () ->
-              Context.reset_ssa_cache ctx;
-              ignore (Reference.solve ctx)));
+      ( "incremental-resolve(largest)",
+        fun () ->
+          let engine = Engine.create largest_prog in
+          let target = median_cone_proc largest_prog in
+          fun () -> ignore (Engine.edit_proc engine target) );
+      ( "poly-jf(NASA7)",
+        fun () ->
+          let ctx = Context.create nasa in
+          fun () -> ignore (Jump_functions.solve ctx Jump_functions.Polynomial) );
+      ( "iterative(NASA7)",
+        fun () ->
+          let ctx = Context.create nasa in
+          fun () ->
+            Context.reset_ssa_cache ctx;
+            ignore (Reference.solve ctx) );
     ]
+  in
+  (* Peak-heap column first, while the parent heap is still small. *)
+  let tops =
+    List.map
+      (fun (name, setup) -> ("fsicp/" ^ name, row_top_heap setup))
+      raw_tests
+  in
+  let tests =
+    List.map
+      (fun (name, setup) -> Test.make ~name (Staged.stage (setup ())))
+      raw_tests
   in
   Printf.printf "(jobs = %d, largest program = %s with %d procedures)\n%!"
     (Par.default_jobs ()) largest.Spec.b_name
@@ -281,20 +523,26 @@ let bechamel () =
         ( name,
           { r_ms = ns /. 1e6;
             r_minor = words minors;
-            r_major = words majors } )
+            r_major = words majors;
+            r_top_heap = Option.join (List.assoc_opt name tops) } )
         :: !rows)
     times;
   let rows = List.sort compare !rows in
   bechamel_rows := rows;
   Report.print
     (Report.make ~title:"analysis cost per run (monotonic clock + GC words)"
-       ~header:[ "BENCHMARK"; "ms/run"; "minor kw/run"; "major kw/run" ]
+       ~header:
+         [ "BENCHMARK"; "ms/run"; "minor kw/run"; "major kw/run";
+           "peak heap kw" ]
        (List.map
           (fun (name, r) ->
             [ name;
               Printf.sprintf "%.3f" r.r_ms;
               Printf.sprintf "%.1f" (r.r_minor /. 1e3);
-              Printf.sprintf "%.1f" (r.r_major /. 1e3) ])
+              Printf.sprintf "%.1f" (r.r_major /. 1e3);
+              (match r.r_top_heap with
+              | Some w -> Printf.sprintf "%.1f" (float_of_int w /. 1e3)
+              | None -> "-") ])
           rows))
 
 (* -- machine-readable results (--json FILE) -------------------------------- *)
@@ -334,11 +582,30 @@ let write_json path =
          let words v =
            if v <= 0.0 then "null" else Printf.sprintf "%.1f" v
          in
+         (* The peak-heap field comes last so the line-oriented baseline
+            reader's existing prefix patterns keep matching. *)
+         let top =
+           match r.r_top_heap with
+           | Some w when w > 0 -> string_of_int w
+           | Some _ | None -> "null"
+         in
          Printf.sprintf
            "{ \"name\": %S, \"ms_per_run\": %.6f, \"minor_words_per_run\": \
-            %s, \"major_words_per_run\": %s }"
-           name r.r_ms (words r.r_minor) (words r.r_major))
+            %s, \"major_words_per_run\": %s, \"top_heap_words\": %s }"
+           name r.r_ms (words r.r_minor) (words r.r_major) top)
        !bechamel_rows);
+  out "  ],\n";
+  out "  \"scale\": [\n";
+  elements
+    (List.map
+       (fun r ->
+         Printf.sprintf
+           "{ \"family\": %S, \"procs\": %d, \"jobs\": %d, \"mode\": %S, \
+            \"ms\": %.3f, \"minor_words\": %.1f, \"major_words\": %.1f, \
+            \"top_heap_words\": %d }"
+           r.s_family r.s_procs r.s_jobs r.s_mode r.s_ms r.s_minor r.s_major
+           r.s_top_heap)
+       !scale_rows);
   out "  ],\n";
   out "  \"driver\": { \"program\": %S, \"procs\": %d, \"phases\": [\n"
     largest.Spec.b_name largest.Spec.b_profile.Generator.g_procs;
@@ -532,6 +799,9 @@ let check_against path =
   let major_tolerance = 1.25 in
   let alloc_floor = 10_000.0 in
   let baseline = read_baseline path in
+  (* The scale series runs first: its measurements fork, and forking is
+     safest before anything in this process has spawned domains. *)
+  if !scale_rows = [] then scale ();
   if !bechamel_rows = [] then bechamel ();
   let failures = ref [] in
   Printf.printf
@@ -590,6 +860,40 @@ let check_against path =
             (alloc_note "major" major_ratio)
             verdict)
     baseline;
+  (* Rows measured now but absent from the baseline are reported and
+     skipped (never a failure): new rows must be able to land before the
+     baseline is re-recorded. *)
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (b, _, _, _) -> b = name) baseline) then
+        Printf.printf "  %-24s no baseline row (skipped)\n" name)
+    !bechamel_rows;
+  (* Growth-exponent gates over the scale table: the fitted log-log slope
+     of every (mode, jobs) fs-icp series must stay near-linear.  Gating
+     the exponent rather than absolute time keeps the gate meaningful
+     across machines; a missing series (measurement failure) is reported
+     as such, not crashed on. *)
+  let exponent_gate = 1.15 in
+  List.iter
+    (fun (mode, jobs) ->
+      let series =
+        List.filter
+          (fun r -> r.s_mode = mode && r.s_jobs = jobs)
+          !scale_rows
+      in
+      match fit_exponent series with
+      | Some e ->
+          Printf.printf
+            "  scale exponent %-9s jobs=%d: %.3f (gate %.2f)\n" mode jobs e
+            exponent_gate;
+          if e > exponent_gate then
+            failures :=
+              Printf.sprintf "scale-exponent(%s,jobs=%d)" mode jobs
+              :: !failures
+      | None ->
+          Printf.printf "  scale exponent %-9s jobs=%d: null (no series)\n"
+            mode jobs)
+    (scale_series ());
   (* Tracing overhead gate: fully-enabled recording may cost at most
      [trace_tolerance] over the disabled fast path on the acceptance
      benchmark — an A/B bound on this machine, measured interleaved; the
@@ -628,6 +932,9 @@ let check_against path =
   else Printf.printf "perf gate passed\n"
 
 let all () =
+  (* scale first: its measurements fork, and forking is safest before
+     anything in this process has spawned worker domains *)
+  scale ();
   fig1 ();
   fig2 ();
   t1 ();
@@ -655,11 +962,12 @@ let () =
     | "floats" -> floats ()
     | "returns" -> returns ()
     | "bechamel" -> bechamel ()
+    | "scale" -> scale ()
     | "all" -> all ()
     | other ->
         Printf.eprintf
           "unknown experiment %S (fig1 fig2 t1 t2 t3 t4 t5 time backedge \
-           floats returns bechamel all)\n"
+           floats returns bechamel scale all)\n"
           other;
         exit 2
   in
@@ -689,7 +997,9 @@ let () =
       Trace.set_enabled true)
     trace;
   (match (cmds, check) with
-  | [], Some _ -> bechamel ()
+  | [], Some _ ->
+      scale ();
+      bechamel ()
   | [], None -> all ()
   | l, _ -> List.iter dispatch l);
   Option.iter

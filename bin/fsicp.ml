@@ -323,6 +323,125 @@ let generate_cmd =
       $ Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P")
       $ Arg.(value & opt float 0.0 & info [ "back" ] ~docv:"B"))
 
+(* -- gen ----------------------------------------------------------------- *)
+
+(* Strict scale-corpus arguments: like --jobs, the size and seed are parsed
+   from strings so garbage is a clean [fsicp: ...] + exit 2, never an
+   uncaught exception or a silent clamp. *)
+let gen family procs seed out stats_only solve_check jobs =
+  let fail msg =
+    Fmt.epr "fsicp: %s@." msg;
+    exit 2
+  in
+  let unwrap = function Ok v -> v | Error msg -> fail msg in
+  let family = unwrap (Scale.family_of_string family) in
+  let procs = unwrap (Scale.parse_procs procs) in
+  let seed = unwrap (Scale.parse_seed seed) in
+  let spec = { Scale.sp_family = family; sp_procs = procs; sp_seed = seed } in
+  let t0 = Unix.gettimeofday () in
+  let prog = Scale.generate spec in
+  let gen_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let print_stats () =
+    List.iter (fun (k, v) -> Fmt.pr "%-12s %d@." k v) (Scale.stats prog);
+    Fmt.pr "%-12s %s@." "digest" (Scale.digest prog);
+    Fmt.epr "gen: built %s/%d procedures in %.1f ms@."
+      (Scale.family_to_string family) procs gen_ms
+  in
+  (match out with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        fail (Printf.sprintf "output path %s exists and is not a directory" dir);
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%d-s%d.mf" (Scale.family_to_string family)
+             procs seed)
+      in
+      let oc = open_out_bin path in
+      output_string oc (Pretty.program_to_string prog);
+      close_out oc;
+      Fmt.pr "%s@." path
+  | None -> if not solve_check then print_stats ());
+  if stats_only && out <> None then print_stats ();
+  if solve_check then begin
+    let jobs = resolve_jobs jobs in
+    (* Four independent solves of the same corpus — eager and streaming
+       contexts, sequential and parallel — must agree to the byte on the
+       canonical solution digest.  [top_heap_words] is process-monotonic,
+       so the streaming runs go first to leave their (smaller) footprints
+       observable. *)
+    let solve_digest ~label ~jobs mk_ctx =
+      Gc.compact ();
+      let t = Unix.gettimeofday () in
+      let ctx = mk_ctx () in
+      let sol = Fs_icp.solve ~jobs ctx in
+      let ms = (Unix.gettimeofday () -. t) *. 1000. in
+      Fmt.pr "solve %s jobs=%d: %.1f ms (top_heap=%dw)@." label jobs ms
+        (Gc.stat ()).Gc.top_heap_words;
+      (label, jobs, Solution.digest sol)
+    in
+    let s1 =
+      solve_digest ~label:"streaming" ~jobs:1 (fun () ->
+          Context.create_streaming prog)
+    in
+    let sj =
+      solve_digest ~label:"streaming" ~jobs (fun () ->
+          Context.create_streaming prog)
+    in
+    let e1 =
+      solve_digest ~label:"eager" ~jobs:1 (fun () -> Context.create ~jobs:1 prog)
+    in
+    let ej =
+      solve_digest ~label:"eager" ~jobs (fun () -> Context.create ~jobs prog)
+    in
+    let runs = [ s1; sj; e1; ej ] in
+    let _, _, ref_digest = e1 in
+    let bad =
+      List.filter (fun (_, _, d) -> not (String.equal d ref_digest)) runs
+    in
+    if bad = [] then Fmt.pr "digests identical@."
+    else begin
+      List.iter
+        (fun (label, j, _) ->
+          Fmt.epr "fsicp: digest mismatch (%s jobs=%d vs eager jobs=1)@."
+            label j)
+        bad;
+      exit 1
+    end
+  end
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "build a size-parametric synthetic corpus (chain | fanout | common \
+          | recursion | mixed) directly as an AST; write it, print its \
+          shape statistics, or solve it at two job counts and compare \
+          solution digests")
+    Term.(
+      const gen
+      $ Arg.(required
+             & pos 0 (some string) None
+             & info [] ~docv:"FAMILY"
+                 ~doc:"chain | fanout | common | recursion | mixed")
+      $ Arg.(value & opt string "10000" & info [ "procs" ] ~docv:"N"
+               ~doc:"total procedures including main (2..2000000)")
+      $ Arg.(value & opt string "1" & info [ "seed" ] ~docv:"S")
+      $ Arg.(value & opt (some string) None
+             & info [ "o"; "out" ] ~docv:"DIR"
+                 ~doc:"write the corpus as MiniFort text under $(docv)")
+      $ Arg.(value & flag
+             & info [ "stats-only" ]
+                 ~doc:"print shape statistics and the corpus digest even \
+                       when also writing with $(b,-o)")
+      $ Arg.(value & flag
+             & info [ "solve-check" ]
+                 ~doc:"solve the corpus flow-sensitively with eager and \
+                       streaming contexts at jobs 1 and at --jobs and \
+                       require byte-identical solution digests (exit 1 on \
+                       mismatch)")
+      $ jobs_arg)
+
 (* -- trace --------------------------------------------------------------- *)
 
 module Trace = Fsicp_trace.Trace
@@ -610,7 +729,7 @@ let () =
   let subcommands =
     [
       analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
-      inline_cmd; clone_cmd; tables_cmd; generate_cmd; fuzz_cmd;
+      inline_cmd; clone_cmd; tables_cmd; generate_cmd; gen_cmd; fuzz_cmd;
       trace_cmd; serve_cmd; client_cmd;
     ]
   in

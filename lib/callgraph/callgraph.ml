@@ -39,6 +39,10 @@ type edge = {
 
 type t = {
   mutable prog : Ast.program;  (** see {!set_prog} *)
+  mutable asts : (string, Ast.proc) Hashtbl.t;
+      (** name → AST index over [prog.procs]; rebuilt by {!set_prog}.  The
+          list scan it replaces made every per-procedure [proc_ast] O(n) —
+          quadratic across lowering on the 10⁴–10⁶-procedure corpora. *)
   db : Prog.t;
   nodes : Prog.Proc.id array;
   edges : edge list;
@@ -48,11 +52,28 @@ type t = {
   back_bits : Prog.Bits.t;
 }
 
+let index_asts (prog : Ast.program) : (string, Ast.proc) Hashtbl.t =
+  let asts = Hashtbl.create (2 * List.length prog.Ast.procs) in
+  (* First definition wins, matching [Ast.find_proc_exn]'s front-to-back
+     scan (duplicate procedures are a [Sema.check] error anyway). *)
+  List.iter
+    (fun (p : Ast.proc) ->
+      if not (Hashtbl.mem asts p.Ast.pname) then
+        Hashtbl.add asts p.Ast.pname p)
+    prog.Ast.procs;
+  asts
+
 let n_procs t = Prog.n_procs t.db
 let proc_id t name = Prog.proc_id t.db name
 let proc_id_exn t name = Prog.proc_id_exn t.db name
 let proc_name t id = Prog.proc_name t.db id
-let proc_ast t id = Ast.find_proc_exn t.prog (proc_name t id)
+
+let proc_ast t id =
+  let name = proc_name t id in
+  match Hashtbl.find_opt t.asts name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Ast.find_proc_exn: %s" name)
+
 let is_reachable t name = Prog.mem t.db name
 
 (** Build the PCG of [prog], restricted to procedures reachable from the
@@ -62,25 +83,49 @@ let is_reachable t name = Prog.mem t.db name
     the topological traversal, since their target is finished before the
     source in reverse postorder. *)
 let build (prog : Ast.program) : t =
-  (* Discovery pass over names; ids exist only once the RPO is known. *)
+  let asts = index_asts prog in
+  let find_ast name =
+    match Hashtbl.find_opt asts name with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Ast.find_proc_exn: %s" name)
+  in
+  (* Discovery pass over names; ids exist only once the RPO is known.  The
+     DFS uses an explicit frame stack — a 10⁵-deep generated call chain
+     would overflow the OS stack with native recursion — but visits edges
+     in exactly the order the recursive formulation did: record the edge,
+     descend immediately into a fresh non-back callee, resume the caller's
+     remaining call sites afterwards. *)
   let on_stack = Hashtbl.create 16 in
   let finished = Hashtbl.create 16 in
   let order = ref [] in
   let raw_edges = ref [] in
-  let rec dfs name =
+  let frames = ref [] in
+  let push name =
     Hashtbl.replace on_stack name ();
-    let p = Ast.find_proc_exn prog name in
-    List.iteri
-      (fun cs_index (callee, _args, _pos) ->
-        let back = Hashtbl.mem on_stack callee in
-        raw_edges := (name, callee, cs_index, back) :: !raw_edges;
-        if (not back) && not (Hashtbl.mem finished callee) then dfs callee)
-      (Ast.call_sites p);
-    Hashtbl.remove on_stack name;
-    Hashtbl.replace finished name ();
-    order := name :: !order
+    let p = find_ast name in
+    frames := (name, Array.of_list (Ast.call_sites p), ref 0) :: !frames
   in
-  dfs prog.Ast.main;
+  push prog.Ast.main;
+  let running = ref true in
+  while !running do
+    match !frames with
+    | [] -> running := false
+    | (name, sites, next) :: rest ->
+        if !next < Array.length sites then begin
+          let cs_index = !next in
+          let callee, _args, _pos = sites.(cs_index) in
+          incr next;
+          let back = Hashtbl.mem on_stack callee in
+          raw_edges := (name, callee, cs_index, back) :: !raw_edges;
+          if (not back) && not (Hashtbl.mem finished callee) then push callee
+        end
+        else begin
+          frames := rest;
+          Hashtbl.remove on_stack name;
+          Hashtbl.replace finished name ();
+          order := name :: !order
+        end
+  done;
   let db = Prog.of_names (Array.of_list !order) in
   let n = Prog.n_procs db in
   let nodes = Prog.procs db in
@@ -133,7 +178,7 @@ let build (prog : Ast.program) : t =
       if e.back then
         Prog.Bits.set back_bits (cs_base.((e.caller :> int)) + e.cs_index))
     edges;
-  { prog; db; nodes; edges; out_adj; in_adj; cs_base; back_bits }
+  { prog; asts; db; nodes; edges; out_adj; in_adj; cs_base; back_bits }
 
 let is_back_edge _t (e : edge) = e.back
 
@@ -218,7 +263,9 @@ let cone t ~(seeds : Prog.Proc.id list) : Prog.Proc.id array =
     lowering.  In contract only when the PCG shape is unchanged: same
     reachable procedures, same callee sequence per procedure (the
     incremental engine checks this before calling). *)
-let set_prog t (prog : Ast.program) = t.prog <- prog
+let set_prog t (prog : Ast.program) =
+  t.prog <- prog;
+  t.asts <- index_asts prog
 
 (** Back-edge ratio |back| / |edges| — the paper's measure of how much
     flow-insensitive information the combined FS solution uses (§3.2).

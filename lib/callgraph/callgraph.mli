@@ -22,6 +22,9 @@ type t = {
   mutable prog : Ast.program;
       (** the analysed AST; replaced only by {!set_prog} after a
           shape-preserving procedure edit *)
+  mutable asts : (string, Ast.proc) Hashtbl.t;
+      (** name → AST index over [prog.procs], kept in sync by {!set_prog};
+          makes {!proc_ast} O(1) instead of a program-wide list scan *)
   db : Prog.t;  (** name <-> id bijection for the reachable procedures *)
   nodes : Prog.Proc.id array;
       (** reachable procedures in reverse postorder from main;

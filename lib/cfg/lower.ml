@@ -11,6 +11,10 @@ open Fsicp_lang
 type builder = {
   prog : Ast.program;
   formals : string list;
+  classify : string -> Sema.var_class;
+      (** hashed {!Sema.classifier} over the program's globals and this
+          procedure's formals: one table build per procedure instead of a
+          global-list scan per identifier occurrence *)
   mutable blocks_rev : (Ir.instr list * Ir.terminator option) list;
       (** finished blocks, newest first; [None] terminator = fallthrough
           placeholder fixed up when the successor is known *)
@@ -21,7 +25,7 @@ type builder = {
 }
 
 let resolve (b : builder) (x : string) : Ir.var =
-  match Sema.classify ~globals:b.prog.Ast.globals ~formals:b.formals x with
+  match b.classify x with
   | Sema.Formal i -> Ir.formal x i
   | Sema.Global -> Ir.global x
   | Sema.Local -> Ir.local x
@@ -171,6 +175,8 @@ let lower_proc (prog : Ast.program) (p : Ast.proc) : Ir.proc =
     {
       prog;
       formals = p.Ast.formals;
+      classify =
+        Sema.classifier ~globals:prog.Ast.globals ~formals:p.Ast.formals;
       blocks_rev = [];
       cur = [];
       cur_id = 0;

@@ -41,6 +41,20 @@ let c_ssa_hits = Trace.counter "ssa.cache_hits"
     several domains race-free. *)
 type alias_kills = { ak_keys : int array; ak_lists : Ir.var list array }
 
+(** Streaming-mode state: a mutex-protected ring of recently retired
+    procedure ids.  {!retire} pushes; once the ring holds [window] ids the
+    oldest one's lowered IR, alias-kill table and SSA are dropped, so the
+    resident derived artifacts are bounded by [window] plus the procedures
+    currently in flight — they scale with the wavefront frontier, not the
+    program. *)
+type stream = {
+  window : int;
+  smutex : Mutex.t;
+  ring : int array;  (** retired pids awaiting eviction, capacity [window] *)
+  mutable rhead : int;
+  mutable rlen : int;
+}
+
 type t = {
   mutable prog : Ast.program;
   pcg : Callgraph.t;
@@ -48,14 +62,17 @@ type t = {
   aliases : Alias.t;
   modref : Modref.t;
   floats : bool;
-  lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
-  alias_kills : alias_kills Prog.Proc.Tbl.t;
+  lowered : Ir.proc option Prog.Proc.Tbl.t;
+      (** reachable procedures only; [None] = not lowered yet (streaming)
+          or already evicted *)
+  alias_kills : alias_kills option Prog.Proc.Tbl.t;
   ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
   epochs : int Prog.Proc.Tbl.t;
       (** validity epoch of each procedure's derived artifacts (lowered
           IR, alias kills, SSA, SCC memo); see {!invalidate_proc} *)
   mutable edit_epoch : int;
       (** the current epoch: 0 at {!create}, bumped per invalidation *)
+  stream : stream option;  (** [Some _] iff built by {!create_streaming} *)
 }
 
 (** Lower every reachable procedure on [jobs] domains.  Each lowering is
@@ -151,11 +168,86 @@ let create ?(floats = true) ?jobs (prog : Ast.program) : t =
   let lowered = lower_all ~jobs prog pcg in
   let alias_kills = compute_alias_kills aliases summaries pcg lowered in
   { prog; pcg; summaries; aliases; modref; floats;
-    lowered; alias_kills; ssa_cache = Prog.tbl pcg.Callgraph.db None;
-    epochs = Prog.tbl pcg.Callgraph.db 0; edit_epoch = 0 }
+    lowered = Prog.Proc.Tbl.map (fun p -> Some p) lowered;
+    alias_kills = Prog.Proc.Tbl.map (fun k -> Some k) alias_kills;
+    ssa_cache = Prog.tbl pcg.Callgraph.db None;
+    epochs = Prog.tbl pcg.Callgraph.db 0; edit_epoch = 0; stream = None }
+
+(** Streaming variant of {!create} for huge corpora: the whole-program
+    analyses (summaries, PCG, aliasing, MOD/REF) run as usual — they are
+    compact — but nothing is lowered or SSA-built up front.  Derived
+    per-procedure artifacts materialise on demand ({!lowered_at} /
+    {!ssa_at}) and are released again by {!retire} once the procedure has
+    been fully consumed, keeping at most [window] retired procedures plus
+    the in-flight ones resident.  Strictly a solve-time mode: artifacts of
+    a retired procedure are rebuilt (identically) if re-requested, and
+    consumers that walk SSA after the solve — transformation, metrics, the
+    returns extension — should use {!create} instead. *)
+let create_streaming ?(floats = true) ?(window = 64) (prog : Ast.program) : t =
+  let window = max 1 window in
+  let pcg = Callgraph.build prog in
+  let summaries = Summary.collect prog in
+  let aliases = Alias.compute summaries pcg in
+  let modref = Modref.compute summaries aliases pcg in
+  { prog; pcg; summaries; aliases; modref; floats;
+    lowered = Prog.tbl pcg.Callgraph.db None;
+    alias_kills = Prog.tbl pcg.Callgraph.db None;
+    ssa_cache = Prog.tbl pcg.Callgraph.db None;
+    epochs = Prog.tbl pcg.Callgraph.db 0; edit_epoch = 0;
+    stream =
+      Some
+        {
+          window;
+          smutex = Mutex.create ();
+          ring = Array.make window 0;
+          rhead = 0;
+          rlen = 0;
+        } }
+
+let is_streaming t = t.stream <> None
 
 let lowered_at t (pid : Prog.Proc.id) : Ir.proc =
-  Prog.Proc.Tbl.get t.lowered pid
+  match Prog.Proc.Tbl.get t.lowered pid with
+  | Some p -> p
+  | None ->
+      (* Streaming miss (or re-request after eviction): lower just this
+         procedure.  Lowering is pure and distinct pids write distinct
+         slots, so concurrent misses never interfere. *)
+      Trace.incr c_lower_procs;
+      let p = Lower.lower_proc t.prog (Callgraph.proc_ast t.pcg pid) in
+      Prog.Proc.Tbl.set t.lowered pid (Some p);
+      p
+
+(** Per-procedure alias-kill table, built on demand in streaming mode. *)
+let alias_kills_at t (pid : Prog.Proc.id) : alias_kills =
+  match Prog.Proc.Tbl.get t.alias_kills pid with
+  | Some k -> k
+  | None ->
+      let k = alias_kills_of_proc t.aliases t.summaries (lowered_at t pid) in
+      Prog.Proc.Tbl.set t.alias_kills pid (Some k);
+      k
+
+(** Release [pid]'s derived artifacts once the solver is done with it
+    (no-op on non-streaming contexts).  The id enters the retirement ring;
+    the eviction itself happens [window] retirements later, so very recent
+    procedures stay warm for any straggling reads. *)
+let retire t (pid : Prog.Proc.id) : unit =
+  match t.stream with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.smutex;
+      if s.rlen = s.window then begin
+        let old = s.ring.(s.rhead) in
+        s.rhead <- (s.rhead + 1) mod s.window;
+        s.rlen <- s.rlen - 1;
+        let opid = t.pcg.Callgraph.nodes.(old) in
+        Prog.Proc.Tbl.set t.lowered opid None;
+        Prog.Proc.Tbl.set t.alias_kills opid None;
+        Prog.Proc.Tbl.set t.ssa_cache opid None
+      end;
+      s.ring.((s.rhead + s.rlen) mod s.window) <- (pid :> int);
+      s.rlen <- s.rlen + 1;
+      Mutex.unlock s.smutex
 
 let lowered_proc t name : Ir.proc =
   match Callgraph.proc_id t.pcg name with
@@ -167,7 +259,7 @@ let effects_for t (proc_name : string) : Ssa.call_effects =
   let summary = Summary.find t.summaries proc_name in
   let kills =
     match Callgraph.proc_id t.pcg proc_name with
-    | Some pid -> Some (Prog.Proc.Tbl.get t.alias_kills pid)
+    | Some pid -> Some (alias_kills_at t pid)
     | None -> None
   in
   {
@@ -284,9 +376,9 @@ let set_summaries t (s : Summary.t) : unit = t.summaries <- s
 let invalidate_proc t (pid : Prog.Proc.id) : unit =
   t.edit_epoch <- t.edit_epoch + 1;
   let ir = Lower.lower_proc t.prog (Callgraph.proc_ast t.pcg pid) in
-  Prog.Proc.Tbl.set t.lowered pid ir;
+  Prog.Proc.Tbl.set t.lowered pid (Some ir);
   Prog.Proc.Tbl.set t.alias_kills pid
-    (alias_kills_of_proc t.aliases t.summaries ir);
+    (Some (alias_kills_of_proc t.aliases t.summaries ir));
   (match Prog.Proc.Tbl.get t.ssa_cache pid with
   | Some p -> Scc.invalidate_memo p
   | None -> ());

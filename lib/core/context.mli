@@ -28,6 +28,11 @@ open Fsicp_scc
     domains share them without synchronisation. *)
 type alias_kills = { ak_keys : int array; ak_lists : Ir.var list array }
 
+(** Streaming-mode eviction state (opaque outside the context): a ring of
+    retired procedure ids whose derived artifacts are released once the
+    ring overflows its window. *)
+type stream
+
 type t = {
   mutable prog : Ast.program;  (** replaced only via {!set_program} *)
   pcg : Callgraph.t;
@@ -35,14 +40,17 @@ type t = {
   aliases : Alias.t;
   modref : Modref.t;
   floats : bool;
-  lowered : Ir.proc Prog.Proc.Tbl.t;  (** reachable procedures only *)
-  alias_kills : alias_kills Prog.Proc.Tbl.t;
+  lowered : Ir.proc option Prog.Proc.Tbl.t;
+      (** reachable procedures only; [None] = not lowered yet (streaming)
+          or already evicted *)
+  alias_kills : alias_kills option Prog.Proc.Tbl.t;
   ssa_cache : Ssa.proc option Prog.Proc.Tbl.t;
   epochs : int Prog.Proc.Tbl.t;
       (** validity epoch of each procedure's derived artifacts; see
           {!invalidate_proc} *)
   mutable edit_epoch : int;
       (** the current epoch: 0 at {!create}, bumped per invalidation *)
+  stream : stream option;  (** [Some _] iff built by {!create_streaming} *)
 }
 
 (** Build the context for a {!Sema.check}-clean program.  [jobs] bounds the
@@ -50,6 +58,27 @@ type t = {
     {!Fsicp_par.Par.default_jobs}); the result is identical for every
     value. *)
 val create : ?floats:bool -> ?jobs:int -> Ast.program -> t
+
+(** Streaming variant of {!create} for 10⁴–10⁶-procedure corpora: the
+    whole-program analyses run up front (they are compact), but lowering,
+    alias-kill tables and SSA materialise per procedure on first demand and
+    are released again by {!retire}, keeping at most [window] (default 64)
+    retired procedures plus the in-flight ones resident — peak heap scales
+    with the wavefront frontier, not the program.  Solve-time mode only:
+    the solutions are identical to the eager path's, but consumers that
+    re-walk SSA after the solve (transformation, metrics, the returns
+    extension) should use {!create}. *)
+val create_streaming : ?floats:bool -> ?window:int -> Ast.program -> t
+
+(** [true] iff the context was built by {!create_streaming}. *)
+val is_streaming : t -> bool
+
+(** Release the procedure's lowered IR, alias-kill table and SSA once the
+    solver has fully consumed it.  No-op on non-streaming contexts; the
+    actual eviction is deferred by the retirement ring (see
+    {!create_streaming}).  Artifacts re-requested after eviction are
+    rebuilt, identically. *)
+val retire : t -> Prog.Proc.id -> unit
 
 (** Lower every reachable procedure on [jobs] domains; the building block
     {!create} and {!Driver.run} share. *)
@@ -63,6 +92,9 @@ val compute_alias_kills :
 
 val lowered_at : t -> Prog.Proc.id -> Ir.proc
 val lowered_proc : t -> string -> Ir.proc
+
+(** Per-procedure alias-kill table (built on demand in streaming mode). *)
+val alias_kills_at : t -> Prog.Proc.id -> alias_kills
 
 (** Per-procedure SSA side-effect oracle backed by the IPA results:
     call defs from MOD, recorded globals from REF, alias kills from the

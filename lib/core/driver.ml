@@ -96,11 +96,15 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
       aliases;
       modref;
       floats;
-      lowered;
-      alias_kills = Context.compute_alias_kills aliases summaries pcg lowered;
+      lowered = Fsicp_prog.Prog.Proc.Tbl.map (fun p -> Some p) lowered;
+      alias_kills =
+        Fsicp_prog.Prog.Proc.Tbl.map
+          (fun k -> Some k)
+          (Context.compute_alias_kills aliases summaries pcg lowered);
       ssa_cache = Fsicp_prog.Prog.tbl pcg.Callgraph.db None;
       epochs = Fsicp_prog.Prog.tbl pcg.Callgraph.db 0;
       edit_epoch = 0;
+      stream = None;
     }
   in
   (* Step 5: interprocedural constant propagation.  The FS timing includes

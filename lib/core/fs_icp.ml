@@ -60,6 +60,70 @@ module P = Lattice.P
 let c_resolve_dirty = Trace.counter "fs.resolve.dirty"
 let c_resolve_reused = Trace.counter "fs.resolve.reused"
 
+(* -- Shard regions ------------------------------------------------------ *)
+
+(* A cut at position [i] splits the dense id range into [0, i) / [i, n).
+   In reverse postorder every non-back edge increases ids, so any path
+   from a higher id back to a lower one must traverse a back edge (c, k)
+   with [k <= c]; an SCC spanning the cut would need such a path crossing
+   it, i.e. a back edge with [k < i <= c].  Forbidding cuts inside every
+   back-edge interval [k+1, c] therefore keeps each SCC of the PCG
+   condensation whole within one region. *)
+let shard_regions (pcg : Callgraph.t) ~parts : int array =
+  let n = Callgraph.n_procs pcg in
+  let parts = max 1 (min parts (max 1 n)) in
+  if n = 0 then [| 0; 0 |]
+  else begin
+    (* Difference-array coverage of the forbidden intervals. *)
+    let diff = Array.make (n + 2) 0 in
+    List.iter
+      (fun (e : Callgraph.edge) ->
+        if e.Callgraph.back then begin
+          let k = (e.Callgraph.callee :> int)
+          and c = (e.Callgraph.caller :> int) in
+          (* Self-recursion (k = c) forbids nothing: the interval is empty. *)
+          if k < c then begin
+            diff.(k + 1) <- diff.(k + 1) + 1;
+            diff.(c + 1) <- diff.(c + 1) - 1
+          end
+        end)
+      pcg.Callgraph.edges;
+    let legal = ref [] and cov = ref 0 in
+    for i = 1 to n - 1 do
+      cov := !cov + diff.(i);
+      if !cov = 0 then legal := i :: !legal
+    done;
+    let legal = Array.of_list (List.rev !legal) in
+    (* For each ideal boundary, take the largest legal cut not past it;
+       strictly increasing cuts, so heavily cyclic graphs just yield fewer
+       (larger) regions. *)
+    let cuts = ref [] and last = ref 0 and li = ref 0 in
+    for p = 1 to parts - 1 do
+      let target = p * n / parts in
+      while !li < Array.length legal && legal.(!li) <= target do
+        incr li
+      done;
+      if !li > 0 && legal.(!li - 1) > !last then begin
+        cuts := legal.(!li - 1) :: !cuts;
+        last := legal.(!li - 1)
+      end
+    done;
+    Array.of_list ((0 :: List.rev (n :: !cuts)) |> List.sort_uniq compare)
+  end
+
+(* Region [r] (ids [bounds.(r), bounds.(r+1))) belongs to domain
+   [r mod jobs]: more regions than domains interleaves whole regions
+   round-robin, which balances corpora whose hard work clusters in one
+   id range without ever splitting a region. *)
+let owners_of_regions (bounds : int array) ~jobs ~n : int array =
+  let owners = Array.make n 0 in
+  for r = 0 to Array.length bounds - 2 do
+    for i = bounds.(r) to bounds.(r + 1) - 1 do
+      owners.(i) <- r mod jobs
+    done
+  done;
+  owners
+
 (** [solve ?jobs ?fi ?call_def_value ctx] computes the flow-sensitive
     solution.
 
@@ -127,8 +191,20 @@ let solve_body ?jobs ?fi ?prev ?(dirty : Prog.Proc.id array option)
 
   (* Pre-build SSA for every procedure (embarrassingly parallel, and the
      bulk of the flow-sensitive setup time); afterwards [Context.ssa] is a
-     read-only cache hit from any domain. *)
-  if jobs > 1 then Context.build_ssa ~jobs ctx;
+     read-only cache hit from any domain.  Streaming contexts skip this on
+     purpose: each procedure's SSA is built inside [process] when its
+     wavefront turn comes and released right after, so the peak resident
+     set follows the frontier instead of the program. *)
+  let streaming = Context.is_streaming ctx in
+  if jobs > 1 && not streaming then Context.build_ssa ~jobs ctx;
+  (* Streaming solves must not retain each procedure's SSA through the
+     retained [Scc.result]: after a procedure's records are extracted its
+     result keeps every per-name array but gets [main]'s SSA swapped in as
+     a placeholder — nothing downstream of a streaming solve reads
+     [Scc.result.proc], and the canonical digest never does. *)
+  let ssa_placeholder =
+    if streaming && n > 0 then Some (Context.ssa_at ctx nodes.(0)) else None
+  in
 
   (* Block-data seeds, pre-encoded to packed words and keyed by raw int id:
      the entry-environment lookups below never box. *)
@@ -389,13 +465,26 @@ let solve_body ?jobs ?fi ?prev ?(dirty : Prog.Proc.id array option)
           cr)
         call_sites
     in
-    records_arr.(i) <- recs
+    records_arr.(i) <- recs;
+    match ssa_placeholder with
+    | Some ph ->
+        results_arr.(i) <- Some { res with Scc.proc = ph };
+        Context.retire ctx pid
+    | None -> ()
   in
 
   (match dirty_mask with
   | None ->
-      Par.wavefront ~jobs ~order:(Array.init n (fun i -> i)) ~deps ~dependents
-        process
+      (* From-scratch solves shard the frontier: contiguous SCC-whole id
+         regions, ~4 per domain, each domain owning its regions' nodes on
+         a private stack.  The canonical assembly below makes the solution
+         independent of the sharding, so this is purely a scheduling
+         change (verified by the digest-equality tests). *)
+      let bounds = shard_regions pcg ~parts:(4 * jobs) in
+      let owners = owners_of_regions bounds ~jobs ~n in
+      Par.wavefront_sharded ~jobs ~owners
+        ~order:(Array.init n (fun i -> i))
+        ~deps ~dependents process
   | Some m ->
       (* Restrict the wavefront to the dirty cone: a dirty procedure waits
          only on its dirty forward callers (clean callers' records are

@@ -14,6 +14,17 @@
 
 val method_name : string
 
+(** [shard_regions pcg ~parts] partitions the dense procedure-id range
+    [0, n) into at most [parts] contiguous regions, returned as an
+    ascending boundary array [[|0; c1; ...; n|]] (region [r] is
+    [[bounds.(r), bounds.(r+1))]).  No boundary ever falls strictly inside
+    a back-edge id interval, so every SCC of the PCG condensation lies
+    whole within one region; on heavily cyclic graphs fewer (larger)
+    regions come back.  The from-scratch wavefront assigns each region's
+    nodes to domain [r mod jobs] ({!Fsicp_par.Par.wavefront_sharded});
+    exposed for the region-invariant tests. *)
+val shard_regions : Fsicp_callgraph.Callgraph.t -> parts:int -> int array
+
 (** [solve ?jobs ?fi ?call_def_value ctx]:
     [jobs] is the number of worker domains for the wavefront traversal
     (default {!Fsicp_par.Par.default_jobs}; [1] is the sequential

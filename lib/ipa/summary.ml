@@ -68,20 +68,26 @@ type t = {
   table : (string, proc_summary) Hashtbl.t;
 }
 
-let classify_arg ~globals ~formals (e : Ast.expr) : arg_summary =
+let classify_arg_with ~classify (e : Ast.expr) : arg_summary =
   match e with
   | Ast.Const v -> Alit v
   | Ast.Var x -> (
-      match Sema.classify ~globals ~formals x with
+      match classify x with
       | Sema.Formal i -> Aformal i
       | Sema.Global -> Aglobal x
       | Sema.Local -> Alocal x)
   | Ast.Unary _ | Ast.Binary _ -> Aexpr
 
+let classify_arg ~globals ~formals (e : Ast.expr) : arg_summary =
+  classify_arg_with ~classify:(Sema.classify ~globals ~formals) e
+
 let summarize_proc (prog : Ast.program) (p : Ast.proc) : proc_summary =
   let globals = prog.Ast.globals and formals = p.Ast.formals in
+  (* One hashed classifier per procedure: collection is O(body), not
+     O(body × globals), which matters on the 10⁴–10⁶-procedure corpora. *)
+  let classify = Sema.classifier ~globals ~formals in
   let to_vref x =
-    match Sema.classify ~globals ~formals x with
+    match classify x with
     | Sema.Formal i -> Some (Vformal i)
     | Sema.Global -> Some (Vglobal x)
     | Sema.Local -> None
@@ -96,7 +102,7 @@ let summarize_proc (prog : Ast.program) (p : Ast.proc) : proc_summary =
         {
           cs_callee = callee;
           cs_args =
-            Array.of_list (List.map (classify_arg ~globals ~formals) args);
+            Array.of_list (List.map (classify_arg_with ~classify) args);
           cs_index;
         })
       (Ast.call_sites p)

@@ -31,6 +31,21 @@ let classify ~globals ~formals x : var_class =
   | Some i -> Formal i
   | None -> if List.mem x globals then Global else Local
 
+(** Hashed variant of {!classify} for per-procedure bulk resolution: the
+    lookup tables are built once, so each query is O(1) instead of a list
+    scan over the program's globals.  Identical results to {!classify}. *)
+let classifier ~globals ~formals : string -> var_class =
+  let tbl = Hashtbl.create (4 * (List.length formals + 1)) in
+  List.iter (fun g -> Hashtbl.replace tbl g Global) globals;
+  (* Formals shadow globals of the same name; first occurrence wins, as in
+     [classify]'s left-to-right scan. *)
+  List.iteri
+    (fun i f -> if not (Hashtbl.mem tbl f) || Hashtbl.find tbl f = Global
+                then Hashtbl.replace tbl f (Formal i))
+    formals;
+  fun x ->
+    match Hashtbl.find_opt tbl x with Some c -> c | None -> Local
+
 let check (prog : Ast.program) : (unit, error list) result =
   let errs = ref [] in
   let err ?(pos = Ast.no_pos) where fmt =

@@ -19,6 +19,12 @@ type var_class = Formal of int | Global | Local
 val classify :
   globals:string list -> formals:string list -> string -> var_class
 
+(** Hashed variant of {!classify} for bulk per-procedure resolution: builds
+    the lookup table once (O(globals + formals)) so each subsequent query is
+    O(1).  Result-identical to {!classify} for every identifier. *)
+val classifier :
+  globals:string list -> formals:string list -> string -> var_class
+
 val check : Ast.program -> (unit, error list) result
 
 (** @raise Illformed when [check] reports errors. *)

@@ -110,3 +110,41 @@ val wavefront :
   dependents:int list array ->
   (int -> unit) ->
   unit
+
+(** [wavefront_sharded ~jobs ~owners ~order ~deps ~dependents process] is
+    {!wavefront} with a partitioned frontier, built for 10⁴–10⁶-node DAGs
+    where a single shared ready queue serialises dispatch:
+
+    - [owners.(i)] assigns node [i] to one of [jobs] domains (values in
+      [0, jobs)).  Each domain keeps the nodes it owns on a private LIFO
+      stack — pushing and popping ready work takes no lock at all — so an
+      owner that is also a node's only dependent runs caller and callee
+      back-to-back with warm caches.  Callers pick owners from contiguous
+      dense-id regions (see [Fs_icp.shard_regions]) so a shard is a
+      structurally related slice of the graph, not a random sample.
+    - A node completed by domain [d] whose dependent belongs to domain
+      [o <> d] is handed off through [o]'s bounded inbox (a
+      mutex-protected ring).  When the inbox is full the pusher drains its
+      own inbox and retries, which makes cycles of mutually full inboxes
+      impossible to sustain; handoff traffic is counted by the
+      [par.shard.handoffs] trace counter.
+    - Progress is observable while the run is in flight: completions are
+      flushed in batches to [par.shard.solved], and the high-water mark of
+      the ready frontier is recorded in [par.shard.frontier_peak] (all
+      [~stable:false] — scheduling artefacts, excluded from the canonical
+      trace).
+
+    Determinism, ordering and error contracts are exactly those of
+    {!wavefront}: any [owners] assignment yields the same set of [process]
+    calls with the same happens-before edges, so a caller that assembles
+    results canonically (by node index) is bit-identical across [jobs] and
+    [owners].  [jobs <= 1] ignores [owners] and runs sequentially in
+    [order]. *)
+val wavefront_sharded :
+  jobs:int ->
+  owners:int array ->
+  order:int array ->
+  deps:int list array ->
+  dependents:int list array ->
+  (int -> unit) ->
+  unit

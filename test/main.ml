@@ -26,6 +26,7 @@ let () =
       ("edge-cases", Test_edge.suite);
       ("metrics", Test_metrics.suite);
       ("workloads", Test_workloads.suite);
+      ("scale", Test_scale.suite);
       ("par", Test_par.suite);
       ("figure1", Test_figure1.suite);
       ("trace", Test_trace.suite);
