@@ -467,6 +467,31 @@ let bechamel () =
           fun () ->
             Context.reset_ssa_cache ctx;
             ignore (Reference.solve ctx) );
+      (* Beyond-the-paper methods on the same program and in the same
+         shape as fs-icp(largest) — warm SSA, SCC memos dropped per sample
+         so every kernel run propagates for real (converged Gauss–Seidel
+         passes and repeated value contexts would otherwise be pure memo
+         hits).  The "largest" name puts them under the same time gate as
+         the acceptance row, and at this scale their allocation clears the
+         gate floor, so a regression in either new solver fails --check.
+         Single-domain like ssa-build: Bechamel's GC instances only
+         observe the calling domain, so a parallel solve both hides part
+         of the allocation and makes the visible share flap with worker
+         scheduling. *)
+      ( "cc-icp(largest)",
+        fun () ->
+          let ctx = Context.create ~jobs:1 largest_prog in
+          Context.build_ssa ~jobs:1 ctx;
+          fun () ->
+            Context.reset_scc_memos ctx;
+            ignore (Cc_icp.solve ~jobs:1 ctx) );
+      ( "vc-icp(largest)",
+        fun () ->
+          let ctx = Context.create ~jobs:1 largest_prog in
+          Context.build_ssa ~jobs:1 ctx;
+          fun () ->
+            Context.reset_scc_memos ctx;
+            ignore (Vc_icp.solve ~jobs:1 ctx) );
     ]
   in
   (* Peak-heap column first, while the parent heap is still small. *)
@@ -653,6 +678,14 @@ let read_baseline path : (string * float * float option * float option) list
            null, \"major_words_per_run\": %f"
           (fun name ms major -> add name ms None (Some major)));
       (fun line ->
+        (* Both alloc estimates clamped to null (near-zero-allocation
+           rows): without this variant such rows vanish from the baseline
+           entirely and their time never gates. *)
+        Scanf.sscanf line
+          "{ \"name\": %S, \"ms_per_run\": %f, \"minor_words_per_run\": \
+           null, \"major_words_per_run\": null"
+          (fun name ms -> add name ms None None));
+      (fun line ->
         Scanf.sscanf line
           "{ \"name\": %S, \"ms_per_run\": %f, \"minor_words_per_run\": %f"
           (fun name ms minor -> add name ms (Some minor) None));
@@ -784,8 +817,10 @@ let contains name sub =
     more than [alloc_tolerance] extra minor words or [major_tolerance]
     extra major words per run (when the baseline recorded that column at
     all, and — for the noisier ratios — above [alloc_floor] words, so
-    near-zero baselines don't amplify jitter into failures).  Other rows
-    are reported but not gated: only [Fs_icp.solve] has a stated perf
+    near-zero baselines don't amplify jitter into failures).  The
+    [cc-icp]/[vc-icp] rows are alloc-gated the same way, so a regression
+    in the beyond-the-paper solvers also fails the check; other rows are
+    reported but not gated: only [Fs_icp.solve] has a stated perf
     acceptance bar.  The traced row is informative only here — it gets its
     own interleaved gate below instead of the cross-run time bound. *)
 let check_against path =
@@ -817,12 +852,20 @@ let check_against path =
       | None -> Printf.printf "  %-24s baseline only (skipped)\n" name
       | Some now ->
           let ratio = now.r_ms /. base_ms in
-          (* substring match: rows are named "fsicp/fs-icp(PROGRAM)" *)
-          let gated = contains name "fs-icp" && not (contains name "traced") in
+          (* substring match: rows are named "fsicp/fs-icp(PROGRAM)".  The
+             beyond-the-paper method rows are alloc-gated like fs-icp so a
+             regression in either new solver fails the check. *)
+          let gated =
+            (contains name "fs-icp" || contains name "cc-icp"
+            || contains name "vc-icp")
+            && not (contains name "traced")
+          in
           (* Allocation is gated on every flow-sensitive row, but time
-             only on the acceptance benchmark: the smaller rows finish in
-             a few ms, where domain-spawn and scheduler jitter alone
-             swings cross-run time past 10% with allocation flat. *)
+             only on the largest-program rows (the acceptance benchmark
+             and the beyond-the-paper methods on the same program): the
+             smaller rows finish in a few ms, where domain-spawn and
+             scheduler jitter alone swings cross-run time past 10% with
+             allocation flat. *)
           let time_gated = gated && contains name "largest" in
           let ratio_of base current =
             match base with

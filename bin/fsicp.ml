@@ -42,13 +42,15 @@ let read_program path =
       Fmt.epr "%s:%a: lexical error: %s@." path Ast.pp_pos pos msg;
       exit 2
 
-type meth = FS | FI | Ref | JF of Jump_functions.variant
+type meth = FS | FI | Ref | CC | VC | JF of Jump_functions.variant
 
 let meth_conv =
   let parse = function
     | "fs" | "flow-sensitive" -> Ok FS
     | "fi" | "flow-insensitive" -> Ok FI
     | "ref" | "iterative" -> Ok Ref
+    | "cc" | "copy-constant" -> Ok CC
+    | "vc" | "value-context" -> Ok VC
     | "literal" -> Ok (JF Jump_functions.Literal)
     | "intra" -> Ok (JF Jump_functions.Intra)
     | "pass" | "pass-through" -> Ok (JF Jump_functions.Pass_through)
@@ -61,6 +63,8 @@ let meth_conv =
         | FS -> "fs"
         | FI -> "fi"
         | Ref -> "ref"
+        | CC -> "cc"
+        | VC -> "vc"
         | JF v -> Jump_functions.variant_name v))
 
 let solve_with ?jobs meth ctx =
@@ -68,6 +72,8 @@ let solve_with ?jobs meth ctx =
   | FS -> Fs_icp.solve ?jobs ctx
   | FI -> Fi_icp.solve ctx
   | Ref -> Reference.solve ctx
+  | CC -> Cc_icp.solve ?jobs ctx
+  | VC -> Vc_icp.solve ?jobs ctx
   | JF v -> Jump_functions.solve ctx v
 
 let file_arg =
@@ -75,7 +81,7 @@ let file_arg =
 
 let meth_arg =
   Arg.(value & opt meth_conv FS & info [ "method"; "m" ] ~docv:"METHOD"
-         ~doc:"fs | fi | ref | literal | intra | pass | poly")
+         ~doc:"fs | fi | ref | cc | vc | literal | intra | pass | poly")
 
 let no_floats_arg =
   Arg.(value & flag & info [ "no-floats" ]
@@ -128,20 +134,27 @@ let analyze_cmd =
 
 (* -- pipeline --------------------------------------------------------- *)
 
-let pipeline file jobs =
+let pipeline file jobs extended =
   let prog = read_program file in
-  let d = Driver.run ~jobs:(resolve_jobs jobs) prog in
+  let d = Driver.run ~jobs:(resolve_jobs jobs) ~extended prog in
   Fmt.pr "%a" Driver.pp d;
-  Fmt.pr "FI: %d constant formals, %d constant globals@."
-    (List.length (Solution.constant_formals d.Driver.fi))
-    (List.length (Solution.constant_globals d.Driver.fi));
-  Fmt.pr "FS: %d constant formals, %d constant globals@."
-    (List.length (Solution.constant_formals d.Driver.fs))
-    (List.length (Solution.constant_globals d.Driver.fs))
+  let counts name (sol : Solution.t) =
+    Fmt.pr "%s: %d constant formals, %d constant globals@." name
+      (List.length (Solution.constant_formals sol))
+      (List.length (Solution.constant_globals sol))
+  in
+  counts "FI" d.Driver.fi;
+  counts "FS" d.Driver.fs;
+  Option.iter (counts "CC") d.Driver.cc;
+  Option.iter (counts "VC") d.Driver.vc
 
 let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc:"run the full Figure-2 pipeline")
-    Term.(const pipeline $ file_arg $ jobs_arg)
+    Term.(
+      const pipeline $ file_arg $ jobs_arg
+      $ Arg.(value & flag & info [ "extended" ]
+               ~doc:"also run the beyond-the-paper copy-constant and \
+                     value-context methods (phases 5c/5d)"))
 
 (* -- run --------------------------------------------------------------- *)
 
@@ -294,6 +307,10 @@ let tables table =
          ~title:"Table 5: intraprocedural substitutions, measured (paper)"
          runs);
     print_newline ()
+  end;
+  if all || table = 6 then begin
+    Report.print (Fsicp_harness.Harness.extended_gains_table ());
+    print_newline ()
   end
 
 let tables_cmd =
@@ -301,7 +318,8 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"print the paper's tables (measured vs paper)")
     Term.(
       const tables
-      $ Arg.(value & opt int 0 & info [ "table"; "t" ] ~docv:"N" ~doc:"1..5; 0 = all"))
+      $ Arg.(value & opt int 0 & info [ "table"; "t" ] ~docv:"N"
+               ~doc:"1..5, 6 = beyond-the-paper gains; 0 = all"))
 
 (* -- generate ------------------------------------------------------------ *)
 
@@ -590,7 +608,7 @@ let fuzz_cmd =
 
 (* -- serve / client ------------------------------------------------------ *)
 
-let version = "0.7.0"
+let version = "0.8.0"
 
 let socket_arg =
   Arg.(required

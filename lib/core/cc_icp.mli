@@ -1,0 +1,14 @@
+(** Copy-constant interprocedural propagation: the flat SCC kernel run
+    with packed {e copy words} ({!Fsicp_scc.Lattice.P.copy}) binding each
+    unknown formal and REF-closure global to its own entry slot, inside a
+    Gauss–Seidel fixpoint over the PCG.  Copies [x := y] thereby carry
+    constants through call sites that the one-pass flow-sensitive method
+    reaches too early; [fs ⊑ cc] in the oracle's precision order.  See
+    the implementation header for the full story. *)
+
+val method_name : string
+
+(** The copy-constant solution.  [jobs] is accepted for symmetry with the
+    other methods and ignored — the pass schedule is sequential, so the
+    result is trivially identical for every value. *)
+val solve : ?jobs:int -> Context.t -> Solution.t

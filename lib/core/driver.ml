@@ -39,6 +39,8 @@ type t = {
   ctx : Context.t;
   fi : Solution.t;
   fs : Solution.t;
+  cc : Solution.t option;  (** copy-constant; [Some] iff run [~extended] *)
+  vc : Solution.t option;  (** value-context; [Some] iff run [~extended] *)
   use : Use.t;
   timings : timing list;
 }
@@ -60,7 +62,7 @@ let time_it f =
     {!Fsicp_par.Par.default_jobs}).  The program must be
     {!Sema.check}-clean; the analysis results are identical for every
     [jobs]. *)
-let run ?(floats = true) ?jobs (prog : Ast.program) : t =
+let run ?(floats = true) ?jobs ?(extended = false) (prog : Ast.program) : t =
   let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
   (* One Figure-2 span per phase, named exactly like the timing rows.  The
      epoch advances only here on the orchestrating domain, between phases —
@@ -114,6 +116,18 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
   let fi, t_fi = phase "5a:fi-icp" (fun () -> Fi_icp.solve ctx) () in
   Trace.next_epoch ();
   let fs, t_fs = phase "5b:fs-icp" (fun () -> Fs_icp.solve ~jobs ~fi ctx) () in
+  (* Beyond-the-paper methods, opt-in so the default run keeps the paper's
+     exact Figure-2 phase trace. *)
+  let cc, vc, t_ext =
+    if not extended then (None, None, [])
+    else begin
+      Trace.next_epoch ();
+      let cc, t_cc = phase "5c:cc-icp" (fun () -> Cc_icp.solve ctx) () in
+      Trace.next_epoch ();
+      let vc, t_vc = phase "5d:vc-icp" (fun () -> Vc_icp.solve ctx) () in
+      (Some cc, Some vc, [ ("5c:cc-icp", t_cc); ("5d:vc-icp", t_vc) ])
+    end
+  in
   (* Step 6: reverse topological traversal — USE computation here; the
      transformation itself is on demand ({!Transform}, {!Fold}). *)
   Trace.next_epoch ();
@@ -122,18 +136,19 @@ let run ?(floats = true) ?jobs (prog : Ast.program) : t =
     List.map
       (fun (t_phase, (t_seconds, t_minor_words, t_major_words)) ->
         { t_phase; t_seconds; t_minor_words; t_major_words })
-      [
-        ("2:call-graph", t_pcg);
-        ("1:ipa-collect", t_sum);
-        ("3:aliasing", t_alias);
-        ("4:mod-ref", t_modref);
-        ("lowering", t_lower);
-        ("5a:fi-icp", t_fi);
-        ("5b:fs-icp", t_fs);
-        ("6:use", t_use);
-      ]
+      ([
+         ("2:call-graph", t_pcg);
+         ("1:ipa-collect", t_sum);
+         ("3:aliasing", t_alias);
+         ("4:mod-ref", t_modref);
+         ("lowering", t_lower);
+         ("5a:fi-icp", t_fi);
+         ("5b:fs-icp", t_fs);
+       ]
+      @ t_ext
+      @ [ ("6:use", t_use) ])
   in
-  { ctx; fi; fs; use; timings }
+  { ctx; fi; fs; cc; vc; use; timings }
 
 let timing_of t phase =
   List.find_opt (fun x -> String.equal x.t_phase phase) t.timings
@@ -153,4 +168,11 @@ let pp ppf t =
     t.timings;
   Fmt.pf ppf "  FS ICP performed %d SCC run(s) for %d procedure(s)@\n"
     t.fs.Solution.scc_runs
-    (Array.length t.ctx.Context.pcg.Callgraph.nodes)
+    (Array.length t.ctx.Context.pcg.Callgraph.nodes);
+  let extended name = function
+    | None -> ()
+    | Some (sol : Solution.t) ->
+        Fmt.pf ppf "  %s performed %d SCC run(s)@\n" name sol.Solution.scc_runs
+  in
+  extended "CC ICP" t.cc;
+  extended "VC ICP" t.vc

@@ -15,6 +15,8 @@ type t = {
   ctx : Context.t;
   fi : Solution.t;
   fs : Solution.t;
+  cc : Solution.t option;  (** copy-constant; [Some] iff run [~extended] *)
+  vc : Solution.t option;  (** value-context; [Some] iff run [~extended] *)
   use : Use.t;
   timings : timing list;
 }
@@ -23,8 +25,12 @@ type t = {
     (IPA collection ∥ PCG construction, per-procedure lowering, the FS
     wavefront) run on [jobs] domains (default
     {!Fsicp_par.Par.default_jobs}); results are identical for every
-    [jobs]. *)
-val run : ?floats:bool -> ?jobs:int -> Ast.program -> t
+    [jobs].  [extended] (default [false]) additionally runs the
+    beyond-the-paper methods — copy-constant ({!Cc_icp}, phase
+    ["5c:cc-icp"]) and value-context ({!Vc_icp}, phase ["5d:vc-icp"]) —
+    after the paper's FI/FS pair; the default leaves the paper's Figure-2
+    phase trace untouched. *)
+val run : ?floats:bool -> ?jobs:int -> ?extended:bool -> Ast.program -> t
 
 val timing_of : t -> string -> float option
 val fi_seconds : t -> float

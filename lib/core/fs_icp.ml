@@ -197,14 +197,6 @@ let solve_body ?jobs ?fi ?prev ?(dirty : Prog.Proc.id array option)
      set follows the frontier instead of the program. *)
   let streaming = Context.is_streaming ctx in
   if jobs > 1 && not streaming then Context.build_ssa ~jobs ctx;
-  (* Streaming solves must not retain each procedure's SSA through the
-     retained [Scc.result]: after a procedure's records are extracted its
-     result keeps every per-name array but gets [main]'s SSA swapped in as
-     a placeholder — nothing downstream of a streaming solve reads
-     [Scc.result.proc], and the canonical digest never does. *)
-  let ssa_placeholder =
-    if streaming && n > 0 then Some (Context.ssa_at ctx nodes.(0)) else None
-  in
 
   (* Block-data seeds, pre-encoded to packed words and keyed by raw int id:
      the entry-environment lookups below never box. *)
@@ -466,11 +458,15 @@ let solve_body ?jobs ?fi ?prev ?(dirty : Prog.Proc.id array option)
         call_sites
     in
     records_arr.(i) <- recs;
-    match ssa_placeholder with
-    | Some ph ->
-        results_arr.(i) <- Some { res with Scc.proc = ph };
-        Context.retire ctx pid
-    | None -> ()
+    (* Streaming solves must not retain each procedure's SSA through the
+       retained [Scc.result]: once the records are extracted the result
+       keeps every per-name array (the canonical digest reads those) but
+       its SSA field is retired to [None] — any later accessor that needs
+       the structure raises instead of reading stale state. *)
+    if streaming then begin
+      results_arr.(i) <- Some { res with Scc.proc = None };
+      Context.retire ctx pid
+    end
   in
 
   (match dirty_mask with

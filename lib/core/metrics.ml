@@ -51,6 +51,8 @@ type substitutions_row = {
   sb_poly : int;  (** polynomial jump function (no return jump function) *)
   sb_fi : int;
   sb_fs : int;
+  sb_cc : int;  (** beyond the paper: copy-constant ({!Cc_icp}) *)
+  sb_vc : int;  (** beyond the paper: value-context ({!Vc_icp}) *)
 }
 
 let count_const (a : Lattice.t array) =
@@ -174,17 +176,28 @@ let propagated (ctx : Context.t) ~(fi : Solution.t) ~(fs : Solution.t)
 (** Table 5 row: intraprocedural substitutions under each method's entry
     constants.  [poly] defaults to solving the polynomial jump function
     baseline on the same context. *)
-let substitutions (ctx : Context.t) ?poly ~(fi : Solution.t)
+let substitutions (ctx : Context.t) ?poly ?cc ?vc ~(fi : Solution.t)
     ~(fs : Solution.t) ~(name : string) () : substitutions_row =
   let poly =
     match poly with
     | Some p -> p
     | None -> Jump_functions.solve ctx Jump_functions.Polynomial
   in
+  let cc = match cc with Some s -> s | None -> Cc_icp.solve ctx in
+  let vc = match vc with Some s -> s | None -> Vc_icp.solve ctx in
   let _, n_poly = Transform.substitutions ctx poly in
   let _, n_fi = Transform.substitutions ctx fi in
   let _, n_fs = Transform.substitutions ctx fs in
-  { sb_program = name; sb_poly = n_poly; sb_fi = n_fi; sb_fs = n_fs }
+  let _, n_cc = Transform.substitutions ctx cc in
+  let _, n_vc = Transform.substitutions ctx vc in
+  {
+    sb_program = name;
+    sb_poly = n_poly;
+    sb_fi = n_fi;
+    sb_fs = n_fs;
+    sb_cc = n_cc;
+    sb_vc = n_vc;
+  }
 
 let pct n total =
   if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
@@ -209,8 +222,39 @@ let figure1 (ctx : Context.t) : figure1_row list =
           ( Jump_functions.variant_name variant,
             of_solution (Jump_functions.solve ctx variant) ))
         Jump_functions.all_variants
+    @ [
+        (Cc_icp.method_name, of_solution (Cc_icp.solve ctx));
+        (Vc_icp.method_name, of_solution (Vc_icp.solve ctx));
+      ]
   in
   List.map (fun (m, cs) -> { f1_method = m; f1_constants = cs }) rows
+
+(** Entry-constant gains of the beyond-the-paper methods over FS. *)
+type gains_row = {
+  gn_program : string;
+  gn_fs_formals : int;
+  gn_fs_globals : int;
+  gn_cc_formals : int;
+  gn_cc_globals : int;
+  gn_vc_formals : int;
+  gn_vc_globals : int;
+}
+
+let extended_gains (ctx : Context.t) ?cc ?vc ~(fs : Solution.t)
+    ~(name : string) () : gains_row =
+  let cc = match cc with Some s -> s | None -> Cc_icp.solve ctx in
+  let vc = match vc with Some s -> s | None -> Vc_icp.solve ctx in
+  let nf sol = List.length (Solution.constant_formals sol) in
+  let ng sol = List.length (Solution.constant_globals sol) in
+  {
+    gn_program = name;
+    gn_fs_formals = nf fs;
+    gn_fs_globals = ng fs;
+    gn_cc_formals = nf cc;
+    gn_cc_globals = ng cc;
+    gn_vc_formals = nf vc;
+    gn_vc_globals = ng vc;
+  }
 
 (** Cumulative SCC block visits (process-wide, all domains), read from the
     ["scc.block_visits"] counter of {!Fsicp_trace.Trace}.  The memo

@@ -29,6 +29,8 @@ type substitutions_row = {
   sb_poly : int;  (** polynomial jump function, no return jump function *)
   sb_fi : int;
   sb_fs : int;
+  sb_cc : int;  (** beyond the paper: copy-constant ({!Cc_icp}) *)
+  sb_vc : int;  (** beyond the paper: value-context ({!Vc_icp}) *)
 }
 
 val candidates :
@@ -37,16 +39,38 @@ val candidates :
 val propagated :
   Context.t -> fi:Solution.t -> fs:Solution.t -> name:string -> propagated_row
 
+(** [poly]/[cc]/[vc] default to solving the corresponding method on the
+    same context. *)
 val substitutions :
-  Context.t -> ?poly:Solution.t -> fi:Solution.t -> fs:Solution.t ->
-  name:string -> unit -> substitutions_row
+  Context.t -> ?poly:Solution.t -> ?cc:Solution.t -> ?vc:Solution.t ->
+  fi:Solution.t -> fs:Solution.t -> name:string -> unit -> substitutions_row
 
 val pct : int -> int -> float
 
-(** Figure 1: the formal-constant set found by each of the six methods. *)
+(** Figure 1: the formal-constant set found by each of the six methods,
+    plus the beyond-the-paper copy-constant and value-context rows. *)
 type figure1_row = { f1_method : string; f1_constants : (string * int) list }
 
 val figure1 : Context.t -> figure1_row list
+
+(** Entry-constant gains of the beyond-the-paper methods over FS on one
+    program: constant formals and constant globals at procedure entry, per
+    method.  The oracle hierarchy guarantees [cc] and [vc] each count ≥
+    the FS columns. *)
+type gains_row = {
+  gn_program : string;
+  gn_fs_formals : int;
+  gn_fs_globals : int;
+  gn_cc_formals : int;
+  gn_cc_globals : int;
+  gn_vc_formals : int;
+  gn_vc_globals : int;
+}
+
+(** [cc]/[vc] default to solving the corresponding method on the context. *)
+val extended_gains :
+  Context.t -> ?cc:Solution.t -> ?vc:Solution.t -> fs:Solution.t ->
+  name:string -> unit -> gains_row
 
 (** Cumulative SCC block visits (process-wide, all domains); a warm
     memo-cache re-solve of an unchanged program does not advance it. *)

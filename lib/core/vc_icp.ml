@@ -1,0 +1,364 @@
+(** Value-context-sensitive interprocedural propagation.
+
+    The flow-sensitive method analyses each procedure once, with the
+    {e meet} of every arriving environment — so a procedure called with
+    [f(1)] here and [f(2)] there sees ⊥ even though each call site on its
+    own passes a constant.  This method analyses a procedure once per
+    {e distinct packed entry vector} instead: the entry-vector memo the
+    SCC kernel already keys its cache by ({!Fsicp_scc.Scc.run}) is
+    promoted from an optimisation to the method's semantics.
+
+    Top-down worklist over (procedure, context) pairs, starting from
+    [main] under its block-data environment.  Analysing a context runs
+    the flat kernel once; each {e executable} call site then produces the
+    callee's arrival vector (argument and REF-closure-global values under
+    this context), and unseen vectors enqueue new pairs.  There is no
+    bottom-up feedback — call-defined variables are ⊥ in every method
+    built on the kernel — so the enumeration is monotone and terminates.
+
+    {b Blowup fallback}: a procedure holds at most {!context_budget}
+    distinct contexts.  Past that it collapses to {e merged mode} — one
+    context equal to the meet of every vector that ever arrived,
+    re-analysed whenever a new arrival strictly lowers the merge — which
+    is exactly the flow-sensitive treatment of that procedure.  Deep
+    recursion over a descending constant ([r(7)] → [r(6)] → …) therefore
+    costs a bounded number of kernel runs before degrading to FS
+    precision, never an unbounded context family.
+
+    The published entry of a procedure is the meet of every arrived
+    vector (⊥ for a procedure no executable call ever reaches — such a
+    procedure is never analysed and its own call sites are published as
+    non-executable), so the solution is at least as precise as FS's
+    single-meet entry; [fs ⊑ vc] is fuzzed by the oracle.  Per-call-site
+    records meet the recorded values over the contexts in which the site
+    was executable, mirroring the FS record convention ([Top] args on
+    never-executable sites). *)
+
+open Fsicp_lang
+open Fsicp_prog
+open Fsicp_cfg
+open Fsicp_ssa
+open Fsicp_callgraph
+open Fsicp_ipa
+open Fsicp_scc
+
+let method_name = "value-context"
+
+module Trace = Fsicp_trace.Trace
+module P = Lattice.P
+
+(* Distinct contexts analysed and procedures that overflowed into merged
+   mode; both deterministic for a given program. *)
+let c_contexts = Trace.counter "vc.contexts"
+let c_merged = Trace.counter "vc.merged_procs"
+
+(** Distinct entry vectors a procedure may hold before collapsing to the
+    merged (flow-sensitive) treatment. *)
+let context_budget = 24
+
+(* One entry context: packed formal and REF-closure-global vectors
+   (constants or ⊥ only).  Plain int arrays — structural equality is
+   context identity, since packed words are canonical. *)
+type ctx_vec = { vf : int array; vg : int array }
+
+let vec_equal a b = a.vf = b.vf && a.vg = b.vg
+
+let vec_meet a b =
+  {
+    vf = Array.map2 P.meet a.vf b.vf;
+    vg = Array.map2 P.meet a.vg b.vg;
+  }
+
+(** [solve ?jobs ctx] — the value-context solution.  [jobs] is accepted
+    for interface symmetry and ignored: the worklist is drained
+    sequentially in deterministic order (contexts of one procedure feed
+    its callees' tables, so the traversal is inherently ordered), and
+    the result does not depend on it. *)
+let solve_body ?jobs (ctx : Context.t) : Solution.t =
+  ignore jobs;
+  let pcg = ctx.Context.pcg in
+  let db = pcg.Callgraph.db in
+  let nodes = pcg.Callgraph.nodes in
+  let n = Array.length nodes in
+  let main = ctx.Context.prog.Ast.main in
+  let main_id = Callgraph.proc_id_exn pcg main in
+
+  (* Per-procedure entry shape, shared slot numbering with the arrival
+     vectors: formal [j], then sorted REF-closure global [k]. *)
+  let nf = Array.make n 0 in
+  let gids : Prog.Var.id array array = Array.make n [||] in
+  Array.iteri
+    (fun i pid ->
+      let proc = Prog.proc_name db pid in
+      nf.(i) <-
+        List.length
+          (Summary.find ctx.Context.summaries proc).Summary.ps_formals;
+      let gs =
+        Modref.call_global_refs ctx.Context.modref ~callee:proc
+        |> List.map (fun (g : Ir.var) -> g.Ir.vid)
+        |> Array.of_list
+      in
+      Array.sort Prog.Var.compare gs;
+      gids.(i) <- gs)
+    nodes;
+  let gfind i (g : int) =
+    let gs = gids.(i) in
+    let lo = ref 0 and hi = ref (Array.length gs - 1) in
+    let found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      let gm = Prog.Var.to_int gs.(mid) in
+      if gm = g then begin
+        found := mid;
+        lo := !hi + 1
+      end
+      else if gm < g then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
+
+  let blockdata = Context.blockdata_env ctx in
+  let blockdata_tbl : (int, int) Hashtbl.t =
+    Hashtbl.create (List.length blockdata)
+  in
+  List.iter
+    (fun (g, v) ->
+      Hashtbl.replace blockdata_tbl (Prog.Var.to_int g) (P.of_t v))
+    blockdata;
+
+  (* Context tables: the distinct vectors seen (until the budget trips),
+     merged-mode state, and the running entry meet over every arrival. *)
+  let seen : ctx_vec list array = Array.make n [] in
+  let merged : ctx_vec option array = Array.make n None in
+  let entry_meet : ctx_vec option array = Array.make n None in
+
+  (* Per-call-site accumulators, dense by (caller index, cs_index):
+     executable-in-any-context plus the meet of each argument/global over
+     the executable occurrences. *)
+  let site_exec : bool array array =
+    Array.init n (fun i ->
+        Array.make (Callgraph.n_call_sites pcg nodes.(i)) false)
+  in
+  let site_args : int array option array array =
+    Array.init n (fun i ->
+        Array.make (Callgraph.n_call_sites pcg nodes.(i)) None)
+  in
+  let site_globals : (Prog.Var.id * int) array option array array =
+    Array.init n (fun i ->
+        Array.make (Callgraph.n_call_sites pcg nodes.(i)) None)
+  in
+
+  let queue : (int * ctx_vec) Queue.t = Queue.create () in
+  let scc_runs = ref 0 in
+  let contexts = ref 0 in
+  let merged_procs = ref 0 in
+
+  (* Route one arrival vector into [i]'s table: new distinct context →
+     enqueue it; budget exceeded → collapse to (or lower) the merged
+     context.  Arrivals into [main] are dropped — any call edge into main
+     is a back edge, and main's entry is the block-data root environment,
+     exactly as in {!Fs_icp}. *)
+  let arrive i (v : ctx_vec) =
+    if i <> (main_id :> int) then begin
+      (match entry_meet.(i) with
+      | None -> entry_meet.(i) <- Some v
+      | Some m -> entry_meet.(i) <- Some (vec_meet m v));
+      match merged.(i) with
+      | Some m ->
+          let m' = vec_meet m v in
+          if not (vec_equal m m') then begin
+            merged.(i) <- Some m';
+            Queue.add (i, m') queue
+          end
+      | None ->
+          if not (List.exists (vec_equal v) seen.(i)) then
+            if List.length seen.(i) >= context_budget then begin
+              (* Blowup: fall back to the flow-sensitive treatment — one
+                 context, the meet of everything that ever arrived. *)
+              incr merged_procs;
+              let m =
+                List.fold_left vec_meet v seen.(i)
+              in
+              merged.(i) <- Some m;
+              Queue.add (i, m) queue
+            end
+            else begin
+              seen.(i) <- v :: seen.(i);
+              Queue.add (i, v) queue
+            end
+    end
+  in
+
+  (* Analyse procedure [i] under one entry context. *)
+  let process i (v : ctx_vec) =
+    let pid = nodes.(i) in
+    let proc = Prog.proc_name db pid in
+    let is_main = String.equal proc main in
+    incr contexts;
+    let entry_env (var : Ir.var) : int =
+      match var.Ir.vkind with
+      | Ir.Formal j -> if j < Array.length v.vf then v.vf.(j) else P.bot
+      | Ir.Global -> (
+          let k = gfind i (Prog.Var.to_int var.Ir.vid) in
+          if k >= 0 then v.vg.(k)
+          else if is_main then
+            match
+              Hashtbl.find_opt blockdata_tbl (Prog.Var.to_int var.Ir.vid)
+            with
+            | Some w -> w
+            | None -> P.bot
+          else P.bot)
+      | Ir.Local | Ir.Temp -> P.bot
+    in
+    let ssa = Context.ssa_at ctx pid in
+    let config = { Scc.default_config with Scc.entry_env } in
+    let res = Scc.run ~config ssa in
+    incr scc_runs;
+    List.iter
+      (fun (b, _, (c : Ssa.call)) ->
+        if res.Scc.block_executable.(b) then begin
+          let cs = c.Ssa.c_cs_id in
+          let callee_i = (Callgraph.proc_id_exn pcg c.Ssa.c_callee :> int) in
+          (* The kernel never leaves an executable value at ⊤ once its
+             block runs, but finalize defensively: an arrival vector must
+             hold constants or ⊥ only. *)
+          let fin w = if w = P.top then P.bot else Context.censor_w ctx w in
+          let args =
+            Array.mapi (fun j _ -> fin (Scc.arg_value_w res c j)) c.Ssa.c_args
+          in
+          let globals =
+            Array.map
+              (fun ((g : Ir.var), (nm : Ssa.name)) ->
+                (g.Ir.vid, fin res.Scc.values.(nm.Ssa.id)))
+              c.Ssa.c_global_uses
+          in
+          (* Accumulate the published record. *)
+          (match site_args.(i).(cs) with
+          | None ->
+              site_args.(i).(cs) <- Some (Array.copy args);
+              site_globals.(i).(cs) <- Some (Array.copy globals)
+          | Some acc ->
+              Array.iteri (fun j w -> acc.(j) <- P.meet acc.(j) w) args;
+              (match site_globals.(i).(cs) with
+              | Some gacc ->
+                  Array.iteri
+                    (fun k (g, w) ->
+                      let g', w' = gacc.(k) in
+                      assert (Prog.Var.equal g g');
+                      gacc.(k) <- (g, P.meet w' w))
+                    globals
+              | None -> ()));
+          site_exec.(i).(cs) <- true;
+          (* The callee's arrival vector under this context. *)
+          let cnf = nf.(callee_i) in
+          let vf = Array.make cnf P.bot in
+          Array.iteri (fun j w -> if j < cnf then vf.(j) <- w) args;
+          let vg = Array.make (Array.length gids.(callee_i)) P.bot in
+          Array.iter
+            (fun (g, w) ->
+              let k = gfind callee_i (Prog.Var.to_int g) in
+              if k >= 0 then vg.(k) <- w)
+            globals;
+          arrive callee_i { vf; vg }
+        end)
+      (Ssa.call_sites ssa)
+  in
+
+  (* Root: [main] under the block-data environment. *)
+  let root =
+    let i = (main_id :> int) in
+    let vf = Array.make nf.(i) P.bot in
+    let vg =
+      Array.map
+        (fun g ->
+          match Hashtbl.find_opt blockdata_tbl (Prog.Var.to_int g) with
+          | Some w -> w
+          | None -> P.bot)
+        gids.(i)
+    in
+    { vf; vg }
+  in
+  entry_meet.((main_id :> int)) <- Some root;
+  seen.((main_id :> int)) <- [ root ];
+  Queue.add ((main_id :> int), root) queue;
+
+  while not (Queue.is_empty queue) do
+    let i, v = Queue.take queue in
+    (* A queued pre-merge context of a since-merged procedure is stale:
+       the merged context subsumes it (it is one of the meet's operands),
+       so skip the kernel run. *)
+    let stale =
+      match merged.(i) with Some m -> not (vec_equal m v) | None -> false
+    in
+    if not stale then process i v
+  done;
+  Trace.add c_contexts !contexts;
+  Trace.add c_merged !merged_procs;
+
+  (* Publish: entry = meet of every arrival (⊥ rows for procedures no
+     executable call reached), records from the per-site accumulators
+     (non-executable sites in the FS [Top] convention — including every
+     site of a never-analysed procedure, reconstructed from the summary
+     shapes without touching its SSA). *)
+  let entries =
+    Prog.tbl_init db (fun pid ->
+        let i = (pid :> int) in
+        match entry_meet.(i) with
+        | Some v ->
+            {
+              Solution.pe_formals = Array.map P.to_t v.vf;
+              pe_globals =
+                Array.to_list (Array.mapi (fun k g -> (g, P.to_t v.vg.(k))) gids.(i));
+            }
+        | None ->
+            {
+              Solution.pe_formals = Array.make nf.(i) Lattice.Bot;
+              pe_globals =
+                Array.to_list (Array.map (fun g -> (g, Lattice.Bot)) gids.(i));
+            })
+  in
+  let call_records =
+    Array.to_list nodes
+    |> List.concat_map (fun (pid : Prog.Proc.id) ->
+           let i = (pid :> int) in
+           let out = Callgraph.out_edges pcg pid in
+           Array.to_list out
+           |> List.map (fun (e : Callgraph.edge) ->
+                  let cs = e.Callgraph.cs_index in
+                  let callee_i = (e.Callgraph.callee :> int) in
+                  if site_exec.(i).(cs) then
+                    {
+                      Solution.cr_caller = pid;
+                      cr_cs_index = cs;
+                      cr_callee = e.Callgraph.callee;
+                      cr_executable = true;
+                      cr_args =
+                        (match site_args.(i).(cs) with
+                        | Some a -> Array.map P.to_t a
+                        | None -> [||]);
+                      cr_globals =
+                        (match site_globals.(i).(cs) with
+                        | Some g ->
+                            Array.to_list g
+                            |> List.map (fun (gid, w) -> (gid, P.to_t w))
+                        | None -> []);
+                    }
+                  else
+                    {
+                      Solution.cr_caller = pid;
+                      cr_cs_index = cs;
+                      cr_callee = e.Callgraph.callee;
+                      cr_executable = false;
+                      cr_args = Array.make nf.(callee_i) Lattice.Top;
+                      cr_globals =
+                        Array.to_list gids.(callee_i)
+                        |> List.map (fun g -> (g, Lattice.Top));
+                    }))
+  in
+  Solution.make ~method_name ~db ~entries ~call_records ~scc_runs:!scc_runs
+    ~scc_results:(Prog.tbl db None)
+
+let solve ?jobs (ctx : Context.t) : Solution.t =
+  Trace.next_epoch ();
+  Trace.span "vc:solve" (fun () -> solve_body ?jobs ctx)

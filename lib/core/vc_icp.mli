@@ -1,0 +1,17 @@
+(** Value-context-sensitive interprocedural propagation: each procedure
+    is analysed once per distinct packed entry vector (the SCC kernel's
+    entry-vector memo promoted to method semantics), with a bounded
+    per-procedure context table that collapses to the flow-sensitive
+    single-meet treatment on blowup.  [fs ⊑ vc] in the oracle's precision
+    order.  See the implementation header for the full story. *)
+
+val method_name : string
+
+(** Distinct entry contexts a procedure may hold before falling back to
+    the merged (flow-sensitive) treatment. *)
+val context_budget : int
+
+(** The value-context solution.  [jobs] is accepted for symmetry with the
+    other methods and ignored — the context worklist drains sequentially,
+    so the result is trivially identical for every value. *)
+val solve : ?jobs:int -> Context.t -> Solution.t

@@ -120,7 +120,8 @@ let propagated_table ~title (runs : run list) : Report.t =
     (List.map row runs @ [ totals ])
 
 (** Table 5: intraprocedural substitutions (POLYNOMIAL vs FI vs FS), on the
-    first-release subset with floats off. *)
+    first-release subset with floats off.  The CC/VC columns are ours —
+    the paper has no numbers for them, so they print as plain counts. *)
 let substitutions_table ~title (runs : run list) : Report.t =
   let rows =
     List.map
@@ -140,6 +141,8 @@ let substitutions_table ~title (runs : run list) : Report.t =
             cell m.Metrics.sb_poly p_poly;
             cell m.Metrics.sb_fi p_fi;
             cell m.Metrics.sb_fs p_fs;
+            string_of_int m.Metrics.sb_cc;
+            string_of_int m.Metrics.sb_vc;
           ] ))
       runs
   in
@@ -154,11 +157,67 @@ let substitutions_table ~title (runs : run list) : Report.t =
         (List.fold_left (fun a (_, x, _) -> a + x) 0 papers);
       cell (sum (fun m -> m.Metrics.sb_fs))
         (List.fold_left (fun a (_, _, x) -> a + x) 0 papers);
+      string_of_int (sum (fun m -> m.Metrics.sb_cc));
+      string_of_int (sum (fun m -> m.Metrics.sb_vc));
     ]
   in
   Report.make ~title
-    ~header:[ "PROGRAM"; "POLYNOMIAL"; "FI"; "FS" ]
+    ~header:[ "PROGRAM"; "POLYNOMIAL"; "FI"; "FS"; "CC"; "VC" ]
     (List.map snd rows @ [ totals ])
+
+(** Beyond the paper: entry-constant gains of the copy-constant and
+    value-context methods over FS on the calibrated suite.  The oracle
+    hierarchy ([fs ⊑ cc], [fs ⊑ vc]) makes every delta ≥ 0. *)
+let extended_gains_table ?(benchmarks = Spec.suite @ Spec.addendum) () :
+    Report.t =
+  let rows =
+    Par.map_list ~jobs:(Par.default_jobs ())
+      (fun (b : Spec.benchmark) ->
+        let prog = Spec.program b in
+        let ctx = Context.create ~jobs:1 prog in
+        let fs = Fs_icp.solve ~jobs:1 ctx in
+        Metrics.extended_gains ctx ~fs ~name:b.Spec.b_name ())
+      benchmarks
+  in
+  let row (g : Metrics.gains_row) =
+    let fs = g.Metrics.gn_fs_formals + g.Metrics.gn_fs_globals in
+    let cc = g.Metrics.gn_cc_formals + g.Metrics.gn_cc_globals in
+    let vc = g.Metrics.gn_vc_formals + g.Metrics.gn_vc_globals in
+    [
+      g.Metrics.gn_program;
+      string_of_int fs;
+      string_of_int cc;
+      Printf.sprintf "+%d" (cc - fs);
+      string_of_int vc;
+      Printf.sprintf "+%d" (vc - fs);
+    ]
+  in
+  let totals =
+    let sum f = List.fold_left (fun acc g -> acc + f g) 0 rows in
+    let fs =
+      sum (fun g -> g.Metrics.gn_fs_formals + g.Metrics.gn_fs_globals)
+    in
+    let cc =
+      sum (fun g -> g.Metrics.gn_cc_formals + g.Metrics.gn_cc_globals)
+    in
+    let vc =
+      sum (fun g -> g.Metrics.gn_vc_formals + g.Metrics.gn_vc_globals)
+    in
+    [
+      "TOTAL";
+      string_of_int fs;
+      string_of_int cc;
+      Printf.sprintf "+%d" (cc - fs);
+      string_of_int vc;
+      Printf.sprintf "+%d" (vc - fs);
+    ]
+  in
+  Report.make
+    ~title:
+      "Beyond the paper: entry constants (formals + globals) found by the \
+       copy-constant and value-context methods vs FS"
+    ~header:[ "PROGRAM"; "FS"; "CC"; "CC-GAIN"; "VC"; "VC-GAIN" ]
+    (List.map row rows @ [ totals ])
 
 (** Figure 1: per-method constant sets on the reconstruction. *)
 let figure1_table () : Report.t =

@@ -5,16 +5,20 @@
 
     - {b soundness}: every entry constant (formals {e and} globals) each of
       the six methods claims — the four jump-function baselines, FI-ICP and
-      FS-ICP — plus the iterative reference, equals the value the reference
-      interpreter observes at every dynamic procedure entry; and every exit
-      constant the return-constants extension claims holds at every dynamic
-      procedure exit;
+      FS-ICP — plus the iterative reference and the two beyond-the-paper
+      methods (copy-constant {!Cc_icp}, value-context {!Vc_icp}), equals
+      the value the reference interpreter observes at every dynamic
+      procedure entry; and every exit constant the return-constants
+      extension claims holds at every dynamic procedure exit;
     - {b hierarchy}: the paper's Figure-1/Table-5 partial order
       (literal ⊑ intra ⊑ pass-through ⊑ polynomial ⊑ FS, FI ⊑ FS, FS ⊑
-      iterative reference), on formals {e and} globals — the two
-      comparisons into FS only when the PCG is acyclic, since with
-      recursion the jump-function methods' optimistic fixpoint can
-      legitimately beat FS's pessimistic FI-based back-edge treatment;
+      iterative reference) extended with FS ⊑ CC and FS ⊑ VC, on formals
+      {e and} globals — the two
+      comparisons into FS only on procedures neither inside nor downstream
+      of a PCG cycle (the forward cone of the back-edge callees), since
+      there the jump-function methods' optimistic fixpoint can
+      legitimately beat FS's pessimistic FI-based back-edge treatment; the
+      acyclic region of a cyclic program is still checked;
     - {b observational equivalence}: the [Transform]/[Fold]/[Inline]/
       [Clone] outputs print the same values as the source program;
     - {b determinism}: [Fs_icp.solve] produces the identical solution under
@@ -52,6 +56,13 @@ val solution_le_witness :
 
 (** Names of the reachable procedures of a context, PCG order. *)
 val reachable_procs : Context.t -> string list
+
+(** The subset of {!reachable_procs} neither inside nor downstream of a
+    PCG cycle — the complement of the forward cone seeded by the
+    back-edge callees.  The hierarchy comparisons into FS ([poly ⊑ fs],
+    [fi ⊑ fs]) are checked exactly on these procedures; on an acyclic
+    program this is every reachable procedure. *)
+val cycle_free_procs : Context.t -> string list
 
 (** [check_solution_sound prog sol] executes [prog] (if it terminates
     within fuel and without runtime errors) and verifies that every formal
@@ -98,7 +109,9 @@ val random_edit : Random.State.t -> Ast.program -> Ast.proc
     ([jobs = 1] and [jobs = N, N ≥ 2]) and, after every edit, checks both
     engines' solutions are byte-identical ({!solution_digest}) to a
     from-scratch solve of the current program, and that both engines chose
-    the same incremental-vs-rebuild route. *)
+    the same incremental-vs-rebuild route.  After the last edit the
+    beyond-the-paper methods are checked on the final program too: cc and
+    vc must be interpreter-sound and satisfy [fs ⊑ cc] / [fs ⊑ vc]. *)
 val check_edit_sequence :
   ?jobs:int -> ?edits:int -> int -> (unit, failure) result
 

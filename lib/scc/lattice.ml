@@ -95,6 +95,24 @@ module P = struct
   let is_const w = w land 2 <> 0
   let fits_inline n = n asr 59 = 0 || n asr 59 = -1
 
+  (* Tag 4: a copy binding — "this name holds whatever entry slot [k]
+     holds" — the copy-constant method's extra lattice level between the
+     constants and ⊥.  Bit 1 stays clear, so [is_const] rejects copies
+     for free; [meet] needs no change (equal copies stay, a copy against
+     anything else collapses to [bot]); arithmetic over a copy collapses
+     to [bot] in {!eval_unop}/{!eval_binop} — only direct copies survive
+     propagation.  Copy words never box: {!to_t} raises on them, so they
+     must be resolved away before a solution is assembled. *)
+  let copy k =
+    if k < 0 then invalid_arg "Lattice.P.copy: negative slot";
+    (k lsl 3) lor 4
+
+  let is_copy w = w land 7 = 4
+
+  let copy_slot w =
+    if w land 7 = 4 then w lsr 3
+    else invalid_arg "Lattice.P.copy_slot: not a copy"
+
   let of_int n =
     if fits_inline n then (n lsl 3) lor 2
     else (Prog.Valpool.intern (Value.Int n) lsl 3) lor 3
@@ -146,7 +164,8 @@ module P = struct
      the boxing detour through [Value]. *)
 
   let eval_unop op w =
-    if not (is_const w) then w
+    if is_copy w then bot
+    else if not (is_const w) then w
     else if w land 7 = 2 then
       let n = w asr 3 in
       match op with
@@ -160,7 +179,7 @@ module P = struct
   let of_bool b = if b then (1 lsl 3) lor 2 else 2
 
   let eval_binop op a b =
-    if a = 1 || b = 1 then bot
+    if a = 1 || b = 1 || is_copy a || is_copy b then bot
     else if a = 0 || b = 0 then top
     else if a land 7 = 2 && b land 7 = 2 then
       let x = a asr 3 and y = b asr 3 in

@@ -66,6 +66,18 @@ module P : sig
   val is_real_const : int -> bool
   (** Is the word a [Const (Real _)]?  (False on [top]/[bot].) *)
 
+  val copy : int -> int
+  (** Packed copy binding "equal to entry slot [k]" — the copy-constant
+      method's lattice level between the constants and ⊥.  [is_const] is
+      false on it, [meet] collapses it against anything but itself, and
+      all arithmetic over it yields [bot].  Never boxed: {!to_t} raises,
+      so copy words must not escape into a [Solution.t]. *)
+
+  val is_copy : int -> bool
+
+  val copy_slot : int -> int
+  (** Slot of a copy word.  Raises [Invalid_argument] otherwise. *)
+
   val absent : int
   (** Not a lattice word: an out-of-band sentinel no encoding produces. *)
 

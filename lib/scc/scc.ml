@@ -96,11 +96,22 @@ let env_of_list (l : (Ir.var * Value.t) list) : Ir.var -> int =
     | None -> P.bot
 
 type result = {
-  proc : Ssa.proc;
+  proc : Ssa.proc option;
+      (* [None] once a streaming solve has retired the SSA: the packed
+         arrays stay valid, but SSA-dependent accessors must raise rather
+         than silently read another procedure's structure *)
   values : int array;  (** packed lattice word per SSA name id *)
   block_executable : bool array;
   edge_exec : Bytes.t;  (** bitset over dense edge ids *)
 }
+
+let proc_exn (r : result) : Ssa.proc =
+  match r.proc with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        "Scc.result: SSA retired by the streaming solve; only the packed \
+         value/executability arrays survive retirement"
 
 let[@inline] bit_get bytes i =
   Char.code (Bytes.unsafe_get bytes (i lsr 3)) land (1 lsl (i land 7)) <> 0
@@ -135,7 +146,7 @@ let edge_bit (r : result) (e : int) : bool = bit_get r.edge_exec e
 
 (** Is the (unique) CFG edge [src -> dst] executable? *)
 let edge_executable (r : result) ~src ~dst : bool =
-  let p = r.proc in
+  let p = proc_exn r in
   let hi = p.Ssa.edge_base.(src + 1) in
   let rec go i =
     i < hi && ((p.Ssa.edge_dst.(i) = dst && bit_get r.edge_exec i) || go (i + 1))
@@ -281,7 +292,9 @@ let visit_term st b =
       let te = st.kp.Ssa.edge_base.(b) in
       let fe = if t = f then te else te + 1 in
       let w = operand_word st.kv c in
-      if w = P.bot then begin
+      (* A copy condition is some unknown entry value: like ⊥, both arms
+         may run (the copy-constant method never resolves branches). *)
+      if w = P.bot || P.is_copy w then begin
         mark_edge st te;
         if fe <> te then mark_edge st fe
       end
@@ -378,7 +391,7 @@ let run_kernel (p : Ssa.proc) ~(entry : int array) ~(cdv : int array) : result
   Trace.add c_block_visits st.kvisits;
   Trace.add c_site_visits st.ksites;
   Trace.add c_edge_marks st.kmarks;
-  { proc = p; values; block_executable; edge_exec }
+  { proc = Some p; values; block_executable; edge_exec }
 
 (* -- Entry-vector memoization ------------------------------------------ *)
 
@@ -577,7 +590,7 @@ let run_reference ?(config = default_config) (p : Ssa.proc) : result =
      this bijective on the reachable lattice elements, so comparing packed
      results word-for-word is exactly comparing boxed values. *)
   {
-    proc = p;
+    proc = Some p;
     values = Array.map P.of_t values;
     block_executable;
     edge_exec;
@@ -593,7 +606,7 @@ let run_reference ?(config = default_config) (p : Ssa.proc) : result =
     is how "the path containing y = 0 is not executed" of paper Figure 1
     sharpens the interprocedural solution. *)
 let executable_call_sites (r : result) : (int * int * Ssa.call) list =
-  Ssa.call_sites r.proc
+  Ssa.call_sites (proc_exn r)
   |> List.filter (fun (b, _, _) -> r.block_executable.(b))
 
 (** Lattice value of argument [j] at call [c] (which must be executable). *)
@@ -608,7 +621,7 @@ let arg_value_w (r : result) (c : Ssa.call) j : int =
    closure).  Two binary searches: var slot, then the call's compact slot
    table. *)
 let global_id_at_call (r : result) (c : Ssa.call) (g : Ir.var) : int =
-  let s = Ssa.slot_of r.proc g in
+  let s = Ssa.slot_of (proc_exn r) g in
   if s < 0 then -1
   else begin
     let slots = c.Ssa.c_guse_slots in
@@ -645,7 +658,7 @@ let global_at_call_w (r : result) (c : Ssa.call) (g : Ir.var) : int =
     Table 5 compares against.  Each textual use site counts once; phi
     arguments are not uses (they have no textual counterpart). *)
 let substitution_count (r : result) : int =
-  let p = r.proc in
+  let p = proc_exn r in
   let count = ref 0 in
   let count_op o =
     match o with
@@ -687,7 +700,8 @@ let constant_names (r : result) : (Ssa.name * Value.t) list =
     if P.is_const w && Ir.Var.is_source n.Ssa.base then
       acc := (n, P.const_value w) :: !acc
   in
-  Array.iter (fun (_, n) -> add n) r.proc.entry_names;
+  let p = proc_exn r in
+  Array.iter (fun (_, n) -> add n) p.Ssa.entry_names;
   Array.iter
     (fun (blk : Ssa.block) ->
       Array.iter (fun (ph : Ssa.phi) -> add ph.Ssa.p_name) blk.Ssa.phis;
@@ -698,7 +712,7 @@ let constant_names (r : result) : (Ssa.name * Value.t) list =
           | Ssa.Call c -> Array.iter (fun (_, n) -> add n) c.Ssa.c_defs
           | Ssa.Print _ -> ())
         blk.Ssa.instrs)
-    r.proc.blocks;
+    p.Ssa.blocks;
   List.rev !acc
 
 (** Packed value of variable [v] at procedure exit: the meet, over all {e
@@ -708,7 +722,7 @@ let constant_names (r : result) : (Ssa.name * Value.t) list =
     vacuous).  Drives the return-constants extension (paper §3.2).  O(1)
     per return block via the [exit_ids] slot tables. *)
 let exit_value_w (r : result) (v : Ir.var) : int =
-  let p = r.proc in
+  let p = proc_exn r in
   let s = Ssa.slot_of p v in
   let exits = p.Ssa.exit_ids in
   let acc = ref P.top in

@@ -36,11 +36,20 @@ val default_config : config
 val env_of_list : (Ir.var * Fsicp_lang.Value.t) list -> Ir.var -> int
 
 type result = {
-  proc : Ssa.proc;
+  proc : Ssa.proc option;
+      (** the analysed SSA, or [None] once a streaming solve has retired
+          it — the values/executability arrays remain valid (and feed the
+          canonical digest), but every accessor that needs the SSA raises
+          on a retired result instead of reading another procedure's
+          structure *)
   values : int array;  (** packed lattice word per SSA name id *)
   block_executable : bool array;
   edge_exec : Bytes.t;  (** bitset over the proc's dense edge ids *)
 }
+
+(** The result's SSA procedure.
+    @raise Invalid_argument on a retired (streaming-mode) result. *)
+val proc_exn : result -> Ssa.proc
 
 (** Run the analysis.  Terminates in O(names × height + edges).
 

@@ -4,8 +4,9 @@
     small: objects, arrays, strings, ints, floats, bools, null.  The
     printer emits no insignificant whitespace; the parser accepts any
     RFC-8259 document of these shapes, including [\uXXXX] escapes (decoded
-    to UTF-8, surrogate pairs included).  Ints that fit [int] stay ints;
-    any other number parses as a float. *)
+    to UTF-8, surrogate pairs included; lone or mismatched surrogate
+    escapes are rejected rather than emitted as ill-formed bytes).  Ints
+    that fit [int] stay ints; any other number parses as a float. *)
 
 type t =
   | Null
@@ -159,14 +160,30 @@ let parse_string c =
         | 'u' ->
             let cp = hex4 c in
             let cp =
-              (* High surrogate: consume the mandatory low half. *)
+              (* High surrogate: the mandatory low half must follow
+                 immediately as another [\uXXXX] escape (RFC 8259 §8.2).
+                 Anything else — end of string, a literal character, a
+                 non-low-surrogate escape — is an unpaired surrogate and
+                 must not reach the UTF-8 encoder as a raw D800–DFFF code
+                 point. *)
               if cp >= 0xD800 && cp <= 0xDBFF then begin
+                if not (peek c = Some '\\') then
+                  fail "unpaired high surrogate \\u%04X" cp;
                 expect c '\\';
+                (match peek c with
+                | Some 'u' -> ()
+                | _ -> fail "unpaired high surrogate \\u%04X" cp);
                 expect c 'u';
                 let lo = hex4 c in
-                if lo < 0xDC00 || lo > 0xDFFF then fail "invalid surrogate pair";
+                if lo < 0xDC00 || lo > 0xDFFF then
+                  fail "invalid low surrogate \\u%04X after \\u%04X" lo cp;
                 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
               end
+              else if cp >= 0xDC00 && cp <= 0xDFFF then
+                (* A low surrogate with no preceding high half can encode
+                   no scalar value; emitting it raw would produce invalid
+                   UTF-8 (CESU-8 garbage). *)
+                fail "lone low surrogate \\u%04X" cp
               else cp
             in
             add_utf8 b cp

@@ -18,8 +18,11 @@
       (feature detection);
     - [{"cmd":"load","source":<text>}] — parse, check and fully analyse a
       program, replacing any previous one;
-    - [{"cmd":"query-entry","proc":<name>}] — entry lattice values of a
-      procedure's formals and referenced globals;
+    - [{"cmd":"query-entry","proc":<name>,"method":<m>}] — entry lattice
+      values of a procedure's formals and referenced globals; the optional
+      ["method"] member selects the solution: ["fs"] (default), ["fi"],
+      ["cc"] (copy-constant) or ["vc"] (value-context — the last two
+      solved on demand against the engine's current context);
     - [{"cmd":"query-call-site","caller":<name>,"cs":<int>}] — the
       recorded lattice values at one call site;
     - [{"cmd":"edit-proc","source":<text>}] — [<text>] parses as one or
@@ -201,9 +204,32 @@ let handle_one (st : state) (req : Json.t) : Json.t =
           match Json.str_member "proc" req with
           | None -> error "query-entry: missing \"proc\""
           | Some proc -> (
-              match Solution.entry_opt (Engine.solution e) proc with
-              | None -> error "query-entry: unknown procedure %S" proc
-              | Some entry -> ok (entry_json entry)))
+              (* The FS/FI pair is maintained by the engine; the
+                 beyond-the-paper methods are solved on demand against the
+                 engine's current (incrementally maintained) context. *)
+              let solution_of = function
+                | "fs" -> Ok (Engine.solution e)
+                | "fi" -> Ok (Engine.fi_solution e)
+                | "cc" -> Ok (Cc_icp.solve ?jobs:st.jobs (Engine.context e))
+                | "vc" -> Ok (Vc_icp.solve ?jobs:st.jobs (Engine.context e))
+                | m ->
+                    Error
+                      (error
+                         "query-entry: unknown method %S (fs | fi | cc | vc)"
+                         m)
+              in
+              match
+                solution_of
+                  (Option.value (Json.str_member "method" req) ~default:"fs")
+              with
+              | Error e -> e
+              | Ok sol -> (
+                  match Solution.entry_opt sol proc with
+                  | None -> error "query-entry: unknown procedure %S" proc
+                  | Some entry ->
+                      ok
+                        (("method", Json.Str sol.Solution.method_name)
+                        :: entry_json entry))))
   | Some "query-call-site" ->
       with_engine st (fun e ->
           match

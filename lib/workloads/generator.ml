@@ -146,6 +146,10 @@ type profile = {
           the paper's benchmarks show *)
   g_global_write_prob : float;  (** per proc: modify some modifiable global *)
   g_loops : float;  (** probability of a bulk loop per procedure *)
+  g_dispatch : int;
+      (** mode-dispatch clusters appended after the calibrated body (0 =
+          none, no RNG draws — calibrated programs stay byte-identical);
+          see {!Generator.profile} in the interface for the mechanism *)
 }
 
 let default_profile =
@@ -188,6 +192,7 @@ let default_profile =
     g_const_leaf_only = false;
     g_global_write_prob = 0.3;
     g_loops = 0.3;
+    g_dispatch = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -690,6 +695,66 @@ let generate (p : profile) : Ast.program =
     { Ast.pname = name; formals; body = !body; ppos = Ast.no_pos }
   in
   let procs = List.init (n + 1) build_proc in
+  (* Mode-dispatch clusters (beyond the paper; see the profile docs): each
+     cluster is a dispatcher [dispK] called from main with two distinct
+     constant modes, and a utility [utilK] the dispatcher invokes with a
+     cluster constant on the arm every mode selects — the other arm is an
+     error path no caller ever takes.  Flow-sensitively the modes meet to
+     ⊥ at the dispatcher's entry, both arms look live, and the utility's
+     formal melts; analysed once per value context the dead arm is pruned
+     in every context and the formal is a propagated constant.  Constants
+     are derived from the cluster index, not the RNG, so profiles with
+     [g_dispatch = 0] generate byte-identical programs. *)
+  let procs =
+    if p.g_dispatch <= 0 then procs
+    else begin
+      let cluster k =
+        let d = Printf.sprintf "disp%d" k
+        and u = Printf.sprintf "util%d" k in
+        let c = 40 + (7 * k) in
+        let dp =
+          {
+            Ast.pname = d;
+            formals = [ "mode" ];
+            body =
+              [
+                Ast.if_
+                  (Ast.binary Ops.Ne (Ast.var "mode") (Ast.int 0))
+                  [ Ast.call u [ Ast.int c ] ]
+                  [ Ast.call u [ Ast.int (c + 1) ] ];
+              ];
+            ppos = Ast.no_pos;
+          }
+        and up =
+          {
+            Ast.pname = u;
+            formals = [ "w" ];
+            body =
+              [
+                Ast.assign "wp" (Ast.binary Ops.Add (Ast.var "w") (Ast.int 1));
+                Ast.print (Ast.var "wp");
+              ];
+            ppos = Ast.no_pos;
+          }
+        in
+        (d, [ dp; up ])
+      in
+      let clusters = List.init p.g_dispatch cluster in
+      let calls =
+        List.concat_map
+          (fun (d, _) ->
+            [ Ast.call d [ Ast.int 1 ]; Ast.call d [ Ast.int 2 ] ])
+          clusters
+      in
+      List.map
+        (fun pr ->
+          if String.equal pr.Ast.pname "main" then
+            { pr with Ast.body = pr.Ast.body @ calls }
+          else pr)
+        procs
+      @ List.concat_map snd clusters
+    end
+  in
   let blockdata = g.bd_pure @ g.bd_mod in
   let globals =
     List.map fst blockdata @ List.map fst g.setconst @ g.noise

@@ -57,6 +57,16 @@ type profile = {
   g_const_leaf_only : bool;
   g_global_write_prob : float;
   g_loops : float;
+  g_dispatch : int;
+      (** number of mode-dispatch clusters appended after the calibrated
+          body: a dispatcher called from [main] with two distinct constant
+          modes branches on the mode and invokes a utility with a cluster
+          constant on the arm every mode selects.  Flow-sensitively the
+          modes meet to ⊥ so both arms look live and the utility's formal
+          melts; per value context the dead arm is pruned and the formal
+          is constant — the value-context method's precision signature.
+          [0] (the whole paper suite) adds nothing and draws no random
+          numbers, so calibrated programs are byte-identical *)
 }
 
 val default_profile : profile

@@ -30,6 +30,12 @@ val program : benchmark -> Fsicp_lang.Ast.program
 (** The full suite of Tables 1–2, in the paper's order (12 benchmarks). *)
 val suite : benchmark list
 
+(** Beyond-the-paper addendum workloads for the extended-methods gains
+    table: mode-dispatch programs where the value-context method strictly
+    beats FS.  Not part of {!suite} — the paper-reproduction tables are
+    untouched. *)
+val addendum : benchmark list
+
 (** The Grove–Torczon comparison subset of Tables 3–5; run with floats
     disabled. *)
 val first_release : benchmark list

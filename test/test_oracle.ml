@@ -179,12 +179,111 @@ let test_check_program_ok_on_corpus_program () =
   | Ok () -> ()
   | Error f -> Alcotest.failf "oracle rejected a healthy program: %a" O.pp_failure f
 
+let test_cycle_free_gating () =
+  (* Per-SCC hierarchy gating: only procedures in or downstream of a PCG
+     cycle are exempt from the poly⊑fs / fi⊑fs comparisons.  Here [r] is
+     self-recursive and calls [b], so {r, b} are exempt, while [main]
+     (upstream of the cycle) and [a] (disjoint from it) must still be
+     checked — and the whole cyclic program must pass the full oracle. *)
+  let prog =
+    parse
+      {|
+        proc main() { call a(); call r(2); }
+        proc a() { x = 1; print x; }
+        proc r(n) { if (n > 0) { call r(n - 1); } call b(n); }
+        proc b(m) { print m; }
+      |}
+  in
+  let ctx = Context.create prog in
+  let sorted = List.sort String.compare in
+  Alcotest.(check (list string))
+    "cycle-free region of a cyclic program"
+    [ "a"; "main" ]
+    (sorted (O.cycle_free_procs ctx));
+  let acyclic =
+    parse {| proc main() { x = 3; call f(x); } proc f(u) { print u; } |}
+  in
+  let actx = Context.create acyclic in
+  Alcotest.(check (list string))
+    "acyclic program: every procedure is cycle-free"
+    (sorted (O.reachable_procs actx))
+    (sorted (O.cycle_free_procs actx));
+  match O.check_program ~jobs:2 prog with
+  | Ok () -> ()
+  | Error f ->
+      Alcotest.failf "oracle rejected a healthy cyclic program: %a"
+        O.pp_failure f
+
 let test_check_seed_qcheck =
   Test_util.qcheck ~count:12 ~name:"oracle accepts generated programs"
     Test_util.seed_gen (fun seed ->
       match O.check_seed ~jobs:2 seed with
       | Ok () -> true
       | Error f -> QCheck2.Test.fail_reportf "seed %d: %a" seed O.pp_failure f)
+
+(* The beyond-the-paper methods, exercised directly (the whole-program
+   oracle also covers them, but through its own jobs handling): at both
+   jobs=1 and jobs=4 the cc and vc solutions must be interpreter-sound,
+   sit above FS in the extended hierarchy, and be identical across the
+   two job counts. *)
+let test_cc_vc_qcheck =
+  Test_util.qcheck ~count:12 ~name:"cc/vc sound and above fs at jobs {1,4}"
+    Test_util.seed_gen (fun seed ->
+      let prog = O.program_of_seed seed in
+      let solve jobs =
+        let ctx = Context.create ~jobs prog in
+        let fs = Fs_icp.solve ~jobs ctx in
+        let cc = Cc_icp.solve ~jobs ctx in
+        let vc = Vc_icp.solve ~jobs ctx in
+        (ctx, fs, cc, vc)
+      in
+      let check jobs (ctx, fs, cc, vc) =
+        let procs = O.reachable_procs ctx in
+        List.iter
+          (fun (name, sol) ->
+            (match O.check_solution_sound prog sol with
+            | Ok () -> ()
+            | Error d ->
+                QCheck2.Test.fail_reportf "seed %d jobs %d: %s unsound: %s"
+                  seed jobs name d);
+            match O.solution_le_witness fs sol ~procs with
+            | None -> ()
+            | Some w ->
+                QCheck2.Test.fail_reportf "seed %d jobs %d: fs ⋢ %s: %s" seed
+                  jobs name w)
+          [ ("cc", cc); ("vc", vc) ]
+      in
+      let ((_, _, cc1, vc1) as r1) = solve 1 in
+      let ((_, _, cc4, vc4) as r4) = solve 4 in
+      check 1 r1;
+      check 4 r4;
+      String.equal (Solution.digest cc1) (Solution.digest cc4)
+      && String.equal (Solution.digest vc1) (Solution.digest vc4))
+
+(* The DISPATCH addendum workload (EXPERIMENTS.md gains table): the full
+   oracle must accept it, and the value-context method must find strictly
+   more entry constants than FS on it — the precision separation the
+   calibrated suite cannot exhibit.  CC may only tie or gain, never lose. *)
+let test_dispatch_addendum () =
+  let prog =
+    Fsicp_workloads.Spec.program (List.hd Fsicp_workloads.Spec.addendum)
+  in
+  (match O.check_program ~jobs:2 prog with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "dispatch: %a" O.pp_failure f);
+  let ctx = Context.create ~jobs:1 prog in
+  let fs = Fs_icp.solve ~jobs:1 ctx in
+  let cc = Cc_icp.solve ctx in
+  let vc = Vc_icp.solve ctx in
+  let count sol =
+    List.length (Solution.constant_formals sol)
+    + List.length (Solution.constant_globals sol)
+  in
+  Alcotest.(check bool)
+    "vc finds strictly more constants than fs" true
+    (count vc > count fs);
+  Alcotest.(check bool) "cc finds no fewer constants than fs" true
+    (count cc >= count fs)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinker                                                            *)
@@ -306,7 +405,12 @@ let suite =
       test_catches_corrupt_return_summary;
     Alcotest.test_case "whole-program oracle accepts healthy program" `Quick
       test_check_program_ok_on_corpus_program;
+    Alcotest.test_case "per-SCC hierarchy gating" `Quick
+      test_cycle_free_gating;
     test_check_seed_qcheck;
+    test_cc_vc_qcheck;
+    Alcotest.test_case "dispatch addendum: vc strictly beats fs" `Quick
+      test_dispatch_addendum;
     Alcotest.test_case "shrinker minimises" `Quick test_shrink_minimises;
     Alcotest.test_case "shrinker respects budget" `Quick
       test_shrink_respects_budget;

@@ -72,7 +72,7 @@ let printed_values (res : Scc.result) : L.t list =
             | Fsicp_ssa.Ssa.Print o -> acc := Scc.operand_value res o :: !acc
             | _ -> ())
           blk.Fsicp_ssa.Ssa.instrs)
-    res.Scc.proc.Fsicp_ssa.Ssa.blocks;
+    (Scc.proc_exn res).Fsicp_ssa.Ssa.blocks;
   List.rev !acc
 
 let test_straight_line_folding () =
@@ -364,6 +364,48 @@ let prop_packed_canonical_and_meet =
             (elems y))
         (elems x))
 
+(* Copy words (tag 4): the copy-constant method's extra lattice level.
+   They must be invisible to [is_const], meet like an opaque unknown
+   (equal copies stay, anything else collapses), turn to ⊥ under any
+   arithmetic, and refuse to box. *)
+let test_packed_copy_words () =
+  let module P = L.P in
+  let c0 = P.copy 0 and c1 = P.copy 1 and k = P.of_int 7 in
+  Alcotest.(check bool) "is_copy" true (P.is_copy c0);
+  Alcotest.(check bool) "const is not copy" false (P.is_copy k);
+  Alcotest.(check bool) "top is not copy" false (P.is_copy P.top);
+  Alcotest.(check bool) "bot is not copy" false (P.is_copy P.bot);
+  Alcotest.(check bool) "copy is not const" false (P.is_const c0);
+  Alcotest.(check int) "copy_slot" 1 (P.copy_slot c1);
+  Alcotest.(check bool) "distinct slots, distinct words" false (c0 = c1);
+  Alcotest.(check int) "meet copy copy (same)" c0 (P.meet c0 c0);
+  Alcotest.(check int) "meet copy copy (diff)" P.bot (P.meet c0 c1);
+  Alcotest.(check int) "meet copy const" P.bot (P.meet c0 k);
+  Alcotest.(check int) "meet top copy" c0 (P.meet P.top c0);
+  Alcotest.(check int) "meet copy bot" P.bot (P.meet c0 P.bot);
+  Alcotest.(check bool) "bot ⊑ copy ⊑ top" true
+    (P.le P.bot c0 && P.le c0 P.top && P.le c0 c0);
+  Alcotest.(check bool) "copy ⋢ const, const ⋢ copy" false
+    (P.le c0 k || P.le k c0);
+  Alcotest.(check int) "unop over copy is bot" P.bot
+    (P.eval_unop Ops.Neg c0);
+  List.iter
+    (fun (name, a, b) ->
+      Alcotest.(check int) name P.bot (P.eval_binop Ops.Add a b))
+    [
+      ("binop copy/const", c0, k);
+      ("binop const/copy", k, c0);
+      ("binop copy/top", c0, P.top);
+      ("binop copy/bot", c0, P.bot);
+      ("binop copy/copy", c0, c1);
+    ];
+  (match P.to_t c0 with
+  | _ -> Alcotest.fail "copy word boxed"
+  | exception Invalid_argument _ -> ());
+  match P.copy_slot k with
+  | _ -> Alcotest.fail "copy_slot answered on a constant"
+  | exception Invalid_argument _ -> ()
+
 (* -- flat kernel vs reference implementation -------------------------- *)
 
 (* The kernelized [Scc.run] (packed words, CSR walks, arena worklists,
@@ -448,6 +490,7 @@ let suite =
     prop_scc_sound_on_prints;
     prop_packed_roundtrip;
     prop_packed_canonical_and_meet;
+    Alcotest.test_case "packed copy words" `Quick test_packed_copy_words;
     prop_kernel_matches_reference;
     prop_kernel_matches_reference_par;
   ]

@@ -52,6 +52,57 @@ let test_json_unicode_escapes () =
   Alcotest.check json "escaped controls" (Json.Str "\n\t/")
     (parse_exn {|"\n\t\/"|})
 
+let test_json_surrogates () =
+  (* Valid pairs across the supplementary range round-trip: the \u pair
+     decodes to the scalar's UTF-8 bytes, and re-printing re-parses to the
+     same document. *)
+  let utf8 cp =
+    let b = Buffer.create 4 in
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)));
+    Buffer.contents b
+  in
+  List.iter
+    (fun cp ->
+      let u = cp - 0x10000 in
+      let hi = 0xD800 lor (u lsr 10) and lo = 0xDC00 lor (u land 0x3FF) in
+      let doc = Printf.sprintf {|"\u%04X\u%04X"|} hi lo in
+      let parsed = parse_exn doc in
+      Alcotest.check json
+        (Printf.sprintf "pair U+%04X decodes" cp)
+        (Json.Str (utf8 cp)) parsed;
+      Alcotest.check json
+        (Printf.sprintf "pair U+%04X round-trips" cp)
+        parsed
+        (parse_exn (Json.to_string parsed)))
+    [ 0x10000; 0x1D11E; 0x1F600; 0xFFFFF; 0x10FFFF ];
+  (* Lone and mismatched surrogate escapes are rejected, never emitted as
+     ill-formed bytes (RFC 8259: an escaped code point must be a Unicode
+     scalar value). *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok d ->
+          Alcotest.failf "%S wrongly parsed as %s" s (Json.to_string d)
+      | Error _ -> ())
+    [
+      (* lone low surrogates, range edges included *)
+      {|"\uDC00"|}; {|"\uDFFF"|}; {|"\uDEAD"|}; {|"x\uDC00y"|};
+      (* lone high surrogates: end of string, literal char, non-escape *)
+      {|"\uD800"|}; {|"\uDBFF"|}; {|"\uD800x"|}; {|"\uD800 "|};
+      (* high surrogate followed by a non-\u escape *)
+      {|"\uD800\n"|}; {|"\uD800\\"|};
+      (* high surrogate paired with a non-low-surrogate escape *)
+      {|"\uD800\u0041"|}; {|"\uD83D\uD83D"|}; {|"\uDBFF"|};
+    ];
+  (* The boundary non-surrogate escapes on either side still decode. *)
+  Alcotest.check json "U+D7FF decodes" (Json.Str "\xed\x9f\xbf")
+    (parse_exn {|"퟿"|});
+  Alcotest.check json "U+E000 decodes" (Json.Str "\xee\x80\x80")
+    (parse_exn {|""|})
+
 let test_json_errors () =
   List.iter
     (fun s ->
@@ -140,8 +191,33 @@ let test_dispatch_session () =
     (Json.int_member "procs" load);
   let entry = req st {|{"cmd":"query-entry","proc":"main"}|} in
   Alcotest.(check bool) "query-entry ok" true (ok_of entry);
+  Alcotest.(check (option string))
+    "query-entry defaults to the fs method" (Some "flow-sensitive")
+    (Json.str_member "method" entry);
   Alcotest.(check bool) "unknown proc fails" false
     (ok_of (req st {|{"cmd":"query-entry","proc":"nope"}|}));
+  (* Method selection: every vocabulary entry answers, and the cc/vc
+     solutions agree with fs on f's formal (n = 10 on the only call). *)
+  let entry_with m =
+    req st
+      (Printf.sprintf {|{"cmd":"query-entry","proc":"f","method":"%s"}|} m)
+  in
+  let formal0 resp =
+    match Json.member "formals" resp with
+    | Some (Json.Arr (Json.Str v :: _)) -> v
+    | _ -> Alcotest.failf "no formals in %s" (Json.to_string resp)
+  in
+  List.iter
+    (fun m ->
+      let resp = entry_with m in
+      Alcotest.(check bool) ("query-entry method " ^ m) true (ok_of resp);
+      Alcotest.(check string)
+        (m ^ " agrees on f's constant formal")
+        (formal0 (entry_with "fs"))
+        (formal0 resp))
+    [ "fs"; "fi"; "cc"; "vc" ];
+  Alcotest.(check bool) "unknown method fails" false
+    (ok_of (req st {|{"cmd":"query-entry","proc":"f","method":"poly"}|}));
   Alcotest.(check bool) "call-site query ok" true
     (ok_of (req st {|{"cmd":"query-call-site","caller":"main","cs":0}|}));
   Alcotest.(check bool) "malformed JSON command fails" false
@@ -264,6 +340,7 @@ let suite =
   [
     Alcotest.test_case "JSON round-trips" `Quick test_json_roundtrip;
     Alcotest.test_case "JSON unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "JSON surrogate range" `Quick test_json_surrogates;
     Alcotest.test_case "JSON rejects malformed documents" `Quick
       test_json_errors;
     Alcotest.test_case "JSON accessors" `Quick test_json_accessors;

@@ -33,6 +33,8 @@ let methods : (string * (Context.t -> Solution.t)) list =
     ("fi", Fi_icp.solve);
     ("fs", fun ctx -> Fs_icp.solve ctx);
     ("ref", Reference.solve);
+    ("cc", fun ctx -> Cc_icp.solve ctx);
+    ("vc", fun ctx -> Vc_icp.solve ctx);
     ("literal", fun ctx -> Jump_functions.solve ctx Jump_functions.Literal);
     ("intra", fun ctx -> Jump_functions.solve ctx Jump_functions.Intra);
     ("pass", fun ctx -> Jump_functions.solve ctx Jump_functions.Pass_through);
