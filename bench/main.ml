@@ -21,6 +21,7 @@ open Fsicp_workloads
 open Fsicp_report
 open Fsicp_par
 module Trace = Fsicp_trace.Trace
+module Verify = Fsicp_verify.Verify
 
 let section title = Printf.printf "\n================ %s ================\n" title
 
@@ -492,6 +493,17 @@ let bechamel () =
           fun () ->
             Context.reset_scc_memos ctx;
             ignore (Vc_icp.solve ~jobs:1 ctx) );
+      (* Translation validation of the full pipeline on the same program:
+         all four transformations applied and every modified procedure's
+         VC run through the symbolic backend (no solver process).  Warm
+         context and solution — the row measures the product evaluator
+         itself, and a "largest" name puts it under the same time gate as
+         the other acceptance rows. *)
+      ( "verify(largest,symbolic)",
+        fun () ->
+          let ctx = Context.create ~jobs:1 largest_prog in
+          let fs = Fs_icp.solve ~jobs:1 ctx in
+          fun () -> ignore (Verify.verify_program ctx ~solution:fs) );
     ]
   in
   (* Peak-heap column first, while the parent heap is still small. *)
@@ -853,11 +865,13 @@ let check_against path =
       | Some now ->
           let ratio = now.r_ms /. base_ms in
           (* substring match: rows are named "fsicp/fs-icp(PROGRAM)".  The
-             beyond-the-paper method rows are alloc-gated like fs-icp so a
-             regression in either new solver fails the check. *)
+             beyond-the-paper method rows and the translation-validation
+             row are alloc-gated like fs-icp so a regression in any of
+             them fails the check. *)
           let gated =
             (contains name "fs-icp" || contains name "cc-icp"
-            || contains name "vc-icp")
+            || contains name "vc-icp"
+            || contains name "verify(")
             && not (contains name "traced")
           in
           (* Allocation is gated on every flow-sensitive row, but time

@@ -12,6 +12,8 @@
     fsicp generate --seed N [--procs P] [--back B]   synthetic program
     fsicp fuzz [--seeds N] [--start S] [--no-shrink] differential oracle
     fsicp fuzz --edits K [--seeds N]                 edit-sequence oracle
+    fsicp fuzz --vc [--seeds N]                      also check transform VCs
+    fsicp verify FILE [--solver z3|symbolic]         translation validation
     fsicp trace FILE [--trace-out F] [--wall]        Chrome trace_event JSON
     fsicp serve --socket PATH [--program FILE]       analysis daemon
     fsicp client --socket PATH [REQUEST...]          send daemon requests
@@ -498,9 +500,97 @@ let trace_cmd =
                   not deterministic) instead of the canonical logical \
                   trace"))
 
+(* -- verify -------------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let verify file meth no_floats jobs solver dump_vc transform fuel =
+  let module V = Fsicp_verify.Verify in
+  let jobs = resolve_jobs jobs in
+  let prog = read_program file in
+  let ctx = Context.create ~floats:(not no_floats) ~jobs prog in
+  let sol = solve_with ~jobs meth ctx in
+  let backend =
+    match solver with
+    | "symbolic" -> V.Symbolic
+    | s -> V.Z3 s (* "z3", or any solver command taking an .smt2 path *)
+  in
+  let transforms =
+    match transform with
+    | None -> V.transform_names
+    | Some t when List.mem t V.transform_names -> [ t ]
+    | Some t ->
+        Fmt.epr "fsicp verify: unknown transform %S (expected one of %s)@." t
+          (String.concat ", " V.transform_names);
+        exit 2
+  in
+  let proved = ref 0 and refuted = ref 0 and inconclusive = ref 0 in
+  List.iter
+    (fun tr ->
+      let trans = V.apply_transform ctx ~solution:sol tr in
+      let vcs = V.vcs ~fuel ~backend ctx ~solution:sol ~transform:tr ~trans in
+      List.iter
+        (fun vc ->
+          (match vc.V.vc_verdict with
+          | V.Proved -> incr proved
+          | V.Refuted _ -> incr refuted
+          | V.Inconclusive _ -> incr inconclusive);
+          Fmt.pr "%a@." V.pp_vc vc;
+          (match vc.V.vc_verdict with
+          | V.Proved -> ()
+          | v -> Fmt.pr "        %a@." V.pp_verdict v);
+          Option.iter
+            (fun dir ->
+              mkdir_p dir;
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s.%s.smt2" tr vc.V.vc_proc)
+              in
+              let oc = open_out path in
+              output_string oc (V.render vc);
+              close_out oc)
+            dump_vc)
+        vcs)
+    transforms;
+  Fmt.pr "verify: %d proved, %d inconclusive, %d refuted@." !proved
+    !inconclusive !refuted;
+  if !refuted > 0 then exit 1
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "translation validation: emit and discharge a verification \
+          condition for every procedure the transformation pipeline \
+          (insert/fold/inline/clone) modified; exits nonzero iff some VC is \
+          refuted with an interpreter-confirmed counterexample")
+    Term.(
+      const verify $ file_arg $ meth_arg $ no_floats_arg $ jobs_arg
+      $ Arg.(value & opt string "symbolic"
+             & info [ "solver" ] ~docv:"S"
+                 ~doc:"symbolic (built-in, no external dependency) or z3 \
+                       (or any solver command accepting an .smt2 file); \
+                       external answers are trusted only in the exact \
+                       integer encoding")
+      $ Arg.(value & opt (some string) None
+             & info [ "dump-vc" ] ~docv:"DIR"
+                 ~doc:"write each VC as SMT-LIB2 to \
+                       $(docv)/TRANSFORM.PROC.smt2")
+      $ Arg.(value & opt (some string) None
+             & info [ "transform" ] ~docv:"T"
+                 ~doc:"verify only this transformation \
+                       (insert|fold|inline|clone)")
+      $ Arg.(value & opt int 20_000
+             & info [ "fuel" ] ~docv:"F"
+                 ~doc:"symbolic step budget per VC"))
+
 (* -- fuzz ---------------------------------------------------------------- *)
 
-let fuzz seeds start fuel jobs out no_shrink trace_out edits =
+let fuzz seeds start fuel jobs out no_shrink trace_out edits vc =
   Option.iter
     (fun _ ->
       Trace.reset ();
@@ -536,7 +626,18 @@ let fuzz seeds start fuel jobs out no_shrink trace_out edits =
           Fmt.epr "fuzz: edit seed %d FAILED — %a@." seed O.pp_failure failure
     end
     else
-    match O.check_seed ~fuel ~jobs seed with
+    let check_full p =
+      match O.check_program ~fuel ~jobs p with
+      | Error _ as e -> e
+      | Ok () -> if vc then O.check_transform_vc p else Ok ()
+    in
+    let seed_result =
+      match O.check_seed ~fuel ~jobs seed with
+      | Error _ as e -> e
+      | Ok () ->
+          if vc then O.check_transform_vc (O.program_of_seed seed) else Ok ()
+    in
+    match seed_result with
     | Ok () -> ()
     | Error failure ->
         incr failures;
@@ -548,14 +649,14 @@ let fuzz seeds start fuel jobs out no_shrink trace_out edits =
             (* Shrink against the *same* check so the reproducer does not
                drift onto an unrelated bug mid-reduction. *)
             let still_fails p =
-              match O.check_program ~fuel ~jobs p with
+              match check_full p with
               | Error f -> String.equal f.O.f_check failure.O.f_check
               | Ok () -> false
             in
             let small = S.shrink ~still_fails prog in
             Fmt.epr "fuzz: shrunk seed %d from %d to %d statements@." seed
               (S.stmt_count prog) (S.stmt_count small);
-            match O.check_program ~fuel ~jobs small with
+            match check_full small with
             | Error f -> (small, f)
             | Ok () -> (prog, failure)
           end
@@ -604,11 +705,17 @@ let fuzz_cmd =
                        per seed, apply $(docv) random procedure edits to \
                        live incremental engines at jobs 1 and N and check \
                        every solution is byte-identical to a from-scratch \
-                       solve"))
+                       solve")
+      $ Arg.(value & flag
+             & info [ "vc" ]
+                 ~doc:"additionally run translation validation on every \
+                       seed (and while shrinking): any transformation VC \
+                       refuted with an interpreter-confirmed \
+                       counterexample is a failure (check vc:TRANSFORM)"))
 
 (* -- serve / client ------------------------------------------------------ *)
 
-let version = "0.8.0"
+let version = "0.9.0"
 
 let socket_arg =
   Arg.(required
@@ -747,8 +854,8 @@ let () =
   let subcommands =
     [
       analyze_cmd; pipeline_cmd; run_cmd; dump_cmd; fold_cmd;
-      inline_cmd; clone_cmd; tables_cmd; generate_cmd; gen_cmd; fuzz_cmd;
-      trace_cmd; serve_cmd; client_cmd;
+      inline_cmd; clone_cmd; verify_cmd; tables_cmd; generate_cmd; gen_cmd;
+      fuzz_cmd; trace_cmd; serve_cmd; client_cmd;
     ]
   in
   (* Bare [fsicp]: one usage line naming every subcommand, then exit 2. *)

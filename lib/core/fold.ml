@@ -104,19 +104,21 @@ and abstract_stmt (c : ctx) (env : env option) (s : Ast.stmt) : env option =
               | None, x | x, None -> x
               | Some a, Some b -> Some (join a b)))
       | Ast.While (cond, body) ->
-          let rec fix env_in n =
-            if n = 0 then env_in
-            else
-              match abstract_block c (Some env_in) body with
-              | None -> env_in
-              | Some out ->
-                  let joined = join env_in out in
-                  if env_equal joined env_in then env_in
-                  else fix joined (n - 1)
+          let rec fix env_in =
+            match abstract_block c (Some env_in) body with
+            | None -> env_in
+            | Some out ->
+                let joined = join env_in out in
+                if env_equal joined env_in then env_in else fix joined
           in
-          (* Height of the per-variable lattice is 2, so convergence is
-             fast; the bound is just a safety net. *)
-          let stable = fix env 64 in
+          (* Iterate to an actual fixpoint: each non-converged pass strictly
+             lowers at least one variable in a height-2 lattice over the
+             finitely many program variables, so this terminates — but it
+             can need as many passes as there are variables (a chain of
+             dependent assignments lowers one per pass), so a fixed
+             iteration bound would silently return a non-fixpoint and fold
+             stale constants into the loop body. *)
+          let stable = fix env in
           let _, cv = fold_expr env cond in
           (match cv with
           | Lattice.Const v when not (Value.truthy v) ->

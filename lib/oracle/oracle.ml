@@ -402,6 +402,42 @@ let check_seed ?fuel ?jobs seed =
     (fun () -> check_program ?fuel ?jobs (program_of_seed seed))
 
 (* ------------------------------------------------------------------ *)
+(* Translation validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_transform_vc ?fuel (prog : Ast.program) : (unit, failure) result =
+  Trace.span "oracle:vc" @@ fun () ->
+  let module V = Fsicp_verify.Verify in
+  let ctx = Context.create ~jobs:1 prog in
+  let fs = Fs_icp.solve ~jobs:1 ctx in
+  let reports = V.verify_program ?fuel ctx ~solution:fs in
+  let refuted =
+    List.find_map
+      (fun r ->
+        List.find_map
+          (fun vc ->
+            match vc.V.vc_verdict with
+            | V.Refuted cx -> Some (r.V.r_transform, vc, cx)
+            | V.Proved | V.Inconclusive _ -> None)
+          r.V.r_vcs)
+      reports
+  in
+  match refuted with
+  | None -> Ok ()
+  | Some (transform, vc, cx) ->
+      Error
+        (fail_check ("vc:" ^ transform)
+           "%s is not equivalent to %s: with %s the source prints [%s] but \
+            the transformed program prints [%s]"
+           vc.V.vc_proc vc.V.vc_counterpart
+           (String.concat ", "
+              (List.map
+                 (fun (n, v) -> Printf.sprintf "%s=%s" n (Value.to_string v))
+                 (cx.V.cx_formals @ cx.V.cx_globals)))
+           (String.concat "; " (List.map Value.to_string cx.V.cx_orig_prints))
+           (String.concat "; " (List.map Value.to_string cx.V.cx_trans_prints)))
+
+(* ------------------------------------------------------------------ *)
 (* Incremental re-analysis: edit sequences                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -91,6 +91,16 @@ val program_of_seed : int -> Ast.program
 (** {!check_program} on {!program_of_seed}. *)
 val check_seed : ?fuel:int -> ?jobs:int -> int -> (unit, failure) result
 
+(** Translation validation of the four pipeline transformations
+    ({!Fsicp_verify.Verify.verify_program} under the FS solution): fails
+    with check ["vc:<transform>"] iff some VC is [Refuted] — i.e. the
+    symbolic product evaluator found a divergence candidate {e and} the
+    concrete interpreter confirmed a print-sequence counterexample.
+    [Inconclusive] VCs (fuel, aliasing, residual obligations) are not
+    failures.  [fuel] bounds the {e symbolic} engine, not the interpreter
+    (default 20_000 steps per VC). *)
+val check_transform_vc : ?fuel:int -> Ast.program -> (unit, failure) result
+
 (** Canonical full print of a solution — entries, call records, SCC
     results, [scc_runs] — keyed by names, never by context-minted ids, so
     digests of independent solves of the same program are comparable.

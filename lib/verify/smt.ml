@@ -1,0 +1,213 @@
+open Fsicp_lang
+
+type obligation = {
+  ob_what : string;
+  ob_pc : (Term.t * bool) list;
+  ob_lhs : Term.t;
+  ob_rhs : Term.t;
+}
+
+type mode = MInt | MReal
+type sat = Sat | Unsat | Unknown
+
+exception Unsupported of string
+
+let has_real_literal (prog : Ast.program) =
+  let found = ref false in
+  let rec go = function
+    | Ast.Const (Value.Real _) -> found := true
+    | Ast.Const _ | Ast.Var _ -> ()
+    | Ast.Unary (_, e) -> go e
+    | Ast.Binary (_, a, b) ->
+        go a;
+        go b
+  in
+  List.iter (fun p -> Ast.iter_exprs go p.Ast.body) prog.Ast.procs;
+  List.iter
+    (fun (_, v) -> match v with Value.Real _ -> found := true | Value.Int _ -> ())
+    prog.Ast.blockdata;
+  !found
+
+let mode_of_programs a b =
+  if has_real_literal a || has_real_literal b then MReal else MInt
+
+let sym_name (s : Term.sym) =
+  if s.Term.sgen = 0 then s.Term.sname
+  else Printf.sprintf "%s!%d" s.Term.sname s.Term.sgen
+
+(* Integer literal, SMT-LIB style: negatives as [(- n)].  Stripping the sign
+   character (instead of [abs]) keeps [min_int] exact. *)
+let int_lit n =
+  if n >= 0 then string_of_int n
+  else
+    let s = string_of_int n in
+    Printf.sprintf "(- %s)" (String.sub s 1 (String.length s - 1))
+
+(* Real literal as an exact SMT decimal, or refuse.  [real_to_string] is the
+   shortest round-tripping decimal; scientific notation, nan and infinities
+   have no SMT-LIB [Real] spelling. *)
+let real_lit r =
+  let s = Value.real_to_string r in
+  let plain body =
+    String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.') body
+  in
+  if String.length s > 0 && s.[0] = '-' then
+    let body = String.sub s 1 (String.length s - 1) in
+    if plain body then Printf.sprintf "(- %s)" body
+    else raise (Unsupported ("real literal " ^ s))
+  else if plain s then s
+  else raise (Unsupported ("real literal " ^ s))
+
+let rec enc_int (t : Term.t) =
+  match t with
+  | Term.Cst (Value.Int n) -> int_lit n
+  | Term.Cst (Value.Real _) -> raise (Unsupported "real constant in int mode")
+  | Term.Sym s -> sym_name s
+  | Term.Un (Ops.Neg, x) -> Printf.sprintf "(- %s)" (enc_int x)
+  | Term.Un (Ops.Not, x) -> Printf.sprintf "(ite (= %s 0) 1 0)" (enc_int x)
+  | Term.Bin (op, a, b) -> (
+      let a = enc_int a and b = enc_int b in
+      match op with
+      | Ops.Add -> Printf.sprintf "(+ %s %s)" a b
+      | Ops.Sub -> Printf.sprintf "(- %s %s)" a b
+      | Ops.Mul -> Printf.sprintf "(* %s %s)" a b
+      | Ops.Div -> Printf.sprintf "(tdiv %s %s)" a b
+      | Ops.Mod -> Printf.sprintf "(tmod %s %s)" a b
+      | Ops.Eq -> Printf.sprintf "(ite (= %s %s) 1 0)" a b
+      | Ops.Ne -> Printf.sprintf "(ite (distinct %s %s) 1 0)" a b
+      | Ops.Lt -> Printf.sprintf "(ite (< %s %s) 1 0)" a b
+      | Ops.Le -> Printf.sprintf "(ite (<= %s %s) 1 0)" a b
+      | Ops.Gt -> Printf.sprintf "(ite (> %s %s) 1 0)" a b
+      | Ops.Ge -> Printf.sprintf "(ite (>= %s %s) 1 0)" a b
+      | Ops.And ->
+          Printf.sprintf "(ite (and (distinct %s 0) (distinct %s 0)) 1 0)" a b
+      | Ops.Or ->
+          Printf.sprintf "(ite (or (distinct %s 0) (distinct %s 0)) 1 0)" a b)
+
+let rec enc_real (t : Term.t) =
+  match t with
+  | Term.Cst (Value.Int n) ->
+      if n >= 0 then Printf.sprintf "%d.0" n
+      else
+        let s = string_of_int n in
+        Printf.sprintf "(- %s.0)" (String.sub s 1 (String.length s - 1))
+  | Term.Cst (Value.Real r) -> real_lit r
+  | Term.Sym s -> sym_name s
+  | Term.Un (Ops.Neg, x) -> Printf.sprintf "(- %s)" (enc_real x)
+  | Term.Un (Ops.Not, x) ->
+      Printf.sprintf "(ite (= %s 0.0) 1.0 0.0)" (enc_real x)
+  | Term.Bin (op, a, b) -> (
+      let a = enc_real a and b = enc_real b in
+      match op with
+      | Ops.Add -> Printf.sprintf "(+ %s %s)" a b
+      | Ops.Sub -> Printf.sprintf "(- %s %s)" a b
+      | Ops.Mul -> Printf.sprintf "(* %s %s)" a b
+      | Ops.Div -> Printf.sprintf "(/ %s %s)" a b
+      | Ops.Mod -> raise (Unsupported "real modulus")
+      | Ops.Eq -> Printf.sprintf "(ite (= %s %s) 1.0 0.0)" a b
+      | Ops.Ne -> Printf.sprintf "(ite (distinct %s %s) 1.0 0.0)" a b
+      | Ops.Lt -> Printf.sprintf "(ite (< %s %s) 1.0 0.0)" a b
+      | Ops.Le -> Printf.sprintf "(ite (<= %s %s) 1.0 0.0)" a b
+      | Ops.Gt -> Printf.sprintf "(ite (> %s %s) 1.0 0.0)" a b
+      | Ops.Ge -> Printf.sprintf "(ite (>= %s %s) 1.0 0.0)" a b
+      | Ops.And ->
+          Printf.sprintf "(ite (and (distinct %s 0.0) (distinct %s 0.0)) 1.0 0.0)"
+            a b
+      | Ops.Or ->
+          Printf.sprintf "(ite (or (distinct %s 0.0) (distinct %s 0.0)) 1.0 0.0)"
+            a b)
+
+let enc ~mode t = match mode with MInt -> enc_int t | MReal -> enc_real t
+
+let ob_terms ob = (ob.ob_lhs :: ob.ob_rhs :: List.map fst ob.ob_pc : Term.t list)
+
+let supported ~mode ob =
+  match List.iter (fun t -> ignore (enc ~mode t)) (ob_terms ob) with
+  | () -> true
+  | exception Unsupported _ -> false
+
+let rec uses_divmod (t : Term.t) =
+  match t with
+  | Term.Cst _ | Term.Sym _ -> false
+  | Term.Un (_, x) -> uses_divmod x
+  | Term.Bin ((Ops.Div | Ops.Mod), _, _) -> true
+  | Term.Bin (_, a, b) -> uses_divmod a || uses_divmod b
+
+(* Truncated (OCaml/C/Fortran) division and modulus on top of SMT-LIB's
+   Euclidean [div]/[mod]: they agree for non-negative dividends and for exact
+   divisions; otherwise truncation is one step closer to zero. *)
+let tdiv_defs =
+  "(define-fun tdiv ((a Int) (b Int)) Int\n\
+  \  (ite (or (>= a 0) (= (mod a b) 0)) (div a b)\n\
+  \    (ite (> b 0) (+ (div a b) 1) (- (div a b) 1))))\n\
+   (define-fun tmod ((a Int) (b Int)) Int (- a (* b (tdiv a b))))\n"
+
+let pc_assert ~mode (t, sense) =
+  let zero = match mode with MInt -> "0" | MReal -> "0.0" in
+  if sense then Printf.sprintf "(assert (distinct %s %s))" (enc ~mode t) zero
+  else Printf.sprintf "(assert (= %s %s))" (enc ~mode t) zero
+
+let render_vc ~header ~mode obs =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "; fsicp translation-validation VC";
+  List.iter (fun (k, v) -> line "; %s: %s" k v) header;
+  line "(set-logic ALL)";
+  let supp = List.filter (supported ~mode) obs in
+  if List.exists (fun ob -> List.exists uses_divmod (ob_terms ob)) supp
+     && mode = MInt
+  then Buffer.add_string buf tdiv_defs;
+  let sort = match mode with MInt -> "Int" | MReal -> "Real" in
+  let syms = Term.syms_of_list (List.concat_map ob_terms supp) in
+  List.iter (fun s -> line "(declare-const %s %s)" (sym_name s) sort) syms;
+  if obs = [] then line "; no undischarged obligations";
+  List.iteri
+    (fun i ob ->
+      if supported ~mode ob then begin
+        line "; obligation %d: %s" (i + 1) ob.ob_what;
+        line "(push 1)";
+        List.iter (fun a -> line "%s" (pc_assert ~mode a)) ob.ob_pc;
+        line "(assert (not (= %s %s)))" (enc ~mode ob.ob_lhs)
+          (enc ~mode ob.ob_rhs);
+        line "(check-sat)";
+        line "(pop 1)"
+      end
+      else line "; obligation %d: %s [unsupported in this encoding]" (i + 1)
+             ob.ob_what)
+    obs;
+  Buffer.contents buf
+
+let solve_with ~cmd text =
+  let file = Filename.temp_file "fsicp_vc" ".smt2" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      let ic = Unix.open_process_in (cmd ^ " " ^ Filename.quote file ^ " 2>&1") in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      let status = Unix.close_process_in ic in
+      let lines = List.rev !lines in
+      let answers =
+        List.filter_map
+          (fun l ->
+            match String.trim l with
+            | "sat" -> Some Sat
+            | "unsat" -> Some Unsat
+            | "unknown" -> Some Unknown
+            | _ -> None)
+          lines
+      in
+      match (status, answers) with
+      | Unix.WEXITED 0, _ -> Ok answers
+      | _, _ :: _ -> Ok answers
+      | _ ->
+          Error
+            (Printf.sprintf "solver %S failed: %s" cmd
+               (String.concat " | " (List.filteri (fun i _ -> i < 3) lines))))

@@ -1,0 +1,48 @@
+(** SMT-LIB2 emission and the external-solver driver.
+
+    A verification condition is a list of {!obligation}s: each asserts that
+    two symbolic terms coincide under a path condition.  [render_vc] prints a
+    deterministic SMT-LIB2 script (one [push]/[check-sat]/[pop] block per
+    obligation, negated equality, so [unsat] means "proved").
+
+    Two encodings exist.  [MInt] is used only when neither program contains a
+    real literal — then every runtime value is an OCaml [int] and the
+    encoding into SMT [Int] is exact except for 63-bit wraparound (see
+    DESIGN.md); truncated division/modulus are defined on top of SMT's
+    Euclidean [div]/[mod].  Otherwise [MReal] encodes everything as SMT
+    [Real]; rationals are not IEEE floats, so [MReal] answers are advisory
+    and the driver never trusts them (the caller must treat them as
+    inconclusive). *)
+
+type obligation = {
+  ob_what : string;  (** human-readable label: what must coincide *)
+  ob_pc : (Term.t * bool) list;
+      (** path condition: term is truthy / falsy, in branch order *)
+  ob_lhs : Term.t;
+  ob_rhs : Term.t;
+}
+
+type mode = MInt | MReal
+type sat = Sat | Unsat | Unknown
+
+(** [MInt] iff no real literal occurs in either program. *)
+val mode_of_programs :
+  Fsicp_lang.Ast.program -> Fsicp_lang.Ast.program -> mode
+
+(** An obligation is supported when every involved term encodes in the given
+    mode ([MReal] rejects [Mod] and non-decimal real literals; [MInt] rejects
+    real constants, which cannot arise when the mode was chosen by
+    {!mode_of_programs}). *)
+val supported : mode:mode -> obligation -> bool
+
+(** Deterministic SMT-LIB2 text.  [header] key/value pairs become leading
+    comment lines in the given order.  Unsupported obligations are emitted as
+    comments (no [check-sat]), so the positional answers of a solver align
+    with the supported obligations in order. *)
+val render_vc :
+  header:(string * string) list -> mode:mode -> obligation list -> string
+
+(** Run an external SMT solver command on already-rendered SMT-LIB2 text and
+    parse its [sat]/[unsat]/[unknown] answers in order.  [Error] carries a
+    diagnostic (solver missing, nonzero exit with no parsable output, …). *)
+val solve_with : cmd:string -> string -> (sat list, string) result

@@ -1,0 +1,147 @@
+open Fsicp_lang
+
+type sym = { sname : string; sgen : int }
+
+type t =
+  | Cst of Value.t
+  | Sym of sym
+  | Un of Ops.unop * t
+  | Bin of Ops.binop * t * t
+
+type ty = TInt | TReal | TUnknown
+
+let rec equal a b =
+  match (a, b) with
+  | Cst x, Cst y -> Value.equal x y
+  | Sym x, Sym y -> String.equal x.sname y.sname && x.sgen = y.sgen
+  | Un (o, x), Un (p, y) -> Ops.equal_unop o p && equal x y
+  | Bin (o, x1, x2), Bin (p, y1, y2) ->
+      Ops.equal_binop o p && equal x1 y1 && equal x2 y2
+  | (Cst _ | Sym _ | Un _ | Bin _), _ -> false
+
+let rec compare a b =
+  let tag = function Cst _ -> 0 | Sym _ -> 1 | Un _ -> 2 | Bin _ -> 3 in
+  match (a, b) with
+  | Cst x, Cst y -> Value.compare x y
+  | Sym x, Sym y ->
+      let c = String.compare x.sname y.sname in
+      if c <> 0 then c else Int.compare x.sgen y.sgen
+  | Un (o, x), Un (p, y) ->
+      let c = Stdlib.compare o p in
+      if c <> 0 then c else compare x y
+  | Bin (o, x1, x2), Bin (p, y1, y2) ->
+      let c = Stdlib.compare o p in
+      if c <> 0 then c
+      else
+        let c = compare x1 y1 in
+        if c <> 0 then c else compare x2 y2
+  | _ -> Int.compare (tag a) (tag b)
+
+let rec type_of = function
+  | Cst (Value.Int _) -> TInt
+  | Cst (Value.Real _) -> TReal
+  | Sym _ -> TUnknown
+  | Un (Ops.Not, _) -> TInt
+  | Un (Ops.Neg, t) -> type_of t
+  | Bin ((Ops.Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> TInt
+  | Bin ((Ops.Add | Sub | Mul | Div | Mod), a, b) -> (
+      match (type_of a, type_of b) with
+      | TInt, TInt -> TInt
+      | TReal, _ | _, TReal -> TReal
+      | _ -> TUnknown)
+
+let is_int t = type_of t = TInt
+let int_cst n = Cst (Value.Int n)
+
+(* Does an already-normalised term denote 0/1 by construction?  Used by
+   [truthiness] to avoid wrapping comparisons in a redundant [!= 0]. *)
+let boolish = function
+  | Cst _ -> true
+  | Un (Ops.Not, _) -> true
+  | Bin ((Ops.Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> true
+  | _ -> false
+
+let truthiness t =
+  match t with
+  | Cst v -> Cst (Value.of_bool (Value.truthy v))
+  | _ when boolish t -> t
+  | _ -> Bin (Ops.Ne, t, int_cst 0)
+
+let decide = function Cst v -> Some (Value.truthy v) | _ -> None
+
+let un op t =
+  match (op, t) with
+  | _, Cst v -> (
+      (* eval_unop is total, but keep the fallback for safety. *)
+      match Value.eval_unop op v with Some r -> Cst r | None -> Un (op, t))
+  | Ops.Neg, Un (Ops.Neg, x) ->
+      (* Valid for ints (including [min_int]: -(-min_int) = min_int) and for
+         IEEE floats, where negation is exact sign-flipping. *)
+      x
+  | Ops.Not, Un (Ops.Not, x) -> truthiness x
+  | _ -> Un (op, t)
+
+let bin op a b =
+  match (a, b) with
+  | Cst x, Cst y -> (
+      match Value.eval_binop op x y with
+      | Some v -> Cst v
+      | None ->
+          (* A definitely-faulting operation (division by zero): keep it
+             symbolic; the engine's guard collection reports the fault. *)
+          Bin (op, a, b))
+  | _ -> (
+      match op with
+      | Ops.Add when equal b (int_cst 0) && is_int a -> a
+      | Ops.Add when equal a (int_cst 0) && is_int b -> b
+      | Ops.Sub when equal b (int_cst 0) && is_int a -> a
+      | Ops.Mul when equal b (int_cst 1) && is_int a -> a
+      | Ops.Mul when equal a (int_cst 1) && is_int b -> b
+      | Ops.Mul when equal b (int_cst 0) && is_int a -> int_cst 0
+      | Ops.Mul when equal a (int_cst 0) && is_int b -> int_cst 0
+      | Ops.And -> (
+          match (decide a, decide b) with
+          | Some false, _ | _, Some false ->
+              (* Sound because terms are pure: runtime faults live in the
+                 engine's guards, never inside a term. *)
+              int_cst 0
+          | Some true, _ -> truthiness b
+          | _, Some true -> truthiness a
+          | None, None -> Bin (op, a, b))
+      | Ops.Or -> (
+          match (decide a, decide b) with
+          | Some true, _ | _, Some true -> int_cst 1
+          | Some false, _ -> truthiness b
+          | _, Some false -> truthiness a
+          | None, None -> Bin (op, a, b))
+      | Ops.Eq when equal a b && is_int a -> int_cst 1
+      | Ops.Ne when equal a b && is_int a -> int_cst 0
+      | _ -> Bin (op, a, b))
+
+module Symset = Set.Make (struct
+  type t = sym
+
+  let compare a b =
+    let c = String.compare a.sname b.sname in
+    if c <> 0 then c else Int.compare a.sgen b.sgen
+end)
+
+let rec add_syms acc = function
+  | Cst _ -> acc
+  | Sym s -> Symset.add s acc
+  | Un (_, t) -> add_syms acc t
+  | Bin (_, a, b) -> add_syms (add_syms acc a) b
+
+let syms t = Symset.elements (add_syms Symset.empty t)
+
+let syms_of_list ts =
+  Symset.elements (List.fold_left add_syms Symset.empty ts)
+
+let rec pp ppf = function
+  | Cst v -> Value.pp ppf v
+  | Sym { sname; sgen = 0 } -> Fmt.string ppf sname
+  | Sym { sname; sgen } -> Fmt.pf ppf "%s!%d" sname sgen
+  | Un (op, t) -> Fmt.pf ppf "%a(%a)" Ops.pp_unop op pp t
+  | Bin (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp a Ops.pp_binop op pp b
+
+let to_string t = Fmt.str "%a" pp t

@@ -31,5 +31,6 @@ let () =
       ("figure1", Test_figure1.suite);
       ("trace", Test_trace.suite);
       ("engine", Test_engine.suite);
+      ("verify", Test_verify.suite);
       ("serve", Test_serve.suite);
     ]

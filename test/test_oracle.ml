@@ -374,7 +374,12 @@ let test_regression_replay name () =
   close_in ic;
   let prog = Parser.program_of_string src in
   Sema.check_exn prog;
-  match O.check_program ~jobs:2 prog with
+  (match O.check_program ~jobs:2 prog with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "%s: %a" name O.pp_failure f);
+  (* Replayed reproducers must also clear translation validation — this is
+     how [fsicp fuzz --vc] counterexamples stay fixed. *)
+  match O.check_transform_vc prog with
   | Ok () -> ()
   | Error f -> Alcotest.failf "%s: %a" name O.pp_failure f
 

@@ -5,8 +5,11 @@
     [test/golden/<program>.<method>.expected].  Additionally dump the
     logical-mode Chrome trace of a jobs=1 {!Fsicp_core.Driver.run} to
     [test/golden/<program>.trace.expected], pinning the byte-deterministic
-    trace format.  The fixtures pin the user-visible analysis results;
-    [test/test_golden.ml] asserts the live pipeline still reproduces them
+    trace format, and the concatenated SMT-LIB2 renderings of every
+    translation-validation VC (all four transformations, symbolic backend,
+    FS solution) to [test/golden/<program>.smt2.expected].  The fixtures pin
+    the user-visible analysis results; [test/test_golden.ml] and
+    [test/test_verify.ml] assert the live pipeline still reproduces them
     byte for byte.
 
     Usage: [dune exec tools/golden_gen/golden_gen.exe -- TESTDATA_DIR OUT_DIR] *)
@@ -14,6 +17,7 @@
 open Fsicp_lang
 open Fsicp_core
 module Trace = Fsicp_trace.Trace
+module Verify = Fsicp_verify.Verify
 
 let read_program path =
   let ic = open_in_bin path in
@@ -76,6 +80,26 @@ let () =
            let rendered = Trace.to_chrome_json ~mode:Trace.Logical () in
            let path =
              Filename.concat out (Printf.sprintf "%s.trace.expected" base)
+           in
+           let oc = open_out_bin path in
+           output_string oc rendered;
+           close_out oc;
+           Fmt.pr "wrote %s (%d bytes)@." path (String.length rendered);
+           (* Translation-validation VCs under the symbolic backend: the
+              rendered SMT-LIB2 text (declarations, assertions, verdict
+              headers) is deterministic for a given program, so the whole
+              concatenated document is a byte-stable fixture too. *)
+           let ctx = Context.create prog in
+           let fs = Fs_icp.solve ctx in
+           let reports = Verify.verify_program ctx ~solution:fs in
+           let rendered =
+             reports
+             |> List.concat_map (fun r -> r.Verify.r_vcs)
+             |> List.map Verify.render
+             |> String.concat "\n"
+           in
+           let path =
+             Filename.concat out (Printf.sprintf "%s.smt2.expected" base)
            in
            let oc = open_out_bin path in
            output_string oc rendered;
